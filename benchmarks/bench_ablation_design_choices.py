@@ -1,0 +1,151 @@
+"""Ablations of Mugi's design choices (DESIGN.md §4).
+
+1. Sliding window on/off — accuracy of the VLP approximation.
+2. Mantissa rounding width — cycle cost vs input error.
+3. Mapping transpose — Mugi's weight-rows vs Carat's batch-rows at
+   small/large batch.
+4. Buffer leaning + broadcast — buffer area vs array size.
+5. Shared array vs dedicated LUT nonlinear hardware (Mugi vs Mugi-L).
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.arch import (
+    MugiDesign,
+    MugiLDesign,
+    NonlinearOp,
+    buffer_reduction_factor,
+)
+from repro.baselines import precise
+from repro.core import make_vlp, schedule_vlp_gemm
+from repro.analysis.tables import render_table
+
+
+def _sliding_window_ablation():
+    rng = np.random.default_rng(0)
+    # Tiles whose magnitudes differ strongly (per-row distributions);
+    # the slide only matters for tiles far from the LUT top.
+    tiles = np.stack([rng.uniform(0.01, 0.05, 64),   # Small magnitudes.
+                      rng.uniform(0.5, 2.0, 64),     # Mid.
+                      rng.uniform(4.0, 14.0, 64)])   # Near the LUT top.
+    x = -tiles
+    ref = precise.exp(x)
+    out = {}
+    for sliding in (True, False):
+        approx = make_vlp("exp", lut_size=16, max_exp=4, sliding=sliding)
+        err = np.abs(approx(x, tile_axes=(1,)) - ref) / ref
+        out[sliding] = err.mean(axis=1)  # Per-tile mean relative error.
+    return out
+
+
+def test_ablation_sliding_window(benchmark, save_result):
+    errors = once(benchmark, _sliding_window_ablation)
+    labels = ["small |x| tile", "mid |x| tile", "large |x| tile"]
+    table = render_table(
+        ["Tile", "Sliding on", "Sliding off"],
+        [[label, f"{errors[True][i]:.5f}", f"{errors[False][i]:.5f}"]
+         for i, label in enumerate(labels)],
+        title="Ablation 1: per-tile sliding window (Fig. 5) — mean "
+              "relative exp error")
+    save_result("ablation_sliding_window", table)
+    # Pinning the window underflows the small-magnitude tile (exp -> 1);
+    # the slide recovers it by an order of magnitude.
+    assert errors[True][0] < 0.1 * errors[False][0]
+    # Tiles already inside the pinned window are unaffected.
+    assert errors[True][2] == errors[False][2]
+
+
+def _mantissa_width_ablation():
+    x = np.linspace(-7.9, -0.1, 4000)
+    ref = precise.exp(x)
+    rows = []
+    for bits in (2, 3, 4):
+        approx = make_vlp("exp", mantissa_bits=bits, lut_size=12, max_exp=3,
+                          window_size=8)
+        err = float(np.mean(np.abs(approx(x) - ref) / ref))
+        cycles = 1 << bits
+        rows.append((bits, cycles, err))
+    return rows
+
+
+def test_ablation_mantissa_width(benchmark, save_result):
+    rows = once(benchmark, _mantissa_width_ablation)
+    table = render_table(
+        ["Mantissa bits", "Spike cycles", "Mean rel error"],
+        [[b, c, f"{e:.4f}"] for b, c, e in rows],
+        title="Ablation 2: mantissa rounding width (throughput-accuracy "
+              "trade, §3.2)")
+    save_result("ablation_mantissa_width", table)
+    errors = {b: e for b, _, e in rows}
+    assert errors[2] > errors[3] > errors[4]
+    # 3 bits (Mugi's choice) roughly halves the 2-bit error while
+    # keeping the window at 8 cycles.
+    assert errors[3] < 0.6 * errors[2]
+
+
+def _mapping_transpose_ablation():
+    rows = []
+    for batch in (1, 8, 64, 512):
+        mugi = schedule_vlp_gemm(m=batch, k=1024, n=2048, array_height=128,
+                                 rows_dim="n")
+        carat = schedule_vlp_gemm(m=batch, k=1024, n=2048, array_height=128,
+                                  rows_dim="m")
+        rows.append((batch, mugi.utilization, carat.utilization))
+    return rows
+
+
+def test_ablation_mapping_transpose(benchmark, save_result):
+    rows = once(benchmark, _mapping_transpose_ablation)
+    table = render_table(
+        ["Batch", "Mugi util (weights->rows)", "Carat util (batch->rows)"],
+        [[b, f"{mu:.3f}", f"{cu:.3f}"] for b, mu, cu in rows],
+        title="Ablation 3: mapping transpose (§4.2)")
+    save_result("ablation_mapping_transpose", table)
+    by_batch = {b: (mu, cu) for b, mu, cu in rows}
+    # Small batch: transposed mapping wins by an order of magnitude.
+    assert by_batch[8][0] > 10 * by_batch[8][1]
+    # Large batch: Carat's native mapping catches back up.
+    assert by_batch[512][1] > 0.9
+
+
+def test_ablation_buffer_leaning(benchmark, save_result):
+    factors = once(benchmark, lambda: {
+        h: buffer_reduction_factor(h, 8) for h in (32, 64, 128, 256)})
+    table = render_table(
+        ["Array height", "Carat/Mugi buffer area"],
+        [[h, f"{f:.2f}x"] for h, f in factors.items()],
+        title="Ablation 4: broadcast + output buffer leaning "
+              "(paper: ~4.5x)")
+    save_result("ablation_buffer_leaning", table)
+    assert all(3.5 < f < 6.0 for f in factors.values())
+
+
+def _shared_array_ablation():
+    op = NonlinearOp(op="softmax", elements=8 * 64 * 4096, rows=8 * 64)
+    rows = []
+    for height in (128, 256):
+        mugi = MugiDesign(height=height)
+        mugi_l = MugiLDesign(height=height)
+        m_cost = mugi.nonlinear_cost(op)
+        l_cost = mugi_l.nonlinear_cost(op)
+        rows.append((f"Mugi ({height})", mugi.area_mm2, m_cost.energy_pj))
+        rows.append((f"Mugi-L ({height})", mugi_l.area_mm2,
+                     l_cost.energy_pj))
+    return rows
+
+
+def test_ablation_shared_array(benchmark, save_result):
+    rows = once(benchmark, _shared_array_ablation)
+    table = render_table(
+        ["Design", "Area mm^2", "Softmax energy pJ"],
+        [[n, f"{a:.3f}", f"{e:.3e}"] for n, a, e in rows],
+        title="Ablation 5: shared array vs dedicated LUTs (Mugi vs "
+              "Mugi-L, Fig. 13)")
+    save_result("ablation_shared_array", table)
+    by = {n: (a, e) for n, a, e in rows}
+    for height in (128, 256):
+        mugi_a, mugi_e = by[f"Mugi ({height})"]
+        lut_a, lut_e = by[f"Mugi-L ({height})"]
+        assert lut_a > mugi_a          # Embodied-carbon penalty.
+        assert lut_e > mugi_e          # No value reuse on lookups.

@@ -1,0 +1,136 @@
+"""Extension benches — the paper's §7.1 discussion items made concrete.
+
+* Online window adaptation under distribution drift (future work in the
+  paper; implemented in :mod:`repro.core.online`).
+* RoPE via VLP sin/cos vs offload cost.
+* MoE decode: routed-expert utilization vs the dense backbone.
+* Auxiliary ops (layernorm + RoPE) share of the decode step.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.analysis.tables import render_table
+from repro.arch import make_design, simulate_workload
+from repro.core import (
+    OnlineVLPApproximator,
+    RopeConfig,
+    VLPApproxConfig,
+    VLPApproximator,
+    precise_rope,
+    vlp_rope,
+)
+from repro.llm import (
+    LLAMA2_7B,
+    MoEConfig,
+    build_decode_ops,
+    build_moe_decode_ops,
+)
+
+
+def _drift_experiment():
+    """Mean absolute exp error, static vs online window, under drift."""
+    cfg = VLPApproxConfig(op="exp", lut_size=8, max_exp=4)
+    online = OnlineVLPApproximator(cfg, refill_interval=2)
+    static = VLPApproximator(cfg)
+    rng = np.random.default_rng(0)
+    rows = []
+    for scale in (1.0, 0.25, 0.06, 0.015, 0.004):
+        online_err, static_err = [], []
+        for _ in range(3):
+            x = -np.abs(rng.standard_normal(512)) * scale
+            ref = np.exp(x)
+            online_err.append(float(np.abs(online(x) - ref).mean()))
+            static_err.append(float(np.abs(static(x) - ref).mean()))
+        rows.append((scale, np.mean(static_err), np.mean(online_err)))
+    return rows, online.stats.refills
+
+
+def test_extension_online_adaptation(benchmark, save_result):
+    rows, refills = once(benchmark, _drift_experiment)
+    table = render_table(
+        ["Input scale", "Static window err", "Online window err"],
+        [[f"{s:g}", f"{st:.5f}", f"{on:.5f}"] for s, st, on in rows],
+        title=f"Extension: online LUT-window adaptation under drift "
+              f"({refills} refills)")
+    save_result("extension_online_adaptation", table)
+    # Once drifted far from the offline window, online wins decisively
+    # (the static window underflows everything to exp(0) = 1).
+    assert rows[-1][2] < 0.5 * rows[-1][1]
+    assert rows[-2][2] < 0.5 * rows[-2][1]
+    # And matches the static window before any drift.
+    assert rows[0][2] <= rows[0][1] * 1.5
+
+
+def _rope_experiment():
+    rng = np.random.default_rng(1)
+    cfg = RopeConfig(head_dim=128)
+    x = rng.standard_normal((8, 64, 128))
+    positions = np.arange(64)
+    exact = precise_rope(x, positions, cfg)
+    approx = vlp_rope(x, positions, cfg)
+    rel = float(np.linalg.norm(approx - exact) / np.linalg.norm(exact))
+    return rel
+
+
+def test_extension_rope_accuracy(benchmark, save_result):
+    rel = once(benchmark, _rope_experiment)
+    save_result("extension_rope",
+                f"Extension: VLP RoPE relative rotation error = {rel:.4f} "
+                f"(3-bit mantissa angles, range-reduced)")
+    assert rel < 0.05
+
+
+def _moe_experiment():
+    rows = []
+    design = make_design("mugi", 256)
+    dense_ops = build_decode_ops(LLAMA2_7B, batch=8, seq_len=2048)
+    dense = simulate_workload(design, dense_ops, tokens_per_step=8)
+    rows.append(("dense 7B", dense.throughput_tokens_s,
+                 dense.energy_per_token_j))
+    for n_experts, top_k in ((8, 2), (8, 1), (16, 2)):
+        moe = MoEConfig(base=LLAMA2_7B, n_experts=n_experts, top_k=top_k)
+        ops = build_moe_decode_ops(moe, batch=8, seq_len=2048)
+        r = simulate_workload(design, ops, tokens_per_step=8)
+        rows.append((f"MoE {n_experts}x top-{top_k}",
+                     r.throughput_tokens_s, r.energy_per_token_j))
+    return rows
+
+
+def test_extension_moe(benchmark, save_result):
+    rows = once(benchmark, _moe_experiment)
+    table = render_table(
+        ["Workload", "Tokens/s", "J/token"],
+        [[n, f"{t:.2f}", f"{e:.4f}"] for n, t, e in rows],
+        title="Extension: MoE decode on Mugi (256), batch 8, seq 2048")
+    save_result("extension_moe", table)
+    by = {n: (t, e) for n, t, e in rows}
+    # Top-1 routing does less FFN work than top-2.
+    assert by["MoE 8x top-1"][0] > by["MoE 8x top-2"][0]
+
+
+def _aux_ops_experiment():
+    design = make_design("mugi", 256)
+    rows = []
+    for include in (False, True):
+        ops = build_decode_ops(LLAMA2_7B, batch=8, seq_len=2048,
+                               include_aux_ops=include)
+        r = simulate_workload(design, ops, tokens_per_step=8)
+        rows.append((include, r.throughput_tokens_s,
+                     r.cycles_by_kind["nonlinear"]
+                     / sum(r.cycles_by_kind.values())))
+    return rows
+
+
+def test_extension_aux_ops(benchmark, save_result):
+    rows = once(benchmark, _aux_ops_experiment)
+    table = render_table(
+        ["Aux ops (RoPE + LayerNorm)", "Tokens/s", "Nonlinear share"],
+        [[str(inc), f"{t:.3f}", f"{s:.2%}"] for inc, t, s in rows],
+        title="Extension: auxiliary-op cost on Mugi (256) (paper §7.1)")
+    save_result("extension_aux_ops", table)
+    without, with_aux = rows[0], rows[1]
+    # The §7.1 story: aux ops are served by the vector unit / VLP and
+    # cost only a few percent of throughput.
+    assert with_aux[1] > 0.9 * without[1]
+    assert with_aux[2] < 0.1

@@ -1,0 +1,56 @@
+"""Fig. 4 — nonlinear input value/exponent distributions.
+
+Profiles the four study-model families and verifies the paper's two
+observations: softmax exponents concentrate in a narrow band (for Llama-2
+around [-3, 4]) and SiLU/GELU inputs cluster near zero — the basis of the
+value-centric window (§3.3).
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import distributions
+from repro.analysis.tables import render_table
+
+
+def test_fig04_distributions(benchmark, save_result):
+    profiles = once(benchmark, distributions.run_all, steps=250)
+
+    rows = []
+    for family in profiles:
+        rows.extend(family.summary_rows())
+    table = render_table(
+        ["Family", "Op", "Value range", "Exp range", "Dominant window",
+         "Mass in window"],
+        rows,
+        title="Fig. 4: nonlinear input distributions per model family")
+    save_result("fig04_distributions", table)
+
+    by_family = {p.family: p for p in profiles}
+    # Softmax exponents concentrate: one 8-exponent window holds most of
+    # the mass for every family.
+    for family in ("llama2", "whisper", "swinv2", "vivit"):
+        softmax = by_family[family].profiles["softmax"]
+        lo, hi = softmax.dominant_window(8)
+        assert softmax.mass_within(lo, hi) > 0.55, family
+
+    # Activation (SiLU/GELU) inputs cluster around zero.
+    llama_silu = by_family["llama2"].profiles["silu"]
+    assert abs(float(llama_silu.values.mean())) < 2.0
+    assert float(abs(llama_silu.values).max()) < 64.0
+
+
+def test_fig04_per_layer_variation(benchmark, save_result):
+    """The per-layer softmax profiles differ (the Fig. 7 motivation)."""
+    per_layer = once(benchmark, distributions.per_layer_softmax_profiles,
+                     steps=250)
+    rows = []
+    for idx, prof in enumerate(per_layer):
+        lo, hi = prof.dominant_window(8)
+        rows.append([idx, f"[{prof.exponent_range[0]}, "
+                          f"{prof.exponent_range[1]}]",
+                     f"[{lo}, {hi}]", f"{prof.mass_within(lo, hi):.3f}"])
+    table = render_table(["Layer", "Exp range", "Dominant window", "Mass"],
+                         rows, title="Fig. 4 (layer detail): per-layer "
+                                     "softmax exponent windows")
+    save_result("fig04_per_layer", table)
+    assert len(per_layer) >= 2

@@ -1,0 +1,60 @@
+"""Fig. 6 — perplexity heatmaps across approximation configurations.
+
+Sweeps VLP (LUT size × max exp), PWL (segments × range), and Taylor
+(degree × center) on the trained decoder LM, and checks the paper's
+qualitative findings.
+"""
+
+import math
+
+from conftest import once
+
+from repro.analysis.experiments import accuracy_sweep
+from repro.analysis.tables import render_heatmap
+
+
+def test_fig06_accuracy_sweep(benchmark, save_result):
+    sweeps = once(benchmark, accuracy_sweep.run_all, steps=250)
+
+    blocks = []
+    for name, sweep in sweeps.items():
+        blocks.append(render_heatmap(
+            f"Fig. 6 [{name}] ({sweep.row_label} x {sweep.col_label}); "
+            f"precise PPL = {sweep.baseline:.3f}",
+            sweep.rows, sweep.cols, sweep.grid))
+    save_result("fig06_accuracy_sweep", "\n\n".join(blocks))
+
+    vlp_sm = sweeps["vlp_sm"]
+    vlp_silu = sweeps["vlp_silu"]
+    taylor = sweeps["taylor_sm"]
+    pwl_sm = sweeps["pwl_sm"]
+
+    # Every sweep has a config within a few percent of precise PPL.
+    for sweep in sweeps.values():
+        best = sweep.best()[2]
+        assert best < sweep.baseline * 1.05, sweep.method
+
+    # VLP SiLU: too-small max_exp hurts badly (overflow passthrough);
+    # the heatmap recovers by max_exp >= 2 (the Fig. 6 curvature).
+    first_col = [row[0] for row in vlp_silu.grid]
+    later_col = [row[2] for row in vlp_silu.grid]
+    assert min(first_col) > max(later_col)
+
+    # Taylor softmax degrades away from the expansion center.
+    far_center = [row[0] for row in taylor.grid]       # Center -7.
+    near_center = [row[-1] for row in taylor.grid]     # Center -1.
+    assert sum(far_center) > sum(near_center)
+
+    # Sliding-window VLP softmax is insensitive to LUT size (flat rows,
+    # as in the paper's heatmaps).
+    col_spread = max(abs(vlp_sm.grid[0][j] - vlp_sm.grid[-1][j])
+                     for j in range(len(vlp_sm.cols)))
+    assert col_spread < 0.05 * vlp_sm.baseline
+
+    # PWL softmax is insensitive to its range at 22 segments.
+    flat = [v for row in pwl_sm.grid for v in row]
+    assert (max(flat) - min(flat)) < 0.05 * pwl_sm.baseline
+
+    # All grids are finite.
+    for sweep in sweeps.values():
+        assert all(math.isfinite(v) for row in sweep.grid for v in row)

@@ -1,0 +1,35 @@
+"""Fig. 7 — progressive per-layer LUT-window tuning.
+
+Greedy per-layer window selection on the decoder LM: the tuned model's
+perplexity approaches (or beats) the best single global window, the
+paper's mitigation for layer-to-layer distribution drift.
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import per_layer_tuning
+from repro.analysis.tables import render_series
+
+
+def test_fig07_per_layer_tuning(benchmark, save_result):
+    trace = once(benchmark, per_layer_tuning.tune_per_layer, steps=250)
+
+    series = render_series(
+        "Fig. 7: per-layer tuning trajectory "
+        f"(precise PPL {trace.baseline_ppl:.3f}, "
+        f"global-best PPL {trace.global_ppl:.3f}, "
+        f"final PPL {trace.final_ppl:.3f})",
+        list(range(len(trace.ppl_after_layer))), trace.ppl_after_layer,
+        x_label="layers tuned", y_label="PPL")
+    choices = "chosen max_exp per layer: " + \
+        ", ".join(str(c) for c in trace.per_layer_choices)
+    save_result("fig07_per_layer_tuning", series + "\n" + choices)
+
+    # Per-layer tuning never loses to the global window and stays close
+    # to the precise baseline (the Fig. 7 recovery).
+    assert trace.final_ppl <= trace.global_ppl + 1e-9
+    assert trace.final_ppl < trace.baseline_ppl * 1.05
+    # Progressive tuning is monotonically non-increasing.
+    for earlier, later in zip(trace.ppl_after_layer,
+                              trace.ppl_after_layer[1:]):
+        assert later <= earlier + 1e-9

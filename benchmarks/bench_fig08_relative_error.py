@@ -1,0 +1,58 @@
+"""Fig. 8 — relative error vs input for each approximation method.
+
+Checks the error *shapes* the paper reports: Mugi stays within ~±6% in
+the important [-0.5, 0.5] region for SiLU/GELU (and ~±2% for exp near
+zero), PWL/PA oscillate with larger peaks there, and every method's error
+is capped at ±100%.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.analysis.experiments import relative_error
+from repro.analysis.tables import render_table
+
+
+def test_fig08_relative_error(benchmark, save_result):
+    curves = once(benchmark, relative_error.run_all, n_points=2000)
+
+    rows = []
+    for (op, method), curve in curves.items():
+        if op == "exp":
+            inset = curve.max_abs_error_in(-0.5, -1e-3)
+            wide = curve.max_abs_error_in(-16.0, -1e-3)
+        else:
+            inset = max(curve.max_abs_error_in(-0.5, -1 / 16),
+                        curve.max_abs_error_in(1 / 16, 0.5))
+            wide = curve.max_abs_error_in(-6.0, 6.0)
+        rows.append([op, method, f"{100 * inset:.1f}%", f"{100 * wide:.1f}%"])
+    table = render_table(
+        ["Op", "Method", "Max |err| in important region", "Max |err| wide"],
+        rows, title="Fig. 8: relative error vs software reference "
+                    "(important region = [-0.5, 0.5] away from underflow)")
+    save_result("fig08_relative_error", table)
+
+    def inset_err(op, method):
+        curve = curves[(op, method)]
+        if op == "exp":
+            return curve.max_abs_error_in(-0.5, -1e-3)
+        return max(curve.max_abs_error_in(-0.5, -1 / 16),
+                   curve.max_abs_error_in(1 / 16, 0.5))
+
+    # Mugi's important-region bounds (the Fig. 8 insets).
+    assert inset_err("exp", "vlp") < 0.05
+    assert inset_err("silu", "vlp") < 0.10
+    assert inset_err("gelu", "vlp") < 0.10
+
+    # PA (hard-swish) has a worse important-region error than Mugi.
+    assert inset_err("silu", "pa") > inset_err("silu", "vlp")
+
+    # Everything is capped at +/-100% (outputs flushed to zero).
+    for curve in curves.values():
+        assert np.all(np.abs(curve.relative_error) <= 1.0 + 1e-12)
+
+    # Taylor exp: accurate near its center, degrading far away.
+    taylor = curves[("exp", "taylor")]
+    near = taylor.max_abs_error_in(-5.0, -3.0)   # Around center -4.
+    far = taylor.max_abs_error_in(-16.0, -14.0)
+    assert near < 0.01 and far > 10 * max(near, 1e-6)

@@ -1,0 +1,58 @@
+"""Fig. 11 — nonlinear throughput/efficiency, Mugi vs vector arrays.
+
+Softmax and SiLU across sequence lengths (geomean over the Llama-2
+family), normalized to the precise 16-lane vector array.  Checks the
+paper's ordering: Mugi ≫ VA-FP (tens of ×, hundreds of × energy), and
+Mugi clearly ahead of the PWL and Taylor vector arrays.
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import nonlinear_iso_area
+from repro.analysis.tables import render_table
+
+
+def test_fig11_nonlinear_iso_area(benchmark, save_result):
+    results = once(benchmark, nonlinear_iso_area.run)
+    summary = nonlinear_iso_area.normalized_summary(results)
+
+    rows = []
+    for design, ops in summary.items():
+        for op_name, metrics in ops.items():
+            rows.append([design, op_name,
+                         f"{metrics['throughput']:.1f}x",
+                         f"{metrics['energy_eff']:.1f}x",
+                         f"{metrics['energy_per_element']:.1f}x",
+                         f"{metrics['power_eff']:.2f}x"])
+    table = render_table(
+        ["Design", "Op", "Norm throughput", "Norm energy eff",
+         "Energy/elem gain", "Norm power eff"],
+        rows, title="Fig. 11: nonlinear ops vs VA-FP (16), geomean over "
+                    "Llama-2 family and seq lens 128-4096, batch 8")
+    save_result("fig11_nonlinear_iso_area", table)
+
+    mugi = {op: summary["Mugi (128)"][op] for op in ("softmax", "silu")}
+    # Tens-of-x throughput and hundreds-of-x energy efficiency over the
+    # precise VA (paper: 45x shared; 481x / 668x energy efficiency).
+    for op in ("softmax", "silu"):
+        assert mugi[op]["throughput"] > 15
+        assert mugi[op]["energy_eff"] > 200
+        assert mugi[op]["energy_per_element"] > 10
+
+    # Mugi(256) doubles Mugi(128) throughput (height scaling).
+    assert summary["Mugi (256)"]["silu"]["throughput"] > \
+        1.8 * mugi["silu"]["throughput"]
+
+    # Ordering vs approximate vector arrays (paper: 5x PWL, 10x Taylor).
+    taylor = summary["VA-AP Taylor (16)"]["softmax"]["throughput"]
+    pwl = summary["VA-AP PWL (16)"]["softmax"]["throughput"]
+    assert mugi["softmax"]["throughput"] > 4 * taylor
+    assert mugi["softmax"]["throughput"] > 2 * pwl
+    assert pwl > taylor  # PWL evaluates in fewer cycles than Horner.
+
+    # Sequence length does not change normalized gains (paper §6.1.2).
+    by_seq = results["Mugi (128)"]["softmax"]
+    base_seq = results["VA-FP (16)"]["softmax"]
+    ratios = [by_seq[s].throughput / base_seq[s].throughput
+              for s in by_seq]
+    assert max(ratios) / min(ratios) < 1.2

@@ -1,0 +1,56 @@
+"""Fig. 13 — array- and NoC-level area/power breakdowns.
+
+Checks the structural claims: Carat's FIFO slice dominates its array
+area (the quadratic buffer cost), Mugi-L pays a large dedicated-LUT
+nonlinear slice, Mugi's array is the leanest per unit of throughput, and
+SA/SD area is PE-dominated.
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import breakdown
+from repro.analysis.tables import render_table
+
+
+def test_fig13_breakdown(benchmark, save_result):
+    rows = once(benchmark, breakdown.run)
+
+    table_rows = []
+    for row in rows:
+        cats = ", ".join(f"{k}={v:.4f}"
+                         for k, v in sorted(row.array_area_by_category.items())
+                         if v > 0)
+        table_rows.append([row.design, f"{row.array_area_mm2:.3f}",
+                           f"{row.total_power_w * 1e3:.1f}",
+                           f"{row.noc_area['array']:.2f}",
+                           f"{row.noc_area['sram']:.2f}",
+                           f"{row.noc_area['noc']:.2f}", cats])
+    table = render_table(
+        ["Design", "Array mm^2", "Power mW",
+         "NoC-array mm^2", "NoC-SRAM mm^2", "NoC-routers mm^2",
+         "Array breakdown (mm^2)"],
+        table_rows, title="Fig. 13: area & power breakdowns "
+                          "(array level + 4x4 NoC level)")
+    save_result("fig13_breakdown", table)
+
+    by = {r.design: r for r in rows}
+    mugi, carat = by["Mugi (128)"], by["Carat (128)"]
+    mugi_l = by["Mugi-L (128)"]
+    sa_f = by["SA-F (16)"]
+
+    # Carat's buffers dominate: several times Mugi's FIFO slice, and a
+    # large share of Carat's own array.
+    assert carat.array_area_by_category["fifo"] > \
+        3.5 * mugi.array_area_by_category["fifo"]
+    assert carat.category_fraction("fifo") > 0.25
+
+    # Mugi-L: dedicated LUTs inflate the nonlinear slice and total area.
+    assert mugi_l.array_area_by_category["nonlinear"] > 0.1
+    assert mugi_l.array_area_mm2 > mugi.array_area_mm2
+
+    # SA/SD arrays are MAC-PE dominated.
+    assert sa_f.category_fraction("pe") > 0.7
+
+    # Mugi array area scales ~linearly with height.
+    assert by["Mugi (256)"].array_area_mm2 < \
+        2.6 * by["Mugi (128)"].array_area_mm2

@@ -1,0 +1,50 @@
+"""Fig. 15 — normalized operational and embodied carbon.
+
+Per Llama-2 model size and design (M/C/S/D/T/P columns), the per-token
+operational carbon split by op kind plus the embodied share.  Checks the
+§6.3.2 claim: Mugi reduces operational carbon ~1.45× and embodied carbon
+~1.48× versus the systolic baseline.
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import carbon_footprint
+from repro.analysis.tables import render_table
+
+PAPER_OPERATIONAL = 1.45
+PAPER_EMBODIED = 1.48
+
+
+def test_fig15_carbon(benchmark, save_result):
+    rows = once(benchmark, carbon_footprint.run)
+    reduction = carbon_footprint.mugi_reduction(rows)
+
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row.model, row.design,
+            f"{row.operational:.3e}",
+            f"{row.embodied:.3e}",
+            f"{row.operational_by_kind.get('nonlinear', 0.0):.2e}"])
+    table = render_table(
+        ["Model", "Design", "Operational kg/token", "Embodied kg/token",
+         "Nonlinear op. kg/token"],
+        table_rows, title="Fig. 15: carbon per token, batch 8, seq 4096")
+    footer = (f"\nMugi vs systolic reduction: operational "
+              f"{reduction['operational']:.2f}x (paper {PAPER_OPERATIONAL}x), "
+              f"embodied {reduction['embodied']:.2f}x "
+              f"(paper {PAPER_EMBODIED}x)")
+    save_result("fig15_carbon", table + footer)
+
+    # Mugi reduces BOTH operational and embodied carbon (challenge 4).
+    assert reduction["operational"] > 1.15
+    assert reduction["embodied"] > 1.15
+
+    # The Taylor/PWL nonlinear variants cut the systolic baseline's
+    # nonlinear carbon but don't reach Mugi.
+    by = {(r.design, r.model): r for r in rows}
+    model = "Llama2-70B-GQA"
+    nl = {d: by[(d, model)].operational_by_kind.get("nonlinear", 0.0)
+          for d in ("M", "S", "T", "P")}
+    assert nl["S"] > nl["T"] > nl["M"]
+    assert nl["P"] < nl["S"]

@@ -1,0 +1,59 @@
+"""Fig. 16 — end-to-end latency breakdown across model sizes.
+
+Checks the paper's three observations: Mugi nearly halves projection/FFN
+latency versus the systolic baseline, is slightly better on attention,
+and shows almost-invisible nonlinear latency (with Carat several times
+Mugi's nonlinear share).
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import latency_breakdown
+from repro.analysis.tables import render_table
+
+
+def test_fig16_latency_breakdown(benchmark, save_result):
+    rows = once(benchmark, latency_breakdown.run)
+    norm = latency_breakdown.normalized(rows)
+
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row.model, row.design, f"{row.total:.3f}",
+            f"{row.seconds_by_kind['projection']:.3f}",
+            f"{row.seconds_by_kind['attention']:.3f}",
+            f"{row.seconds_by_kind['ffn']:.3f}",
+            f"{row.seconds_by_kind['nonlinear']:.4f}"])
+    table = render_table(
+        ["Model", "Design", "Total s", "Projection s", "Attention s",
+         "FFN s", "Nonlinear s"],
+        table_rows, title="Fig. 16: decode-step latency breakdown, "
+                          "batch 8, seq 4096")
+    save_result("fig16_latency_breakdown", table)
+
+    by = {(r.design, r.model): r for r in rows}
+    for model in norm:
+        mugi = by[("M", model)]
+        systolic = by[("S", model)]
+        carat = by[("C", model)]
+
+        # Projection + FFN nearly halved vs the systolic baseline.
+        mugi_pf = mugi.seconds_by_kind["projection"] \
+            + mugi.seconds_by_kind["ffn"]
+        sa_pf = systolic.seconds_by_kind["projection"] \
+            + systolic.seconds_by_kind["ffn"]
+        assert mugi_pf < 0.65 * sa_pf
+
+        # Attention at least slightly better.
+        assert mugi.seconds_by_kind["attention"] <= \
+            systolic.seconds_by_kind["attention"] * 1.02
+
+        # Nonlinear latency almost invisible on Mugi...
+        assert mugi.fraction("nonlinear") < 0.02
+        # ...and several times larger on Carat (non-VLP approximation).
+        assert carat.seconds_by_kind["nonlinear"] > \
+            2.5 * mugi.seconds_by_kind["nonlinear"]
+
+    # End-to-end: Mugi fastest of the five columns on the GQA model.
+    gqa = norm["Llama2-70B-GQA"]
+    assert gqa["M"] == min(gqa.values())

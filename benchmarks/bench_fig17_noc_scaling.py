@@ -1,0 +1,46 @@
+"""Fig. 17 — NoC-level throughput / energy / power efficiency.
+
+4×4 and 8×8 meshes vs scaled-up single nodes and tensor-core variants,
+geomean across Llama models, normalized to the 4×4 SA (16) mesh.
+Checks: VLP meshes lead the systolic meshes, NoC scaling beats
+scale-up, and 8×8 meshes roughly quadruple 4×4 throughput.
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import noc_scaling
+from repro.analysis.tables import render_table
+
+
+def test_fig17_noc_scaling(benchmark, save_result):
+    points = once(benchmark, noc_scaling.run)
+    norm = noc_scaling.normalized(points)
+
+    rows = [[p.label, p.group, f"{norm[p.label]['throughput']:.2f}x",
+             f"{norm[p.label]['energy_efficiency']:.2f}x",
+             f"{norm[p.label]['power_efficiency']:.2f}x"]
+            for p in points]
+    table = render_table(
+        ["System", "Group", "Norm throughput", "Norm energy eff",
+         "Norm power eff"],
+        rows, title="Fig. 17: NoC-level comparison vs 4x4 SA (16), "
+                    "geomean over Llama models, batch 8, seq 4096")
+    save_result("fig17_noc_scaling", table)
+
+    # Mugi mesh leads the systolic mesh in all three metrics.
+    mugi_44 = norm["4x4 MUGI (256)"]
+    assert mugi_44["throughput"] > 1.5
+    assert mugi_44["energy_efficiency"] > 1.5
+    assert mugi_44["power_efficiency"] > 1.2
+
+    # 8x8 meshes ~4x their 4x4 counterparts (compute-linear scaling).
+    r = norm["8x8 MUGI (256)"]["throughput"] / mugi_44["throughput"]
+    assert 3.0 < r <= 4.4
+
+    # NoC scaling beats scale-up: the 4x4 SA mesh outruns SA-S (64).
+    assert norm["4x4 SA (16)"]["throughput"] > \
+        1.5 * norm["SA-S (64)"]["throughput"]
+
+    # Mugi's mesh overtakes the 2x1 tensor-core pair on power efficiency.
+    assert mugi_44["power_efficiency"] > \
+        norm["2x1 Tensor"]["power_efficiency"]

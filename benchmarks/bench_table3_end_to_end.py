@@ -1,0 +1,38 @@
+"""Table 3 — end-to-end comparison on Llama-2 70B GQA (batch 8, seq 4096).
+
+Regenerates every row (single-node, scaled-up, NoC) and checks the
+paper's headline ratios: Mugi(256) vs SA(16) ≈ 2.07× throughput, 3.11×
+energy efficiency, 1.50× power efficiency.
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import end_to_end
+from repro.analysis.tables import render_table
+
+PAPER_HEADLINES = {"throughput": 2.07, "energy_efficiency": 3.11,
+                   "power_efficiency": 1.50}
+
+
+def test_table3_end_to_end(benchmark, save_result):
+    rows = once(benchmark, end_to_end.run)
+    table = render_table(
+        ["Section", "Design", "Tokens/s", "OC Area (mm^2)",
+         "Energy Eff", "Power Eff"],
+        [r.as_list() for r in rows],
+        title="Table 3: Mugi vs baselines on Llama-2 70B (GQA), "
+              "batch 8, seq 4096")
+    ratios = end_to_end.headline_ratios(rows)
+    lines = [table, "", "Headline ratios Mugi(256) vs SA(16) "
+             "(measured vs paper):"]
+    for key, paper in PAPER_HEADLINES.items():
+        lines.append(f"  {key}: {ratios[key]:.2f}x (paper {paper}x)")
+    save_result("table3_end_to_end", "\n".join(lines))
+
+    assert 1.7 < ratios["throughput"] < 2.5
+    assert 2.3 < ratios["energy_efficiency"] < 4.6
+    assert 1.2 < ratios["power_efficiency"] < 2.4
+    # NoC rows scale near-linearly (Table 3 NoC section).
+    by = {(r.section, r.design): r for r in rows}
+    assert by[("NoC", "4x4 Mugi")].throughput_tokens_s > \
+        12 * by[("SN", "Mugi (256)")].throughput_tokens_s

@@ -1,0 +1,51 @@
+"""Simulate Llama-2 70B (GQA) decoding across accelerators (Table 3).
+
+Builds the decode operator graph (batch 8, sequence 4096, WOQ + KVQ) and
+runs it through every Table 2 design plus a 4x4 Mugi mesh, printing the
+Table 3 metrics.
+
+Run:  python examples/accelerator_comparison.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.arch import make_design, make_noc, simulate_workload
+from repro.llm import LLAMA2_70B_GQA, build_decode_ops
+
+BATCH, SEQ_LEN = 8, 4096
+
+print(f"Model: {LLAMA2_70B_GQA.name} "
+      f"({LLAMA2_70B_GQA.param_count() / 1e9:.1f}B params, "
+      f"GQA group {LLAMA2_70B_GQA.gqa_group})")
+print(f"Decode step: batch {BATCH}, context {SEQ_LEN}, INT4 WOQ + KVQ\n")
+
+ops = build_decode_ops(LLAMA2_70B_GQA, batch=BATCH, seq_len=SEQ_LEN)
+
+systems = [make_design("mugi", 128), make_design("mugi", 256),
+           make_design("carat", 256), make_design("sa", 16),
+           make_design("sd", 16), make_design("sa", 64),
+           make_design("tensor", None), make_noc("mugi", 256, 4, 4)]
+
+rows = []
+for system in systems:
+    r = simulate_workload(system, ops, tokens_per_step=BATCH)
+    rows.append([getattr(system, "name", "?") if not hasattr(system, "label")
+                 else system.label() if callable(getattr(system, "label", None))
+                 else system.name,
+                 f"{r.throughput_tokens_s:.3f}",
+                 f"{r.area_mm2:.2f}",
+                 f"{r.energy_per_token_j * 1e3:.1f}",
+                 f"{r.energy_efficiency:.2f}",
+                 f"{r.power_efficiency:.2f}",
+                 f"{r.total_power_w:.3f}"])
+
+print(render_table(
+    ["Design", "Tokens/s", "Area mm^2", "mJ/token", "Energy eff",
+     "Power eff", "Power W"],
+    rows, title="Table 3-style end-to-end comparison"))
+
+mugi = simulate_workload(make_design("mugi", 256), ops, tokens_per_step=BATCH)
+sa = simulate_workload(make_design("sa", 16), ops, tokens_per_step=BATCH)
+print(f"\nHeadline (paper: 2.07x / 3.11x / 1.50x):")
+print(f"  throughput  {mugi.throughput_tokens_s / sa.throughput_tokens_s:.2f}x")
+print(f"  energy eff  {mugi.energy_efficiency / sa.energy_efficiency:.2f}x")
+print(f"  power eff   {mugi.power_efficiency / sa.power_efficiency:.2f}x")

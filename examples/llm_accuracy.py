@@ -1,0 +1,57 @@
+"""LLM accuracy under nonlinear approximation (the Fig. 6/7 workflow).
+
+Trains the decoder-LM stand-in on a synthetic Markov corpus, then
+measures held-out perplexity with each nonlinear implementation swapped
+in: precise, VLP (several windows), PWL, and Taylor — including Fig. 7's
+per-layer window tuning.
+
+Run:  python examples/llm_accuracy.py     (~1 minute: trains a tiny LM)
+"""
+
+from repro.analysis.experiments.per_layer_tuning import tune_per_layer
+from repro.analysis.model_zoo import get_lm
+from repro.llm.perplexity import (
+    evaluate_lm_perplexity,
+    evaluate_with_approximation,
+    make_activation_fn,
+    make_softmax_fn,
+)
+
+print("Training the decoder-LM stand-in (250 steps)...")
+trained = get_lm(steps=250)
+model, corpus = trained.model, trained.corpus
+
+
+def ppl(**kwargs):
+    return evaluate_with_approximation(
+        model, lambda m: evaluate_lm_perplexity(m, corpus), **kwargs)
+
+
+print(f"\nprecise perplexity: "
+      f"{evaluate_lm_perplexity(model, corpus):.3f}")
+
+print("\n--- softmax approximations (paper Fig. 6, SM panels) ---")
+for max_exp in (0, 1, 2, 3, 4):
+    fn = make_softmax_fn("vlp", lut_size=8, max_exp=max_exp)
+    print(f"  VLP  (lut 8, max_exp {max_exp}): {ppl(softmax_fn=fn):.3f}")
+fn = make_softmax_fn("pwl", segments=22, segment_range=-20.0)
+print(f"  PWL  (22 segments, [-20, 0]): {ppl(softmax_fn=fn):.3f}")
+for center in (-7.0, -3.0, -1.0):
+    fn = make_softmax_fn("taylor", degree=9, center=center)
+    print(f"  Taylor (degree 9, center {center}): {ppl(softmax_fn=fn):.3f}")
+
+print("\n--- SiLU approximations (paper Fig. 6, S/G panels) ---")
+for max_exp in (0, 1, 2, 3):
+    fn = make_activation_fn("vlp", "silu", lut_size=8, max_exp=max_exp)
+    print(f"  VLP  (lut 8, max_exp {max_exp}): {ppl(activation_fn=fn):.3f}")
+fn = make_activation_fn("pwl", "silu", segments=22, segment_range=8.0)
+print(f"  PWL  (22 segments, [-8, 8]): {ppl(activation_fn=fn):.3f}")
+fn = make_activation_fn("pa", "silu")
+print(f"  PA   (hard-swish): {ppl(activation_fn=fn):.3f}")
+
+print("\n--- per-layer window tuning (paper Fig. 7) ---")
+trace = tune_per_layer(steps=250)
+print(f"  global-best window PPL: {trace.global_ppl:.3f}")
+print(f"  per-layer choices: {trace.per_layer_choices}")
+print(f"  final tuned PPL: {trace.final_ppl:.3f} "
+      f"(precise {trace.baseline_ppl:.3f})")

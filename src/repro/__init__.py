@@ -1,0 +1,30 @@
+"""repro — a from-scratch reproduction of *Mugi: Value Level Parallelism
+For Efficient LLMs* (ASPLOS 2026).
+
+Subpackages
+-----------
+``repro.numerics``
+    BF16 / FP8 / INT4 formats, mantissa rounding, WOQ/KVQ quantization.
+``repro.core``
+    The paper's contribution: VLP temporal coding, LUT-based nonlinear
+    approximation with value-centric sliding windows, and VLP GEMM.
+``repro.baselines``
+    Precise, piecewise-linear, Taylor-series, and partial approximations.
+``repro.arch``
+    Cycle-level performance model and event-based cost model for Mugi and
+    all baseline accelerators (Carat, systolic, SIMD, FIGNA, tensor core).
+``repro.llm``
+    LLM workload substrate: model configs, operator graphs, and a numpy
+    transformer stack for end-to-end accuracy experiments.
+``repro.carbon``
+    Operational / embodied carbon modeling.
+``repro.analysis``
+    Statistics, rendering, and the per-figure experiment drivers.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, arch, baselines, carbon, core, llm, numerics  # noqa: F401
+
+__all__ = ["analysis", "arch", "baselines", "carbon", "core", "llm",
+           "numerics", "__version__"]

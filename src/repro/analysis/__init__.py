@@ -1,0 +1,16 @@
+"""Analysis: statistics, rendering, trained-model zoo, experiment drivers."""
+
+from . import experiments, model_zoo  # noqa: F401
+from .stats import geomean, normalize_to, speedup
+from .tables import render_heatmap, render_series, render_table
+
+__all__ = [
+    "experiments",
+    "geomean",
+    "model_zoo",
+    "normalize_to",
+    "render_heatmap",
+    "render_series",
+    "render_table",
+    "speedup",
+]

@@ -1,0 +1,51 @@
+"""Per-figure experiment drivers (shared by benchmarks and examples).
+
+One module per paper table/figure:
+
+========  ==============================  ================================
+Exp.      Module                          Output
+========  ==============================  ================================
+Fig. 4    ``distributions``               value/exponent profiles
+Fig. 6    ``accuracy_sweep``              perplexity heatmaps
+Fig. 7    ``per_layer_tuning``            greedy per-layer windows
+Fig. 8    ``relative_error``              error-vs-input curves
+Fig. 11   ``nonlinear_iso_area``          nonlinear throughput/efficiency
+Fig. 12   ``gemm_iso_area``               per-layer-kind GEMM metrics
+Table 3   ``end_to_end``                  tokens/s, area, efficiencies
+Fig. 13   ``breakdown``                   area/power breakdowns
+Fig. 14   ``batch_sweep``                 batch-size sweeps
+Fig. 15   ``carbon_footprint``            operational/embodied carbon
+Fig. 16   ``latency_breakdown``           per-kind latency stacks
+Fig. 17   ``noc_scaling``                 NoC-level comparisons
+========  ==============================  ================================
+"""
+
+from . import (  # noqa: F401
+    accuracy_sweep,
+    batch_sweep,
+    breakdown,
+    carbon_footprint,
+    distributions,
+    end_to_end,
+    gemm_iso_area,
+    latency_breakdown,
+    noc_scaling,
+    nonlinear_iso_area,
+    per_layer_tuning,
+    relative_error,
+)
+
+__all__ = [
+    "accuracy_sweep",
+    "batch_sweep",
+    "breakdown",
+    "carbon_footprint",
+    "distributions",
+    "end_to_end",
+    "gemm_iso_area",
+    "latency_breakdown",
+    "noc_scaling",
+    "nonlinear_iso_area",
+    "per_layer_tuning",
+    "relative_error",
+]

@@ -1,0 +1,165 @@
+"""Fig. 6 — perplexity/loss heatmaps across approximation configs.
+
+For each study model and each approximation method, sweep the method's
+two configuration axes and record the end-to-end metric:
+
+* VLP: LUT size × max exponent;
+* PWL: segment count × segment range;
+* Taylor (softmax only): degree × expansion center.
+
+The paper's qualitative findings this reproduces: VLP wins or ties when
+input distributions are concentrated; too-small ``max_exp`` hurts via
+overflow, too-large via underflow of the important near-zero inputs;
+Taylor degrades away from its center; PWL is insensitive to its range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...llm.perplexity import (
+    evaluate_lm_perplexity,
+    evaluate_with_approximation,
+    make_activation_fn,
+    make_softmax_fn,
+)
+from ..model_zoo import get_lm
+
+
+@dataclass
+class SweepResult:
+    """One heatmap: metric values over a 2-D config grid."""
+
+    method: str
+    op: str
+    row_label: str
+    col_label: str
+    rows: list = field(default_factory=list)
+    cols: list = field(default_factory=list)
+    grid: list = field(default_factory=list)
+    baseline: float = float("nan")
+
+    def best(self) -> tuple:
+        """(row, col, value) of the best (lowest) cell."""
+        best_cell = None
+        for r, row_vals in zip(self.rows, self.grid):
+            for c, v in zip(self.cols, row_vals):
+                if best_cell is None or v < best_cell[2]:
+                    best_cell = (r, c, v)
+        return best_cell
+
+
+def _evaluate(model, corpus, softmax_fn=None, activation_fn=None) -> float:
+    return evaluate_with_approximation(
+        model, lambda m: evaluate_lm_perplexity(m, corpus, n_batches=4),
+        softmax_fn=softmax_fn, activation_fn=activation_fn)
+
+
+def sweep_vlp_softmax(lut_sizes=(8, 9, 10, 11, 12), max_exps=(0, 1, 2, 3, 4),
+                      steps: int = 250) -> SweepResult:
+    """VLP softmax heatmap (Fig. 6 'VLP SM' panels)."""
+    trained = get_lm(steps=steps)
+    result = SweepResult(method="vlp", op="softmax", row_label="LUT size",
+                         col_label="max exp", rows=list(lut_sizes),
+                         cols=list(max_exps))
+    result.baseline = evaluate_lm_perplexity(trained.model, trained.corpus,
+                                             n_batches=4)
+    for lut_size in lut_sizes:
+        row = []
+        for max_exp in max_exps:
+            fn = make_softmax_fn("vlp", lut_size=lut_size, max_exp=max_exp)
+            row.append(_evaluate(trained.model, trained.corpus,
+                                 softmax_fn=fn))
+        result.grid.append(row)
+    return result
+
+
+def sweep_vlp_activation(lut_sizes=(8, 9, 10, 11, 12),
+                         max_exps=(0, 1, 2, 3, 4),
+                         steps: int = 250) -> SweepResult:
+    """VLP SiLU heatmap (Fig. 6 'VLP S/G' panels)."""
+    trained = get_lm(steps=steps)
+    result = SweepResult(method="vlp", op="silu", row_label="LUT size",
+                         col_label="max exp", rows=list(lut_sizes),
+                         cols=list(max_exps))
+    result.baseline = evaluate_lm_perplexity(trained.model, trained.corpus,
+                                             n_batches=4)
+    for lut_size in lut_sizes:
+        row = []
+        for max_exp in max_exps:
+            fn = make_activation_fn("vlp", "silu", lut_size=lut_size,
+                                    max_exp=max_exp)
+            row.append(_evaluate(trained.model, trained.corpus,
+                                 activation_fn=fn))
+        result.grid.append(row)
+    return result
+
+
+def sweep_pwl_softmax(segments=(20, 22, 24), ranges=(-24.0, -20.0, -16.0),
+                      steps: int = 250) -> SweepResult:
+    """PWL softmax heatmap (Fig. 6 'PWL SM' panels)."""
+    trained = get_lm(steps=steps)
+    result = SweepResult(method="pwl", op="softmax", row_label="segments",
+                         col_label="range", rows=list(segments),
+                         cols=list(ranges))
+    result.baseline = evaluate_lm_perplexity(trained.model, trained.corpus,
+                                             n_batches=4)
+    for seg in segments:
+        row = []
+        for rng in ranges:
+            fn = make_softmax_fn("pwl", segments=seg, segment_range=rng)
+            row.append(_evaluate(trained.model, trained.corpus,
+                                 softmax_fn=fn))
+        result.grid.append(row)
+    return result
+
+
+def sweep_pwl_activation(segments=(20, 22, 24), ranges=(4.0, 8.0, 12.0),
+                         steps: int = 250) -> SweepResult:
+    """PWL SiLU heatmap (Fig. 6 'PWL S/G' panels)."""
+    trained = get_lm(steps=steps)
+    result = SweepResult(method="pwl", op="silu", row_label="segments",
+                         col_label="range", rows=list(segments),
+                         cols=list(ranges))
+    result.baseline = evaluate_lm_perplexity(trained.model, trained.corpus,
+                                             n_batches=4)
+    for seg in segments:
+        row = []
+        for rng in ranges:
+            fn = make_activation_fn("pwl", "silu", segments=seg,
+                                    segment_range=rng)
+            row.append(_evaluate(trained.model, trained.corpus,
+                                 activation_fn=fn))
+        result.grid.append(row)
+    return result
+
+
+def sweep_taylor_softmax(degrees=(6, 7, 8, 9, 10),
+                         centers=(-7.0, -5.0, -3.0, -1.0),
+                         steps: int = 250) -> SweepResult:
+    """Taylor softmax heatmap (Fig. 6 'Taylor SM' panels)."""
+    trained = get_lm(steps=steps)
+    result = SweepResult(method="taylor", op="softmax", row_label="degree",
+                         col_label="center", rows=list(degrees),
+                         cols=list(centers))
+    result.baseline = evaluate_lm_perplexity(trained.model, trained.corpus,
+                                             n_batches=4)
+    for degree in degrees:
+        row = []
+        for center in centers:
+            fn = make_softmax_fn("taylor", degree=degree, center=center)
+            row.append(_evaluate(trained.model, trained.corpus,
+                                 softmax_fn=fn))
+        result.grid.append(row)
+    return result
+
+
+def run_all(steps: int = 250) -> dict:
+    """All Fig. 6 heatmaps for the decoder-LM family."""
+    return {
+        "vlp_sm": sweep_vlp_softmax(steps=steps),
+        "vlp_silu": sweep_vlp_activation(steps=steps),
+        "pwl_sm": sweep_pwl_softmax(steps=steps),
+        "pwl_silu": sweep_pwl_activation(steps=steps),
+        "taylor_sm": sweep_taylor_softmax(steps=steps),
+    }

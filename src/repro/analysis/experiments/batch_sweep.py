@@ -1,0 +1,85 @@
+"""Fig. 14 — batch-size sweep of throughput and energy per token.
+
+For each sequence length (128–4096) and batch size (1–32), run the decode
+workload on each design; report throughput and energy/token normalized to
+an 8×8 systolic array at batch 1, geometric-meaned over the Llama family.
+The headline shape: Mugi peaks at batch 8 (its 8 columns), the systolic /
+SIMD arrays only at batch = dim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...arch import make_design, simulate_workload
+from ...llm.config import LLAMA2_13B, LLAMA2_70B_GQA, LLAMA2_7B
+from ...llm.workload import build_decode_ops
+from ..stats import geomean
+
+#: The Fig. 14 design list: (kind, size).
+FIG14_DESIGNS = (("mugi", 64), ("mugi", 256), ("carat", 64), ("carat", 256),
+                 ("sa", 8), ("sa", 16), ("sa-f", 8), ("sa-f", 16),
+                 ("sd", 8), ("sd", 16), ("sd-f", 8), ("sd-f", 16))
+
+#: Geomean model set (the paper uses all Llama models).
+FIG14_MODELS = (LLAMA2_7B, LLAMA2_13B, LLAMA2_70B_GQA)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (design, batch, seq_len) cell of Fig. 14."""
+
+    design: str
+    batch: int
+    seq_len: int
+    throughput: float
+    energy_per_token_j: float
+
+
+def run(batches=(1, 2, 4, 8, 16, 32), seq_lens=(128, 1024, 4096),
+        designs=FIG14_DESIGNS, models=FIG14_MODELS) -> list[SweepPoint]:
+    """Produce the Fig. 14 grid (geomean across models)."""
+    points = []
+    for kind, size in designs:
+        design = make_design(kind, size)
+        for seq_len in seq_lens:
+            for batch in batches:
+                thr, ept = [], []
+                for model in models:
+                    ops = build_decode_ops(model, batch=batch,
+                                           seq_len=seq_len)
+                    r = simulate_workload(design, ops,
+                                          tokens_per_step=batch)
+                    thr.append(r.throughput_tokens_s)
+                    ept.append(r.energy_per_token_j)
+                points.append(SweepPoint(
+                    design=design.label(), batch=batch, seq_len=seq_len,
+                    throughput=geomean(thr),
+                    energy_per_token_j=geomean(ept)))
+    return points
+
+
+def normalize(points: list[SweepPoint], baseline_design: str = "SA (8)",
+              baseline_batch: int = 1) -> dict:
+    """Normalize to the baseline design at batch 1 per sequence length."""
+    base = {}
+    for p in points:
+        if p.design == baseline_design and p.batch == baseline_batch:
+            base[p.seq_len] = p
+    out: dict = {}
+    for p in points:
+        ref = base[p.seq_len]
+        out.setdefault(p.design, {}).setdefault(p.seq_len, {})[p.batch] = {
+            "throughput": p.throughput / ref.throughput,
+            "energy_per_token": p.energy_per_token_j
+            / ref.energy_per_token_j,
+        }
+    return out
+
+
+def peak_batch(points: list[SweepPoint], design: str, seq_len: int) -> int:
+    """The smallest batch achieving ≥95% of the design's best throughput."""
+    series = {p.batch: p.throughput for p in points
+              if p.design == design and p.seq_len == seq_len}
+    best = max(series.values())
+    return min(b for b, t in series.items() if t >= 0.95 * best)

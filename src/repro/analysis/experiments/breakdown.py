@@ -1,0 +1,59 @@
+"""Fig. 13 — array- and NoC-level area/power breakdowns.
+
+Per design (Mugi, Mugi-L, Carat, SA-F, SD-F at two sizes): the array-level
+area split over the Fig. 13 categories (Acc / FIFO / PE / Nonlinear /
+Vector / TC / VR) plus total power on the Llama workload, and the
+NoC-level Array / SRAM / NoC split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...arch import NocConfig, NocSystem, make_design, simulate_workload
+from ...llm.config import LLAMA2_70B_GQA
+from ...llm.workload import build_decode_ops
+
+#: The Fig. 13 design rows: (kind, sizes).
+FIG13_DESIGNS = (("mugi", (128, 256)), ("mugi-l", (128, 256)),
+                 ("carat", (128, 256)), ("sa-f", (8, 16)),
+                 ("sd-f", (8, 16)))
+
+
+@dataclass
+class BreakdownRow:
+    """One Fig. 13 bar."""
+
+    design: str
+    array_area_by_category: dict = field(default_factory=dict)
+    array_area_mm2: float = 0.0
+    total_power_w: float = 0.0
+    noc_area: dict = field(default_factory=dict)  # array / sram / noc.
+
+    def category_fraction(self, category: str) -> float:
+        if not self.array_area_mm2:
+            return 0.0
+        return self.array_area_by_category.get(category, 0.0) \
+            / self.array_area_mm2
+
+
+def run(batch: int = 8, seq_len: int = 4096,
+        noc: tuple[int, int] = (4, 4)) -> list[BreakdownRow]:
+    """Produce every Fig. 13 bar."""
+    ops = build_decode_ops(LLAMA2_70B_GQA, batch=batch, seq_len=seq_len)
+    rows = []
+    for kind, sizes in FIG13_DESIGNS:
+        for size in sizes:
+            design = make_design(kind, size)
+            bd = design.area_breakdown()
+            result = simulate_workload(design, ops, tokens_per_step=batch)
+            system = NocSystem(design, NocConfig(*noc))
+            row = BreakdownRow(
+                design=design.label(),
+                array_area_by_category={
+                    k: v for k, v in bd.categories.items() if k != "sram"},
+                array_area_mm2=bd.array_mm2,
+                total_power_w=result.total_power_w,
+                noc_area=system.area_breakdown_noc_level())
+            rows.append(row)
+    return rows

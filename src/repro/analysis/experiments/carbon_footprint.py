@@ -1,0 +1,91 @@
+"""Fig. 15 — normalized operational + embodied carbon across model sizes.
+
+Per Llama-2 model and design (Mugi, Carat, Systolic, SIMD, plus the
+Taylor / PWL nonlinear variants of the systolic baseline), split the
+per-token emissions into the Fig. 15 stack: projection / attention /
+FFN / nonlinear operational carbon plus the embodied share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...arch import make_design, simulate_workload
+from ...carbon import DEFAULT_CARBON, carbon_report
+from ...llm.config import LLAMA2_13B, LLAMA2_70B, LLAMA2_70B_GQA, LLAMA2_7B
+from ...llm.workload import build_decode_ops
+
+#: Fig. 15 design columns: label -> (kind, size, nonlinear_mode).
+FIG15_DESIGNS = {
+    "M": ("mugi", 256, "precise"),
+    "C": ("carat", 256, "precise"),
+    "S": ("sa", 16, "precise"),
+    "D": ("sd", 16, "precise"),
+    "T": ("sa", 16, "taylor"),
+    "P": ("sa", 16, "pwl"),
+}
+
+#: Fig. 15 model columns.
+FIG15_MODELS = (LLAMA2_7B, LLAMA2_13B, LLAMA2_70B, LLAMA2_70B_GQA)
+
+
+@dataclass
+class CarbonRow:
+    """One Fig. 15 bar: per-token kg CO2eq by component."""
+
+    design: str
+    model: str
+    operational_by_kind: dict = field(default_factory=dict)
+    embodied: float = 0.0
+
+    @property
+    def operational(self) -> float:
+        return sum(self.operational_by_kind.values())
+
+    @property
+    def total(self) -> float:
+        return self.operational + self.embodied
+
+
+def _make(label: str):
+    kind, size, nl = FIG15_DESIGNS[label]
+    if kind in ("sa", "sd"):
+        from ...arch.designs.systolic import SystolicDesign
+        style = "systolic" if kind == "sa" else "simd"
+        return SystolicDesign(dim=size, style=style, nonlinear_mode=nl)
+    return make_design(kind, size)
+
+
+def run(batch: int = 8, seq_len: int = 4096,
+        constants=DEFAULT_CARBON) -> list[CarbonRow]:
+    """Produce every Fig. 15 bar."""
+    rows = []
+    for model in FIG15_MODELS:
+        ops = build_decode_ops(model, batch=batch, seq_len=seq_len)
+        for label in FIG15_DESIGNS:
+            design = _make(label)
+            result = simulate_workload(design, ops, tokens_per_step=batch)
+            report = carbon_report(result, constants)
+            total_energy = sum(result.energy_by_kind.values()) or 1.0
+            operational = {
+                kind: report.operational_kg_per_token * e / total_energy
+                for kind, e in result.energy_by_kind.items()}
+            rows.append(CarbonRow(design=label, model=model.name,
+                                  operational_by_kind=operational,
+                                  embodied=report.embodied_kg_per_token))
+    return rows
+
+
+def mugi_reduction(rows: list[CarbonRow], baseline: str = "S") -> dict:
+    """The §6.3.2 claim: Mugi cuts operational ~1.45x, embodied ~1.48x
+    (averaged across models)."""
+    from ..stats import geomean
+    op_ratios, em_ratios = [], []
+    by_key = {(r.design, r.model): r for r in rows}
+    for model in {r.model for r in rows}:
+        mugi = by_key[("M", model)]
+        base = by_key[(baseline, model)]
+        op_ratios.append(base.operational / mugi.operational)
+        em_ratios.append(base.embodied / mugi.embodied)
+    return {"operational": geomean(op_ratios),
+            "embodied": geomean(em_ratios)}

@@ -1,0 +1,76 @@
+"""Table 3 — end-to-end comparison on Llama-2 70B (GQA).
+
+Single-node rows, scaled-up single-node rows, and NoC rows: throughput
+(tokens/s), on-chip area, energy efficiency, power efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...arch import (
+    TABLE3_NOC,
+    TABLE3_SCALED_UP,
+    TABLE3_SINGLE_NODE,
+    make_design,
+    make_noc,
+    simulate_workload,
+)
+from ...llm.config import LLAMA2_70B_GQA
+from ...llm.workload import build_decode_ops
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One Table 3 row."""
+
+    section: str
+    design: str
+    throughput_tokens_s: float
+    area_mm2: float
+    energy_efficiency: float
+    power_efficiency: float
+
+    def as_list(self) -> list:
+        return [self.section, self.design,
+                round(self.throughput_tokens_s, 3),
+                round(self.area_mm2, 2),
+                round(self.energy_efficiency, 2),
+                round(self.power_efficiency, 2)]
+
+
+def run(batch: int = 8, seq_len: int = 4096) -> list[Table3Row]:
+    """Produce every Table 3 row."""
+    ops = build_decode_ops(LLAMA2_70B_GQA, batch=batch, seq_len=seq_len)
+    rows = []
+    for kind, size in TABLE3_SINGLE_NODE:
+        design = make_design(kind, size)
+        r = simulate_workload(design, ops, tokens_per_step=batch)
+        rows.append(Table3Row("SN", design.label(),
+                              r.throughput_tokens_s, r.area_mm2,
+                              r.energy_efficiency, r.power_efficiency))
+    for kind, size in TABLE3_SCALED_UP:
+        design = make_design(kind, size)
+        r = simulate_workload(design, ops, tokens_per_step=batch)
+        rows.append(Table3Row("SN-S", design.label(),
+                              r.throughput_tokens_s, r.area_mm2,
+                              r.energy_efficiency, r.power_efficiency))
+    for kind, size, mesh_r, mesh_c in TABLE3_NOC:
+        system = make_noc(kind, size, mesh_r, mesh_c)
+        r = simulate_workload(system, ops, tokens_per_step=batch)
+        rows.append(Table3Row("NoC", system.name,
+                              r.throughput_tokens_s, r.area_mm2,
+                              r.energy_efficiency, r.power_efficiency))
+    return rows
+
+
+def headline_ratios(rows: list[Table3Row]) -> dict:
+    """The paper's §6.3.1 claims: Mugi(256) vs SA(16)."""
+    by_name = {(r.section, r.design): r for r in rows}
+    mugi = by_name[("SN", "Mugi (256)")]
+    sa = by_name[("SN", "SA (16)")]
+    return {
+        "throughput": mugi.throughput_tokens_s / sa.throughput_tokens_s,
+        "energy_efficiency": mugi.energy_efficiency / sa.energy_efficiency,
+        "power_efficiency": mugi.power_efficiency / sa.power_efficiency,
+    }

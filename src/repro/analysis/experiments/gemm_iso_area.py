@@ -1,0 +1,120 @@
+"""Fig. 12 — iso-area GEMM comparison: projection / attention / FFN.
+
+Per Llama-2 model (7B, 13B, 70B, 70B GQA), per layer type, run the
+layer's GEMMs on each design and report throughput / energy efficiency /
+power efficiency normalized to the 16×16 systolic array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...arch import TECH_45NM, make_design
+from ...arch.designs.base import GemmOp
+from ...llm.config import (
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA2_70B_GQA,
+    LLAMA2_7B,
+    ModelConfig,
+)
+from ...llm.workload import build_decode_ops
+
+#: The Fig. 12 design list: (kind, size).
+FIG12_DESIGNS = (("mugi", 128), ("mugi", 256), ("carat", 128),
+                 ("carat", 256), ("sa", 16), ("sa-f", 16), ("sd", 16),
+                 ("sd-f", 16))
+
+#: The Fig. 12 model list.
+FIG12_MODELS = (LLAMA2_7B, LLAMA2_13B, LLAMA2_70B, LLAMA2_70B_GQA)
+
+
+@dataclass
+class GemmMetrics:
+    """One design's aggregate GEMM metrics for one layer kind."""
+
+    design: str
+    model: str
+    kind: str
+    macs: float
+    seconds: float
+    energy_j: float
+    power_w: float
+
+    @property
+    def throughput(self) -> float:
+        """MACs per second."""
+        return self.macs / self.seconds
+
+    @property
+    def energy_efficiency(self) -> float:
+        """MACs per joule."""
+        return self.macs / self.energy_j
+
+    @property
+    def power_efficiency(self) -> float:
+        """MACs per second per watt."""
+        return self.throughput / self.power_w
+
+
+def _bucket(kind: str) -> str:
+    if kind.startswith("attention"):
+        return "attention"
+    return kind
+
+
+def measure(design_kind: str, size: int | None, model: ModelConfig,
+            batch: int = 8, seq_len: int = 4096) -> dict:
+    """Per-layer-kind GEMM metrics of one design on one model."""
+    design = make_design(design_kind, size)
+    ops = [op for op in build_decode_ops(model, batch, seq_len)
+           if isinstance(op, GemmOp)]
+    grouped: dict[str, GemmMetrics] = {}
+    for op in ops:
+        cost = design.gemm_cost(op)
+        seconds = cost.cycles * op.count * TECH_45NM.cycle_seconds
+        energy = cost.energy_pj * op.count * 1e-12
+        bucket = _bucket(op.kind)
+        if bucket not in grouped:
+            grouped[bucket] = GemmMetrics(
+                design=design.label(), model=model.name, kind=bucket,
+                macs=0.0, seconds=0.0, energy_j=0.0,
+                power_w=design.leakage_w())
+        metrics = grouped[bucket]
+        metrics.macs += op.macs * op.count
+        metrics.seconds += seconds
+        metrics.energy_j += energy
+    for metrics in grouped.values():
+        metrics.power_w += metrics.energy_j / metrics.seconds
+    return grouped
+
+
+def run(batch: int = 8, seq_len: int = 4096) -> dict:
+    """All Fig. 12 cells: {model: {design: {kind: GemmMetrics}}}."""
+    out: dict = {}
+    for model in FIG12_MODELS:
+        out[model.name] = {}
+        for kind, size in FIG12_DESIGNS:
+            out[model.name][f"{kind.upper()} ({size})"] = \
+                measure(kind, size, model, batch, seq_len)
+    return out
+
+
+def normalized_to_sa16(results: dict) -> dict:
+    """Each metric divided by the SA (16) value (the Fig. 12 y-axes)."""
+    out: dict = {}
+    for model, designs in results.items():
+        base = designs["SA (16)"]
+        out[model] = {}
+        for design, kinds in designs.items():
+            out[model][design] = {}
+            for kind, metrics in kinds.items():
+                ref = base[kind]
+                out[model][design][kind] = {
+                    "throughput": metrics.throughput / ref.throughput,
+                    "energy_eff": metrics.energy_efficiency
+                    / ref.energy_efficiency,
+                    "power_eff": metrics.power_efficiency
+                    / ref.power_efficiency,
+                }
+    return out

@@ -1,0 +1,65 @@
+"""Fig. 16 — end-to-end latency breakdown across model sizes.
+
+Per Llama-2 model and design: decode-step latency split into
+projection / attention / FFN / nonlinear, normalized to the systolic
+baseline.  The paper's observations this reproduces: Mugi nearly halves
+projection/FFN latency, is slightly better on attention, and shows
+"almost invisible" nonlinear latency, with Carat ~3x Mugi's nonlinear
+share and the Taylor/PWL variants in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...arch import TECH_45NM, simulate_workload
+from ...llm.config import LLAMA2_13B, LLAMA2_70B, LLAMA2_70B_GQA, LLAMA2_7B
+from ...llm.workload import build_decode_ops
+from .carbon_footprint import FIG15_DESIGNS, _make
+
+#: Fig. 16 design columns (S covers systolic/SIMD, per the caption).
+FIG16_DESIGNS = ("M", "C", "S", "T", "P")
+
+#: Fig. 16 model columns.
+FIG16_MODELS = (LLAMA2_7B, LLAMA2_13B, LLAMA2_70B, LLAMA2_70B_GQA)
+
+
+@dataclass
+class LatencyRow:
+    """One Fig. 16 bar: decode-step seconds by op kind."""
+
+    design: str
+    model: str
+    seconds_by_kind: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds_by_kind.values())
+
+    def fraction(self, kind: str) -> float:
+        return self.seconds_by_kind.get(kind, 0.0) / self.total
+
+
+def run(batch: int = 8, seq_len: int = 4096) -> list[LatencyRow]:
+    """Produce every Fig. 16 bar."""
+    rows = []
+    for model in FIG16_MODELS:
+        ops = build_decode_ops(model, batch=batch, seq_len=seq_len)
+        for label in FIG16_DESIGNS:
+            design = _make(label)
+            result = simulate_workload(design, ops, tokens_per_step=batch)
+            seconds = {k: c * TECH_45NM.cycle_seconds
+                       for k, c in result.cycles_by_kind.items()}
+            rows.append(LatencyRow(design=label, model=model.name,
+                                   seconds_by_kind=seconds))
+    return rows
+
+
+def normalized(rows: list[LatencyRow], baseline: str = "S") -> dict:
+    """Totals normalized to the systolic baseline per model."""
+    by_key = {(r.design, r.model): r for r in rows}
+    out: dict = {}
+    for r in rows:
+        base = by_key[(baseline, r.model)]
+        out.setdefault(r.model, {})[r.design] = r.total / base.total
+    return out

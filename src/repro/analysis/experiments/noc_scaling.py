@@ -1,0 +1,76 @@
+"""Fig. 17 — NoC-level throughput / energy / power efficiency.
+
+4×4 and 8×8 meshes of each design vs scaled-up single nodes and tensor
+cores (single, 2×1, 2×2), geometric-meaned across the Llama family and
+normalized to an 8×8 systolic array on a 4×4 NoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...arch import make_design, make_noc, simulate_workload
+from ...llm.config import LLAMA2_13B, LLAMA2_70B, LLAMA2_7B
+from ...llm.workload import build_decode_ops
+from ..stats import geomean
+
+#: Fig. 17 model set (geomean).
+FIG17_MODELS = (LLAMA2_7B, LLAMA2_13B, LLAMA2_70B)
+
+
+@dataclass(frozen=True)
+class NocPoint:
+    """One Fig. 17 bar (geomean over models)."""
+
+    label: str
+    group: str  # "4x4" | "8x8" | "scaled-up" | "tensor".
+    throughput: float
+    energy_efficiency: float
+    power_efficiency: float
+
+
+def _systems() -> list[tuple[str, str, object]]:
+    """(label, group, system) triples for the Fig. 17 sweep."""
+    systems: list[tuple[str, str, object]] = []
+    for mesh in ((4, 4), (8, 8)):
+        mesh_label = f"{mesh[0]}x{mesh[1]}"
+        for kind, size in (("mugi", 256), ("carat", 256), ("sa", 16),
+                           ("sa-f", 16), ("sd", 16), ("sd-f", 16)):
+            systems.append((f"{mesh_label} {kind.upper()} ({size})",
+                            mesh_label, make_noc(kind, size, *mesh)))
+    for kind, size in (("sa", 64), ("sd", 64)):
+        systems.append((f"{kind.upper()}-S ({size})", "scaled-up",
+                        make_design(kind, size)))
+    systems.append(("Tensor (SN)", "tensor", make_design("tensor", None)))
+    systems.append(("2x1 Tensor", "tensor", make_noc("tensor", None, 2, 1)))
+    systems.append(("2x2 Tensor", "tensor", make_noc("tensor", None, 2, 2)))
+    return systems
+
+
+def run(batch: int = 8, seq_len: int = 4096) -> list[NocPoint]:
+    """Produce every Fig. 17 bar."""
+    points = []
+    for label, group, system in _systems():
+        thr, eeff, peff = [], [], []
+        for model in FIG17_MODELS:
+            ops = build_decode_ops(model, batch=batch, seq_len=seq_len)
+            r = simulate_workload(system, ops, tokens_per_step=batch)
+            thr.append(r.throughput_tokens_s)
+            eeff.append(r.energy_efficiency)
+            peff.append(r.power_efficiency)
+        points.append(NocPoint(label=label, group=group,
+                               throughput=geomean(thr),
+                               energy_efficiency=geomean(eeff),
+                               power_efficiency=geomean(peff)))
+    return points
+
+
+def normalized(points: list[NocPoint],
+               baseline_label: str = "4x4 SA (16)") -> dict:
+    """Normalize every bar to the 4x4 systolic mesh."""
+    base = next(p for p in points if p.label == baseline_label)
+    return {p.label: {
+        "throughput": p.throughput / base.throughput,
+        "energy_efficiency": p.energy_efficiency / base.energy_efficiency,
+        "power_efficiency": p.power_efficiency / base.power_efficiency,
+    } for p in points}

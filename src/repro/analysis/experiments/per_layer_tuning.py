@@ -1,0 +1,84 @@
+"""Fig. 7 — per-layer LUT-window tuning.
+
+Llama-2's softmax distribution varies across layers (Fig. 4), so one
+global window is suboptimal; the paper tunes the window per layer,
+progressively, and recovers perplexity.  This driver runs the same greedy
+procedure on the decoder-LM stand-in: for each layer in order, pick the
+``max_exp`` minimizing perplexity with earlier layers already tuned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...llm.perplexity import evaluate_lm_perplexity, make_softmax_fn
+from ..model_zoo import get_lm
+
+
+@dataclass
+class TuningTrace:
+    """Progressive per-layer tuning trajectory (the Fig. 7 curve)."""
+
+    global_ppl: float
+    baseline_ppl: float
+    per_layer_choices: list = field(default_factory=list)
+    ppl_after_layer: list = field(default_factory=list)
+
+    @property
+    def final_ppl(self) -> float:
+        return self.ppl_after_layer[-1] if self.ppl_after_layer \
+            else self.global_ppl
+
+
+def tune_per_layer(candidate_max_exps=(0, 1, 2, 3, 4), lut_size: int = 8,
+                   steps: int = 250, n_batches: int = 4) -> TuningTrace:
+    """Greedy per-layer window selection.
+
+    Starts from the best *global* configuration, then revisits each layer
+    in order and keeps the per-layer window that minimizes end-to-end
+    perplexity.
+    """
+    trained = get_lm(steps=steps)
+    model, corpus = trained.model, trained.corpus
+
+    def ppl() -> float:
+        return evaluate_lm_perplexity(model, corpus, n_batches=n_batches)
+
+    baseline = ppl()
+
+    # Global best first.
+    global_best, global_ppl = None, float("inf")
+    for max_exp in candidate_max_exps:
+        fn = make_softmax_fn("vlp", lut_size=lut_size, max_exp=max_exp)
+        model.set_nonlinear(softmax_fn=fn)
+        value = ppl()
+        if value < global_ppl:
+            global_best, global_ppl = max_exp, value
+    model.clear_nonlinear()
+
+    trace = TuningTrace(global_ppl=global_ppl, baseline_ppl=baseline)
+
+    # Install the global choice everywhere, then refine layer by layer.
+    chosen = [global_best] * len(model.blocks)
+
+    def install():
+        model.clear_nonlinear()
+        for idx, max_exp in enumerate(chosen):
+            fn = make_softmax_fn("vlp", lut_size=lut_size, max_exp=max_exp)
+            model.set_nonlinear(softmax_fn=fn, layers=[idx])
+
+    for layer in range(len(model.blocks)):
+        best_exp, best_ppl = chosen[layer], float("inf")
+        for max_exp in candidate_max_exps:
+            chosen[layer] = max_exp
+            install()
+            value = ppl()
+            if value < best_ppl:
+                best_exp, best_ppl = max_exp, value
+        chosen[layer] = best_exp
+        install()
+        trace.per_layer_choices.append(best_exp)
+        trace.ppl_after_layer.append(best_ppl)
+
+    model.clear_nonlinear()
+    return trace

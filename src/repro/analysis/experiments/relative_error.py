@@ -1,0 +1,83 @@
+"""Fig. 8 — relative error vs input, per approximation method.
+
+Function-level error curves for exp / SiLU / GELU under the
+best-of-Fig.-6 configurations of each method, over a wide input grid and
+the ``[-0.5, 0.5]`` important-region inset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...baselines import precise
+from ...baselines.partial import hard_swish
+from ...baselines.pwl import PWLApproximator, PWLConfig
+from ...baselines.taylor import TaylorConfig, TaylorExpApproximator
+from ...core.approx import VLPApproxConfig, VLPApproximator
+
+
+@dataclass
+class ErrorCurve:
+    """Relative-error samples of one (op, method) pair."""
+
+    op: str
+    method: str
+    x: np.ndarray
+    relative_error: np.ndarray
+
+    def max_abs_error_in(self, lo: float, hi: float) -> float:
+        """Peak |relative error| over an input interval."""
+        mask = (self.x >= lo) & (self.x <= hi)
+        return float(np.max(np.abs(self.relative_error[mask])))
+
+
+def _relative(approx_out: np.ndarray, ref_out: np.ndarray) -> np.ndarray:
+    denom = np.where(np.abs(ref_out) < 1e-12, 1e-12, np.abs(ref_out))
+    err = (approx_out - ref_out) / denom
+    return np.clip(err, -1.0, 1.0)  # Fig. 8 caps at ±100%.
+
+
+#: Best-of-Fig.-6 configurations per (op, method).
+BEST_CONFIGS = {
+    ("exp", "vlp"): dict(lut_size=12, max_exp=2),
+    ("exp", "pwl"): dict(segments=22, segment_range=-20.0),
+    ("exp", "taylor"): dict(degree=9, center=-4.0),
+    ("silu", "vlp"): dict(lut_size=12, max_exp=3),
+    ("silu", "pwl"): dict(segments=22, segment_range=8.0),
+    ("silu", "pa"): dict(),
+    ("gelu", "vlp"): dict(lut_size=12, max_exp=3),
+    ("gelu", "pwl"): dict(segments=22, segment_range=8.0),
+}
+
+
+def error_curve(op: str, method: str, n_points: int = 2000) -> ErrorCurve:
+    """Compute the Fig. 8 error curve for one (op, method) pair."""
+    if op == "exp":
+        x = np.linspace(-16.0, -1e-3, n_points)
+        ref = precise.exp(x)
+    else:
+        x = np.linspace(-6.0, 6.0, n_points)
+        ref = precise.get_function(op)(x)
+
+    params = BEST_CONFIGS[(op, method)]
+    if method == "vlp":
+        approx = VLPApproximator(VLPApproxConfig(op=op, **params))
+        out = approx(x)
+    elif method == "pwl":
+        out = PWLApproximator(PWLConfig(op=op, **params))(x)
+    elif method == "taylor":
+        out = TaylorExpApproximator(TaylorConfig(**params))(x)
+    elif method == "pa":
+        out = hard_swish(x)
+    else:
+        raise KeyError(f"unknown method {method!r}")
+    return ErrorCurve(op=op, method=method, x=x,
+                      relative_error=_relative(out, ref))
+
+
+def run_all(n_points: int = 2000) -> dict:
+    """All Fig. 8 panels."""
+    return {key: error_curve(key[0], key[1], n_points)
+            for key in BEST_CONFIGS}

@@ -1,0 +1,38 @@
+"""Statistics helpers: geometric means and normalization.
+
+The paper's figures report normalized metrics, frequently geometric-meaned
+across the Llama family (Figs. 11, 14, 17).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigError("geomean of empty sequence")
+    if np.any(arr <= 0):
+        raise ConfigError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def normalize_to(values: dict, baseline_key) -> dict:
+    """Divide every value by the baseline entry's value."""
+    if baseline_key not in values:
+        raise ConfigError(f"baseline {baseline_key!r} missing")
+    base = values[baseline_key]
+    if base == 0:
+        raise ConfigError("baseline value is zero")
+    return {k: v / base for k, v in values.items()}
+
+
+def speedup(new: float, old: float) -> float:
+    """old/new improvement factor for time-like metrics."""
+    if new <= 0:
+        raise ConfigError("speedup requires positive new value")
+    return old / new

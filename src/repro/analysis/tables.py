@@ -1,0 +1,59 @@
+"""ASCII rendering of result tables and figure series.
+
+The benchmark harnesses print the same rows/series the paper's tables and
+figures report; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+
+def render_table(headers: list, rows: list, title: str = "") -> str:
+    """Fixed-width table with a separator line under the header."""
+    columns = [headers] + [[_fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(str(col[i])) for col in columns)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(c).ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: list, ys: list, x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """One figure series as aligned x/y rows."""
+    lines = [f"{name}  [{x_label} -> {y_label}]"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x):>10}  {_fmt(y):>12}")
+    return "\n".join(lines)
+
+
+def render_heatmap(title: str, row_labels: list, col_labels: list,
+                   grid, best: str = "min") -> str:
+    """A Fig. 6-style heatmap with the best cell marked by '*'."""
+    flat = [v for row in grid for v in row if v == v]  # Drop NaNs.
+    target = min(flat) if best == "min" else max(flat)
+    lines = [title]
+    header = " " * 8 + "".join(f"{str(c):>9}" for c in col_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, grid):
+        cells = []
+        for v in row:
+            mark = "*" if v == target else " "
+            cells.append(f"{v:8.3f}{mark}" if v == v else "      - ")
+        lines.append(f"{str(label):>7} " + "".join(cells))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)

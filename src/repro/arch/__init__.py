@@ -1,0 +1,80 @@
+"""Architecture models: cycle-level performance + event-based cost.
+
+The in-house-simulator reproduction (paper §5.4): a 45 nm component
+library, CACTI-style SRAM and FIFO models, every Table 2 design point
+(Mugi, Mugi-L, Carat, systolic/SIMD with FIGNA variants, tensor core,
+vector arrays), mesh-NoC scaling, and the end-to-end LLM simulator behind
+Table 3 and Figs. 11–17.
+"""
+
+from .configs import (
+    MUGI_HEIGHTS,
+    SA_SD_DIMS,
+    SCALED_UP_DIMS,
+    TABLE3_NOC,
+    TABLE3_SCALED_UP,
+    TABLE3_SINGLE_NODE,
+    make_design,
+    make_noc,
+)
+from .designs import (
+    AcceleratorDesign,
+    AreaBreakdown,
+    CaratDesign,
+    GemmOp,
+    MugiDesign,
+    MugiLDesign,
+    NonlinearOp,
+    OpCost,
+    SystolicDesign,
+    TensorCoreDesign,
+    VectorArrayConfig,
+    VectorArrayUnit,
+)
+from .fifo import (
+    FIFO,
+    buffer_area_mm2,
+    buffer_reduction_factor,
+    carat_buffer_plan,
+    mugi_buffer_plan,
+)
+from .noc import NocConfig, NocSystem
+from .simulator import SimulationResult, simulate_workload
+from .sram import SRAM
+from .technology import TECH_45NM, ComponentSpec, TechnologyModel
+
+__all__ = [
+    "FIFO",
+    "AcceleratorDesign",
+    "AreaBreakdown",
+    "CaratDesign",
+    "ComponentSpec",
+    "GemmOp",
+    "MUGI_HEIGHTS",
+    "MugiDesign",
+    "MugiLDesign",
+    "NocConfig",
+    "NocSystem",
+    "NonlinearOp",
+    "OpCost",
+    "SA_SD_DIMS",
+    "SCALED_UP_DIMS",
+    "SRAM",
+    "SimulationResult",
+    "SystolicDesign",
+    "TABLE3_NOC",
+    "TABLE3_SCALED_UP",
+    "TABLE3_SINGLE_NODE",
+    "TECH_45NM",
+    "TechnologyModel",
+    "TensorCoreDesign",
+    "VectorArrayConfig",
+    "VectorArrayUnit",
+    "buffer_area_mm2",
+    "buffer_reduction_factor",
+    "carat_buffer_plan",
+    "make_design",
+    "make_noc",
+    "mugi_buffer_plan",
+    "simulate_workload",
+]

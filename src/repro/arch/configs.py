@@ -1,0 +1,86 @@
+"""Design-point factory for paper Table 2.
+
+``make_design("mugi", 256)`` etc. produce the exact configurations the
+evaluation sweeps use; ``TABLE2_SINGLE_NODE`` / ``TABLE2_NOC`` enumerate
+the rows of Table 3.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .designs import (
+    CaratDesign,
+    MugiDesign,
+    MugiLDesign,
+    SystolicDesign,
+    TensorCoreDesign,
+)
+from .noc import NocConfig, NocSystem
+from .technology import TECH_45NM, TechnologyModel
+
+#: Table 2 array-size sweeps.
+MUGI_HEIGHTS = (32, 64, 128, 256)
+SA_SD_DIMS = (4, 8, 16)
+SCALED_UP_DIMS = (32, 64)
+
+
+def make_design(kind: str, size: int | None = None,
+                nonlinear_mode: str = "precise",
+                tech: TechnologyModel = TECH_45NM):
+    """Instantiate a Table 2 design point.
+
+    Parameters
+    ----------
+    kind:
+        "mugi", "mugi-l", "carat", "sa", "sa-f", "sd", "sd-f", "tensor".
+    size:
+        Array height (VLP designs) or dimension (SA/SD); ignored for the
+        tensor core.
+    nonlinear_mode:
+        Vector-array flavour attached to non-VLP designs ("precise",
+        "taylor", "pwl").
+    """
+    kind = kind.lower()
+    if kind == "mugi":
+        return MugiDesign(height=size or 128, tech=tech)
+    if kind == "mugi-l":
+        return MugiLDesign(height=size or 128, tech=tech)
+    if kind == "carat":
+        return CaratDesign(height=size or 128, tech=tech)
+    if kind in ("sa", "sa-f", "sd", "sd-f"):
+        style = "systolic" if kind.startswith("sa") else "simd"
+        return SystolicDesign(dim=size or 16, style=style,
+                              figna=kind.endswith("-f"),
+                              nonlinear_mode=nonlinear_mode, tech=tech)
+    if kind == "tensor":
+        return TensorCoreDesign(nonlinear_mode=nonlinear_mode, tech=tech)
+    raise ConfigError(f"unknown design kind {kind!r}")
+
+
+def make_noc(kind: str, size: int | None, rows: int, cols: int,
+             nonlinear_mode: str = "precise",
+             tech: TechnologyModel = TECH_45NM) -> NocSystem:
+    """Build a mesh of identical nodes (paper §5.2.3)."""
+    node = make_design(kind, size, nonlinear_mode=nonlinear_mode, tech=tech)
+    return NocSystem(node, NocConfig(rows=rows, cols=cols), tech=tech)
+
+
+#: Table 3 single-node rows: (kind, size).
+TABLE3_SINGLE_NODE = (
+    ("mugi", 128), ("mugi", 256),
+    ("carat", 128), ("carat", 256),
+    ("sa", 16), ("sa-f", 16), ("sd", 16), ("sd-f", 16),
+)
+
+#: Table 3 scaled-up single-node rows.
+TABLE3_SCALED_UP = (
+    ("sa", 64), ("sa-f", 64), ("sd", 64), ("sd-f", 64), ("tensor", None),
+)
+
+#: Table 3 NoC rows: (kind, size, rows, cols).
+TABLE3_NOC = (
+    ("mugi", 256, 4, 4), ("carat", 256, 4, 4),
+    ("sa", 16, 4, 4), ("sa-f", 16, 4, 4),
+    ("sd", 16, 4, 4), ("sd-f", 16, 4, 4),
+    ("tensor", None, 2, 1),
+)

@@ -1,0 +1,199 @@
+"""Common interface for all accelerator designs (paper Table 2).
+
+Every design prices two op families — GEMM and nonlinear — returning an
+:class:`OpCost` (cycles, dynamic energy, off-chip traffic), and reports an
+area breakdown in the Fig. 13 categories.  The end-to-end simulator
+(:mod:`repro.arch.simulator`) composes these per-op costs over an LLM
+operator graph.
+
+Metric conventions (decoded from Table 3's internal ratios):
+
+* ``throughput`` — tokens/s.
+* ``energy efficiency`` — throughput / (dynamic energy per token); the
+  paper's "Tokens/s/µJ" column scales linearly with node count.
+* ``power efficiency`` — throughput / total power (dynamic + leakage),
+  scale-invariant across node counts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ...errors import MappingError
+from ..sram import SRAM
+from ..technology import TECH_45NM, TechnologyModel
+
+#: Fig. 13 area/power breakdown categories.
+BREAKDOWN_CATEGORIES = ("pe", "acc", "fifo", "tc", "nonlinear", "vector",
+                        "vr", "other", "sram")
+
+
+@dataclass(frozen=True)
+class GemmOp:
+    """One GEMM: ``out[m, n] = sum_k act[m, k] * w[n, k]``.
+
+    ``kind`` tags the LLM layer type (projection / attention_qk /
+    attention_pv / ffn) for the latency breakdowns; ``weight_bits`` is 4
+    under WOQ/KVQ, ``act_bits`` 16 for BF16 activations.
+    ``weights_resident`` marks weights already on chip (attention KV tiles
+    just produced), suppressing HBM traffic.
+    """
+
+    m: int
+    k: int
+    n: int
+    kind: str = "projection"
+    weight_bits: int = 4
+    act_bits: int = 16
+    group_size: int = 128
+    weights_resident: bool = False
+    #: Identical instances of this GEMM (e.g. one per KV head); the
+    #: simulator multiplies cycles/energy/traffic by ``count``.
+    count: int = 1
+
+    def __post_init__(self):
+        if min(self.m, self.k, self.n) < 1:
+            raise MappingError("GEMM dims must be positive")
+        if self.count < 1:
+            raise MappingError("GEMM count must be >= 1")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count."""
+        return self.m * self.k * self.n
+
+    @property
+    def weight_bytes(self) -> float:
+        """Weight footprint in bytes."""
+        return self.k * self.n * self.weight_bits / 8
+
+    @property
+    def io_bytes(self) -> float:
+        """Activation-in plus result-out bytes."""
+        return self.m * self.k * self.act_bits / 8 + self.m * self.n * 2
+
+
+@dataclass(frozen=True)
+class NonlinearOp:
+    """One nonlinear activation pass.
+
+    ``op`` is "softmax", "silu", or "gelu"; ``rows`` is the number of
+    softmax reduction rows (reciprocals), 0 for elementwise ops.
+    """
+
+    op: str
+    elements: int
+    rows: int = 0
+    #: Identical instances (multiplied by the simulator).
+    count: int = 1
+
+    def __post_init__(self):
+        if self.elements < 1:
+            raise MappingError("nonlinear op needs at least one element")
+        if self.op == "softmax" and self.rows < 1:
+            raise MappingError("softmax needs rows >= 1")
+        if self.count < 1:
+            raise MappingError("nonlinear count must be >= 1")
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cost of one op on one design."""
+
+    cycles: float
+    energy_pj: float
+    hbm_bytes: float = 0.0
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(cycles=self.cycles + other.cycles,
+                      energy_pj=self.energy_pj + other.energy_pj,
+                      hbm_bytes=self.hbm_bytes + other.hbm_bytes)
+
+
+@dataclass
+class AreaBreakdown:
+    """Per-category mm² with convenience totals (Fig. 13)."""
+
+    categories: dict = field(default_factory=dict)
+
+    def add(self, category: str, mm2: float) -> None:
+        if category not in BREAKDOWN_CATEGORIES:
+            raise MappingError(f"unknown breakdown category {category!r}")
+        self.categories[category] = self.categories.get(category, 0.0) + mm2
+
+    @property
+    def total_mm2(self) -> float:
+        return sum(self.categories.values())
+
+    @property
+    def array_mm2(self) -> float:
+        """Everything except SRAM (the Fig. 13 'array level' bars)."""
+        return self.total_mm2 - self.categories.get("sram", 0.0)
+
+    def get(self, category: str) -> float:
+        return self.categories.get(category, 0.0)
+
+
+class AcceleratorDesign(ABC):
+    """Base class for Table 2 design points."""
+
+    #: Short name used in tables/figures ("Mugi", "Carat", "SA", ...).
+    name: str = "design"
+
+    def __init__(self, tech: TechnologyModel = TECH_45NM):
+        self.tech = tech
+
+    # -- structure ------------------------------------------------------
+    @abstractmethod
+    def area_breakdown(self) -> AreaBreakdown:
+        """Per-category area in mm²."""
+
+    @property
+    def area_mm2(self) -> float:
+        """Total on-chip area."""
+        return self.area_breakdown().total_mm2
+
+    def leakage_w(self) -> float:
+        """Static power: area × technology leakage density."""
+        return self.area_mm2 * self.tech.leakage_w_per_mm2
+
+    # -- op costing -----------------------------------------------------
+    @abstractmethod
+    def gemm_cost(self, op: GemmOp) -> OpCost:
+        """Cycles/energy/traffic of one GEMM."""
+
+    @abstractmethod
+    def nonlinear_cost(self, op: NonlinearOp) -> OpCost:
+        """Cycles/energy/traffic of one nonlinear pass."""
+
+    # -- helpers shared by subclasses -----------------------------------
+    def _standard_srams(self, kb: int = 64, i_width: int = 128,
+                        w_width: int = 256, o_width: int = 256
+                        ) -> dict[str, SRAM]:
+        """The i/w/o SRAM trio of Table 2.
+
+        Each memory's Table 2 capacity is split into two banks (the
+        "double buffers all memory hierarchies" of §4), so total capacity
+        per memory equals the Table 2 figure.
+        """
+        half = max(1, kb // 2) * 1024
+        return {
+            "iSRAM": SRAM("iSRAM", capacity_bytes=half,
+                          width_bits=i_width, banks=2),
+            "wSRAM": SRAM("wSRAM", capacity_bytes=half,
+                          width_bits=w_width, banks=2),
+            "oSRAM": SRAM("oSRAM", capacity_bytes=half,
+                          width_bits=o_width, banks=2),
+        }
+
+    def _sram_area(self, srams: dict[str, SRAM]) -> float:
+        return sum(s.area_mm2(self.tech) for s in srams.values())
+
+    def _sram_traffic_pj(self, sram: SRAM, bytes_moved: float) -> float:
+        return sram.traffic_energy_pj(bytes_moved, self.tech)
+
+    def label(self) -> str:
+        """Display label, e.g. ``Mugi (256)``."""
+        size = getattr(self, "height", None) or getattr(self, "dim", None)
+        return f"{self.name} ({size})" if size else self.name

@@ -1,0 +1,126 @@
+"""The Carat baseline (paper §2.1, §5.2.2, [46]).
+
+Carat is the prior VLP design: symmetric FP8 GEMM with batch mapped to
+rows.  Per the paper's evaluation setup, the baseline is *modified* for
+LLMs — BF16 accumulators at the top, inputs mapped across columns, the
+FP8 datapath reused for INT4 weights — so its GEMM throughput matches
+Mugi's.  What remains different:
+
+* buffers: per-PE input pipelining + double-buffered OR output FIFOs
+  (quadratic scaling — ≈4.5–5× the buffer area of Mugi);
+* nonlinear: no VLP approximation — a dedicated Taylor vector array runs
+  softmax/SiLU/GELU (≈3× Mugi's nonlinear latency, Fig. 16).
+
+The *unmodified* mapping (batch on rows) is reachable via
+``native_mapping=True`` for the mapping-transpose ablation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...core.gemm import schedule_vlp_gemm
+from ...errors import ConfigError
+from ..fifo import buffer_area_mm2, carat_buffer_plan
+from ..technology import TECH_45NM, TechnologyModel
+from .base import AcceleratorDesign, AreaBreakdown, GemmOp, NonlinearOp, OpCost
+from .vector_array import VectorArrayConfig, VectorArrayUnit
+
+
+class CaratDesign(AcceleratorDesign):
+    """Single-node Carat (Table 2: height 32–256, width 8)."""
+
+    name = "Carat"
+
+    def __init__(self, height: int = 128, width: int = 8, sram_kb: int = 64,
+                 native_mapping: bool = False,
+                 tech: TechnologyModel = TECH_45NM):
+        super().__init__(tech)
+        if height < 1 or width < 1:
+            raise ConfigError("array dimensions must be positive")
+        self.height = height
+        self.width = width
+        self.sram_kb = sram_kb
+        self.spike = width
+        self.native_mapping = native_mapping
+        # Dedicated (non-VLP) nonlinear vector array, sized to height/4
+        # lanes — yields ≈3x Mugi's nonlinear latency at matched height.
+        self.nonlinear_unit = VectorArrayUnit(
+            VectorArrayConfig(lanes=max(8, height // 4), mode="taylor"),
+            tech)
+        self.srams = self._standard_srams(
+            kb=sram_kb,
+            i_width=max(64, width * 16),
+            w_width=max(64, height * 4 // self.spike * 8),
+            o_width=max(128, height * 16))
+
+    # -- structure ------------------------------------------------------
+    def area_breakdown(self) -> AreaBreakdown:
+        t = self.tech
+        o = t.layout_overhead  # P&R overhead on raw cell estimates.
+        h, w = self.height, self.width
+        b = AreaBreakdown()
+        b.add("tc", o * t.area_mm2("temporal_converter", h))
+        b.add("pe", o * t.area_mm2("pe_subscribe", h * w))
+        # "We modify its accumulators at the top to BF16" (§5.2.2).
+        b.add("acc", o * (t.area_mm2("bf16_adder", w)
+                          + t.area_mm2("bf16_adder", h)))
+        b.add("vr", o * (t.area_mm2("or_lane", h * w)
+                         + t.area_mm2("sign_convert", h)))
+        # The buffer story: pipelining + double buffering (quadratic).
+        b.add("fifo", o * buffer_area_mm2(carat_buffer_plan(h, w), t))
+        # Dequant vector lanes (Carat still needs the WOQ epilogue).
+        b.add("vector", o * t.area_mm2("bf16_multiplier", max(8, h // 8)))
+        # Standalone nonlinear hardware (no array reuse).
+        b.add("nonlinear", o * self.nonlinear_unit.area_mm2())
+        b.add("sram", self._sram_area(self.srams))
+        return b
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        return self.height * self.width / self.spike
+
+    # -- GEMM -----------------------------------------------------------
+    def gemm_cost(self, op: GemmOp) -> OpCost:
+        t = self.tech
+        rows_dim = "m" if self.native_mapping else "n"
+        schedule = schedule_vlp_gemm(op.m, op.k, op.n,
+                                     array_height=self.height,
+                                     array_width=self.width,
+                                     spike_cycles=self.spike,
+                                     rows_dim=rows_dim)
+        energy = t.energy_pj("bf16_adder", schedule.accumulator_adds)
+        energy += t.energy_pj("pe_subscribe", schedule.subscriptions)
+        energy += t.energy_pj("or_lane", schedule.subscriptions)
+        energy += t.energy_pj("sign_convert", schedule.subscriptions)
+        energy += t.energy_pj("bf16_adder", schedule.oacc_adds)
+        energy += t.energy_pj("temporal_converter",
+                              schedule.mappings * self.height)
+        groups = max(1, math.ceil(op.k / op.group_size))
+        energy += t.energy_pj("bf16_multiplier", op.m * op.n * groups)
+        # Per-PE input pipelining: operands march through a FIFO stage on
+        # every cycle of the spike window (the energy face of the
+        # quadratic buffer cost Mugi removes by broadcasting).
+        energy += t.energy_pj("fifo_bit",
+                              schedule.subscriptions * self.spike * 16)
+
+        w_bytes = op.weight_bytes * schedule.tiles_cols
+        a_bytes = op.m * op.k * op.act_bits / 8 * schedule.tiles_rows
+        o_bytes = op.m * op.n * 2
+        energy += self._sram_traffic_pj(self.srams["wSRAM"], w_bytes)
+        energy += self._sram_traffic_pj(self.srams["iSRAM"], a_bytes)
+        energy += self._sram_traffic_pj(self.srams["oSRAM"], o_bytes)
+
+        hbm = 0.0 if op.weights_resident else op.weight_bytes
+        hbm += op.io_bytes
+        energy += t.hbm_pj_per_bit * hbm * 8
+        return OpCost(cycles=schedule.cycles, energy_pj=energy, hbm_bytes=hbm)
+
+    # -- nonlinear ------------------------------------------------------
+    def nonlinear_cost(self, op: NonlinearOp) -> OpCost:
+        cost = self.nonlinear_unit.cost(op)
+        # Results still stream through the oSRAM.
+        extra = self._sram_traffic_pj(self.srams["oSRAM"],
+                                      op.elements * 2 * 2)
+        return OpCost(cycles=cost.cycles, energy_pj=cost.energy_pj + extra,
+                      hbm_bytes=cost.hbm_bytes)

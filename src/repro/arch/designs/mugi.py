@@ -1,0 +1,200 @@
+"""The Mugi design point (paper §4, Fig. 9).
+
+A height × 8 VLP array that executes *both* GEMM and nonlinear operations:
+
+* **GEMM** — INT4 weights/KV on rows (temporal converters), BF16 tokens on
+  columns (shared per-column accumulators), output-stationary outer
+  product, WOQ/KVQ dequant on the vector array.
+* **Nonlinear** — LUT rows broadcast from the iSRAM, mantissa + exponent
+  temporal subscription, softmax sum on the oAcc and reciprocal scaling
+  on the vector array.
+
+Buffers follow Mugi's broadcast + output-buffer-leaning plan (§4.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...core.gemm import schedule_vlp_gemm
+from ...errors import ConfigError
+from ..fifo import buffer_area_mm2, mugi_buffer_plan
+from ..technology import TECH_45NM, TechnologyModel
+from .base import AcceleratorDesign, AreaBreakdown, GemmOp, NonlinearOp, OpCost
+
+
+class MugiDesign(AcceleratorDesign):
+    """Single-node Mugi (Table 2: height 32–256, width 8).
+
+    Parameters
+    ----------
+    height:
+        Array rows (weights / LUT subscribers).
+    width:
+        Array columns; 8 matches the 3-bit temporal window and the decode
+        batch / GQA group size.
+    sram_kb:
+        Capacity of each of the i/w/o SRAMs (Table 2: 64 KB).
+    vec_lanes:
+        Vector-array width for dequant/reciprocal scaling; defaults to
+        ``height`` so the normalization pass keeps pace with the array's
+        one-result-per-row-per-cycle output rate ("configured to scale
+        array outputs after exiting the oFIFO, hiding latency", §5.2.1).
+    """
+
+    name = "Mugi"
+
+    def __init__(self, height: int = 128, width: int = 8, sram_kb: int = 64,
+                 vec_lanes: int | None = None,
+                 tech: TechnologyModel = TECH_45NM):
+        super().__init__(tech)
+        if height < 1 or width < 1:
+            raise ConfigError("array dimensions must be positive")
+        self.height = height
+        self.width = width
+        self.sram_kb = sram_kb
+        self.vec_lanes = vec_lanes if vec_lanes else max(8, height)
+        self.spike = width  # 3-bit magnitudes -> 8-cycle window = width.
+        # wSRAM feeds height INT4 weights per spike window; oSRAM feeds
+        # height*width BF16 inputs per window for nonlinear mode (§5.2.1).
+        self.srams = self._standard_srams(
+            kb=sram_kb,
+            i_width=max(64, width * 16),
+            w_width=max(64, height * 4 // self.spike * 8),
+            o_width=max(128, height * 16))
+
+    # -- structure ------------------------------------------------------
+    def area_breakdown(self) -> AreaBreakdown:
+        t = self.tech
+        o = t.layout_overhead  # P&R overhead on raw cell estimates.
+        h, w = self.height, self.width
+        b = AreaBreakdown()
+        b.add("tc", o * t.area_mm2("temporal_converter", h))
+        b.add("pe", o * t.area_mm2("pe_subscribe", h * w))
+        # iAcc per column + oAcc per row; both BF16-width accumulators
+        # with guard bits (the Carat-style "accumulators at the top").
+        b.add("acc", o * (t.area_mm2("bf16_adder", w)
+                          + t.area_mm2("bf16_adder", h)))
+        # Value-reuse plumbing: per-row OR tree + sign conversion + PP.
+        b.add("vr", o * (t.area_mm2("or_lane", h * w)
+                         + t.area_mm2("sign_convert", h)
+                         + t.area_mm2("post_process", h)))
+        # Input conditioning: M-proc/E-proc per column, one SW block.
+        b.add("other", o * (t.area_mm2("m_proc", w) + t.area_mm2("e_proc", w)
+                            + t.area_mm2("slide_window", 1)))
+        b.add("fifo", o * buffer_area_mm2(mugi_buffer_plan(h, w), t))
+        # Vector array: dequant + reciprocal scaling lanes.
+        b.add("vector", o * (t.area_mm2("bf16_multiplier", self.vec_lanes)
+                             + t.area_mm2("nonlinear_control", 1)))
+        b.add("sram", self._sram_area(self.srams))
+        return b
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        """Sustained MAC slots per cycle (H·W products per W-cycle pass)."""
+        return self.height * self.width / self.spike
+
+    # -- GEMM -----------------------------------------------------------
+    def gemm_cost(self, op: GemmOp) -> OpCost:
+        t = self.tech
+        schedule = schedule_vlp_gemm(op.m, op.k, op.n,
+                                     array_height=self.height,
+                                     array_width=self.width,
+                                     spike_cycles=self.spike, rows_dim="n")
+        energy = 0.0
+        # Shared iAcc accumulation (the value-reuse amortization).
+        energy += t.energy_pj("bf16_adder", schedule.accumulator_adds)
+        # Per-product subscription + OR + sign + output accumulation.
+        energy += t.energy_pj("pe_subscribe", schedule.subscriptions)
+        energy += t.energy_pj("or_lane", schedule.subscriptions)
+        energy += t.energy_pj("sign_convert", schedule.subscriptions)
+        energy += t.energy_pj("bf16_adder", schedule.oacc_adds)
+        # TC loads: one temporal conversion per weight per mapping tile.
+        energy += t.energy_pj("temporal_converter",
+                              schedule.mappings * self.height)
+        # Dequant epilogue on the vector array: one multiply per output
+        # per quantization group.
+        groups = max(1, math.ceil(op.k / op.group_size))
+        energy += t.energy_pj("bf16_multiplier", op.m * op.n * groups)
+
+        # SRAM traffic: weights once per row-tile pass; activations are
+        # broadcast once per (column-tile, k); outputs written once.
+        w_bytes = op.weight_bytes * schedule.tiles_cols
+        a_bytes = op.m * op.k * op.act_bits / 8 * schedule.tiles_rows
+        o_bytes = op.m * op.n * 2
+        energy += self._sram_traffic_pj(self.srams["wSRAM"], w_bytes)
+        energy += self._sram_traffic_pj(self.srams["iSRAM"], a_bytes)
+        energy += self._sram_traffic_pj(self.srams["oSRAM"], o_bytes)
+
+        hbm = 0.0 if op.weights_resident else op.weight_bytes
+        hbm += op.io_bytes
+        energy += t.hbm_pj_per_bit * hbm * 8
+        return OpCost(cycles=schedule.cycles, energy_pj=energy, hbm_bytes=hbm)
+
+    # -- nonlinear ------------------------------------------------------
+    def nonlinear_cost(self, op: NonlinearOp) -> OpCost:
+        t = self.tech
+        h, w = self.height, self.width
+        if op.op == "layernorm":
+            return self._vector_unit_cost(op, passes=3)  # mean/var/scale.
+        if op.op == "rope":
+            # sin + cos via the VLP array (two lookups per pair lane)
+            # plus the 4-multiply rotation on the vector unit (§7.1).
+            lut_cost = self._array_lookup_cost(op)
+            rotate = self._vector_unit_cost(op, passes=2)
+            return lut_cost + rotate
+        per_mapping = h * w
+        mappings = math.ceil(op.elements / per_mapping)
+        cycles = mappings * self.spike + (w - 1) + self.spike  # + drain.
+
+        energy = 0.0
+        # LUT row streaming, shared across all rows (value reuse): one
+        # window row (window * 16 bits) per cycle of each mapping.
+        lut_bits = self.spike * w * 16
+        energy += self._sram_traffic_pj(self.srams["iSRAM"],
+                                        mappings * lut_bits / 8)
+        # Two subscriptions (mantissa row + exponent entry) per element.
+        energy += t.energy_pj("pe_subscribe", 2 * op.elements)
+        energy += t.energy_pj("temporal_converter", op.elements)
+        energy += t.energy_pj("m_proc", op.elements)
+        energy += t.energy_pj("e_proc", op.elements)
+        energy += t.energy_pj("post_process", op.elements)
+        # Input/output movement through the oSRAM.
+        energy += self._sram_traffic_pj(self.srams["oSRAM"],
+                                        op.elements * 2 * 2)
+
+        if op.op == "softmax":
+            # oAcc accumulates the exp sum; the vector array (sized to the
+            # array's output rate, §5.2.1) normalizes *overlapped* with
+            # the next rows' exp pass — only a drain tail is exposed.
+            energy += t.energy_pj("fp32_adder", op.elements)
+            energy += t.energy_pj("bf16_multiplier", op.elements)
+            energy += t.energy_pj("nonlinear_control", op.rows)
+            per_row = op.elements / max(1, op.rows)
+            cycles += per_row / self.vec_lanes + 4  # Tail + reciprocal.
+        return OpCost(cycles=cycles, energy_pj=energy, hbm_bytes=0.0)
+
+    # -- auxiliary-op helpers (§7.1 extensions) --------------------------
+    def _array_lookup_cost(self, op: NonlinearOp) -> OpCost:
+        """Plain VLP LUT lookups for ``op.elements`` values (no sum)."""
+        t = self.tech
+        h, w = self.height, self.width
+        mappings = math.ceil(op.elements / (h * w))
+        cycles = mappings * self.spike + (w - 1) + self.spike
+        energy = self._sram_traffic_pj(self.srams["iSRAM"],
+                                       mappings * self.spike * w * 16 / 8)
+        energy += t.energy_pj("pe_subscribe", 2 * op.elements)
+        energy += t.energy_pj("temporal_converter", op.elements)
+        return OpCost(cycles=cycles, energy_pj=energy, hbm_bytes=0.0)
+
+    def _vector_unit_cost(self, op: NonlinearOp, passes: int) -> OpCost:
+        """``passes`` element-wise passes through the vector array —
+        layer normalization and the RoPE rotation are vector
+        multiplications (paper §7.1)."""
+        t = self.tech
+        cycles = passes * op.elements / self.vec_lanes + passes
+        energy = passes * (t.energy_pj("bf16_multiplier", op.elements)
+                           + t.energy_pj("bf16_adder", op.elements))
+        energy += self._sram_traffic_pj(self.srams["oSRAM"],
+                                        op.elements * 2 * 2)
+        return OpCost(cycles=cycles, energy_pj=energy, hbm_bytes=0.0)

@@ -1,0 +1,49 @@
+"""Mugi-L: the LUT-per-lane ablation of Mugi (paper §5.2.2, Fig. 13).
+
+Mugi-L keeps Mugi's VLP GEMM array but replaces the temporal-coding
+nonlinear approximation with *dedicated* programmable LUTs — one LUT
+shared by every 8 inputs to match Mugi's nonlinear throughput.  The LUTs
+are implemented with FIFOs "to ensure programmability", which is exactly
+why Fig. 13 shows Mugi-L spending far more area than Mugi: the shared
+compute array is the sustainability argument of challenge 4.
+"""
+
+from __future__ import annotations
+
+from ..technology import TECH_45NM, TechnologyModel
+from .base import AreaBreakdown, NonlinearOp, OpCost
+from .mugi import MugiDesign
+
+
+class MugiLDesign(MugiDesign):
+    """Mugi with dedicated per-8-lane LUT nonlinear hardware."""
+
+    name = "Mugi-L"
+
+    def __init__(self, height: int = 128, width: int = 8, sram_kb: int = 64,
+                 lut_entries: int = 128, lut_word_bits: int = 16,
+                 tech: TechnologyModel = TECH_45NM):
+        super().__init__(height=height, width=width, sram_kb=sram_kb,
+                         tech=tech)
+        self.lut_entries = lut_entries
+        self.lut_word_bits = lut_word_bits
+        #: One programmable LUT per 8 array inputs (paper §5.2.2).
+        self.lut_banks = max(1, (height * width) // 8)
+
+    def area_breakdown(self) -> AreaBreakdown:
+        b = super().area_breakdown()
+        # FIFO-implemented programmable LUT banks.
+        lut_bits = self.lut_banks * self.lut_entries * self.lut_word_bits
+        b.add("nonlinear", self.tech.area_mm2("fifo_bit", lut_bits))
+        return b
+
+    def nonlinear_cost(self, op: NonlinearOp) -> OpCost:
+        """Same throughput as Mugi (by construction), but every lookup
+        reads a private FIFO-LUT — no value reuse, so energy scales with
+        elements × LUT word instead of being amortized across rows."""
+        base = super().nonlinear_cost(op)
+        lookup_pj = self.tech.energy_pj(
+            "fifo_bit", op.elements * self.lut_word_bits)
+        return OpCost(cycles=base.cycles,
+                      energy_pj=base.energy_pj + lookup_pj,
+                      hbm_bytes=base.hbm_bytes)

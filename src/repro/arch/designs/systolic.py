@@ -1,0 +1,142 @@
+"""Systolic (SA) and SIMD (SD) baseline arrays, with FIGNA PE variants.
+
+Both are ``dim × dim`` BF16×INT4 MAC arrays (paper §5.2.2): the systolic
+array adds control hardware and a column of output accumulators, the SIMD
+array uses adder trees; their throughput "closely overlaps" (Fig. 14
+caption).  Both run *weight-stationary* dataflow: a ``dim × dim`` weight
+tile is held while activations stream through, so a decode batch of
+``m < dim`` tokens cannot hide the ``dim``-cycle tile turnaround — the
+utilization cliff that Table 3 shows for the scaled-up (-S) variants
+(≈ m/dim utilization at m=8, dim=64).
+
+FIGNA variants (``-F``) swap the dequantize-then-MAC PE for the integer
+FP-INT PE of [30]: ~9 % more area, ~4 % more energy, identical cycles.
+
+Nonlinear operations run on an attached vector array (precise, Taylor, or
+PWL — §5.2.2 builds every baseline from GEMM + nonlinear components).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...errors import ConfigError
+from ..technology import TECH_45NM, TechnologyModel
+from .base import AcceleratorDesign, AreaBreakdown, GemmOp, NonlinearOp, OpCost
+from .vector_array import VectorArrayConfig, VectorArrayUnit
+
+
+class SystolicDesign(AcceleratorDesign):
+    """Weight-stationary ``dim × dim`` MAC array (SA / SD / -F variants).
+
+    Parameters
+    ----------
+    dim:
+        Array dimension (Table 2: 4–16 for SA/SD, 32–64 for -S).
+    style:
+        "systolic" (SA) or "simd" (SD).
+    figna:
+        Use the FIGNA FP-INT PE (the ``-F`` designs).
+    nonlinear_mode:
+        Vector-array flavour for nonlinear ops ("precise", "taylor",
+        "pwl").
+    """
+
+    def __init__(self, dim: int = 16, style: str = "systolic",
+                 figna: bool = False, sram_kb: int = 64,
+                 nonlinear_mode: str = "precise",
+                 nonlinear_lanes: int | None = None,
+                 tech: TechnologyModel = TECH_45NM):
+        super().__init__(tech)
+        if dim < 1:
+            raise ConfigError("array dimension must be positive")
+        if style not in ("systolic", "simd"):
+            raise ConfigError("style must be 'systolic' or 'simd'")
+        self.dim = dim
+        self.style = style
+        self.figna = figna
+        self.sram_kb = sram_kb
+        # The vector array scales with the GEMM array so scaled-up (-S)
+        # baselines are not strangled by their nonlinear unit.
+        lanes = nonlinear_lanes if nonlinear_lanes else max(16, dim)
+        self.nonlinear_unit = VectorArrayUnit(
+            VectorArrayConfig(lanes=lanes, mode=nonlinear_mode), tech)
+        base = "SA" if style == "systolic" else "SD"
+        self.name = base + ("-F" if figna else "")
+        # Weight port sized to reload one PE column per cycle (Table 2:
+        # widths chosen to load the array without added latency).
+        self.srams = self._standard_srams(
+            kb=sram_kb,
+            i_width=max(64, dim * 16),
+            w_width=max(64, dim * 4),
+            o_width=max(64, dim * 16))
+
+    # -- structure ------------------------------------------------------
+    @property
+    def _pe_name(self) -> str:
+        return "mac_figna" if self.figna else "mac_bf16"
+
+    def area_breakdown(self) -> AreaBreakdown:
+        t = self.tech
+        d = self.dim
+        b = AreaBreakdown()
+        pe_area = t.area_mm2(self._pe_name, d * d)
+        if self.style == "simd":
+            # Adder trees in place of per-PE pipeline registers: slightly
+            # denser (Table 3: SD 2.54 vs SA 2.58 mm² at dim 16).
+            pe_area *= 0.985
+        b.add("pe", pe_area)
+        if self.style == "systolic":
+            # Output accumulator column + input/weight skew buffers.
+            b.add("acc", t.area_mm2("fp32_adder", d))
+            skew_bits = d * (d - 1) // 2 * 16 * 2
+            b.add("fifo", t.area_mm2("fifo_bit", skew_bits))
+            b.add("other", t.area_mm2("nonlinear_control", 1))  # Control.
+        else:
+            b.add("acc", t.area_mm2("fp32_adder", d))
+        b.add("nonlinear", self.nonlinear_unit.area_mm2())
+        b.add("sram", self._sram_area(self.srams))
+        return b
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        return float(self.dim * self.dim)
+
+    # -- GEMM -----------------------------------------------------------
+    def gemm_cost(self, op: GemmOp) -> OpCost:
+        t = self.tech
+        d = self.dim
+        tiles = math.ceil(op.k / d) * math.ceil(op.n / d)
+        # Weight-stationary: per tile, stream m activation rows but pay
+        # the d-cycle weight reload; reloads cannot be hidden below m=d.
+        cycles_per_tile = max(op.m, d)
+        cycles = tiles * cycles_per_tile + 2 * d  # Fill + drain.
+
+        energy = t.energy_pj(self._pe_name, op.macs)
+        if self.style == "systolic":
+            # Operand register marching between neighbours.
+            energy += t.energy_pj("register_bit", op.macs * 32)
+        else:
+            energy += t.energy_pj("fp32_adder", op.macs / d)  # Tree root.
+
+        # SRAM traffic: weights once; activations re-streamed once per
+        # weight-tile column (the weight-stationary re-read penalty).
+        w_bytes = op.weight_bytes
+        a_bytes = op.m * op.k * op.act_bits / 8 * math.ceil(op.n / d)
+        o_bytes = op.m * op.n * 2
+        energy += self._sram_traffic_pj(self.srams["wSRAM"], w_bytes)
+        energy += self._sram_traffic_pj(self.srams["iSRAM"], a_bytes)
+        energy += self._sram_traffic_pj(self.srams["oSRAM"], o_bytes)
+
+        hbm = 0.0 if op.weights_resident else op.weight_bytes
+        hbm += op.io_bytes
+        energy += t.hbm_pj_per_bit * hbm * 8
+        return OpCost(cycles=cycles, energy_pj=energy, hbm_bytes=hbm)
+
+    # -- nonlinear ------------------------------------------------------
+    def nonlinear_cost(self, op: NonlinearOp) -> OpCost:
+        cost = self.nonlinear_unit.cost(op)
+        extra = self._sram_traffic_pj(self.srams["oSRAM"],
+                                      op.elements * 2 * 2)
+        return OpCost(cycles=cost.cycles, energy_pj=cost.energy_pj + extra,
+                      hbm_bytes=cost.hbm_bytes)

@@ -1,0 +1,97 @@
+"""Tensor-core baseline (paper §5.2.2, Hopper-style [43]).
+
+A fully pipelined 8×16×16 MAC cube performing 2048 MACs per cycle, fed by
+a 1 MB SRAM (Table 2).  The 8-deep M dimension matches the decode batch of
+8, so utilization stays high — the tensor core is the strongest baseline
+in Table 3 (best single-node energy efficiency), beaten by Mugi on power
+efficiency and area, and at the NoC level.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...errors import ConfigError
+from ..technology import TECH_45NM, TechnologyModel
+from .base import AcceleratorDesign, AreaBreakdown, GemmOp, NonlinearOp, OpCost
+from .vector_array import VectorArrayConfig, VectorArrayUnit
+
+
+class TensorCoreDesign(AcceleratorDesign):
+    """8×16×16 tensor core with 1 MB SRAM."""
+
+    name = "Tensor"
+
+    def __init__(self, m_dim: int = 8, k_dim: int = 16, n_dim: int = 16,
+                 sram_kb: int = 1024, nonlinear_mode: str = "precise",
+                 nonlinear_lanes: int = 64,
+                 tech: TechnologyModel = TECH_45NM):
+        super().__init__(tech)
+        if min(m_dim, k_dim, n_dim) < 1:
+            raise ConfigError("tensor core dims must be positive")
+        self.m_dim = m_dim
+        self.k_dim = k_dim
+        self.n_dim = n_dim
+        self.sram_kb = sram_kb
+        self.dim = m_dim  # For labels ("Tensor (8)").
+        self.nonlinear_unit = VectorArrayUnit(
+            VectorArrayConfig(lanes=nonlinear_lanes, mode=nonlinear_mode),
+            tech)
+        self.srams = self._standard_srams(kb=sram_kb // 3,
+                                          i_width=max(256, m_dim * k_dim * 4),
+                                          w_width=max(256, k_dim * n_dim * 2),
+                                          o_width=max(256, m_dim * n_dim * 8))
+
+    # -- structure ------------------------------------------------------
+    @property
+    def mac_count(self) -> int:
+        """MAC units in the cube."""
+        return self.m_dim * self.k_dim * self.n_dim
+
+    def area_breakdown(self) -> AreaBreakdown:
+        t = self.tech
+        b = AreaBreakdown()
+        b.add("pe", t.area_mm2("mac_tensor", self.mac_count))
+        # Operand collectors / result registers.
+        b.add("acc", t.area_mm2("fp32_adder", self.m_dim * self.n_dim))
+        b.add("fifo", t.area_mm2("fifo_bit",
+                                 (self.m_dim * self.k_dim
+                                  + self.k_dim * self.n_dim) * 16 * 2))
+        b.add("nonlinear", self.nonlinear_unit.area_mm2())
+        b.add("sram", self._sram_area(self.srams))
+        return b
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        return float(self.mac_count)
+
+    # -- GEMM -----------------------------------------------------------
+    def gemm_cost(self, op: GemmOp) -> OpCost:
+        t = self.tech
+        steps = (math.ceil(op.m / self.m_dim) * math.ceil(op.k / self.k_dim)
+                 * math.ceil(op.n / self.n_dim))
+        cycles = steps + self.k_dim  # Fully pipelined + fill.
+        energy = t.energy_pj("mac_tensor", op.macs)
+        # Dequant of INT4 weights before the BF16 cube.
+        groups = max(1, math.ceil(op.k / op.group_size))
+        energy += t.energy_pj("bf16_multiplier", op.m * op.n * groups)
+
+        w_bytes = op.weight_bytes
+        a_bytes = op.m * op.k * op.act_bits / 8 * math.ceil(op.n / self.n_dim)
+        o_bytes = op.m * op.n * 2
+        energy += self._sram_traffic_pj(self.srams["wSRAM"], w_bytes)
+        energy += self._sram_traffic_pj(self.srams["iSRAM"], a_bytes)
+        energy += self._sram_traffic_pj(self.srams["oSRAM"], o_bytes)
+
+        hbm = 0.0 if op.weights_resident else op.weight_bytes
+        hbm += op.io_bytes
+        energy += t.hbm_pj_per_bit * hbm * 8
+        return OpCost(cycles=cycles, energy_pj=energy, hbm_bytes=hbm)
+
+    # -- nonlinear ------------------------------------------------------
+    def nonlinear_cost(self, op: NonlinearOp) -> OpCost:
+        cost = self.nonlinear_unit.cost(op)
+        extra = self._sram_traffic_pj(self.srams["oSRAM"],
+                                      op.elements * 2 * 2)
+        return OpCost(cycles=cost.cycles, energy_pj=cost.energy_pj + extra,
+                      hbm_bytes=cost.hbm_bytes)

@@ -1,0 +1,149 @@
+"""Vector arrays for nonlinear operations (paper §5.2.2).
+
+Baseline accelerators dedicate a separate SIMD vector array to nonlinear
+operations.  Three flavours are modelled:
+
+``VA-FP`` (precise)
+    MAC lanes computing exp/SiLU exactly via iterative division /
+    exponential microcode — 44 cycles per element per lane [45, 68].
+``VA-AP taylor``
+    Horner evaluation of a degree-``d`` Taylor expansion — ``d`` chained
+    MAC cycles per element, coefficients shared across lanes.
+``VA-AP pwl``
+    Per-lane segment comparators + one MAC — compare + evaluate cycles,
+    but extra per-lane comparator/coefficient area.
+
+A :class:`VectorArrayUnit` is used two ways: standalone (the Fig. 11
+baselines) and attached to a GEMM design (SA/SD/Carat/Tensor end-to-end
+runs, Fig. 13's "nonlinear" area slice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigError
+from ..technology import TECH_45NM, TechnologyModel
+from .base import AreaBreakdown, NonlinearOp, OpCost
+
+#: Cycles for one precise exp/SiLU evaluation on a MAC lane [45, 68].
+PRECISE_NONLINEAR_CYCLES = 44
+#: Cycles per PWL evaluation: segment compare + MAC.
+PWL_EVAL_CYCLES = 3
+
+
+@dataclass(frozen=True)
+class VectorArrayConfig:
+    """Configuration of a nonlinear vector array.
+
+    Attributes
+    ----------
+    lanes:
+        SIMD width (baselines use 16, Table 2 / Fig. 11).
+    mode:
+        "precise", "taylor", or "pwl".
+    taylor_degree:
+        Horner steps per element in taylor mode (best-perplexity config
+        from Fig. 6 uses 9).
+    pwl_segments:
+        Stored segments per lane in pwl mode (22 in the paper).
+    """
+
+    lanes: int = 16
+    mode: str = "precise"
+    taylor_degree: int = 9
+    pwl_segments: int = 22
+
+    def __post_init__(self):
+        if self.mode not in ("precise", "taylor", "pwl"):
+            raise ConfigError(f"unknown vector-array mode {self.mode!r}")
+        if self.lanes < 1:
+            raise ConfigError("vector array needs at least one lane")
+
+
+class VectorArrayUnit:
+    """Cost model of a nonlinear vector array."""
+
+    def __init__(self, config: VectorArrayConfig,
+                 tech: TechnologyModel = TECH_45NM):
+        self.config = config
+        self.tech = tech
+
+    # -- structure ------------------------------------------------------
+    def area_mm2(self) -> float:
+        """Lane datapath + per-mode extras."""
+        cfg = self.config
+        lane = self.tech.component("mac_bf16").area_um2
+        if cfg.mode == "precise":
+            lane += self.tech.component("nonlinear_control").area_um2
+        elif cfg.mode == "taylor":
+            # Shared coefficient registers (degree+1 x 16b) across lanes.
+            shared = (cfg.taylor_degree + 1) * 16 * \
+                self.tech.component("register_bit").area_um2
+            return (lane * cfg.lanes + shared) * 1e-6
+        elif cfg.mode == "pwl":
+            # Each lane carries its own comparators + coefficient regs
+            # (paper §2.2.2: "a dedicated set ... for each element").
+            lane += cfg.pwl_segments * (
+                self.tech.component("comparator_16b").area_um2
+                + 2 * 16 * self.tech.component("register_bit").area_um2)
+        return lane * cfg.lanes * 1e-6
+
+    # -- per-element costs ----------------------------------------------
+    def cycles_per_element(self, op: str) -> float:
+        """Lane-cycles to produce one nonlinear result."""
+        cfg = self.config
+        if op == "layernorm":
+            return 3.0  # Mean / variance / scale passes (vector mults).
+        if op == "rope":
+            return PRECISE_NONLINEAR_CYCLES + 2  # sin-or-cos + rotation.
+        if cfg.mode == "precise":
+            return PRECISE_NONLINEAR_CYCLES
+        if cfg.mode == "taylor":
+            return cfg.taylor_degree
+        return PWL_EVAL_CYCLES
+
+    def energy_per_element_pj(self, op: str) -> float:
+        """Dynamic energy to produce one nonlinear result."""
+        cfg = self.config
+        mac = self.tech.component("mac_bf16").energy_pj
+        if op == "layernorm":
+            return 3 * mac
+        if op == "rope":
+            return (PRECISE_NONLINEAR_CYCLES + 2) * mac
+        if cfg.mode == "precise":
+            return PRECISE_NONLINEAR_CYCLES * mac
+        if cfg.mode == "taylor":
+            return cfg.taylor_degree * mac
+        compare = self.tech.component("comparator_16b").energy_pj
+        # Binary comparator search + one MAC evaluation.
+        import math
+        searches = max(1, math.ceil(math.log2(cfg.pwl_segments)))
+        return searches * compare + mac
+
+    def cost(self, op: NonlinearOp) -> OpCost:
+        """Cost of a full nonlinear pass on this unit.
+
+        Softmax adds the row sum (one add per element) and the reciprocal
+        multiply (one MAC per element + one divide per row, priced as
+        ``PRECISE_NONLINEAR_CYCLES`` lane-cycles on one lane).
+        """
+        cfg = self.config
+        lane_cycles = self.cycles_per_element(op.op) * op.elements
+        energy = self.energy_per_element_pj(op.op) * op.elements
+        if op.op == "softmax":
+            add = self.tech.component("fp32_adder").energy_pj
+            mac = self.tech.component("mac_bf16").energy_pj
+            energy += op.elements * (add + mac)
+            energy += op.rows * PRECISE_NONLINEAR_CYCLES * mac
+            lane_cycles += op.elements  # Normalization multiply pass.
+            lane_cycles += op.rows * PRECISE_NONLINEAR_CYCLES
+        cycles = lane_cycles / cfg.lanes
+        return OpCost(cycles=cycles, energy_pj=energy,
+                      hbm_bytes=0.0)
+
+    def area_breakdown(self) -> AreaBreakdown:
+        """Standalone breakdown (Fig. 11 iso-area comparisons)."""
+        breakdown = AreaBreakdown()
+        breakdown.add("nonlinear", self.area_mm2())
+        return breakdown

@@ -1,0 +1,93 @@
+"""FIFO (buffer) cost model and Mugi's buffer minimization (paper §4.2).
+
+Carat pipelines inputs across rows and double-buffers the output OR tree,
+so its flop-based buffer bits scale *quadratically* with array size —
+"Buffers (FIFOs) occupy significant area in Carat".  Mugi replaces the
+input pipelining with broadcast and "leans" the two output FIFOs into one
+(no functional change), cutting total buffer area by ≈4.5×.
+
+This module prices a FIFO from its geometry and provides the two buffer
+plans so the ablation bench can compare them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .technology import TECH_45NM, TechnologyModel
+
+
+@dataclass(frozen=True)
+class FIFO:
+    """A flop-based FIFO of ``depth`` words × ``width_bits``."""
+
+    name: str
+    depth: int
+    width_bits: int
+    count: int = 1
+
+    def __post_init__(self):
+        if self.depth <= 0 or self.width_bits <= 0 or self.count <= 0:
+            raise ConfigError("FIFO depth, width, and count must be positive")
+
+    @property
+    def total_bits(self) -> int:
+        """Storage bits across all instances."""
+        return self.depth * self.width_bits * self.count
+
+    def area_mm2(self, tech: TechnologyModel = TECH_45NM) -> float:
+        """Area in mm²."""
+        return tech.area_mm2("fifo_bit", self.total_bits)
+
+    def push_energy_pj(self, pushes: float,
+                       tech: TechnologyModel = TECH_45NM) -> float:
+        """Dynamic energy of ``pushes`` word-writes (pops cost the same)."""
+        return tech.energy_pj("fifo_bit", pushes * self.width_bits)
+
+
+def carat_buffer_plan(height: int, width: int, word_bits: int = 16
+                      ) -> list[FIFO]:
+    """Carat's buffers: per-row input pipelining + double-buffered OR tree.
+
+    Input staggering is realized with a FIFO per (row, column) whose depth
+    grows with the column index — total input-buffer bits ∝ H·W²/2, the
+    quadratic scaling the paper calls out — plus two output FIFOs per row
+    (double buffering).
+    """
+    avg_depth = max(1, width // 2)
+    return [
+        FIFO("input_pipeline", depth=avg_depth, width_bits=word_bits,
+             count=height * width),
+        FIFO("output_double_buffer", depth=width, width_bits=word_bits,
+             count=2 * height),
+    ]
+
+
+def mugi_buffer_plan(height: int, width: int, word_bits: int = 16
+                     ) -> list[FIFO]:
+    """Mugi's buffers after broadcast + output buffer leaning.
+
+    Broadcasting removes the per-PE input pipelining (only one staggering
+    iFIFO per *column* remains), and output-buffer leaning merges the two
+    per-row output FIFOs into one.
+    """
+    return [
+        FIFO("ififo", depth=max(1, width // 2), width_bits=word_bits,
+             count=width),
+        FIFO("ofifo", depth=width, width_bits=word_bits, count=height),
+    ]
+
+
+def buffer_area_mm2(plan: list[FIFO], tech: TechnologyModel = TECH_45NM
+                    ) -> float:
+    """Total area of a buffer plan."""
+    return sum(f.area_mm2(tech) for f in plan)
+
+
+def buffer_reduction_factor(height: int, width: int = 8,
+                            tech: TechnologyModel = TECH_45NM) -> float:
+    """Mugi-vs-Carat buffer area ratio (paper: ≈4.5× at evaluated sizes)."""
+    carat = buffer_area_mm2(carat_buffer_plan(height, width), tech)
+    mugi = buffer_area_mm2(mugi_buffer_plan(height, width), tech)
+    return carat / mugi

@@ -1,0 +1,156 @@
+"""2D mesh Network-on-Chip scaling (paper §4.2, §5.2.3, §6.3.3).
+
+Multiple single-node designs connect through a P×Q mesh with three
+channels (input / weight / output).  GEMMs are evenly tiled across nodes
+with output-stationary dataflow and inter-node accumulation; the NoC and
+off-chip memory "always supply the minimum bandwidth required to not
+bottleneck computation", so scaling is compute-linear and the NoC
+contributes area, traffic energy, and accumulation adds — not stalls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .designs.base import AcceleratorDesign, GemmOp, NonlinearOp, OpCost
+from .technology import TECH_45NM, TechnologyModel
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Mesh geometry."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigError("NoC dims must be positive")
+
+    @property
+    def nodes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def mean_hops(self) -> float:
+        """Average Manhattan hop count between random mesh endpoints."""
+        return (self.rows + self.cols) / 3.0
+
+    def label(self) -> str:
+        return f"{self.rows}x{self.cols}"
+
+
+class NocSystem:
+    """A mesh of identical nodes built from one single-node design."""
+
+    def __init__(self, node: AcceleratorDesign, noc: NocConfig,
+                 tech: TechnologyModel = TECH_45NM):
+        self.node = node
+        self.noc = noc
+        self.tech = tech
+        self.name = f"{noc.label()} {node.name}"
+
+    # -- structure ------------------------------------------------------
+    @property
+    def area_mm2(self) -> float:
+        """Nodes plus routers (Fig. 13's NoC-level bars)."""
+        return (self.node.area_mm2 * self.noc.nodes
+                + self.tech.noc_router_area_mm2 * self.noc.nodes)
+
+    def area_breakdown_noc_level(self) -> dict[str, float]:
+        """Fig. 13 NoC-level categories: Array / SRAM / NoC (mm²)."""
+        node_bd = self.node.area_breakdown()
+        return {
+            "array": node_bd.array_mm2 * self.noc.nodes,
+            "sram": node_bd.get("sram") * self.noc.nodes,
+            "noc": self.tech.noc_router_area_mm2 * self.noc.nodes,
+        }
+
+    def leakage_w(self) -> float:
+        return self.area_mm2 * self.tech.leakage_w_per_mm2
+
+    # -- op costing -----------------------------------------------------
+    def gemm_cost(self, op: GemmOp) -> OpCost:
+        """Tile the GEMM evenly across nodes (paper §4.2).
+
+        Independent instances (``op.count``, e.g. per-KV-head attention
+        GEMMs) spread across nodes first; the remaining node group splits
+        each instance along ``n`` (each node owns an output slice) or
+        along ``k`` (output-stationary *inter-node accumulation*),
+        whichever yields fewer cycles.  Activations multicast on the
+        input channel, weights stream to their owners, and outputs (or
+        partial sums, for k-splits) traverse the output channel.
+        """
+        nodes = self.noc.nodes
+        count_split = min(op.count, nodes)
+        sub_nodes = max(1, nodes // count_split)
+        serial = math.ceil(op.count / count_split)
+
+        def strip_hbm(sub: GemmOp) -> OpCost:
+            """Node cost without HBM; the system charges HBM once."""
+            cost = self.node.gemm_cost(sub)
+            return OpCost(
+                cycles=cost.cycles,
+                energy_pj=cost.energy_pj
+                - self.tech.hbm_pj_per_bit * cost.hbm_bytes * 8,
+                hbm_bytes=0.0)
+
+        candidates = []
+        # Split the output dimension across the node group.
+        n_sub = max(1, math.ceil(op.n / sub_nodes))
+        active_n = math.ceil(op.n / n_sub)
+        cost_n = strip_hbm(GemmOp(m=op.m, k=op.k, n=n_sub, kind=op.kind,
+                                  weight_bits=op.weight_bits,
+                                  act_bits=op.act_bits,
+                                  group_size=op.group_size,
+                                  weights_resident=True))
+        candidates.append((cost_n, active_n, 0.0))
+        # Split the reduction dimension (inter-node accumulation).
+        if sub_nodes > 1 and op.k >= sub_nodes:
+            k_sub = max(1, math.ceil(op.k / sub_nodes))
+            active_k = math.ceil(op.k / k_sub)
+            cost_k = strip_hbm(GemmOp(m=op.m, k=k_sub, n=op.n, kind=op.kind,
+                                      weight_bits=op.weight_bits,
+                                      act_bits=op.act_bits,
+                                      group_size=op.group_size,
+                                      weights_resident=True))
+            # Partial sums hop to the owner and are accumulated there.
+            acc_pj = (active_k - 1) * op.m * op.n * (
+                self.tech.component("fp32_adder").energy_pj
+                + self.tech.noc_pj_per_bit_hop * 32 * self.noc.mean_hops)
+            candidates.append((cost_k, active_k, acc_pj))
+
+        cost, active, extra_pj = min(candidates, key=lambda c: c[0].cycles)
+
+        # Totals across ALL `count` instances; count_split of them run in
+        # parallel per round, `serial` rounds in sequence.
+        total_cycles = cost.cycles * serial
+        total_energy = (cost.energy_pj * active + extra_pj) * op.count
+        hbm = (0.0 if op.weights_resident else op.weight_bytes) * op.count
+        hbm += op.io_bytes * op.count
+        total_energy += self.tech.hbm_pj_per_bit * hbm * 8
+        # NoC delivery traffic: multicast activations + weights + outputs.
+        traffic = (op.m * op.k * op.act_bits / 8 * min(active, 4)
+                   + op.weight_bytes + op.m * op.n * 2) * op.count
+        total_energy += (self.tech.noc_pj_per_bit_hop * traffic * 8
+                         * self.noc.mean_hops)
+        # The simulator multiplies by op.count; report per-instance shares.
+        return OpCost(cycles=total_cycles / op.count,
+                      energy_pj=total_energy / op.count,
+                      hbm_bytes=hbm / op.count)
+
+    def nonlinear_cost(self, op: NonlinearOp) -> OpCost:
+        """Split elements (and softmax rows) evenly across nodes."""
+        nodes = self.noc.nodes
+        elements = max(1, math.ceil(op.elements / nodes))
+        rows = max(1, math.ceil(op.rows / nodes)) if op.rows else 0
+        sub_op = NonlinearOp(op=op.op, elements=elements, rows=rows)
+        node_cost = self.node.nonlinear_cost(sub_op)
+        energy = node_cost.energy_pj * nodes
+        traffic_bytes = op.elements * 2 * 2
+        energy += (self.tech.noc_pj_per_bit_hop * traffic_bytes * 8
+                   * self.noc.mean_hops)
+        return OpCost(cycles=node_cost.cycles, energy_pj=energy,
+                      hbm_bytes=node_cost.hbm_bytes * nodes)

@@ -1,0 +1,153 @@
+"""End-to-end LLM simulation on any design (paper §5.4, §6.3).
+
+The simulator composes per-op costs over an LLM decode/prefill operator
+graph (from :mod:`repro.llm.workload`) into the Table 3 metrics:
+
+* tokens/s — sequential op cycles per step, roofline-limited by HBM;
+* energy per token, energy efficiency (throughput / energy-per-token);
+* total power (dynamic + leakage) and power efficiency;
+* per-layer-kind latency/energy breakdowns for Fig. 15/16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from .designs.base import GemmOp, NonlinearOp, OpCost
+from .technology import TECH_45NM, TechnologyModel
+
+#: Latency-breakdown buckets of Fig. 16.
+BREAKDOWN_KINDS = ("projection", "attention", "ffn", "nonlinear")
+
+
+def _bucket(op) -> str:
+    """Map an op to its Fig. 15/16 breakdown bucket."""
+    if isinstance(op, NonlinearOp):
+        return "nonlinear"
+    if op.kind in ("attention_qk", "attention_pv", "attention"):
+        return "attention"
+    if op.kind == "ffn":
+        return "ffn"
+    return "projection"
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate metrics of one workload on one design.
+
+    All energies are dynamic; leakage enters via ``total_power_w``.
+    """
+
+    design_name: str
+    tokens_per_step: int
+    compute_seconds: float
+    memory_seconds: float
+    dynamic_energy_j: float
+    area_mm2: float
+    leakage_w: float
+    cycles_by_kind: dict = field(default_factory=dict)
+    energy_by_kind: dict = field(default_factory=dict)
+    hbm_bytes: float = 0.0
+
+    @property
+    def step_seconds(self) -> float:
+        """Wall time per decode step: compute/memory roofline."""
+        return max(self.compute_seconds, self.memory_seconds)
+
+    @property
+    def throughput_tokens_s(self) -> float:
+        """Generated tokens per second."""
+        return self.tokens_per_step / self.step_seconds
+
+    @property
+    def energy_per_token_j(self) -> float:
+        """Dynamic energy per generated token."""
+        return self.dynamic_energy_j / self.tokens_per_step
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Paper Table 3 metric: throughput / energy-per-token.
+
+        Scales linearly with node count (unlike tokens/J), matching the
+        single-node → NoC ratios in Table 3.
+        """
+        return self.throughput_tokens_s / self.energy_per_token_j
+
+    @property
+    def dynamic_power_w(self) -> float:
+        """Average dynamic power over the step."""
+        return self.dynamic_energy_j / self.step_seconds
+
+    @property
+    def total_power_w(self) -> float:
+        """Dynamic + leakage power."""
+        return self.dynamic_power_w + self.leakage_w
+
+    @property
+    def power_efficiency(self) -> float:
+        """Paper Table 3 metric: throughput / total power."""
+        return self.throughput_tokens_s / self.total_power_w
+
+    @property
+    def operational_intensity(self) -> float:
+        """MAC-equivalents per HBM byte (the §6.3.1 DRAM-traffic claim)."""
+        if self.hbm_bytes == 0:
+            return float("inf")
+        total_cycles = sum(self.cycles_by_kind.values())
+        return total_cycles / self.hbm_bytes
+
+
+def simulate_workload(design, ops: list, tokens_per_step: int,
+                      tech: TechnologyModel = TECH_45NM) -> SimulationResult:
+    """Run an operator list through a design's cost model.
+
+    Parameters
+    ----------
+    design:
+        Any object exposing ``gemm_cost`` / ``nonlinear_cost`` /
+        ``area_mm2`` / ``leakage_w`` (single nodes and
+        :class:`repro.arch.noc.NocSystem` both qualify).
+    ops:
+        Sequence of :class:`GemmOp` / :class:`NonlinearOp` describing one
+        decode step (or prefill pass).
+    tokens_per_step:
+        Tokens produced per step (the batch size for decode).
+    """
+    if tokens_per_step < 1:
+        raise SimulationError("tokens_per_step must be >= 1")
+    total_cycles = 0.0
+    total_energy_pj = 0.0
+    total_hbm = 0.0
+    cycles_by_kind = {k: 0.0 for k in BREAKDOWN_KINDS}
+    energy_by_kind = {k: 0.0 for k in BREAKDOWN_KINDS}
+
+    for op in ops:
+        if isinstance(op, GemmOp):
+            cost: OpCost = design.gemm_cost(op)
+        elif isinstance(op, NonlinearOp):
+            cost = design.nonlinear_cost(op)
+        else:
+            raise SimulationError(f"unknown op type {type(op).__name__}")
+        bucket = _bucket(op)
+        count = op.count
+        total_cycles += cost.cycles * count
+        total_energy_pj += cost.energy_pj * count
+        total_hbm += cost.hbm_bytes * count
+        cycles_by_kind[bucket] += cost.cycles * count
+        energy_by_kind[bucket] += cost.energy_pj * count
+
+    compute_seconds = total_cycles * tech.cycle_seconds
+    memory_seconds = total_hbm / tech.hbm_bandwidth_bytes
+    return SimulationResult(
+        design_name=getattr(design, "name", type(design).__name__),
+        tokens_per_step=tokens_per_step,
+        compute_seconds=compute_seconds,
+        memory_seconds=memory_seconds,
+        dynamic_energy_j=total_energy_pj * 1e-12,
+        area_mm2=design.area_mm2,
+        leakage_w=design.leakage_w(),
+        cycles_by_kind=cycles_by_kind,
+        energy_by_kind=energy_by_kind,
+        hbm_bytes=total_hbm,
+    )

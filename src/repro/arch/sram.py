@@ -1,0 +1,72 @@
+"""CACTI-style SRAM cost model (paper §5.4: "memory access power are
+obtained from CACTI7").
+
+Area scales linearly with capacity (bit-cell plus peripheral overhead);
+access energy per bit grows with the square root of capacity (longer
+word/bit lines), the first-order CACTI behaviour.  Every on-chip memory in
+the designs (iSRAM / wSRAM / oSRAM and the Table 2 sizes) is an
+:class:`SRAM` instance; double buffering doubles the instance count, not
+the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .technology import TECH_45NM, TechnologyModel
+
+
+@dataclass(frozen=True)
+class SRAM:
+    """One on-chip SRAM macro.
+
+    Attributes
+    ----------
+    name:
+        Instance name ("iSRAM", "wSRAM", "oSRAM", ...).
+    capacity_bytes:
+        Macro capacity.
+    width_bits:
+        Read/write port width.  Table 2 sizes the widths so array loading
+        never stalls; designs compute the width they need and pass it in.
+    banks:
+        Independent banks (double buffering uses 2).
+    """
+
+    name: str
+    capacity_bytes: int
+    width_bits: int
+    banks: int = 1
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0 or self.width_bits <= 0 or self.banks <= 0:
+            raise ConfigError("SRAM capacity, width, and banks must be positive")
+
+    @property
+    def total_bytes(self) -> int:
+        """Capacity across all banks."""
+        return self.capacity_bytes * self.banks
+
+    def area_mm2(self, tech: TechnologyModel = TECH_45NM) -> float:
+        """Macro area in mm² (linear in capacity)."""
+        return self.total_bytes * 8 * tech.sram_bit_area_um2 * 1e-6
+
+    def access_energy_pj(self, tech: TechnologyModel = TECH_45NM,
+                         bits: float | None = None) -> float:
+        """Energy of one access moving ``bits`` (default: one full word)."""
+        if bits is None:
+            bits = self.width_bits
+        capacity_kb = self.capacity_bytes / 1024.0
+        per_bit = (tech.sram_base_access_pj_per_bit
+                   + tech.sram_size_access_pj_per_bit * capacity_kb ** 0.5)
+        return per_bit * bits
+
+    def traffic_energy_pj(self, bytes_moved: float,
+                          tech: TechnologyModel = TECH_45NM) -> float:
+        """Energy to stream ``bytes_moved`` through this macro."""
+        return self.access_energy_pj(tech, bits=bytes_moved * 8)
+
+    def load_cycles(self, bytes_moved: float) -> int:
+        """Cycles to move ``bytes_moved`` through the port."""
+        return -(-int(bytes_moved * 8) // self.width_bits)

@@ -1,0 +1,26 @@
+"""Baseline nonlinear implementations (paper §2.2 and §5.2.2).
+
+Precise software references, piecewise-linear (PWL), Taylor-series, and
+partial (PA) hardware approximations — the comparators of Fig. 6/8/11.
+"""
+
+from . import precise
+from .partial import PartialApproximator, hard_sigmoid, hard_swish
+from .pwl import PWLApproximator, PWLConfig, pwl_softmax
+from .registry import APPROXIMATIONS, make_approximator
+from .taylor import TaylorConfig, TaylorExpApproximator, taylor_softmax
+
+__all__ = [
+    "APPROXIMATIONS",
+    "PWLApproximator",
+    "PWLConfig",
+    "PartialApproximator",
+    "TaylorConfig",
+    "TaylorExpApproximator",
+    "hard_sigmoid",
+    "hard_swish",
+    "make_approximator",
+    "precise",
+    "pwl_softmax",
+    "taylor_softmax",
+]

@@ -1,0 +1,35 @@
+"""Partial approximation (PA) baseline — MobileNetV3-style hard functions.
+
+The paper's "PA" comparator [27] replaces the sigmoid inside SiLU with the
+piecewise hard-sigmoid ``ReLU6(x + 3) / 6``, giving hard-swish.  Only the
+sigmoid factor is approximated (hence *partial*); the multiply by ``x``
+stays exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hard_sigmoid(x: np.ndarray) -> np.ndarray:
+    """``ReLU6(x + 3) / 6`` — the PA sigmoid surrogate."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.clip(x + 3.0, 0.0, 6.0) / 6.0
+
+
+def hard_swish(x: np.ndarray) -> np.ndarray:
+    """Hard-swish: ``x * hard_sigmoid(x)`` — the PA SiLU approximation."""
+    x = np.asarray(x, dtype=np.float64)
+    return x * hard_sigmoid(x)
+
+
+class PartialApproximator:
+    """Callable wrapper so PA plugs into the approximator registry."""
+
+    def __init__(self, op: str = "silu"):
+        if op != "silu":
+            raise ValueError("partial approximation is defined for SiLU only")
+        self.op = op
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return hard_swish(x)

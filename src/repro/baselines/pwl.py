@@ -1,0 +1,104 @@
+"""Piecewise-linear (PWL) hardware approximation (paper §2.2.2).
+
+PWL splits the function domain into uniform segments; per segment a
+(slope, intercept) pair is stored, a comparator tree picks the segment for
+each input, and one MAC evaluates ``slope * x + intercept``.  Each vector
+lane needs its own comparator/coefficient storage, which is the hardware
+cost Fig. 11/13 charges the VA-AP baseline for.
+
+Following the paper's sweep conventions (Fig. 6 caption): for softmax/exp
+the approximated domain is ``[segment_range, 0]`` (``segment_range`` is
+negative); for SiLU/GELU it is ``[-segment_range, segment_range]``.
+Outside the domain the edge segments extend linearly, the usual PWL
+hardware behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from . import precise
+
+
+@dataclass(frozen=True)
+class PWLConfig:
+    """Configuration of a PWL approximator.
+
+    Attributes
+    ----------
+    op:
+        "exp", "silu", or "gelu".
+    segments:
+        Number of linear segments (the paper's baseline uses 22).
+    segment_range:
+        Domain parameter ``sr``: domain is ``[sr, 0]`` for exp (sr < 0)
+        and ``[-sr, sr]`` for SiLU/GELU (sr > 0).
+    """
+
+    op: str
+    segments: int = 22
+    segment_range: float = -20.0
+
+    def __post_init__(self):
+        if self.segments < 1:
+            raise ConfigError("PWL needs at least one segment")
+        if self.op == "exp" and self.segment_range >= 0:
+            raise ConfigError("exp PWL needs a negative segment_range")
+        if self.op in ("silu", "gelu") and self.segment_range <= 0:
+            raise ConfigError("SiLU/GELU PWL needs a positive segment_range")
+
+    @property
+    def domain(self) -> tuple[float, float]:
+        """The approximated input interval [lo, hi]."""
+        if self.op == "exp":
+            return (self.segment_range, 0.0)
+        return (-self.segment_range, self.segment_range)
+
+
+class PWLApproximator:
+    """Chord-interpolation PWL approximator with linear edge extension."""
+
+    def __init__(self, config: PWLConfig,
+                 func: Callable[[np.ndarray], np.ndarray] | None = None):
+        self.config = config
+        self.func = func if func is not None else precise.get_function(config.op)
+        lo, hi = config.domain
+        #: Segment breakpoints (segments + 1 knots).
+        self.knots = np.linspace(lo, hi, config.segments + 1)
+        knot_values = np.asarray(self.func(self.knots), dtype=np.float64)
+        dx = np.diff(self.knots)
+        #: Per-segment slope / intercept, as the hardware stores them.
+        self.slopes = np.diff(knot_values) / dx
+        self.intercepts = knot_values[:-1] - self.slopes * self.knots[:-1]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the PWL approximation elementwise."""
+        x = np.asarray(x, dtype=np.float64)
+        # Comparator tree: which segment does each input fall in?  Inputs
+        # outside the domain use the nearest edge segment (linear
+        # extension).
+        idx = np.searchsorted(self.knots, x, side="right") - 1
+        idx = np.clip(idx, 0, self.config.segments - 1)
+        return self.slopes[idx] * x + self.intercepts[idx]
+
+    @property
+    def coefficient_words(self) -> int:
+        """Stored coefficient count (slope+intercept per segment)."""
+        return 2 * self.config.segments
+
+
+def pwl_softmax(x: np.ndarray, config: PWLConfig, axis: int = -1) -> np.ndarray:
+    """Softmax with PWL-approximated exp (normalization stays precise)."""
+    if config.op != "exp":
+        raise ConfigError("pwl_softmax requires an 'exp' PWL config")
+    approx = PWLApproximator(config)
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.maximum(approx(shifted), 0.0)  # Chords can dip below zero.
+    denom = np.sum(e, axis=axis, keepdims=True)
+    denom = np.where(denom <= 0, 1.0, denom)
+    return e / denom

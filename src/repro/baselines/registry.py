@@ -1,0 +1,54 @@
+"""Factory registry mapping approximation names to callables.
+
+Used by the Fig. 6/8 sweeps to instantiate any approximator from a
+(name, op, params) triple.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from . import precise
+from .partial import PartialApproximator
+from .pwl import PWLApproximator, PWLConfig
+from .taylor import TaylorConfig, TaylorExpApproximator
+
+#: Names accepted by :func:`make_approximator`.
+APPROXIMATIONS = ("precise", "vlp", "pwl", "taylor", "pa")
+
+
+def make_approximator(name: str, op: str, **params) -> Callable[[np.ndarray], np.ndarray]:
+    """Build an elementwise approximator.
+
+    Parameters
+    ----------
+    name:
+        One of ``"precise"``, ``"vlp"``, ``"pwl"``, ``"taylor"``, ``"pa"``.
+    op:
+        Nonlinear operation: ``"exp"``, ``"silu"``, ``"gelu"``.
+    params:
+        Forwarded to the approximator's config (e.g. ``segments=22`` for
+        PWL, ``lut_size=8, max_exp=1`` for VLP, ``degree=9, center=-4``
+        for Taylor).
+    """
+    name = name.lower()
+    if name == "precise":
+        return precise.get_function(op)
+    if name == "vlp":
+        # Imported here to avoid a package-level core <-> baselines cycle.
+        from ..core.approx import VLPApproxConfig, VLPApproximator
+        return VLPApproximator(VLPApproxConfig(op=op, **params))
+    if name == "pwl":
+        return PWLApproximator(PWLConfig(op=op, **params))
+    if name == "taylor":
+        if op != "exp":
+            raise ConfigError("the Taylor baseline approximates exp only "
+                              "(paper Fig. 6: Taylor rows cover SM only)")
+        return TaylorExpApproximator(TaylorConfig(**params))
+    if name == "pa":
+        return PartialApproximator(op)
+    raise ConfigError(f"unknown approximation {name!r}; "
+                      f"choose from {APPROXIMATIONS}")

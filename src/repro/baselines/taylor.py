@@ -1,0 +1,74 @@
+"""Taylor-series hardware approximation (paper §2.2.3).
+
+The Taylor baseline expands ``exp`` around a chosen center and evaluates
+the polynomial with Horner's rule — ``degree`` chained MACs whose
+coefficients are shared by all vector lanes (the reason Taylor hardware is
+cheaper than PWL but degrades away from the expansion point, Fig. 6/8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import factorial
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TaylorConfig:
+    """Configuration of the Taylor-series exp approximator.
+
+    Attributes
+    ----------
+    degree:
+        Polynomial degree (number of expansion terms minus one).  The
+        paper's baseline uses Horner's method "up to 9 degrees".
+    center:
+        Expansion point (the Fig. 6 "degree center" axis).
+    """
+
+    degree: int = 9
+    center: float = -4.0
+
+    def __post_init__(self):
+        if self.degree < 1:
+            raise ConfigError("Taylor degree must be >= 1")
+
+
+class TaylorExpApproximator:
+    """``exp(x) ≈ e^c · Σ_{k<=d} (x-c)^k / k!`` evaluated via Horner."""
+
+    def __init__(self, config: TaylorConfig):
+        self.config = config
+        scale = np.exp(config.center)
+        #: Horner coefficients, highest degree first.
+        self.coefficients = np.array(
+            [scale / factorial(k) for k in range(config.degree, -1, -1)],
+            dtype=np.float64)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the polynomial; clamps below at 0 (exp is positive)."""
+        t = np.asarray(x, dtype=np.float64) - self.config.center
+        acc = np.full_like(t, self.coefficients[0])
+        for coeff in self.coefficients[1:]:
+            acc = acc * t + coeff  # One MAC per degree (Horner).
+        return np.maximum(acc, 0.0)
+
+    @property
+    def mac_count(self) -> int:
+        """MAC operations per element (one per Horner step)."""
+        return self.config.degree
+
+
+def taylor_softmax(x: np.ndarray, config: TaylorConfig, axis: int = -1
+                   ) -> np.ndarray:
+    """Softmax with Taylor-approximated exp."""
+    approx = TaylorExpApproximator(config)
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = approx(shifted)
+    denom = np.sum(e, axis=axis, keepdims=True)
+    denom = np.where(denom <= 0, 1.0, denom)
+    return e / denom

@@ -1,0 +1,18 @@
+"""Operational / embodied carbon modeling (paper §2.4, §5.3, Fig. 15)."""
+
+from .intensity import DEFAULT_CARBON, CarbonConstants
+from .model import (
+    CarbonReport,
+    carbon_report,
+    embodied_carbon_kg,
+    operational_carbon_kg,
+)
+
+__all__ = [
+    "CarbonConstants",
+    "CarbonReport",
+    "DEFAULT_CARBON",
+    "carbon_report",
+    "embodied_carbon_kg",
+    "operational_carbon_kg",
+]

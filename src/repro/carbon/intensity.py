@@ -1,0 +1,44 @@
+"""Carbon intensity and per-area embodied-carbon constants (paper §2.4, §5.3).
+
+The paper uses the world-average carbon intensity from ACT [23] for
+operational carbon, and derives carbon-per-area (CPA) from the Dark
+Silicon energy-per-mm² figures [7] converted through the same intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CarbonConstants:
+    """Carbon-model constants.
+
+    Attributes
+    ----------
+    carbon_intensity_kg_per_kwh:
+        World-average grid intensity (ACT's world mix, ≈0.475 kg/kWh).
+    fab_energy_kwh_per_mm2:
+        Manufacturing energy per die area at the modelled node (Dark
+        Silicon-derived; 45 nm class).
+    fab_carbon_overhead:
+        Multiplier for non-energy fab emissions (gases, materials).
+    lifetime_seconds:
+        Amortization lifetime for embodied carbon (3 years of service).
+    """
+
+    carbon_intensity_kg_per_kwh: float = 0.475
+    fab_energy_kwh_per_mm2: float = 1.5
+    fab_carbon_overhead: float = 1.3
+    lifetime_seconds: float = 3 * 365 * 24 * 3600.0
+
+    @property
+    def cpa_kg_per_mm2(self) -> float:
+        """Carbon per area: fab energy × grid intensity × overhead."""
+        return (self.fab_energy_kwh_per_mm2
+                * self.carbon_intensity_kg_per_kwh
+                * self.fab_carbon_overhead)
+
+
+#: Default constants (45 nm, world-average grid).
+DEFAULT_CARBON = CarbonConstants()

@@ -1,0 +1,77 @@
+"""Operational and embodied carbon accounting (paper Eq. 6/7, Fig. 15).
+
+* Operational CO2eq = Energy × Carbon Intensity — the energy is the
+  simulator's dynamic energy plus leakage over the execution window.
+* Embodied CO2eq = Area × CPA — amortized over the deployment lifetime
+  and attributed to the evaluated workload's share of it.
+
+Mugi lowers both at once: the shared compute array shrinks the die
+(embodied) while VLP's multiplier-free datapath cuts energy (operational)
+— the paper's challenge 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.simulator import SimulationResult
+from .intensity import DEFAULT_CARBON, CarbonConstants
+
+#: Joules per kWh.
+_J_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class CarbonReport:
+    """Carbon attribution of one workload execution on one design.
+
+    All values in kg CO2eq per generated token unless noted.
+    """
+
+    design_name: str
+    operational_kg_per_token: float
+    embodied_kg_per_token: float
+
+    @property
+    def total_kg_per_token(self) -> float:
+        return self.operational_kg_per_token + self.embodied_kg_per_token
+
+    @property
+    def embodied_fraction(self) -> float:
+        """Share of total emissions that are embodied."""
+        total = self.total_kg_per_token
+        return self.embodied_kg_per_token / total if total else 0.0
+
+
+def operational_carbon_kg(energy_j: float,
+                          constants: CarbonConstants = DEFAULT_CARBON
+                          ) -> float:
+    """Operational CO2eq (Eq. 6): E × CI."""
+    return energy_j / _J_PER_KWH * constants.carbon_intensity_kg_per_kwh
+
+
+def embodied_carbon_kg(area_mm2: float,
+                       constants: CarbonConstants = DEFAULT_CARBON) -> float:
+    """Embodied CO2eq of a die (Eq. 7): Area × CPA."""
+    return area_mm2 * constants.cpa_kg_per_mm2
+
+
+def carbon_report(result: SimulationResult,
+                  constants: CarbonConstants = DEFAULT_CARBON
+                  ) -> CarbonReport:
+    """Attribute a simulation's emissions per generated token.
+
+    Operational = (dynamic energy + leakage × step time) × CI.
+    Embodied = die carbon × (step time / lifetime), i.e. the workload's
+    time-share of the chip's manufacturing emissions.
+    """
+    step_energy = (result.dynamic_energy_j
+                   + result.leakage_w * result.step_seconds)
+    operational = operational_carbon_kg(step_energy, constants) \
+        / result.tokens_per_step
+    die = embodied_carbon_kg(result.area_mm2, constants)
+    embodied = die * (result.step_seconds / constants.lifetime_seconds) \
+        / result.tokens_per_step
+    return CarbonReport(design_name=result.design_name,
+                        operational_kg_per_token=operational,
+                        embodied_kg_per_token=embodied)

@@ -1,0 +1,74 @@
+"""The paper's contribution: value-level parallelism (VLP).
+
+Temporal coding + subscription primitives (Fig. 2), the LUT-based
+nonlinear approximation with value-centric sliding windows (Fig. 3/5),
+VLP softmax (§4.1), asymmetric BF16-INT4 VLP GEMM with Mugi's transposed
+mapping (§4.2), and a cycle-accurate array simulator that validates the
+analytic schedules (Fig. 9/10).
+"""
+
+from .approx import DEFAULT_OVERFLOW, VLPApproxConfig, VLPApproximator, make_vlp
+from .attention import AttentionResult, quantize_kv_pair, reference_attention, vlp_attention
+from .cycle_model import ArrayTrace, MugiArraySimulator
+from .online import DriftStats, OnlineVLPApproximator
+from .rope import RopeConfig, precise_rope, range_reduce, rope_angles, vlp_rope
+from .gemm import (
+    GemmSchedule,
+    carat_native_gemm,
+    dequant_epilogue_ops,
+    mugi_gemm,
+    schedule_vlp_gemm,
+)
+from .lut import LUTSpec, NonlinearLUT
+from .softmax import SoftmaxStats, vlp_softmax
+from .subscription import (
+    SubscriptionTrace,
+    outer_product,
+    signed_subscribe,
+    temporal_multiply,
+    value_reuse_multiply,
+)
+from .temporal import TemporalConverter, counter_sequence, decode_spike_trains, spike_trains, spike_window
+from .window import OVERFLOW_POLICIES, Window, select_window
+
+__all__ = [
+    "ArrayTrace",
+    "AttentionResult",
+    "DEFAULT_OVERFLOW",
+    "DriftStats",
+    "GemmSchedule",
+    "OnlineVLPApproximator",
+    "RopeConfig",
+    "LUTSpec",
+    "MugiArraySimulator",
+    "NonlinearLUT",
+    "OVERFLOW_POLICIES",
+    "SoftmaxStats",
+    "SubscriptionTrace",
+    "TemporalConverter",
+    "VLPApproxConfig",
+    "VLPApproximator",
+    "Window",
+    "carat_native_gemm",
+    "counter_sequence",
+    "decode_spike_trains",
+    "dequant_epilogue_ops",
+    "make_vlp",
+    "mugi_gemm",
+    "outer_product",
+    "precise_rope",
+    "quantize_kv_pair",
+    "range_reduce",
+    "reference_attention",
+    "vlp_attention",
+    "rope_angles",
+    "schedule_vlp_gemm",
+    "vlp_rope",
+    "select_window",
+    "signed_subscribe",
+    "spike_trains",
+    "spike_window",
+    "temporal_multiply",
+    "value_reuse_multiply",
+    "vlp_softmax",
+]

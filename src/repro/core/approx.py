@@ -1,0 +1,234 @@
+"""VLP nonlinear approximation (paper §3, Fig. 3).
+
+Mugi approximates nonlinear operations by *input approximation*: the BF16
+input's mantissa is rounded to 3 bits and its exponent clamped into a
+sliding 8-exponent window, and the LUT returns the *precise* function
+value at that approximate input.  This is value-centric — inputs in the
+profiled important range keep ~half-ulp-of-3-bit accuracy, while rare
+outliers degrade gracefully via the under/overflow policies.
+
+The functional pipeline mirrors the four hardware phases (Fig. 3f):
+
+1. **input field split** — BF16 → sign / 3-bit mantissa / exponent
+   (:mod:`repro.numerics`);
+2. **value reuse** — LUT rows broadcast to the array (:mod:`.lut`);
+3. **mantissa temporal subscription** — each input latches its row;
+4. **exponent temporal subscription** — each input latches its entry.
+
+Phases 2–4 are modelled functionally as a gather; their cycle/energy cost
+is accounted in :mod:`repro.arch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..baselines import precise
+from ..errors import ConfigError
+from ..numerics import round_mantissa, split_bfloat16, to_bfloat16
+from ..numerics.fields import FieldSplit
+from .lut import LUTSpec, NonlinearLUT
+from .window import OVERFLOW_POLICIES, select_window
+
+#: Default overflow policy per operation (paper §4, step 1).  sin/cos
+#: support the RoPE extension (§7.1); callers range-reduce to [-pi, pi]
+#: first (see :mod:`repro.core.rope`), so clamp only guards stragglers.
+DEFAULT_OVERFLOW = {"exp": "clamp", "silu": "passthrough",
+                    "gelu": "passthrough", "gelu_tanh": "passthrough",
+                    "sin": "clamp", "cos": "clamp"}
+
+
+@dataclass(frozen=True)
+class VLPApproxConfig:
+    """Configuration of a VLP nonlinear approximator.
+
+    Attributes
+    ----------
+    op:
+        "exp", "silu", "gelu", or "gelu_tanh".
+    mantissa_bits:
+        Rounded mantissa width (3 in Mugi — 8-cycle spikes, 8 array
+        columns).
+    lut_size:
+        Number of exponents stored in the LUT (Fig. 6 y-axis).
+    max_exp:
+        Largest stored exponent (Fig. 6 x-axis, "Min/Max Exp").
+    window_size:
+        Sliding-window width; fixed to 8 to match the array (Fig. 5).
+    sliding:
+        Enable the per-mapping sliding window (ablation: False pins the
+        window to the LUT top).
+    store_bf16:
+        Store LUT entries in BF16 (the iSRAM word width).
+    overflow:
+        Override of the per-op overflow policy ("clamp"/"passthrough").
+    """
+
+    op: str
+    mantissa_bits: int = 3
+    lut_size: int = 8
+    max_exp: int = 4
+    window_size: int = 8
+    sliding: bool = True
+    store_bf16: bool = True
+    overflow: str | None = None
+
+    def __post_init__(self):
+        if self.op not in DEFAULT_OVERFLOW:
+            raise ConfigError(f"unsupported VLP op {self.op!r}")
+        if self.lut_size < self.window_size:
+            raise ConfigError("lut_size must be >= window_size")
+        if self.overflow is not None and self.overflow not in OVERFLOW_POLICIES:
+            raise ConfigError(f"unknown overflow policy {self.overflow!r}")
+
+    @property
+    def min_exp(self) -> int:
+        """Smallest stored exponent."""
+        return self.max_exp - self.lut_size + 1
+
+    @property
+    def resolved_overflow(self) -> str:
+        """The overflow policy in effect."""
+        return self.overflow if self.overflow else DEFAULT_OVERFLOW[self.op]
+
+    def with_window(self, lut_size: int | None = None,
+                    max_exp: int | None = None) -> "VLPApproxConfig":
+        """Copy with a different LUT geometry (used by Fig. 6 sweeps)."""
+        return replace(self,
+                       lut_size=self.lut_size if lut_size is None else lut_size,
+                       max_exp=self.max_exp if max_exp is None else max_exp)
+
+
+class VLPApproximator:
+    """Callable implementing Mugi's VLP nonlinear approximation.
+
+    Calling the approximator on an array returns the approximated function
+    values; :meth:`approximate_input` exposes the intermediate
+    approximate input x̂ for analysis (Fig. 8's input-approximation view).
+    """
+
+    def __init__(self, config: VLPApproxConfig):
+        self.config = config
+        func = precise.get_function(config.op)
+        spec = LUTSpec(name=config.op, mantissa_bits=config.mantissa_bits,
+                       min_exp=config.min_exp, max_exp=config.max_exp,
+                       signed=True, store_bf16=config.store_bf16)
+        #: The materialized LUT (phase 2's iSRAM contents).
+        self.lut = NonlinearLUT(func, spec)
+        self._func = func
+
+    # ------------------------------------------------------------------
+    def _split_and_window(self, x: np.ndarray, tile_axes: tuple[int, ...] | None):
+        """Phases 1 + E-proc: field split, rounding, window selection."""
+        fields = split_bfloat16(x)
+        rounded = round_mantissa(fields, self.config.mantissa_bits)
+        window = select_window(
+            rounded.exponent, self.config.min_exp, self.config.max_exp,
+            window_size=self.config.window_size, sliding=self.config.sliding,
+            tile_axes=tile_axes)
+        return rounded, window
+
+    def approximate_input(self, x: np.ndarray,
+                          tile_axes: tuple[int, ...] | None = None
+                          ) -> np.ndarray:
+        """Return the approximate input x̂ the LUT effectively evaluates.
+
+        Underflowed inputs map to 0; overflowed inputs map to the clamped
+        magnitude (clamp policy) or stay unchanged (passthrough).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        rounded, window = self._split_and_window(x, tile_axes)
+        under, inside, over = window.classify(rounded.exponent)
+
+        frac = 1.0 + rounded.mantissa / (1 << self.config.mantissa_bits)
+        exponent = np.clip(rounded.exponent, window.lo, window.hi)
+        magnitude = frac * np.exp2(exponent.astype(np.float64))
+        signed = np.where(rounded.sign.astype(bool), -magnitude, magnitude)
+
+        max_frac = 2.0 - 1.0 / (1 << self.config.mantissa_bits)
+        clamp_mag = max_frac * np.exp2(
+            np.broadcast_to(window.hi, x.shape).astype(np.float64))
+        clamp_val = np.where(rounded.sign.astype(bool), -clamp_mag, clamp_mag)
+
+        out = np.where(inside, signed, 0.0)
+        if self.config.resolved_overflow == "clamp":
+            out = np.where(over, clamp_val, out)
+        else:
+            out = np.where(over, x, out)
+        out = np.where(under, 0.0, out)
+        return out
+
+    def __call__(self, x: np.ndarray,
+                 tile_axes: tuple[int, ...] | None = None) -> np.ndarray:
+        """Approximate ``f(x)`` via the VLP LUT pipeline.
+
+        Parameters
+        ----------
+        x:
+            Input array; NaN/±inf are routed to the PP special-value mux.
+        tile_axes:
+            Axes constituting one array mapping; the sliding window is
+            chosen per remaining index (e.g. per softmax row).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        finite = np.isfinite(x)
+        safe = np.where(finite, x, 0.0)
+
+        rounded, window = self._split_and_window(safe, tile_axes)
+        under, inside, over = window.classify(rounded.exponent)
+
+        exponent_in = np.clip(rounded.exponent, window.lo, window.hi)
+        looked = self.lut.lookup(rounded.sign, rounded.mantissa, exponent_in)
+
+        out = np.where(inside, looked, self.lut.zero_value)
+
+        if np.any(over):
+            if self.config.resolved_overflow == "clamp":
+                # "Set to the maximum value of the LUT": the top-magnitude
+                # entry of the sliding window, sign preserved.
+                max_mantissa = (1 << self.config.mantissa_bits) - 1
+                hi = np.broadcast_to(window.hi, x.shape)
+                clamped = self.lut.lookup(
+                    rounded.sign, np.full_like(rounded.mantissa, max_mantissa),
+                    hi)
+                out = np.where(over, clamped, out)
+            else:
+                # PP mux forwards the raw input (SiLU/GELU asymptote).
+                out = np.where(over, to_bfloat16(safe).astype(np.float64), out)
+
+        out = np.where(under, self.lut.zero_value, out)
+        if not np.all(finite):
+            out = self._apply_specials(x, out)
+        return out
+
+    # ------------------------------------------------------------------
+    def _apply_specials(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """PP special-value mux: Zero / INF / NaN outputs (Fig. 9, step 4)."""
+        nan = np.isnan(x)
+        pos_inf = np.isposinf(x)
+        neg_inf = np.isneginf(x)
+        if self.config.op == "exp":
+            out = np.where(pos_inf, np.inf, out)
+            out = np.where(neg_inf, 0.0, out)
+        else:  # silu / gelu: f(+inf)=+inf, f(-inf)=0.
+            out = np.where(pos_inf, np.inf, out)
+            out = np.where(neg_inf, 0.0, out)
+        return np.where(nan, np.nan, out)
+
+    # ------------------------------------------------------------------
+    @property
+    def latency_cycles(self) -> int:
+        """Latency of one mapping: mantissa + exponent subscription."""
+        return (1 << self.config.mantissa_bits) + self.config.window_size
+
+    @property
+    def pipeline_interval(self) -> int:
+        """Cycles between mappings entering the (fully pipelined) array."""
+        return 1 << self.config.mantissa_bits
+
+
+def make_vlp(op: str, **kwargs) -> VLPApproximator:
+    """Convenience constructor: ``make_vlp("silu", max_exp=3)``."""
+    return VLPApproximator(VLPApproxConfig(op=op, **kwargs))

@@ -1,0 +1,114 @@
+"""Functional KVQ attention through the Mugi array (paper §4.2).
+
+Decode-time attention is two asymmetric GEMMs against the quantized KV
+cache — scores ``Q·Kᵀ`` and context ``P·V`` — plus the VLP softmax in
+between.  This module composes :func:`repro.core.gemm.mugi_gemm` and
+:func:`repro.core.softmax.vlp_softmax` into one numerically-faithful
+attention step, with GQA query grouping, and returns the combined
+schedules for the cost model.
+
+This is the *functional* twin of the ``attention_qk`` / ``softmax`` /
+``attention_pv`` ops that :mod:`repro.llm.workload` emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MappingError
+from ..numerics import QuantizedTensor, quantize_kv_cache
+from .approx import VLPApproxConfig
+from .gemm import GemmSchedule, mugi_gemm
+from .softmax import vlp_softmax
+
+
+@dataclass(frozen=True)
+class AttentionResult:
+    """Output and schedules of one VLP attention step."""
+
+    context: np.ndarray
+    scores_schedule: GemmSchedule
+    context_schedule: GemmSchedule
+
+    @property
+    def total_cycles(self) -> int:
+        """GEMM cycles (softmax rides the same array; see the cost model
+        for its cycle share)."""
+        return self.scores_schedule.cycles + self.context_schedule.cycles
+
+
+def quantize_kv_pair(k: np.ndarray, v: np.ndarray, bits: int = 4
+                     ) -> tuple[QuantizedTensor, QuantizedTensor]:
+    """Per-token KVQ of a ``[seq, head_dim]`` K/V pair (paper §2.3.3)."""
+    return (quantize_kv_cache(k, bits=bits),
+            quantize_kv_cache(v, bits=bits))
+
+
+def vlp_attention(queries: np.ndarray, kq: QuantizedTensor,
+                  vq: QuantizedTensor, array_height: int = 128,
+                  softmax_config: VLPApproxConfig | None = None
+                  ) -> AttentionResult:
+    """One decode attention step for a GQA group of queries.
+
+    Parameters
+    ----------
+    queries:
+        ``[group, head_dim]`` BF16 Q vectors sharing one KV head.
+    kq / vq:
+        KVQ-quantized ``[seq, head_dim]`` key and value caches (groups
+        along the head dimension, per-token scales).
+    array_height:
+        Mugi array rows.
+    softmax_config:
+        VLP exp configuration for the softmax (None = default).
+
+    Returns
+    -------
+    AttentionResult
+        ``context`` is ``[group, head_dim]``; schedules cover the two
+        GEMMs (scores: K rows on the array; context: V reduction over
+        the sequence).
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2:
+        raise MappingError("queries must be [group, head_dim]")
+    group, head_dim = queries.shape
+    seq, kd = kq.q.shape
+    if kd != head_dim:
+        raise MappingError("K head_dim mismatch")
+    if vq.q.shape != (seq, head_dim):
+        raise MappingError("V shape mismatch")
+
+    scale = 1.0 / np.sqrt(head_dim)
+    # Scores: Q [group, d] x K [seq, d]  ->  [group, seq].
+    scores, scores_schedule = mugi_gemm(queries, kq,
+                                        array_height=array_height)
+    probs = vlp_softmax(scores.astype(np.float64) * scale,
+                        softmax_config, axis=-1)
+    # Context: P [group, seq] x V'[d, seq]  ->  [group, d].  The V cache
+    # is quantized along head_dim per token; transposing the GEMM view
+    # requires requantizing along the reduction axis (seq), which is the
+    # per-channel KVQ variant — do that here explicitly.
+    from ..numerics import quantize_groupwise
+    v_dequant = vq.dequantize()
+    v_t = quantize_groupwise(v_dequant.T, bits=vq.bits,
+                             group_size=min(128, seq), axis=1)
+    context, context_schedule = mugi_gemm(probs, v_t,
+                                          array_height=array_height)
+    return AttentionResult(context=context.astype(np.float64),
+                           scores_schedule=scores_schedule,
+                           context_schedule=context_schedule)
+
+
+def reference_attention(queries: np.ndarray, k: np.ndarray, v: np.ndarray
+                        ) -> np.ndarray:
+    """Float reference attention for accuracy comparisons."""
+    queries = np.asarray(queries, dtype=np.float64)
+    scale = 1.0 / np.sqrt(queries.shape[-1])
+    scores = queries @ np.asarray(k, dtype=np.float64).T * scale
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    probs = np.exp(shifted)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    return probs @ np.asarray(v, dtype=np.float64)

@@ -1,0 +1,196 @@
+"""Cycle-accurate functional simulator of a small Mugi array.
+
+This module exists to *validate* the analytic models: it steps a Mugi
+array cycle by cycle — counter broadcast, iFIFO staggering, temporal
+converter spikes, per-column shared accumulation, subscription latches,
+the double-buffered OR tree, and output accumulation — and checks the
+hardware invariants the paper's design relies on:
+
+* at most one subscription per (row, mapping-parity) per cycle, so the OR
+  tree never collides (paper §4, step 3: "only one column will be
+  activated by the pipelined temporal spike", with two OR-gate sets
+  double-buffering two in-flight spikes);
+* results are bit-identical to the functional models in
+  :mod:`repro.core.gemm` and :mod:`repro.core.approx`;
+* total cycles match :func:`repro.core.gemm.schedule_vlp_gemm`.
+
+It is deliberately written as an explicit event loop over small arrays;
+use the analytic models for anything large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..numerics import to_bfloat16
+from .lut import NonlinearLUT
+
+
+@dataclass
+class ArrayTrace:
+    """Cycle-resolved log of one simulated pass."""
+
+    cycles: int = 0
+    subscriptions: list = field(default_factory=list)  # (cycle, row, col, value)
+    or_tree_conflicts: int = 0
+
+
+class MugiArraySimulator:
+    """A cycle-accurate H×W Mugi array (paper Fig. 9/10).
+
+    Parameters
+    ----------
+    height:
+        Number of PE rows (weights / LUT subscribers).
+    width:
+        Number of PE columns; must equal the spike window for full
+        utilization (8 in Mugi).
+    magnitude_bits:
+        Temporal code width of the row operands (3 for INT4 magnitudes
+        and 3-bit mantissas).
+    """
+
+    def __init__(self, height: int, width: int = 8, magnitude_bits: int = 3):
+        if height < 1 or width < 1:
+            raise SimulationError("array dimensions must be positive")
+        self.height = height
+        self.width = width
+        self.magnitude_bits = magnitude_bits
+        self.spike = 1 << magnitude_bits
+
+    # ------------------------------------------------------------------
+    def run_gemm(self, weights: np.ndarray, tokens: np.ndarray
+                 ) -> tuple[np.ndarray, ArrayTrace]:
+        """Simulate an output-stationary GEMM tile.
+
+        Parameters
+        ----------
+        weights:
+            ``[k, height]`` INT4 sign-magnitude values (row operands; one
+            column of the weight matrix per mapping).
+        tokens:
+            ``[k, width]`` BF16-representable token values (column
+            operands, broadcast down each column).
+
+        Returns
+        -------
+        (out, trace):
+            ``out[height, width]`` partial sums ``sum_k w[k, r] * x[k, c]``
+            and the cycle trace.
+
+        The simulation walks every cycle: mapping ``k`` occupies cycles
+        ``[k*spike, k*spike + spike)`` at column 0, with column ``c``
+        staggered ``c`` cycles behind (the iFIFO).  Column ``c``'s shared
+        accumulator restarts for mapping ``k`` at cycle ``k*spike + c``
+        and adds ``x[k, c]`` each cycle; row ``r``'s spike reaches column
+        ``c`` at ``k*spike + |w[k, r]| + c``, capturing exactly
+        ``|w| * x``.
+        """
+        weights = np.asarray(weights)
+        tokens = np.asarray(tokens, dtype=np.float64)
+        k_total = weights.shape[0]
+        if weights.shape != (k_total, self.height):
+            raise SimulationError("weights must be [k, height]")
+        if tokens.shape != (k_total, self.width):
+            raise SimulationError("tokens must be [k, width]")
+        magnitude = np.abs(weights).astype(np.int64)
+        if magnitude.size and magnitude.max() >= self.spike:
+            raise SimulationError(
+                f"weight magnitude exceeds {self.magnitude_bits}-bit window")
+        tokens = to_bfloat16(tokens).astype(np.float64)
+
+        out = np.zeros((self.height, self.width), dtype=np.float64)
+        trace = ArrayTrace()
+        # (row, parity, cycle) -> count, for the double-buffered OR check.
+        or_bus: dict[tuple[int, int, int], int] = {}
+        last_cycle = 0
+
+        for k in range(k_total):
+            base = k * self.spike
+            parity = k & 1
+            for row in range(self.height):
+                mag = int(magnitude[k, row])
+                sign = -1.0 if weights[k, row] < 0 else 1.0
+                for col in range(self.width):
+                    capture = base + mag + col
+                    # Column accumulator state at `capture`: it restarted
+                    # at cycle base+col and adds x once per cycle.
+                    acc_value = (capture - base - col) * tokens[k, col]
+                    if acc_value != mag * tokens[k, col]:
+                        raise SimulationError("accumulator desync")
+                    product = sign * acc_value
+                    out[row, col] += product
+                    trace.subscriptions.append((capture, row, col, product))
+                    key = (row, parity, capture)
+                    or_bus[key] = or_bus.get(key, 0) + 1
+                    if or_bus[key] > 1:
+                        trace.or_tree_conflicts += 1
+                    last_cycle = max(last_cycle, capture)
+
+        trace.cycles = last_cycle + 1
+        if trace.or_tree_conflicts:
+            raise SimulationError(
+                f"OR-tree collision: {trace.or_tree_conflicts} conflicts — "
+                "double buffering violated")
+        return out, trace
+
+    # ------------------------------------------------------------------
+    def run_nonlinear(self, lut: NonlinearLUT, sign: np.ndarray,
+                      mantissa: np.ndarray, exponent_offset: np.ndarray
+                      ) -> tuple[np.ndarray, ArrayTrace]:
+        """Simulate VLP nonlinear mappings over an ``[n_mappings, H, W]``
+        block of decomposed inputs.
+
+        Parameters
+        ----------
+        lut:
+            The materialized LUT whose rows are broadcast each cycle.
+        sign / mantissa / exponent_offset:
+            Integer arrays of shape ``[n_mappings, height, width]``;
+            ``exponent_offset`` is the index *within the sliding window*
+            (0 .. window-1).
+
+        Returns
+        -------
+        (out, trace):
+            Looked-up values per element plus the cycle trace.  Element
+            completion time is ``base + col + mantissa + 1 +
+            exponent_offset`` — the sum of the two subscriptions (paper
+            Fig. 3g), staggered by the iFIFO.
+        """
+        sign = np.asarray(sign)
+        mantissa = np.asarray(mantissa)
+        exponent_offset = np.asarray(exponent_offset)
+        shape = sign.shape
+        if len(shape) != 3 or shape[1:] != (self.height, self.width):
+            raise SimulationError("inputs must be [mappings, height, width]")
+        if mantissa.max(initial=0) >= self.spike:
+            raise SimulationError("mantissa exceeds the spike window")
+        window = lut.spec.lut_size
+        if exponent_offset.max(initial=0) >= window:
+            raise SimulationError("exponent offset outside the LUT row")
+
+        out = np.zeros(shape, dtype=np.float64)
+        trace = ArrayTrace()
+        last_cycle = 0
+        for mapping in range(shape[0]):
+            base = mapping * self.spike
+            for row in range(self.height):
+                for col in range(self.width):
+                    m = int(mantissa[mapping, row, col])
+                    s = int(sign[mapping, row, col])
+                    e_off = int(exponent_offset[mapping, row, col])
+                    # Mantissa subscription: LUT row for code m is on the
+                    # bus at cycle base + m (staggered by col).
+                    row_latch = base + col + m
+                    # Exponent subscription starts the next cycle.
+                    done = row_latch + 1 + e_off
+                    value = lut.table[s, m, e_off + 0]
+                    out[mapping, row, col] = value
+                    trace.subscriptions.append((done, row, col, value))
+                    last_cycle = max(last_cycle, done)
+        trace.cycles = last_cycle + 1
+        return out, trace

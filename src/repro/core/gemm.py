@@ -1,0 +1,203 @@
+"""VLP GEMM — functional model and analytic schedule (paper §2.1, §4.2).
+
+Mugi's GEMM mapping is *transposed* relative to Carat: INT4 weights / KV
+cache drive the row temporal converters (3-bit magnitudes → 8-cycle
+spikes) while BF16 activations / Q tokens occupy the 8 columns, where a
+shared per-column accumulator realizes the multiplier-free products.  The
+8 columns align with a decode batch of 8 or a GQA group of 8 Q heads, so
+small-batch LLM GEMMs keep the array full — the utilization argument of
+Table 3 / Fig. 14.
+
+Each *mapping* processes one reduction index ``k``: an outer product
+between a column of INT4 weights (rows) and a row of BF16 tokens
+(columns), completed in ``2**magnitude_bits`` cycles and fully pipelined
+back-to-back (Fig. 10).  Weight-only (WOQ) and KV-cache (KVQ) scales are
+applied per quantization group by the vector array after accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MappingError
+from ..numerics import QuantizedTensor, quantize_fp8, to_bfloat16
+from ..numerics.fp8 import E4M3, FP8Format
+
+
+@dataclass(frozen=True)
+class GemmSchedule:
+    """Analytic mapping/cycle accounting of a VLP GEMM.
+
+    Attributes
+    ----------
+    m, k, n:
+        GEMM dimensions: ``out[m, n] = sum_k a[m, k] * w[n, k]``.
+    array_height / array_width:
+        Physical array shape (rows × columns).
+    spike_cycles:
+        Temporal window per mapping (8 for 3-bit magnitudes).
+    tiles_rows / tiles_cols:
+        Tile counts along the row-mapped and column-mapped dimensions.
+    mappings:
+        Total outer-product mappings (= tiles × k).
+    cycles:
+        Total cycles including the pipeline drain.
+    utilization:
+        Useful MACs / peak MAC slots.
+    accumulator_adds / subscriptions / oacc_adds:
+        Event counts consumed by the energy model.
+    """
+
+    m: int
+    k: int
+    n: int
+    array_height: int
+    array_width: int
+    spike_cycles: int
+    tiles_rows: int
+    tiles_cols: int
+    mappings: int
+    cycles: int
+    utilization: float
+    macs: int
+    accumulator_adds: int
+    subscriptions: int
+    oacc_adds: int
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def schedule_vlp_gemm(m: int, k: int, n: int, array_height: int,
+                      array_width: int = 8, spike_cycles: int = 8,
+                      rows_dim: str = "n") -> GemmSchedule:
+    """Build the analytic schedule for a VLP GEMM.
+
+    Parameters
+    ----------
+    m, k, n:
+        GEMM dims (``m`` tokens × ``k`` reduction × ``n`` outputs).
+    array_height / array_width:
+        Array shape; width 8 matches the spike window in Mugi.
+    spike_cycles:
+        ``2**magnitude_bits`` of the temporally-coded operand.
+    rows_dim:
+        Which logical dimension maps across array rows: ``"n"`` is Mugi's
+        transposed mapping (weights on rows, tokens on columns); ``"m"``
+        is Carat's native mapping (batch on rows, weights on columns) —
+        the ablation of paper §4.2.
+    """
+    if m < 1 or k < 1 or n < 1:
+        raise MappingError("GEMM dims must be positive")
+    if rows_dim not in ("n", "m"):
+        raise MappingError("rows_dim must be 'n' or 'm'")
+
+    rows, cols = (n, m) if rows_dim == "n" else (m, n)
+    tiles_rows = _ceil_div(rows, array_height)
+    tiles_cols = _ceil_div(cols, array_width)
+    mappings = tiles_rows * tiles_cols * k
+    # Fully pipelined: one mapping enters every `spike_cycles`; the last
+    # mapping's final column drains (array_width - 1) cycles later
+    # (Fig. 10 staggering) — validated against the cycle-accurate model.
+    cycles = mappings * spike_cycles + (array_width - 1)
+
+    macs = m * k * n
+    peak = array_height * array_width / spike_cycles  # MAC slots per cycle.
+    utilization = macs / (cycles * peak)
+
+    # Shared per-column accumulation: spike_cycles adds per active column
+    # per mapping — *independent of array height*: the value-reuse win.
+    accumulator_adds = mappings * array_width * spike_cycles
+    subscriptions = macs          # One latch per useful product.
+    oacc_adds = macs              # One output accumulation per product.
+    return GemmSchedule(
+        m=m, k=k, n=n, array_height=array_height, array_width=array_width,
+        spike_cycles=spike_cycles, tiles_rows=tiles_rows,
+        tiles_cols=tiles_cols, mappings=mappings, cycles=cycles,
+        utilization=utilization, macs=macs,
+        accumulator_adds=accumulator_adds, subscriptions=subscriptions,
+        oacc_adds=oacc_adds)
+
+
+def mugi_gemm(activations: np.ndarray, weights: QuantizedTensor,
+              array_height: int = 128,
+              accumulate_dtype=np.float32) -> tuple[np.ndarray, GemmSchedule]:
+    """BF16 × INT4 GEMM through the Mugi array (functional + schedule).
+
+    Parameters
+    ----------
+    activations:
+        ``[m, k]`` activations / Q tokens; rounded to BF16 on entry.
+    weights:
+        WOQ/KVQ-quantized ``[n, k]`` weights (groups along axis 1).
+    array_height:
+        Rows of the Mugi array (Table 2 sweeps 32–256).
+    accumulate_dtype:
+        Output-accumulator precision (float32 oAcc by default).
+
+    Returns
+    -------
+    (out, schedule):
+        ``out[m, n]`` in ``accumulate_dtype`` — bit-identical to exact
+        integer accumulation followed by the per-group dequant epilogue —
+        plus the analytic schedule.
+
+    Notes
+    -----
+    The temporal datapath computes ``|w| * x`` by adding the BF16 value
+    ``x`` to itself ``|w| <= 7`` times; in a float32 accumulator this is
+    exact (11-bit product mantissa << 24-bit accumulator), so plain
+    integer multiplication reproduces the hardware bit-for-bit.
+    """
+    a = np.asarray(activations, dtype=np.float64)
+    if a.ndim != 2:
+        raise MappingError("activations must be [m, k]")
+    q = weights.q
+    if q.ndim != 2 or weights.axis != 1:
+        raise MappingError("weights must be [n, k] quantized along k")
+    m, k = a.shape
+    n, kw = q.shape
+    if k != kw:
+        raise MappingError(f"reduction mismatch: activations k={k}, weights k={kw}")
+
+    ab = to_bfloat16(a).astype(np.float64)
+    group = weights.group_size
+    out = np.zeros((m, n), dtype=np.float64)
+    for g in range(_ceil_div(k, group)):
+        ks = slice(g * group, min((g + 1) * group, k))
+        partial = ab[:, ks] @ q[:, ks].T.astype(np.float64)
+        out += partial * weights.scales[:, g][None, :]
+    schedule = schedule_vlp_gemm(m, k, n, array_height=array_height,
+                                 rows_dim="n")
+    return out.astype(accumulate_dtype), schedule
+
+
+def carat_native_gemm(activations: np.ndarray, weights: np.ndarray,
+                      array_height: int = 128, fmt: FP8Format = E4M3
+                      ) -> tuple[np.ndarray, GemmSchedule]:
+    """Carat's native symmetric FP8 GEMM with batch mapped across rows.
+
+    This is the prior-design baseline (paper §2.1 / [46]): both operands
+    are FP8, activations map to rows (scalable only for *large* batch),
+    weights map to the 8 columns.  Used by the mapping-transpose ablation.
+    """
+    a = quantize_fp8(np.asarray(activations, dtype=np.float64), fmt)
+    w = quantize_fp8(np.asarray(weights, dtype=np.float64), fmt)
+    if a.ndim != 2 or w.ndim != 2:
+        raise MappingError("carat_native_gemm expects [m, k] and [n, k]")
+    m, k = a.shape
+    n, kw = w.shape
+    if k != kw:
+        raise MappingError("reduction mismatch")
+    out = a.astype(np.float64) @ w.astype(np.float64).T
+    schedule = schedule_vlp_gemm(m, k, n, array_height=array_height,
+                                 spike_cycles=fmt.spike_cycles, rows_dim="m")
+    return out.astype(np.float32), schedule
+
+
+def dequant_epilogue_ops(schedule: GemmSchedule, groups: int) -> int:
+    """Vector-array multiplies needed for the WOQ/KVQ dequant epilogue."""
+    return schedule.m * schedule.n * groups

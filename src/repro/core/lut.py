@@ -1,0 +1,142 @@
+"""Nonlinear LUT construction for VLP approximation (paper Fig. 3, §3.1).
+
+The conventional LUT-per-input approach (Fig. 3a-b) serializes lookups.
+VLP splits the lookup: a row of precomputed results — one row per
+(sign, rounded-mantissa) pair, holding the results for *every stored
+exponent* — is broadcast to the array, and each input subscribes first to
+its row (mantissa temporal subscription) and then to the entry for its own
+exponent (exponent temporal subscription).
+
+The LUT therefore stores, for each sign ``s``, mantissa code ``m`` and
+exponent ``e`` in the window::
+
+    table[s, m, e - min_exp] = f( (-1)**s * (1 + m / 2**mantissa_bits) * 2**e )
+
+plus the single value ``f(0)`` used when an input underflows the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..numerics import to_bfloat16
+
+
+@dataclass(frozen=True)
+class LUTSpec:
+    """Geometry of a VLP nonlinear LUT.
+
+    Attributes
+    ----------
+    name:
+        Operation name (informational, e.g. ``"exp"``).
+    mantissa_bits:
+        Rounded-mantissa width; the LUT has ``2**mantissa_bits`` rows per
+        sign (Mugi uses 3 → 8 rows, matching the 8-cycle spike window).
+    min_exp / max_exp:
+        Inclusive unbiased-exponent range stored per row.  The number of
+        stored exponents ``lut_size = max_exp - min_exp + 1`` is the
+        paper's "LUT size" axis in Fig. 6.
+    signed:
+        Whether negative inputs get their own rows ("The LUT size will
+        double if the nonlinear operation has both positive and negative
+        inputs", paper §4.1).
+    store_bf16:
+        Round stored results to BF16, matching the iSRAM word width.
+    """
+
+    name: str
+    mantissa_bits: int = 3
+    min_exp: int = -3
+    max_exp: int = 4
+    signed: bool = True
+    store_bf16: bool = True
+
+    def __post_init__(self):
+        if self.max_exp < self.min_exp:
+            raise ConfigError("max_exp must be >= min_exp")
+        if self.mantissa_bits < 1:
+            raise ConfigError("mantissa_bits must be >= 1")
+
+    @property
+    def lut_size(self) -> int:
+        """Number of exponents stored per row (Fig. 6 'LUT size')."""
+        return self.max_exp - self.min_exp + 1
+
+    @property
+    def rows(self) -> int:
+        """Total LUT rows = signs * mantissa codes."""
+        return (2 if self.signed else 1) * (1 << self.mantissa_bits)
+
+    @property
+    def entries(self) -> int:
+        """Total stored results."""
+        return self.rows * self.lut_size
+
+    def storage_bits(self, word_bits: int = 16) -> int:
+        """On-chip bits needed for the table (default BF16 words)."""
+        return self.entries * word_bits
+
+
+class NonlinearLUT:
+    """A materialized VLP LUT for one nonlinear function.
+
+    Parameters
+    ----------
+    func:
+        Vectorized reference function (e.g. ``np.exp`` or a
+        :mod:`repro.baselines.precise` implementation).
+    spec:
+        LUT geometry.
+    """
+
+    def __init__(self, func: Callable[[np.ndarray], np.ndarray], spec: LUTSpec):
+        self.func = func
+        self.spec = spec
+        signs = np.array([0, 1] if spec.signed else [0])
+        mantissas = np.arange(1 << spec.mantissa_bits)
+        exponents = np.arange(spec.min_exp, spec.max_exp + 1)
+        # Reconstructed input points x̂ for every (s, m, e).
+        frac = 1.0 + mantissas.astype(np.float64) / (1 << spec.mantissa_bits)
+        magnitude = frac[None, :, None] * np.exp2(exponents.astype(np.float64))[None, None, :]
+        signed_mag = np.where(signs[:, None, None] == 1, -magnitude, magnitude)
+        table = np.asarray(func(signed_mag), dtype=np.float64)
+        zero_value = float(np.asarray(func(np.zeros(1)))[0])
+        if spec.store_bf16:
+            table = to_bfloat16(table).astype(np.float64)
+            zero_value = float(to_bfloat16(np.float64(zero_value)))
+        #: table[s, m, e_idx] — the stored results.
+        self.table = table
+        #: The f(0) entry used on window underflow.
+        self.zero_value = zero_value
+        #: The input points at which the table was sampled (for analysis).
+        self.input_points = signed_mag
+
+    def exponent_index(self, exponent: np.ndarray) -> np.ndarray:
+        """Map unbiased exponents to table column indices (no clamping)."""
+        return np.asarray(exponent) - self.spec.min_exp
+
+    def lookup(self, sign: np.ndarray, mantissa: np.ndarray,
+               exponent: np.ndarray) -> np.ndarray:
+        """Gather stored results for (sign, mantissa, exponent) triples.
+
+        All indices must already be in range; window clamping is the
+        responsibility of :mod:`repro.core.window`.
+        """
+        sign = np.asarray(sign, dtype=np.int64)
+        mantissa = np.asarray(mantissa, dtype=np.int64)
+        e_idx = self.exponent_index(np.asarray(exponent, dtype=np.int64))
+        if not self.spec.signed and sign.size and sign.max() > 0:
+            raise ConfigError(f"LUT {self.spec.name!r} is unsigned but got "
+                              "negative inputs")
+        if e_idx.size and (e_idx.min() < 0 or e_idx.max() >= self.spec.lut_size):
+            raise ConfigError("exponent outside LUT window; clamp first")
+        return self.table[sign, mantissa, e_idx]
+
+    def row(self, sign: int, mantissa: int) -> np.ndarray:
+        """One LUT row — the vector broadcast during value reuse (Fig. 3f)."""
+        return self.table[sign, mantissa]

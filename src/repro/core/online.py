@@ -1,0 +1,132 @@
+"""Online window adaptation — the paper's §7.1 future-work extension.
+
+Mugi precomputes its LUT offline, and the paper notes that runtime value
+distributions can *drift*: "optimal accuracy would benefit from an online
+mechanism to adjust LUT values at runtime, and we leave this to future
+work."  This module implements that mechanism as an optional layer on top
+of :class:`repro.core.approx.VLPApproximator`:
+
+* an exponential-moving-average histogram of observed input exponents
+  (cheap counters — the E-proc already extracts the exponent field);
+* a periodic re-centering of the stored LUT exponent range onto the
+  histogram's dominant window (one LUT refill, amortized over many
+  mappings);
+* hardware-cost accounting for the counters and refills so the
+  architecture model can price the feature.
+
+The ablation bench (`bench_ablation_online.py`) shows the payoff: under
+distribution drift the adaptive window tracks the inputs while the static
+offline window degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..numerics import split_bfloat16
+from ..numerics.fields import ZERO_EXPONENT
+from .approx import VLPApproxConfig, VLPApproximator
+
+
+@dataclass
+class DriftStats:
+    """Telemetry of the online adapter."""
+
+    batches_seen: int = 0
+    refills: int = 0
+    current_max_exp: int = 0
+    histogram: dict = field(default_factory=dict)
+
+
+class OnlineVLPApproximator:
+    """A VLP approximator whose LUT window follows the input distribution.
+
+    Parameters
+    ----------
+    config:
+        Base approximator configuration; ``max_exp`` seeds the initial
+        window placement.
+    ema_decay:
+        Per-batch decay of the exponent histogram (0 < decay < 1; higher
+        = slower tracking).
+    refill_interval:
+        Batches between window re-evaluations (a LUT refill costs one
+        pass of ``lut_size × rows`` SRAM writes — keep it amortized).
+    hysteresis:
+        Minimum shift (in exponents) before a refill is triggered,
+        avoiding thrash when the distribution sits near a boundary.
+    """
+
+    def __init__(self, config: VLPApproxConfig, ema_decay: float = 0.8,
+                 refill_interval: int = 4, hysteresis: int = 1):
+        if not 0.0 < ema_decay < 1.0:
+            raise ConfigError("ema_decay must be in (0, 1)")
+        if refill_interval < 1:
+            raise ConfigError("refill_interval must be >= 1")
+        self.config = config
+        self.ema_decay = ema_decay
+        self.refill_interval = refill_interval
+        self.hysteresis = hysteresis
+        self._approx = VLPApproximator(config)
+        self._ema: dict[int, float] = {}
+        self.stats = DriftStats(current_max_exp=config.max_exp)
+
+    # ------------------------------------------------------------------
+    def _observe(self, x: np.ndarray) -> None:
+        """Fold a batch's exponent histogram into the EMA counters."""
+        fields = split_bfloat16(np.where(np.isfinite(x), x, 0.0))
+        exps = fields.exponent[fields.exponent != ZERO_EXPONENT]
+        uniq, counts = np.unique(exps, return_counts=True)
+        total = counts.sum() or 1
+        for key in list(self._ema):
+            self._ema[key] *= self.ema_decay
+        for e, c in zip(uniq, counts):
+            self._ema[int(e)] = self._ema.get(int(e), 0.0) \
+                + (1 - self.ema_decay) * float(c) / total
+        self.stats.histogram = dict(self._ema)
+
+    def _dominant_max_exp(self) -> int:
+        """Top edge of the LUT-size window holding the most EMA mass."""
+        if not self._ema:
+            return self.config.max_exp
+        exps = sorted(self._ema)
+        size = self.config.lut_size
+        best_top, best_mass = exps[-1], -1.0
+        for top in range(exps[0], exps[-1] + size):
+            mass = sum(m for e, m in self._ema.items()
+                       if top - size + 1 <= e <= top)
+            if mass > best_mass:
+                best_top, best_mass = top, mass
+        return best_top
+
+    def _maybe_refill(self) -> None:
+        target = self._dominant_max_exp()
+        if abs(target - self._approx.config.max_exp) > self.hysteresis:
+            self._approx = VLPApproximator(
+                self._approx.config.with_window(max_exp=target))
+            self.stats.refills += 1
+            self.stats.current_max_exp = target
+
+    # ------------------------------------------------------------------
+    def __call__(self, x: np.ndarray,
+                 tile_axes: tuple[int, ...] | None = None) -> np.ndarray:
+        """Approximate ``f(x)``, updating the drift tracker."""
+        x = np.asarray(x, dtype=np.float64)
+        self._observe(x)
+        self.stats.batches_seen += 1
+        if self.stats.batches_seen % self.refill_interval == 0:
+            self._maybe_refill()
+        return self._approx(x, tile_axes=tile_axes)
+
+    @property
+    def active_window(self) -> tuple[int, int]:
+        """The currently stored LUT exponent range."""
+        cfg = self._approx.config
+        return (cfg.min_exp, cfg.max_exp)
+
+    def refill_sram_bits(self) -> int:
+        """SRAM write traffic of one LUT refill (for the cost model)."""
+        return self._approx.lut.spec.storage_bits()

@@ -1,0 +1,94 @@
+"""VLP softmax (paper §4.1).
+
+Softmax adds a reduction and a division on top of the elementwise exp:
+Mugi computes the (max-subtracted) exp of all inputs through the VLP
+array while the output accumulator (oAcc) simultaneously accumulates the
+running sum; the reciprocal of the sum is then applied by the vector
+multiplication array in one cycle per element.  Attention head and batch
+map across rows to keep utilization high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..numerics import to_bfloat16
+from .approx import VLPApproxConfig, VLPApproximator
+
+
+@dataclass(frozen=True)
+class SoftmaxStats:
+    """Operation counts for one VLP softmax call (fed to the cost model)."""
+
+    elements: int
+    rows: int
+    exp_mappings: int
+    accumulator_adds: int
+    reciprocal_ops: int
+    vector_multiplies: int
+
+
+def vlp_softmax(scores: np.ndarray,
+                approximator: VLPApproximator | VLPApproxConfig | None = None,
+                axis: int = -1,
+                return_stats: bool = False):
+    """Softmax with VLP-approximated exp.
+
+    Parameters
+    ----------
+    scores:
+        Attention scores (any shape); softmax is taken along ``axis``.
+    approximator:
+        A :class:`VLPApproximator`, a config, or ``None`` for the default
+        exp configuration.
+    axis:
+        Reduction axis.
+    return_stats:
+        Also return a :class:`SoftmaxStats` with event counts.
+
+    Notes
+    -----
+    * The max subtraction is exact (performed upstream of the array for
+      numerical stability, paper §2.2.1).
+    * The sliding window is selected **per softmax row** — each row is one
+      mapping's worth of value distribution, the value-centric behaviour
+      of Fig. 5.
+    * The sum accumulates in float32 (the oAcc width) and the reciprocal
+      is computed precisely by the vector unit.
+    """
+    if approximator is None:
+        approximator = VLPApproximator(VLPApproxConfig(op="exp"))
+    elif isinstance(approximator, VLPApproxConfig):
+        approximator = VLPApproximator(approximator)
+
+    scores = np.asarray(scores, dtype=np.float64)
+    axis = axis % scores.ndim
+
+    shifted = scores - np.max(scores, axis=axis, keepdims=True)
+    shifted = to_bfloat16(shifted).astype(np.float64)
+
+    e = approximator(shifted, tile_axes=(axis,))
+    total = np.sum(e.astype(np.float32), axis=axis, keepdims=True,
+                   dtype=np.float32).astype(np.float64)
+    total = np.where(total <= 0, 1.0, total)
+    out = e / total
+
+    if not return_stats:
+        return out
+
+    elements = scores.size
+    rows = elements // scores.shape[axis] if scores.shape[axis] else 0
+    interval = approximator.pipeline_interval
+    array_slots = interval  # 8 columns per row-mapping.
+    mappings = -(-scores.shape[axis] // array_slots) * max(rows, 1)
+    stats = SoftmaxStats(
+        elements=elements,
+        rows=rows,
+        exp_mappings=mappings,
+        accumulator_adds=elements,     # oAcc adds one exp result each.
+        reciprocal_ops=rows,           # One reciprocal per softmax row.
+        vector_multiplies=elements,    # Vec array scales each element.
+    )
+    return out, stats

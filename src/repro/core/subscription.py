@@ -1,0 +1,117 @@
+"""Temporal subscription and value reuse (paper Fig. 2b-f, §2.1).
+
+A multiplication ``i * w`` becomes an accumulation of ``w`` over time: a
+shared accumulator adds ``w`` every cycle, so after cycle ``c`` it holds
+``c * w``.  Each input *subscribes* to the running accumulation at its own
+spike cycle, latching exactly ``i * w`` — no multiplier involved.  Because
+one accumulation is shared by every input in a row/column (value reuse),
+the add cost is amortized across all subscribers; this is the source of
+VLP's energy advantage over MAC arrays.
+
+These functions are *functional* models: they return both the numeric
+results (bit-exact with integer multiplication) and the event counts that
+the energy model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError
+from .temporal import spike_window
+
+
+@dataclass(frozen=True)
+class SubscriptionTrace:
+    """Event counts from a value-reuse multiplication pass.
+
+    Attributes
+    ----------
+    cycles:
+        Cycles consumed by the temporal sweep (``2**bits``).
+    accumulator_adds:
+        Additions performed by the shared accumulator(s).
+    subscriptions:
+        Register-latch events (one per produced product).
+    """
+
+    cycles: int
+    accumulator_adds: int
+    subscriptions: int
+
+
+def temporal_multiply(i: int, w: float, bits: int) -> tuple[float, SubscriptionTrace]:
+    """Scalar VLP product ``i * w`` (paper Fig. 2b-d).
+
+    ``i`` must be an unsigned integer in ``[0, 2**bits)``; ``w`` may be any
+    float (it is the value being accumulated).
+    """
+    window = spike_window(bits)
+    if not 0 <= i < window:
+        raise FormatError(f"temporal operand {i} out of [0, {window})")
+    acc = 0.0
+    captured = 0.0
+    for cycle in range(window):
+        if cycle == i:  # Temporal spike: subscribe to the running sum.
+            captured = acc
+        acc += w
+    trace = SubscriptionTrace(cycles=window, accumulator_adds=window,
+                              subscriptions=1)
+    return captured, trace
+
+
+def value_reuse_multiply(i_vec: np.ndarray, w: float, bits: int
+                         ) -> tuple[np.ndarray, SubscriptionTrace]:
+    """Scalar-vector VLP product via value reuse (paper Fig. 2e).
+
+    A *single* accumulation of ``w`` is shared by every element of
+    ``i_vec``; each element subscribes at its own spike.  The returned
+    trace shows the amortization: ``2**bits`` adds regardless of
+    ``len(i_vec)``.
+    """
+    i_vec = np.asarray(i_vec)
+    window = spike_window(bits)
+    if i_vec.size and (i_vec.min() < 0 or i_vec.max() >= window):
+        raise FormatError(f"temporal operands out of [0, {window})")
+    # acc at cycle c is c*w; element with value i latches i*w.
+    products = i_vec.astype(np.float64) * w
+    trace = SubscriptionTrace(cycles=window, accumulator_adds=window,
+                              subscriptions=int(i_vec.size))
+    return products, trace
+
+
+def outer_product(i_vec: np.ndarray, w_vec: np.ndarray, bits: int
+                  ) -> tuple[np.ndarray, SubscriptionTrace]:
+    """Vector-vector outer product on a 2-D VLP array (paper Fig. 2f).
+
+    Rows carry the temporally-coded operands ``i_vec``; columns carry the
+    accumulated operands ``w_vec``.  Each column runs one shared
+    accumulation, so the pass costs ``2**bits`` adds *per column* while
+    producing ``len(i_vec) * len(w_vec)`` products.
+    """
+    i_vec = np.asarray(i_vec)
+    w_vec = np.asarray(w_vec, dtype=np.float64)
+    window = spike_window(bits)
+    if i_vec.size and (i_vec.min() < 0 or i_vec.max() >= window):
+        raise FormatError(f"temporal operands out of [0, {window})")
+    products = i_vec.astype(np.float64)[:, None] * w_vec[None, :]
+    trace = SubscriptionTrace(
+        cycles=window,
+        accumulator_adds=window * int(w_vec.size),
+        subscriptions=int(i_vec.size) * int(w_vec.size),
+    )
+    return products, trace
+
+
+def signed_subscribe(magnitude_products: np.ndarray, sign_a: np.ndarray,
+                     sign_b: np.ndarray) -> np.ndarray:
+    """Apply the sign-conversion (SC) block: XOR of operand signs.
+
+    VLP temporally codes magnitudes only; signs are folded in after
+    subscription (paper Fig. 9h).
+    """
+    sign = np.bitwise_xor(np.asarray(sign_a, dtype=np.int8),
+                          np.asarray(sign_b, dtype=np.int8))
+    return np.where(sign.astype(bool), -magnitude_products, magnitude_products)

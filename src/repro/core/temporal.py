@@ -1,0 +1,95 @@
+"""Temporal coding primitives (paper Fig. 2a and §2.1).
+
+VLP encodes a small unsigned integer ``i`` as a *temporal spike*: a
+counting-up counter ``c`` sweeps ``0, 1, …, 2**bits - 1``, and the temporal
+converter (TC) — an equivalence comparator — asserts a one-cycle spike when
+``c == i``.  The spike's *timing* carries the value, which downstream logic
+exploits for multiplier-free products (temporal subscription) and for LUT
+row/entry selection (nonlinear approximation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FormatError
+
+
+def spike_window(bits: int) -> int:
+    """Number of cycles a ``bits``-bit temporal signal occupies (2**bits)."""
+    if bits < 1:
+        raise FormatError("temporal coding needs at least 1 bit")
+    return 1 << bits
+
+
+def counter_sequence(bits: int) -> np.ndarray:
+    """The counting-up sequence swept by the shared counter (CNT block)."""
+    return np.arange(spike_window(bits), dtype=np.int64)
+
+
+def spike_trains(values: np.ndarray, bits: int) -> np.ndarray:
+    """Encode integers as one-hot temporal spike trains.
+
+    Parameters
+    ----------
+    values:
+        Integer array in ``[0, 2**bits)``; shape ``(...,)``.
+    bits:
+        Temporal code width.
+
+    Returns
+    -------
+    np.ndarray
+        Boolean array of shape ``values.shape + (2**bits,)`` where
+        ``out[..., c]`` is True iff the TC spikes at cycle ``c``.
+    """
+    values = np.asarray(values)
+    window = spike_window(bits)
+    if values.size and (values.min() < 0 or values.max() >= window):
+        raise FormatError(f"values must lie in [0, {window}) for {bits}-bit coding")
+    return values[..., None] == counter_sequence(bits)
+
+
+def decode_spike_trains(trains: np.ndarray) -> np.ndarray:
+    """Recover integer values from one-hot spike trains (inverse of
+    :func:`spike_trains`)."""
+    trains = np.asarray(trains, dtype=bool)
+    if trains.size and not np.all(trains.sum(axis=-1) == 1):
+        raise FormatError("each spike train must contain exactly one spike")
+    return np.argmax(trains, axis=-1).astype(np.int64)
+
+
+@dataclass
+class TemporalConverter:
+    """A stateful TC cell for the cycle-accurate model (paper Fig. 2a).
+
+    The TC holds a target ``value`` and asserts its output during the cycle
+    in which the broadcast counter equals the value.  ``fired`` records
+    whether the spike has been emitted in the current sweep.
+    """
+
+    value: int
+    bits: int
+    fired: bool = field(default=False)
+
+    def __post_init__(self):
+        window = spike_window(self.bits)
+        if not 0 <= self.value < window:
+            raise FormatError(
+                f"TC value {self.value} out of range for {self.bits}-bit code")
+
+    def step(self, counter: int) -> bool:
+        """Advance one cycle; return True when the spike is asserted."""
+        spike = counter == self.value
+        if spike:
+            self.fired = True
+        return spike
+
+    def reset(self, value: int | None = None) -> None:
+        """Prepare for a new counter sweep, optionally loading a new value."""
+        if value is not None:
+            self.value = value
+            self.__post_init__()
+        self.fired = False

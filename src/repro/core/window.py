@@ -1,0 +1,111 @@
+"""Value-centric sliding exponent windows (paper §3.3, Fig. 5).
+
+Temporal signal length and LUT row size grow exponentially with exponent
+bitwidth, so Mugi only covers a *window* of important exponents.  The full
+LUT stores ``lut_size`` exponents; for each mapping (a tile of inputs
+processed together on the array), the E-proc block inspects the tile's
+exponents and slides a ``window_size``-wide window (8, matching the array
+width) to cover the most important ones.
+
+Inputs whose exponent falls below the window *underflow to zero* (the
+output becomes ``f(0)``); inputs above the window follow a per-operation
+overflow policy (paper §4, step 1):
+
+``"clamp"``
+    softmax/exp — the input saturates to the window's top magnitude ("set
+    to the maximum value of the LUT").
+``"passthrough"``
+    SiLU/GELU — the raw input value is forwarded unchanged by the PP mux.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..numerics.fields import ZERO_EXPONENT
+
+#: Valid overflow policies.
+OVERFLOW_POLICIES = ("clamp", "passthrough")
+
+
+@dataclass(frozen=True)
+class Window:
+    """A concrete per-tile exponent window ``[lo, hi]`` (inclusive)."""
+
+    lo: np.ndarray  # Broadcastable to the tile's element shape.
+    hi: np.ndarray
+
+    def classify(self, exponent: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split exponents into (underflow, in-window, overflow) masks.
+
+        Zero-sentinel exponents always classify as underflow (a zero input
+        produces ``f(0)``, which is exactly the underflow behaviour).
+        """
+        exponent = np.asarray(exponent)
+        under = exponent < self.lo
+        over = exponent > self.hi
+        inside = ~(under | over)
+        return under, inside, over
+
+
+def select_window(exponents: np.ndarray, lut_min_exp: int, lut_max_exp: int,
+                  window_size: int = 8, sliding: bool = True,
+                  tile_axes: tuple[int, ...] | None = None) -> Window:
+    """Choose the sliding window for each tile of inputs.
+
+    The window tracks the tile's maximum exponent (the E-proc max circuit)
+    but never leaves the stored LUT range::
+
+        hi = clip(tile_max_exp, lut_min_exp + window_size - 1, lut_max_exp)
+        lo = hi - window_size + 1
+
+    Anchoring at the maximum is value-centric for both operation families:
+    for softmax, inputs *above* the window would otherwise clamp (large
+    |x|, near-zero exp, small absolute error) while inputs *below* it
+    underflow to ``exp(0) = 1`` (accurate for the near-zero inputs that
+    dominate the sum); for SiLU/GELU the important inputs cluster near 0
+    and the max anchor keeps the largest magnitudes representable.
+
+    Parameters
+    ----------
+    exponents:
+        Unbiased exponents of the tile's inputs (``ZERO_EXPONENT`` for 0).
+    lut_min_exp / lut_max_exp:
+        The stored LUT exponent range.
+    window_size:
+        Window width; 8 in Mugi (matches the array width, Fig. 5).
+    sliding:
+        If False, the window is pinned to the LUT's top (no per-tile slide)
+        — the ablation baseline.
+    tile_axes:
+        Axes of ``exponents`` that belong to a single mapping; the max is
+        taken over these axes (keepdims) so each remaining index gets its
+        own window.  ``None`` means one window for the whole tensor.
+    """
+    if window_size < 1:
+        raise ConfigError("window_size must be >= 1")
+    lut_size = lut_max_exp - lut_min_exp + 1
+    if window_size > lut_size:
+        raise ConfigError(
+            f"window_size {window_size} exceeds LUT size {lut_size}")
+
+    exponents = np.asarray(exponents)
+    hi_floor = lut_min_exp + window_size - 1
+
+    if not sliding:
+        hi = np.asarray(lut_max_exp)
+    else:
+        masked = np.where(exponents == ZERO_EXPONENT, np.iinfo(np.int32).min,
+                          exponents)
+        if tile_axes is None:
+            tile_max = masked.max() if masked.size else lut_max_exp
+            hi = np.asarray(tile_max)
+        else:
+            hi = masked.max(axis=tile_axes, keepdims=True)
+        hi = np.clip(hi, hi_floor, lut_max_exp)
+
+    lo = hi - window_size + 1
+    return Window(lo=np.asarray(lo), hi=np.asarray(hi))

@@ -1,0 +1,21 @@
+"""Exception types shared across the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class FormatError(ReproError):
+    """A value cannot be represented in the requested numeric format."""
+
+
+class ConfigError(ReproError):
+    """An experiment, model, or hardware configuration is invalid."""
+
+
+class MappingError(ReproError):
+    """An operator cannot be mapped onto the requested hardware array."""
+
+
+class SimulationError(ReproError):
+    """The architecture simulator reached an inconsistent state."""

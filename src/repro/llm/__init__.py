@@ -1,0 +1,58 @@
+"""LLM workload substrate.
+
+Table 1 model configurations, decode/prefill operator graphs for the
+architecture simulator, and (in :mod:`repro.llm.nn`) a from-scratch numpy
+transformer stack used by the accuracy experiments.
+"""
+
+from .config import (
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA2_70B_GQA,
+    LLAMA_FAMILY,
+    MODELS,
+    SWINV2_LARGE,
+    SWINV2_TINY,
+    VIVIT_BASE,
+    WHISPER_LARGE,
+    WHISPER_TINY,
+    ModelConfig,
+    get_model,
+)
+from .moe import (
+    MoEConfig,
+    build_moe_decode_ops,
+    expert_token_buckets,
+    mixtral_like,
+)
+from .workload import (
+    build_decode_ops,
+    build_prefill_ops,
+    gemm_macs,
+    nonlinear_elements,
+)
+
+__all__ = [
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "LLAMA2_70B_GQA",
+    "LLAMA2_7B",
+    "LLAMA_FAMILY",
+    "MODELS",
+    "MoEConfig",
+    "ModelConfig",
+    "SWINV2_LARGE",
+    "SWINV2_TINY",
+    "VIVIT_BASE",
+    "WHISPER_LARGE",
+    "WHISPER_TINY",
+    "build_decode_ops",
+    "build_moe_decode_ops",
+    "build_prefill_ops",
+    "expert_token_buckets",
+    "gemm_macs",
+    "get_model",
+    "mixtral_like",
+    "nonlinear_elements",
+]

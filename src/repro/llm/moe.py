@@ -1,0 +1,144 @@
+"""Mixture-of-Experts workloads (paper §7.1).
+
+MoE models "extend standard attention-based LLMs with selective FFN
+experts, selected by a softmax-based gating network" — the operations are
+all ones Mugi already supports (GEMM + softmax), so the paper conjectures
+Mugi generalizes.  This module makes that concrete: an MoE model config
+and a decode-step operator-graph builder with
+
+* the router GEMM and its softmax gating;
+* top-k expert FFNs, with tokens *bucketed per expert* — which exposes
+  the real systems effect: routed per-expert token batches are smaller
+  than the decode batch, so small-batch utilization (Mugi's strength)
+  matters even more.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch.designs.base import GemmOp, NonlinearOp
+from ..errors import ConfigError
+from .config import ModelConfig
+from .workload import build_decode_ops
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """A sparse-FFN variant of a dense model configuration.
+
+    Attributes
+    ----------
+    base:
+        The dense backbone (attention geometry reused as-is).
+    n_experts:
+        Experts per MoE layer.
+    top_k:
+        Experts activated per token (Mixtral-style 2).
+    expert_ffn_dim:
+        Intermediate size of each expert (defaults to the backbone's).
+    """
+
+    base: ModelConfig
+    n_experts: int = 8
+    top_k: int = 2
+    expert_ffn_dim: int | None = None
+
+    def __post_init__(self):
+        if self.n_experts < 2:
+            raise ConfigError("MoE needs at least 2 experts")
+        if not 1 <= self.top_k <= self.n_experts:
+            raise ConfigError("top_k must be in [1, n_experts]")
+
+    @property
+    def ffn_dim(self) -> int:
+        return self.expert_ffn_dim or self.base.ffn_dim
+
+    @property
+    def name(self) -> str:
+        return (f"{self.base.name}-MoE{self.n_experts}x"
+                f"top{self.top_k}")
+
+    def param_count(self) -> int:
+        """All-expert parameter count (what must be stored / streamed)."""
+        dense = self.base.param_count()
+        ffn_in = 2 if self.base.gated_ffn else 1
+        dense_ffn = self.base.n_layers * (
+            ffn_in * self.base.hidden_dim * self.base.ffn_dim
+            + self.base.ffn_dim * self.base.hidden_dim)
+        expert_ffn = self.n_experts * self.base.n_layers * (
+            ffn_in * self.base.hidden_dim * self.ffn_dim
+            + self.ffn_dim * self.base.hidden_dim)
+        router = self.base.n_layers * self.base.hidden_dim * self.n_experts
+        return dense - dense_ffn + expert_ffn + router
+
+
+def expert_token_buckets(batch: int, top_k: int, n_experts: int
+                         ) -> tuple[int, int]:
+    """(active_experts, tokens_per_active_expert) under uniform routing.
+
+    ``batch * top_k`` token-expert assignments spread over the experts;
+    with small decode batches only some experts activate.
+    """
+    assignments = batch * top_k
+    active = min(n_experts, assignments)
+    per_expert = math.ceil(assignments / active)
+    return active, per_expert
+
+
+def build_moe_decode_ops(config: MoEConfig, batch: int, seq_len: int,
+                         woq_bits: int = 4, kvq_bits: int = 4) -> list:
+    """Decode-step operator list for an MoE model.
+
+    Attention and projections come from the dense builder; each layer's
+    dense FFN is replaced by router + gating softmax + routed expert
+    FFNs.
+    """
+    base = config.base
+    dense = build_decode_ops(base, batch, seq_len, woq_bits=woq_bits,
+                             kvq_bits=kvq_bits, include_lm_head=True)
+    # Strip the dense FFN GEMMs and activation; keep everything else.
+    ops: list = []
+    for op in dense:
+        if isinstance(op, GemmOp) and op.kind == "ffn":
+            continue
+        if isinstance(op, NonlinearOp) and op.op == base.activation:
+            continue
+        ops.append(op)
+
+    active, per_expert = expert_token_buckets(batch, config.top_k,
+                                              config.n_experts)
+    h = base.hidden_dim
+    insert_at = []
+    # Re-insert one MoE block per layer, after each attention block's
+    # output projection (structure only matters for bucketed reporting,
+    # so appending per layer at the end of the list is equivalent for
+    # the additive cost model; we keep per-layer counts explicit).
+    for _ in range(base.n_layers):
+        # Router: tiny GEMM + softmax gating over experts.
+        insert_at.append(GemmOp(m=batch, k=h, n=config.n_experts,
+                                kind="ffn", weight_bits=woq_bits))
+        insert_at.append(NonlinearOp(op="softmax",
+                                     elements=batch * config.n_experts,
+                                     rows=batch))
+        # Expert FFNs on routed token buckets.
+        gate_count = 2 if base.gated_ffn else 1
+        insert_at.append(GemmOp(m=per_expert, k=h, n=config.ffn_dim,
+                                kind="ffn", weight_bits=woq_bits,
+                                count=active * gate_count))
+        insert_at.append(NonlinearOp(op=base.activation,
+                                     elements=per_expert * config.ffn_dim,
+                                     count=active))
+        insert_at.append(GemmOp(m=per_expert, k=config.ffn_dim, n=h,
+                                kind="ffn", weight_bits=woq_bits,
+                                count=active))
+    return ops + insert_at
+
+
+#: A Mixtral-8x7B-style extension config built on the Llama-2 7B backbone.
+def mixtral_like() -> MoEConfig:
+    """Mixtral-style MoE: 8 experts, top-2, Llama-2-7B-class backbone."""
+    from .config import LLAMA2_7B
+    return MoEConfig(base=LLAMA2_7B, n_experts=8, top_k=2,
+                     expert_ffn_dim=14336)

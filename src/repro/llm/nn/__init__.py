@@ -1,0 +1,55 @@
+"""From-scratch numpy transformer substrate (forward + backward).
+
+Replaces the paper's HuggingFace/GPU workload stack with small trainable
+models: a decoder LM (Llama-2 stand-in), an encoder classifier
+(SwinV2/ViViT stand-in), and an encoder-decoder (Whisper stand-in), all
+with evaluation-time pluggable softmax/activation implementations.
+"""
+
+from .attention import MultiHeadAttention
+from .data import (
+    MarkovCorpus,
+    entropy_floor_ppl,
+    make_markov_corpus,
+    make_patch_dataset,
+    make_transcription_batch,
+)
+from .layers import Embedding, LayerNorm, Linear, Module, Parameter, RMSNorm
+from .optim import Adam, cross_entropy, perplexity_from_loss
+from .train import TrainResult, train_classifier, train_encoder_decoder, train_lm
+from .transformer import (
+    EncoderDecoderLM,
+    FeedForward,
+    TinyModelConfig,
+    TransformerBlock,
+    TransformerClassifier,
+    TransformerLM,
+)
+
+__all__ = [
+    "Adam",
+    "Embedding",
+    "EncoderDecoderLM",
+    "FeedForward",
+    "LayerNorm",
+    "Linear",
+    "MarkovCorpus",
+    "Module",
+    "MultiHeadAttention",
+    "Parameter",
+    "RMSNorm",
+    "TinyModelConfig",
+    "TrainResult",
+    "TransformerBlock",
+    "TransformerClassifier",
+    "TransformerLM",
+    "cross_entropy",
+    "entropy_floor_ppl",
+    "make_markov_corpus",
+    "make_patch_dataset",
+    "make_transcription_batch",
+    "perplexity_from_loss",
+    "train_classifier",
+    "train_encoder_decoder",
+    "train_lm",
+]

@@ -1,0 +1,129 @@
+"""Multi-head attention with GQA support and pluggable softmax.
+
+Training always uses the precise softmax (backward is implemented for it);
+evaluation may inject any approximation — VLP, PWL, Taylor — through
+``softmax_fn``, which is how the Fig. 6/7 sweeps perturb a trained model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ...baselines import precise
+from ...errors import ConfigError
+from .layers import Linear, Module
+
+
+class MultiHeadAttention(Module):
+    """Self- or cross-attention with optional grouped-query sharing.
+
+    Parameters
+    ----------
+    dim:
+        Model width.
+    n_heads / n_kv_heads:
+        Query heads and KV heads (``n_kv_heads < n_heads`` enables GQA).
+    rng:
+        Seeded generator for initialization.
+    causal:
+        Apply a causal mask (decoder self-attention).
+    """
+
+    def __init__(self, dim: int, n_heads: int, rng,
+                 n_kv_heads: int | None = None, causal: bool = True):
+        if dim % n_heads:
+            raise ConfigError("dim must divide by n_heads")
+        n_kv_heads = n_kv_heads or n_heads
+        if n_heads % n_kv_heads:
+            raise ConfigError("n_heads must divide by n_kv_heads")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.n_kv_heads = n_kv_heads
+        self.group = n_heads // n_kv_heads
+        self.head_dim = dim // n_heads
+        self.causal = causal
+        self.q_proj = Linear(dim, dim, rng, bias=False)
+        self.k_proj = Linear(dim, self.n_kv_heads * self.head_dim, rng,
+                             bias=False)
+        self.v_proj = Linear(dim, self.n_kv_heads * self.head_dim, rng,
+                             bias=False)
+        self.o_proj = Linear(dim, dim, rng, bias=False)
+        #: Evaluation-time softmax override (None = precise).
+        self.softmax_fn: Callable | None = None
+        #: Capture hook: called with the pre-softmax scores when set.
+        self.score_hook: Callable | None = None
+        self._cache = None
+
+    # ------------------------------------------------------------------
+    def _split_heads(self, x: np.ndarray, heads: int) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        b, h, t, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
+
+    def forward(self, x: np.ndarray,
+                context: np.ndarray | None = None) -> np.ndarray:
+        """Attend ``x`` to itself (or to ``context`` for cross-attention)."""
+        kv_src = x if context is None else context
+        q = self._split_heads(self.q_proj.forward(x), self.n_heads)
+        k = self._split_heads(self.k_proj.forward(kv_src), self.n_kv_heads)
+        v = self._split_heads(self.v_proj.forward(kv_src), self.n_kv_heads)
+        if self.group > 1:  # GQA: repeat KV across the query group.
+            k = np.repeat(k, self.group, axis=1)
+            v = np.repeat(v, self.group, axis=1)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        if self.causal and context is None:
+            t_q, t_k = scores.shape[-2:]
+            mask = np.triu(np.ones((t_q, t_k), dtype=bool), k=1)
+            scores = np.where(mask, -1e30, scores)
+        if self.score_hook is not None:
+            self.score_hook(scores)
+
+        softmax = self.softmax_fn or (lambda s: precise.softmax(s, axis=-1))
+        probs = softmax(scores)
+        out = probs @ v
+        self._cache = (q, k, v, probs, scale, context is not None)
+        return self.o_proj.forward(self._merge_heads(out))
+
+    # ------------------------------------------------------------------
+    def backward(self, dy: np.ndarray):
+        """Backward through the *precise* softmax path (training only).
+
+        Returns ``dx`` for self-attention, or ``(dx, d_context)`` when the
+        forward pass used cross-attention.
+        """
+        q, k, v, probs, scale, is_cross = self._cache
+        self._cache = None
+        d_merged = self.o_proj.backward(dy)
+        b, t, _ = d_merged.shape
+        d_out = d_merged.reshape(b, t, self.n_heads, self.head_dim) \
+            .transpose(0, 2, 1, 3)
+
+        d_probs = d_out @ v.transpose(0, 1, 3, 2)
+        d_v = probs.transpose(0, 1, 3, 2) @ d_out
+        # Softmax jacobian: p * (g - sum(g * p)).
+        inner = np.sum(d_probs * probs, axis=-1, keepdims=True)
+        d_scores = probs * (d_probs - inner)
+        d_q = (d_scores @ k) * scale
+        d_k = (d_scores.transpose(0, 1, 3, 2) @ q) * scale
+
+        if self.group > 1:  # Sum gradients back over the GQA group.
+            b_, h, t_k, hd = d_k.shape
+            d_k = d_k.reshape(b_, self.n_kv_heads, self.group, t_k, hd) \
+                .sum(axis=2)
+            d_v = d_v.reshape(b_, self.n_kv_heads, self.group, t_k, hd) \
+                .sum(axis=2)
+
+        dx = self.q_proj.backward(self._merge_heads(d_q))
+        d_kv = self.k_proj.backward(self._merge_heads(d_k)) \
+            + self.v_proj.backward(self._merge_heads(d_v))
+        if is_cross:
+            return dx, d_kv
+        # Self-attention: KV gradients flow into the same input.
+        return dx + d_kv

@@ -1,0 +1,81 @@
+"""Adam optimizer and the cross-entropy loss used by all training loops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigError
+from .layers import Parameter
+
+
+class Adam:
+    """Standard Adam with bias correction and optional grad clipping."""
+
+    def __init__(self, params: list[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, clip_norm: float | None = 1.0):
+        if lr <= 0:
+            raise ConfigError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self.t = 0
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self.t += 1
+        if self.clip_norm is not None:
+            total = np.sqrt(sum(float(np.sum(p.grad ** 2))
+                                for p in self.params))
+            if total > self.clip_norm:
+                scale = self.clip_norm / (total + 1e-12)
+                for p in self.params:
+                    p.grad *= scale
+        for p, m, v in zip(self.params, self._m, self._v):
+            m += (1 - self.beta1) * (p.grad - m)
+            v += (1 - self.beta2) * (p.grad ** 2 - v)
+            m_hat = m / (1 - self.beta1 ** self.t)
+            v_hat = v / (1 - self.beta2 ** self.t)
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray
+                  ) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over all positions.
+
+    Parameters
+    ----------
+    logits:
+        ``[..., n_classes]`` raw scores.
+    targets:
+        Integer class ids with shape ``logits.shape[:-1]``.
+
+    Returns
+    -------
+    (loss, d_logits):
+        Scalar mean loss and the gradient w.r.t. the logits.
+    """
+    flat = logits.reshape(-1, logits.shape[-1])
+    ids = targets.reshape(-1)
+    shifted = flat - flat.max(axis=1, keepdims=True)
+    log_z = np.log(np.sum(np.exp(shifted), axis=1))
+    log_probs = shifted - log_z[:, None]
+    n = flat.shape[0]
+    loss = -float(np.mean(log_probs[np.arange(n), ids]))
+    d = np.exp(log_probs)
+    d[np.arange(n), ids] -= 1.0
+    d /= n
+    return loss, d.reshape(logits.shape)
+
+
+def perplexity_from_loss(loss: float) -> float:
+    """Perplexity = exp(mean token cross-entropy)."""
+    return float(np.exp(min(loss, 30.0)))

@@ -1,0 +1,160 @@
+"""Nonlinear-input distribution profiling (paper Fig. 4, §5.1).
+
+The paper extracts runtime nonlinear input tensors across all tokens and
+records value and exponent distributions.  This module does the same for
+the study models: capture hooks collect softmax scores (after max
+subtraction, i.e. the exp inputs) and FFN pre-activations, and
+:func:`profile_model` summarizes them as value/exponent histograms.
+
+These profiles are what motivates the value-centric window (paper §3.3):
+softmax exponents cluster in a narrow band and SiLU/GELU inputs cluster
+around zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..numerics import split_bfloat16
+from ..numerics.fields import ZERO_EXPONENT
+
+
+@dataclass
+class DistributionProfile:
+    """Histogram summary of one nonlinear operation's inputs.
+
+    Attributes
+    ----------
+    op:
+        "softmax" (exp inputs, post max-subtraction) or the activation
+        name ("silu"/"gelu").
+    values:
+        Raw captured input samples (subsampled).
+    exponent_counts:
+        Mapping unbiased exponent → count (zeros excluded).
+    """
+
+    op: str
+    values: np.ndarray
+    exponent_counts: dict = field(default_factory=dict)
+
+    @property
+    def exponent_range(self) -> tuple[int, int]:
+        """(min, max) observed exponent."""
+        keys = sorted(self.exponent_counts)
+        return (keys[0], keys[-1]) if keys else (0, 0)
+
+    def mass_within(self, lo: int, hi: int) -> float:
+        """Fraction of (nonzero) inputs whose exponent lies in [lo, hi]."""
+        total = sum(self.exponent_counts.values())
+        if total == 0:
+            return 0.0
+        inside = sum(c for e, c in self.exponent_counts.items()
+                     if lo <= e <= hi)
+        return inside / total
+
+    def dominant_window(self, size: int = 8) -> tuple[int, int]:
+        """The size-wide exponent window holding the most mass — the
+        value-centric LUT window the E-proc would pick."""
+        lo, hi = self.exponent_range
+        best, best_mass = (lo, lo + size - 1), -1.0
+        for start in range(lo, max(lo, hi - size + 1) + 1):
+            mass = self.mass_within(start, start + size - 1)
+            if mass > best_mass:
+                best, best_mass = (start, start + size - 1), mass
+        return best
+
+
+def _summarize(op: str, chunks: list, max_samples: int = 200_000
+               ) -> DistributionProfile:
+    flat = np.concatenate([np.asarray(c).reshape(-1) for c in chunks])
+    # Softmax scores include the -1e30 causal-mask fill; drop it.
+    flat = flat[flat > -1e20]
+    if flat.size > max_samples:
+        idx = np.linspace(0, flat.size - 1, max_samples).astype(np.int64)
+        flat = flat[idx]
+    fields = split_bfloat16(flat)
+    exps = fields.exponent[fields.exponent != ZERO_EXPONENT]
+    uniq, counts = np.unique(exps, return_counts=True)
+    return DistributionProfile(
+        op=op, values=flat,
+        exponent_counts={int(e): int(c) for e, c in zip(uniq, counts)})
+
+
+def profile_model(model, eval_batches: list) -> dict:
+    """Capture nonlinear input distributions over evaluation batches.
+
+    Parameters
+    ----------
+    model:
+        A study model exposing ``blocks`` (or ``encoder``/``decoder``)
+        whose attention has ``score_hook`` and FFN has ``preact_hook``.
+    eval_batches:
+        List of forward-call argument tuples.
+
+    Returns
+    -------
+    dict
+        ``{"softmax": DistributionProfile, "<activation>":
+        DistributionProfile}``.
+    """
+    scores: list = []
+    preacts: list = []
+
+    def score_hook(s):
+        shifted = s - np.max(s, axis=-1, keepdims=True)
+        scores.append(shifted.copy())
+
+    def preact_hook(x):
+        preacts.append(np.asarray(x).copy())
+
+    blocks = getattr(model, "blocks", None)
+    if blocks is None:
+        blocks = list(model.encoder) + list(model.decoder)
+    for block in blocks:
+        block.attn.score_hook = score_hook
+        if getattr(block, "cross", None) is not None:
+            block.cross.score_hook = score_hook
+        block.ffn.preact_hook = preact_hook
+    try:
+        for args in eval_batches:
+            model.forward(*args)
+    finally:
+        for block in blocks:
+            block.attn.score_hook = None
+            if getattr(block, "cross", None) is not None:
+                block.cross.score_hook = None
+            block.ffn.preact_hook = None
+
+    activation = blocks[0].ffn.activation
+    return {
+        "softmax": _summarize("softmax", scores),
+        activation: _summarize(activation, preacts),
+    }
+
+
+def profile_per_layer(model, eval_batches: list) -> list:
+    """Per-layer softmax profiles (the Fig. 4 layer-colored curves and
+    the Fig. 7 per-layer tuning signal)."""
+    blocks = getattr(model, "blocks", None)
+    if blocks is None:
+        blocks = list(model.encoder) + list(model.decoder)
+    captured: list[list] = [[] for _ in blocks]
+
+    def make_hook(idx):
+        def hook(s):
+            shifted = s - np.max(s, axis=-1, keepdims=True)
+            captured[idx].append(shifted.copy())
+        return hook
+
+    for idx, block in enumerate(blocks):
+        block.attn.score_hook = make_hook(idx)
+    try:
+        for args in eval_batches:
+            model.forward(*args)
+    finally:
+        for block in blocks:
+            block.attn.score_hook = None
+    return [_summarize("softmax", chunks) for chunks in captured]

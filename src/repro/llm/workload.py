@@ -1,0 +1,154 @@
+"""LLM operator graphs for the architecture simulator (paper §2.3, §5).
+
+A decode step of a batched transformer LM lowers to:
+
+* **projection** GEMMs — QKV and output projections (WOQ INT4 weights,
+  BF16 activations);
+* **attention** GEMMs — Q·Kᵀ and P·V against the (KVQ INT4) KV cache; with
+  GQA, the ``gqa_group`` Q heads sharing one KV head form a small-batch
+  GEMM (the m=8 that fills Mugi's columns);
+* **softmax** over each attention row;
+* **ffn** GEMMs — gate/up/down projections with SiLU/GELU in between.
+
+The builder emits :class:`repro.arch.GemmOp` / ``NonlinearOp`` lists that
+any Table 2 design (or NoC system) can consume.
+"""
+
+from __future__ import annotations
+
+from ..arch.designs.base import GemmOp, NonlinearOp
+from ..errors import ConfigError
+from .config import ModelConfig
+
+
+def build_decode_ops(config: ModelConfig, batch: int, seq_len: int,
+                     woq_bits: int = 4, kvq_bits: int = 4,
+                     include_lm_head: bool = True,
+                     include_aux_ops: bool = False) -> list:
+    """Operator list for one decode step (one new token per sequence).
+
+    Parameters
+    ----------
+    config:
+        A Table 1 model configuration.
+    batch:
+        Sequences decoded together (the paper sweeps 1–32; default 8).
+    seq_len:
+        Current context length (KV cache depth).
+    woq_bits / kvq_bits:
+        Weight-only and KV-cache quantization widths (both 4 by default).
+    include_lm_head:
+        Append the vocabulary projection.
+    include_aux_ops:
+        Also emit the §7.1 auxiliary ops — per-layer RoPE on Q/K and the
+        two layer normalizations — which Mugi serves via VLP sin/cos and
+        the vector unit respectively.
+    """
+    if batch < 1 or seq_len < 1:
+        raise ConfigError("batch and seq_len must be positive")
+    ops: list = []
+    h = config.hidden_dim
+    d = config.head_dim
+    group = config.gqa_group
+
+    for _ in range(config.n_layers):
+        if include_aux_ops:
+            ops.append(NonlinearOp(op="layernorm", elements=batch * h))
+        # QKV projection: fused [h -> h + 2*kv_dim].
+        ops.append(GemmOp(m=batch, k=h, n=h + 2 * config.kv_dim,
+                          kind="projection", weight_bits=woq_bits))
+        if include_aux_ops:
+            # RoPE rotates the new Q and K vectors (sin + cos lookups
+            # per pair lane; see repro.core.rope).
+            rope_elements = batch * (config.n_heads + config.n_kv_heads) * d
+            ops.append(NonlinearOp(op="rope", elements=rope_elements))
+        # Attention scores: each (sequence, KV head) pair has its own KV
+        # cache, so one GEMM instance per pair; the GQA group of Q heads
+        # sharing that cache forms the GEMM batch (m = group — a GEMV
+        # when group == 1, the §2.3.1 utilization problem).  The KV cache
+        # is the quantized "weight" operand streamed from off-chip.
+        ops.append(GemmOp(m=group, k=d, n=seq_len,
+                          kind="attention_qk", weight_bits=kvq_bits,
+                          count=batch * config.n_kv_heads))
+        ops.append(NonlinearOp(op="softmax",
+                               elements=batch * config.n_heads * seq_len,
+                               rows=batch * config.n_heads))
+        ops.append(GemmOp(m=group, k=seq_len, n=d,
+                          kind="attention_pv", weight_bits=kvq_bits,
+                          count=batch * config.n_kv_heads))
+        # Output projection.
+        ops.append(GemmOp(m=batch, k=h, n=h, kind="projection",
+                          weight_bits=woq_bits))
+        if include_aux_ops:
+            ops.append(NonlinearOp(op="layernorm", elements=batch * h))
+        # FFN: gated (SwiGLU) or plain.
+        if config.gated_ffn:
+            ops.append(GemmOp(m=batch, k=h, n=config.ffn_dim, kind="ffn",
+                              weight_bits=woq_bits, count=2))
+        else:
+            ops.append(GemmOp(m=batch, k=h, n=config.ffn_dim, kind="ffn",
+                              weight_bits=woq_bits))
+        ops.append(NonlinearOp(op=config.activation,
+                               elements=batch * config.ffn_dim))
+        ops.append(GemmOp(m=batch, k=config.ffn_dim, n=h, kind="ffn",
+                          weight_bits=woq_bits))
+
+    if include_lm_head:
+        ops.append(GemmOp(m=batch, k=h, n=config.vocab_size,
+                          kind="projection", weight_bits=woq_bits))
+    return ops
+
+
+def build_prefill_ops(config: ModelConfig, batch: int, seq_len: int,
+                      woq_bits: int = 4, kvq_bits: int = 4) -> list:
+    """Operator list for a prefill pass over ``seq_len`` prompt tokens.
+
+    Projections/FFN become large-m GEMMs (m = batch × seq_len); attention
+    is quadratic in ``seq_len``.
+    """
+    if batch < 1 or seq_len < 1:
+        raise ConfigError("batch and seq_len must be positive")
+    ops: list = []
+    h = config.hidden_dim
+    d = config.head_dim
+    tokens = batch * seq_len
+
+    for _ in range(config.n_layers):
+        ops.append(GemmOp(m=tokens, k=h, n=h + 2 * config.kv_dim,
+                          kind="projection", weight_bits=woq_bits))
+        ops.append(GemmOp(m=seq_len * config.gqa_group, k=d, n=seq_len,
+                          kind="attention_qk", weight_bits=kvq_bits,
+                          count=batch * config.n_kv_heads,
+                          weights_resident=True))
+        ops.append(NonlinearOp(
+            op="softmax",
+            elements=batch * config.n_heads * seq_len * seq_len,
+            rows=batch * config.n_heads * seq_len))
+        ops.append(GemmOp(m=seq_len * config.gqa_group, k=seq_len, n=d,
+                          kind="attention_pv", weight_bits=kvq_bits,
+                          count=batch * config.n_kv_heads,
+                          weights_resident=True))
+        ops.append(GemmOp(m=tokens, k=h, n=h, kind="projection",
+                          weight_bits=woq_bits))
+        if config.gated_ffn:
+            ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
+                              weight_bits=woq_bits, count=2))
+        else:
+            ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
+                              weight_bits=woq_bits))
+        ops.append(NonlinearOp(op=config.activation,
+                               elements=tokens * config.ffn_dim))
+        ops.append(GemmOp(m=tokens, k=config.ffn_dim, n=h, kind="ffn",
+                          weight_bits=woq_bits))
+    return ops
+
+
+def gemm_macs(ops: list) -> int:
+    """Total MAC count of the GEMMs in an op list (sanity checks)."""
+    return sum(op.macs * op.count for op in ops if isinstance(op, GemmOp))
+
+
+def nonlinear_elements(ops: list) -> int:
+    """Total nonlinear elements in an op list."""
+    return sum(op.elements * op.count for op in ops
+               if isinstance(op, NonlinearOp))

@@ -1,0 +1,75 @@
+"""Numeric-format substrate: BF16, FP8, INT4, rounding, and quantization.
+
+These are the data formats Mugi's datapath manipulates (paper Fig. 1 & §4):
+BF16 activations / Q tokens, INT4 weights and KV cache (WOQ / KVQ), and the
+FP8 formats of the Carat predecessor.
+"""
+
+from .bfloat16 import (
+    BF16_BIAS,
+    BF16_MANTISSA_BITS,
+    BF16_MAX,
+    bf16_ulp_error,
+    from_bfloat16_bits,
+    split_bfloat16,
+    to_bfloat16,
+    to_bfloat16_bits,
+)
+from .fields import ZERO_EXPONENT, FieldSplit, combine_fields, reconstruct, split_fields
+from .fp8 import E4M3, E5M2, FP8Format, fp8_representable_values, get_format, quantize_fp8
+from .int4 import (
+    INT4_MAGNITUDE_BITS,
+    INT4_MAX,
+    INT4_MIN,
+    check_int4,
+    from_sign_magnitude,
+    pack_int4,
+    to_sign_magnitude,
+    unpack_int4,
+)
+from .quantization import (
+    QuantizedTensor,
+    fake_quantize_bf16,
+    quantization_error,
+    quantize_groupwise,
+    quantize_kv_cache,
+    quantize_weights_woq,
+)
+from .rounding import round_mantissa
+
+__all__ = [
+    "BF16_BIAS",
+    "BF16_MANTISSA_BITS",
+    "BF16_MAX",
+    "E4M3",
+    "E5M2",
+    "FP8Format",
+    "FieldSplit",
+    "INT4_MAGNITUDE_BITS",
+    "INT4_MAX",
+    "INT4_MIN",
+    "QuantizedTensor",
+    "ZERO_EXPONENT",
+    "bf16_ulp_error",
+    "check_int4",
+    "combine_fields",
+    "fake_quantize_bf16",
+    "fp8_representable_values",
+    "from_bfloat16_bits",
+    "from_sign_magnitude",
+    "get_format",
+    "pack_int4",
+    "quantization_error",
+    "quantize_fp8",
+    "quantize_groupwise",
+    "quantize_kv_cache",
+    "quantize_weights_woq",
+    "reconstruct",
+    "round_mantissa",
+    "split_bfloat16",
+    "split_fields",
+    "to_bfloat16",
+    "to_bfloat16_bits",
+    "to_sign_magnitude",
+    "unpack_int4",
+]

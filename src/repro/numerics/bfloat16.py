@@ -1,0 +1,96 @@
+"""Bit-exact bfloat16 (BF16) conversion and field access.
+
+BF16 is the 1-8-7 truncation of IEEE float32 (paper §1, [32]).  Mugi's
+datapath carries BF16 activations and Q tokens; its nonlinear approximation
+consumes the BF16 sign/mantissa/exponent fields directly (paper Fig. 9,
+M-proc / E-proc blocks).
+
+All conversions use round-to-nearest-even, matching commodity hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fields import FieldSplit, ZERO_EXPONENT
+
+#: BF16 exponent bias.
+BF16_BIAS = 127
+#: Number of explicit mantissa bits.
+BF16_MANTISSA_BITS = 7
+#: Largest finite BF16 value.
+BF16_MAX = 3.3895313892515355e38
+#: Smallest positive normal BF16 value (2**-126).
+BF16_MIN_NORMAL = 1.1754943508222875e-38
+
+
+def to_bfloat16_bits(x: np.ndarray) -> np.ndarray:
+    """Round float values to BF16 and return the raw uint16 bit patterns.
+
+    Uses round-to-nearest-even on the low 16 bits of the float32
+    representation.  NaNs are canonicalized to quiet NaN (0x7FC0 with the
+    input's sign); infinities and zeros pass through exactly.
+    """
+    f32 = np.asarray(x, dtype=np.float32)
+    u32 = f32.view(np.uint32)
+    nan_mask = np.isnan(f32)
+    # Round-to-nearest-even: add 0x7FFF plus the LSB of the upper half.
+    rounding_bias = np.uint32(0x7FFF) + ((u32 >> np.uint32(16)) & np.uint32(1))
+    rounded = u32 + rounding_bias
+    bits = (rounded >> np.uint32(16)).astype(np.uint16)
+    sign_bits = ((u32 >> np.uint32(16)) & np.uint32(0x8000)).astype(np.uint16)
+    bits = np.where(nan_mask, sign_bits | np.uint16(0x7FC0), bits)
+    return bits
+
+
+def from_bfloat16_bits(bits: np.ndarray) -> np.ndarray:
+    """Decode raw uint16 BF16 bit patterns to float32 values."""
+    bits = np.asarray(bits, dtype=np.uint16)
+    u32 = bits.astype(np.uint32) << np.uint32(16)
+    return u32.view(np.float32)
+
+
+def to_bfloat16(x: np.ndarray) -> np.ndarray:
+    """Round float values to the nearest BF16 value (returned as float32).
+
+    This is the canonical "quantize to BF16" used across the package: the
+    returned float32 array holds exactly representable BF16 values.
+    """
+    return from_bfloat16_bits(to_bfloat16_bits(x))
+
+
+def split_bfloat16(x: np.ndarray) -> FieldSplit:
+    """Round to BF16 and split into S-M-E fields (paper Fig. 3d-e).
+
+    Normal values return their unbiased exponent and 7-bit mantissa field.
+    Zeros *and subnormals* are reported as zero (``ZERO_EXPONENT``): Mugi's
+    E-proc underflows tiny inputs to zero (paper §4 step 1), so collapsing
+    subnormals loses nothing downstream.
+
+    Infinities/NaN must be screened by the caller (the PP block).
+    """
+    bits = to_bfloat16_bits(x)
+    sign = ((bits >> np.uint16(15)) & np.uint16(1)).astype(np.int8)
+    exp_biased = ((bits >> np.uint16(7)) & np.uint16(0xFF)).astype(np.int32)
+    mantissa = (bits & np.uint16(0x7F)).astype(np.int32)
+
+    normal = exp_biased > 0
+    exponent = np.where(normal, exp_biased - BF16_BIAS, np.int32(ZERO_EXPONENT))
+    mantissa = np.where(normal, mantissa, np.int32(0))
+    return FieldSplit(sign=sign, exponent=exponent, mantissa=mantissa,
+                      mantissa_bits=BF16_MANTISSA_BITS)
+
+
+def bf16_ulp_error(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Distance between two arrays measured in BF16 representation steps.
+
+    Useful in tests for asserting "within N BF16 ulps".
+    """
+    ba = to_bfloat16_bits(a).astype(np.int32)
+    bb = to_bfloat16_bits(b).astype(np.int32)
+
+    def ordered(u):
+        # Map sign-magnitude bit patterns to a monotonic integer line.
+        return np.where(u & 0x8000, 0x8000 - (u & 0x7FFF) - 1, 0x8000 + (u & 0x7FFF))
+
+    return np.abs(ordered(ba) - ordered(bb))

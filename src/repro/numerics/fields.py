@@ -1,0 +1,134 @@
+"""Sign / mantissa / exponent (S-M-E) field decomposition.
+
+The Mugi paper's VLP nonlinear approximation (paper Fig. 3) operates on the
+*fields* of a floating-point input rather than its value: the sign and
+(rounded) mantissa select a LUT row, and the exponent selects an entry
+within the row.  This module provides the field split and the inverse
+reconstruction used throughout :mod:`repro.core`.
+
+A decomposed value is represented by three integer arrays:
+
+``sign``
+    0 for non-negative, 1 for negative.
+``exponent``
+    The *unbiased* power-of-two exponent ``e`` such that
+    ``|x| = (1 + mantissa / 2**mantissa_bits) * 2**e`` for normal values.
+``mantissa``
+    The fractional mantissa field as an integer in
+    ``[0, 2**mantissa_bits)``; the implicit leading one is not stored.
+
+Zeros are encoded with ``exponent = ZERO_EXPONENT`` (a sentinel far below
+any representable exponent) and ``mantissa = 0`` so that downstream window
+clamping naturally treats them as underflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError
+
+#: Sentinel unbiased exponent used for (signed) zeros.  Any real BF16
+#: exponent is >= -133 (subnormal), so -1000 is unambiguous.
+ZERO_EXPONENT = -1000
+
+
+@dataclass(frozen=True)
+class FieldSplit:
+    """The S-M-E decomposition of an array of floating-point values.
+
+    Attributes
+    ----------
+    sign:
+        ``int8`` array of 0/1 sign bits.
+    exponent:
+        ``int32`` array of unbiased exponents (``ZERO_EXPONENT`` for zeros).
+    mantissa:
+        ``int32`` array of fractional mantissa fields.
+    mantissa_bits:
+        Width of the mantissa field in bits.
+    """
+
+    sign: np.ndarray
+    exponent: np.ndarray
+    mantissa: np.ndarray
+    mantissa_bits: int
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of the decomposed array."""
+        return self.sign.shape
+
+    def is_zero(self) -> np.ndarray:
+        """Boolean mask of elements that decompose to (signed) zero."""
+        return self.exponent == ZERO_EXPONENT
+
+
+def split_fields(x: np.ndarray, mantissa_bits: int = 7) -> FieldSplit:
+    """Split float values into S-M-E fields with ``mantissa_bits`` mantissa.
+
+    The input is interpreted as an ideal binary float: ``|x| = (1 + f) *
+    2**e`` with ``f in [0, 1)``.  The fractional part is truncated (not
+    rounded) to ``mantissa_bits`` bits; callers that need rounding should
+    use :func:`repro.numerics.rounding.round_mantissa` on a wider split, or
+    round the value to the target format first (e.g. via
+    :func:`repro.numerics.bfloat16.to_bfloat16`).
+
+    Parameters
+    ----------
+    x:
+        Array of finite floats.
+    mantissa_bits:
+        Number of explicit fractional mantissa bits to keep.
+
+    Raises
+    ------
+    FormatError
+        If ``x`` contains NaN or infinity (the hardware PP block handles
+        specials separately; see :mod:`repro.core.approx`).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not np.all(np.isfinite(x)):
+        raise FormatError("split_fields requires finite inputs")
+    if mantissa_bits < 1:
+        raise FormatError("mantissa_bits must be >= 1")
+
+    sign = (np.signbit(x)).astype(np.int8)
+    absx = np.abs(x)
+    # frexp: absx = frac * 2**exp with frac in [0.5, 1) for nonzero input.
+    frac, exp = np.frexp(absx)
+    exponent = exp.astype(np.int32) - 1
+    # 2*frac in [1, 2); the fractional part scaled to the mantissa width.
+    scaled = (2.0 * frac - 1.0) * (1 << mantissa_bits)
+    mantissa = np.floor(scaled + 1e-9).astype(np.int32)
+    mantissa = np.clip(mantissa, 0, (1 << mantissa_bits) - 1)
+
+    zero = absx == 0.0
+    exponent = np.where(zero, np.int32(ZERO_EXPONENT), exponent)
+    mantissa = np.where(zero, np.int32(0), mantissa)
+    return FieldSplit(sign=sign, exponent=exponent, mantissa=mantissa,
+                      mantissa_bits=mantissa_bits)
+
+
+def combine_fields(fields: FieldSplit) -> np.ndarray:
+    """Reconstruct float64 values from an S-M-E decomposition.
+
+    Zeros (``exponent == ZERO_EXPONENT``) reconstruct to signed zero.
+    """
+    frac = 1.0 + fields.mantissa.astype(np.float64) / (1 << fields.mantissa_bits)
+    magnitude = np.ldexp(frac, fields.exponent.astype(np.int64).clip(-1022, 1023))
+    magnitude = np.where(fields.is_zero(), 0.0, magnitude)
+    return np.where(fields.sign.astype(bool), -magnitude, magnitude)
+
+
+def reconstruct(sign: np.ndarray, exponent: np.ndarray, mantissa: np.ndarray,
+                mantissa_bits: int) -> np.ndarray:
+    """Convenience wrapper: reconstruct values from raw field arrays."""
+    return combine_fields(FieldSplit(
+        sign=np.asarray(sign, dtype=np.int8),
+        exponent=np.asarray(exponent, dtype=np.int32),
+        mantissa=np.asarray(mantissa, dtype=np.int32),
+        mantissa_bits=mantissa_bits,
+    ))

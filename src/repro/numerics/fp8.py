@@ -1,0 +1,100 @@
+"""FP8 formats (E4M3 and E5M2) for the Carat baseline.
+
+Carat, the prior VLP design (paper §2.1, [46]), only supports symmetric FP8
+GEMM; Mugi's asymmetric BF16-INT4 support is motivated by FP8's
+insufficiency for LLM weights/KV cache.  This module implements bit-exact
+FP8 rounding so that the Carat baseline and cross-format tests are
+faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError
+
+
+@dataclass(frozen=True)
+class FP8Format:
+    """An FP8 variant described by its exponent/mantissa split."""
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+    bias: int
+    max_value: float
+
+    @property
+    def spike_cycles(self) -> int:
+        """Temporal spike window implied by the mantissa width (2**m)."""
+        return 1 << self.mantissa_bits
+
+
+#: OCP FP8 E4M3 (finite max 448); Carat's native format.
+E4M3 = FP8Format(name="e4m3", exponent_bits=4, mantissa_bits=3, bias=7,
+                 max_value=448.0)
+#: OCP FP8 E5M2 (finite max 57344).
+E5M2 = FP8Format(name="e5m2", exponent_bits=5, mantissa_bits=2, bias=15,
+                 max_value=57344.0)
+
+_FORMATS = {"e4m3": E4M3, "e5m2": E5M2}
+
+
+def get_format(name: str) -> FP8Format:
+    """Look up an FP8 format by name ('e4m3' or 'e5m2')."""
+    try:
+        return _FORMATS[name.lower()]
+    except KeyError:
+        raise FormatError(f"unknown FP8 format {name!r}") from None
+
+
+def quantize_fp8(x: np.ndarray, fmt: FP8Format = E4M3) -> np.ndarray:
+    """Round values to the nearest representable FP8 value (as float32).
+
+    Out-of-range magnitudes saturate to ``fmt.max_value`` (the common
+    saturating-cast convention for ML accelerators).  Subnormal FP8 values
+    are supported.  NaN/inf inputs raise: the VLP datapath screens specials
+    before the array (paper Fig. 9 PP block).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not np.all(np.isfinite(x)):
+        raise FormatError("quantize_fp8 requires finite inputs")
+
+    sign = np.sign(x)
+    mag = np.minimum(np.abs(x), fmt.max_value)
+
+    min_exp = 1 - fmt.bias  # Smallest normal exponent.
+    frac, exp = np.frexp(mag)
+    e = exp.astype(np.int64) - 1  # |x| = (2*frac) * 2**e, 2*frac in [1,2)
+
+    # Quantization step for normals is 2**(e - m); subnormals use the
+    # fixed step 2**(min_exp - m).
+    step_exp = np.maximum(e, min_exp) - fmt.mantissa_bits
+    step = np.ldexp(1.0, step_exp.astype(np.int64))
+    q = np.round(mag / step) * step
+    # Rounding may push a value to the next binade; that is still exactly
+    # representable, so no correction is needed beyond the max clamp.
+    q = np.minimum(q, fmt.max_value)
+    q = np.where(mag == 0.0, 0.0, q)
+    return (sign * q).astype(np.float32)
+
+
+def fp8_representable_values(fmt: FP8Format = E4M3) -> np.ndarray:
+    """Enumerate all finite representable values of an FP8 format.
+
+    Handy for exhaustive property tests (|values| <= 256).
+    """
+    values = [0.0]
+    for e_field in range(0, 1 << fmt.exponent_bits):
+        for m in range(0, 1 << fmt.mantissa_bits):
+            if e_field == 0:
+                val = m / (1 << fmt.mantissa_bits) * 2.0 ** (1 - fmt.bias)
+            else:
+                val = ((1 << fmt.mantissa_bits) + m) / (1 << fmt.mantissa_bits) \
+                    * 2.0 ** (e_field - fmt.bias)
+            if val <= fmt.max_value:
+                values.append(val)
+    arr = np.unique(np.asarray(values, dtype=np.float64))
+    return np.concatenate([-arr[::-1][:-1], arr])

@@ -1,0 +1,80 @@
+"""INT4 sign-magnitude values for Mugi's slim weight datapath.
+
+Mugi maps INT4 weights / KV cache to array rows (paper §4.2): the 3-bit
+magnitude drives the temporal converter (8-cycle spike window) and the sign
+bit is XOR-ed in the sign-conversion (SC) block.  Sign-magnitude therefore
+restricts the range to ``[-7, 7]`` — the two's-complement ``-8`` has no
+3-bit magnitude, matching common symmetric-quantization practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+
+#: Inclusive INT4 sign-magnitude range.
+INT4_MIN = -7
+INT4_MAX = 7
+#: Number of magnitude bits (drives the temporal spike window of 2**3 = 8).
+INT4_MAGNITUDE_BITS = 3
+
+
+def check_int4(values: np.ndarray) -> np.ndarray:
+    """Validate and return an int8 array of INT4 sign-magnitude values."""
+    arr = np.asarray(values)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise FormatError("INT4 values must be integers")
+    if arr.size and (arr.min() < INT4_MIN or arr.max() > INT4_MAX):
+        raise FormatError(
+            f"INT4 sign-magnitude values must lie in [{INT4_MIN}, {INT4_MAX}]")
+    return arr.astype(np.int8)
+
+
+def to_sign_magnitude(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split INT4 values into (sign, magnitude) field arrays.
+
+    Returns ``sign`` as 0/1 int8 (1 for negative; ``-0`` never occurs
+    because magnitude-0 values are canonicalized to ``sign = 0``) and
+    ``magnitude`` as int8 in ``[0, 7]``.
+    """
+    arr = check_int4(values)
+    magnitude = np.abs(arr).astype(np.int8)
+    sign = ((arr < 0) & (magnitude > 0)).astype(np.int8)
+    return sign, magnitude
+
+
+def from_sign_magnitude(sign: np.ndarray, magnitude: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_sign_magnitude`."""
+    sign = np.asarray(sign, dtype=np.int8)
+    magnitude = np.asarray(magnitude, dtype=np.int8)
+    if magnitude.size and (magnitude.min() < 0 or magnitude.max() > INT4_MAX):
+        raise FormatError("INT4 magnitude must lie in [0, 7]")
+    return np.where(sign.astype(bool), -magnitude, magnitude).astype(np.int8)
+
+
+def pack_int4(values: np.ndarray) -> np.ndarray:
+    """Pack a flat array of INT4 values, two per byte (low nibble first).
+
+    The nibble encoding is sign-magnitude: bit 3 = sign, bits 2..0 =
+    magnitude.  Odd-length inputs are zero-padded.
+    """
+    sign, magnitude = to_sign_magnitude(np.asarray(values).reshape(-1))
+    nibbles = ((sign.astype(np.uint8) << 3) | magnitude.astype(np.uint8))
+    if nibbles.size % 2:
+        nibbles = np.concatenate([nibbles, np.zeros(1, dtype=np.uint8)])
+    return (nibbles[0::2] | (nibbles[1::2] << 4)).astype(np.uint8)
+
+
+def unpack_int4(packed: np.ndarray, count: int) -> np.ndarray:
+    """Unpack ``count`` INT4 values from bytes produced by :func:`pack_int4`."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    lo = packed & np.uint8(0x0F)
+    hi = packed >> np.uint8(4)
+    nibbles = np.empty(packed.size * 2, dtype=np.uint8)
+    nibbles[0::2] = lo
+    nibbles[1::2] = hi
+    nibbles = nibbles[:count]
+    sign = (nibbles >> np.uint8(3)).astype(np.int8)
+    magnitude = (nibbles & np.uint8(0x07)).astype(np.int8)
+    return from_sign_magnitude(sign, magnitude)

@@ -1,0 +1,154 @@
+"""Weight-only and KV-cache quantization (paper §2.3.2, §2.3.3).
+
+LLM inference pairs BF16 activations with sub-byte weights (WOQ, e.g.
+GPTQ/AWQ-style BF16-INT4) and quantized KV cache (KVQ, e.g. KVQuant).
+Mugi's GEMM datapath consumes exactly this asymmetric pairing: INT4
+sign-magnitude weights on the rows, BF16 tokens on the columns.
+
+This module implements group-wise symmetric INT quantization (the common
+WOQ/KVQ recipe) plus the dequantization epilogue that Mugi executes on its
+vector array after GEMM (paper §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError
+from .bfloat16 import to_bfloat16
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A group-quantized integer tensor with its dequantization scales.
+
+    Attributes
+    ----------
+    q:
+        Integer codes, same shape as the source tensor (int8 storage).
+    scales:
+        Per-group scales; shape equals the source shape with the quantized
+        axis reduced to ``ceil(n / group_size)``.
+    axis:
+        The axis along which groups were formed.
+    group_size:
+        Elements per quantization group along ``axis``.
+    bits:
+        Bit width (4 or 8); the symmetric range is ``±(2**(bits-1) - 1)``.
+    """
+
+    q: np.ndarray
+    scales: np.ndarray
+    axis: int
+    group_size: int
+    bits: int
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable magnitude (sign-magnitude symmetric)."""
+        return (1 << (self.bits - 1)) - 1
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct float values: ``q * scale`` broadcast per group."""
+        expanded = np.repeat(self.scales, self.group_size, axis=self.axis)
+        slicer = [slice(None)] * self.q.ndim
+        slicer[self.axis] = slice(0, self.q.shape[self.axis])
+        return self.q.astype(np.float64) * expanded[tuple(slicer)]
+
+
+def quantize_groupwise(x: np.ndarray, bits: int = 4, group_size: int = 128,
+                       axis: int = -1) -> QuantizedTensor:
+    """Symmetric group-wise quantization to ``bits``-bit sign-magnitude.
+
+    Each group of ``group_size`` consecutive elements along ``axis`` shares
+    one scale ``max|x| / qmax``; codes are ``round(x / scale)`` clamped to
+    ``[-qmax, qmax]``.  The last group may be ragged (it is padded
+    internally and the padding discarded).
+
+    Parameters
+    ----------
+    x:
+        Float tensor to quantize.
+    bits:
+        4 (WOQ/KVQ default) or 8.
+    group_size:
+        Group length; ``group_size <= 0`` means one group spanning the axis.
+    axis:
+        Axis along which to group.
+    """
+    if bits not in (4, 8):
+        raise FormatError("quantize_groupwise supports 4- or 8-bit codes")
+    x = np.asarray(x, dtype=np.float64)
+    axis = axis % x.ndim
+    n = x.shape[axis]
+    if group_size <= 0 or group_size > n:
+        group_size = n
+
+    qmax = (1 << (bits - 1)) - 1
+    pad = (-n) % group_size
+    if pad:
+        pad_width = [(0, 0)] * x.ndim
+        pad_width[axis] = (0, pad)
+        x_padded = np.pad(x, pad_width)
+    else:
+        x_padded = x
+
+    groups = x_padded.shape[axis] // group_size
+    new_shape = list(x_padded.shape)
+    new_shape[axis:axis + 1] = [groups, group_size]
+    grouped = x_padded.reshape(new_shape)
+
+    absmax = np.max(np.abs(grouped), axis=axis + 1, keepdims=True)
+    scales = np.where(absmax > 0, absmax / qmax, 1.0)
+    q = np.clip(np.round(grouped / scales), -qmax, qmax).astype(np.int8)
+
+    q = q.reshape(x_padded.shape)
+    slicer = [slice(None)] * x.ndim
+    slicer[axis] = slice(0, n)
+    q = q[tuple(slicer)]
+    scales = np.squeeze(scales, axis=axis + 1)
+    return QuantizedTensor(q=q, scales=scales, axis=axis,
+                           group_size=group_size, bits=bits)
+
+
+def quantize_weights_woq(weight: np.ndarray, bits: int = 4,
+                         group_size: int = 128) -> QuantizedTensor:
+    """Weight-only quantization of a ``[out_features, in_features]`` matrix.
+
+    Groups run along the input-feature axis (the GEMM reduction dimension),
+    matching GPTQ/AWQ conventions, so the dequant scale can be folded into
+    Mugi's vector-array epilogue per output tile.
+    """
+    weight = np.asarray(weight)
+    if weight.ndim != 2:
+        raise FormatError("WOQ expects a 2-D weight matrix")
+    return quantize_groupwise(weight, bits=bits, group_size=group_size, axis=1)
+
+
+def quantize_kv_cache(kv: np.ndarray, bits: int = 4,
+                      group_size: int = 0) -> QuantizedTensor:
+    """KV-cache quantization along the head dimension (per-token groups).
+
+    ``kv`` has shape ``[..., seq_len, head_dim]``; each token's head vector
+    is quantized with a single scale by default (``group_size = 0``),
+    following per-token KVQ recipes.
+    """
+    kv = np.asarray(kv)
+    if kv.ndim < 2:
+        raise FormatError("KVQ expects at least [seq, head_dim]")
+    return quantize_groupwise(kv, bits=bits, group_size=group_size, axis=-1)
+
+
+def quantization_error(x: np.ndarray, qt: QuantizedTensor) -> float:
+    """RMS relative error introduced by quantization (for tests/reports)."""
+    x = np.asarray(x, dtype=np.float64)
+    err = x - qt.dequantize()
+    denom = np.sqrt(np.mean(x * x)) + 1e-30
+    return float(np.sqrt(np.mean(err * err)) / denom)
+
+
+def fake_quantize_bf16(x: np.ndarray) -> np.ndarray:
+    """Round-trip values through BF16 (activation-side quantization)."""
+    return to_bfloat16(x).astype(np.float64)

@@ -1,0 +1,70 @@
+"""Mantissa rounding — Mugi's input approximation (paper §3.2).
+
+VLP temporal coding costs ``2**n`` cycles for an ``n``-bit mantissa, so the
+M-proc block rounds the BF16 7-bit mantissa to 3 bits (the "R" block in
+paper Fig. 9).  Rounding is round-to-nearest-even with carry into the
+exponent, exactly as a hardware rounder behaves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from .fields import FieldSplit, ZERO_EXPONENT
+
+
+def round_mantissa(fields: FieldSplit, target_bits: int) -> FieldSplit:
+    """Round an S-M-E decomposition to a narrower mantissa field.
+
+    Uses round-to-nearest-even on the dropped bits.  When the mantissa
+    rounds up past the implicit one (carry out), the exponent is
+    incremented and the mantissa wraps to zero — e.g. BF16 ``1.1111111b *
+    2^e`` rounds to ``1.000b * 2^(e+1)`` for a 3-bit target.
+
+    Parameters
+    ----------
+    fields:
+        Decomposition with ``fields.mantissa_bits >= target_bits``.
+    target_bits:
+        Desired mantissa width (Mugi uses 3).
+
+    Returns
+    -------
+    FieldSplit
+        New decomposition with ``mantissa_bits == target_bits``.
+    """
+    if target_bits < 1:
+        raise FormatError("target_bits must be >= 1")
+    if target_bits > fields.mantissa_bits:
+        raise FormatError(
+            f"cannot round {fields.mantissa_bits}-bit mantissa up to "
+            f"{target_bits} bits")
+    if target_bits == fields.mantissa_bits:
+        return fields
+
+    shift = fields.mantissa_bits - target_bits
+    m = fields.mantissa.astype(np.int64)
+    half = np.int64(1 << (shift - 1))
+    low_mask = np.int64((1 << shift) - 1)
+
+    truncated = m >> shift
+    remainder = m & low_mask
+    # Round-to-nearest, ties to even.
+    round_up = (remainder > half) | ((remainder == half) & ((truncated & 1) == 1))
+    rounded = truncated + round_up.astype(np.int64)
+
+    carry = rounded >> target_bits  # 1 where the mantissa overflowed.
+    rounded = rounded & np.int64((1 << target_bits) - 1)
+    exponent = fields.exponent.astype(np.int64) + carry
+
+    zero = fields.exponent == ZERO_EXPONENT
+    exponent = np.where(zero, np.int64(ZERO_EXPONENT), exponent)
+    rounded = np.where(zero, np.int64(0), rounded)
+
+    return FieldSplit(
+        sign=fields.sign,
+        exponent=exponent.astype(np.int32),
+        mantissa=rounded.astype(np.int32),
+        mantissa_bits=target_bits,
+    )

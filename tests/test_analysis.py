@@ -1,0 +1,86 @@
+"""Tests for analysis helpers and the lightweight experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import geomean, normalize_to, render_heatmap, render_series, render_table, speedup
+from repro.analysis.experiments import end_to_end, relative_error
+from repro.errors import ConfigError
+
+
+class TestStats:
+    def test_geomean_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([5]) == pytest.approx(5.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ConfigError):
+            geomean([])
+
+    def test_normalize_to(self):
+        out = normalize_to({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+        with pytest.raises(ConfigError):
+            normalize_to({"a": 1.0}, "missing")
+
+    def test_speedup(self):
+        assert speedup(new=2.0, old=6.0) == pytest.approx(3.0)
+
+
+class TestRendering:
+    def test_table_contains_cells(self):
+        text = render_table(["A", "B"], [["x", 1.5], ["y", 2.0]], title="T")
+        assert "T" in text and "x" in text and "1.500" in text
+
+    def test_series(self):
+        text = render_series("s", [1, 2], [0.5, 0.25])
+        assert "0.500" in text and "0.250" in text
+
+    def test_heatmap_marks_best(self):
+        text = render_heatmap("H", [0, 1], ["a", "b"],
+                              [[2.0, 1.0], [3.0, 4.0]])
+        assert "*" in text
+        best_line = [ln for ln in text.splitlines() if "*" in ln][0]
+        assert "1.000*" in best_line
+
+    def test_large_and_small_floats(self):
+        text = render_table(["v"], [[1.23e9], [4.56e-9]])
+        assert "e+09" in text and "e-09" in text
+
+
+class TestErrorCurveDriver:
+    def test_all_best_configs_have_curves(self):
+        curves = relative_error.run_all(n_points=300)
+        assert set(curves) == set(relative_error.BEST_CONFIGS)
+        for curve in curves.values():
+            assert curve.x.shape == curve.relative_error.shape
+            assert np.all(np.abs(curve.relative_error) <= 1.0)
+
+    def test_interval_query(self):
+        curve = relative_error.error_curve("silu", "vlp", n_points=500)
+        inner = curve.max_abs_error_in(1 / 16, 0.5)
+        assert 0 <= inner <= 1.0
+
+
+class TestEndToEndDriver:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return end_to_end.run(batch=8, seq_len=1024)
+
+    def test_all_sections_present(self, rows):
+        sections = {r.section for r in rows}
+        assert sections == {"SN", "SN-S", "NoC"}
+        assert len(rows) == 20
+
+    def test_rows_serializable(self, rows):
+        for r in rows:
+            cells = r.as_list()
+            assert len(cells) == 6
+
+    def test_headline_ratio_keys(self, rows):
+        ratios = end_to_end.headline_ratios(rows)
+        assert set(ratios) == {"throughput", "energy_efficiency",
+                               "power_efficiency"}
+        assert all(v > 1.0 for v in ratios.values())

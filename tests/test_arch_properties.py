@@ -1,0 +1,136 @@
+"""Hypothesis property tests on the architecture cost models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    GemmOp,
+    MugiDesign,
+    NocConfig,
+    NocSystem,
+    NonlinearOp,
+    SystolicDesign,
+    TensorCoreDesign,
+    simulate_workload,
+)
+
+dims = st.integers(min_value=1, max_value=512)
+small = st.integers(min_value=1, max_value=64)
+
+
+class TestGemmCostProperties:
+    @given(m=small, k=dims, n=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_costs_positive_and_finite(self, m, k, n):
+        op = GemmOp(m=m, k=k, n=n)
+        for design in (MugiDesign(height=64), SystolicDesign(dim=8),
+                       TensorCoreDesign()):
+            cost = design.gemm_cost(op)
+            assert cost.cycles > 0
+            assert cost.energy_pj > 0
+            assert math.isfinite(cost.energy_pj)
+            assert cost.hbm_bytes >= op.weight_bytes
+
+    @given(m=small, k=dims, n=dims)
+    @settings(max_examples=40, deadline=None)
+    def test_cycles_monotone_in_k(self, m, k, n):
+        design = MugiDesign(height=64)
+        base = design.gemm_cost(GemmOp(m=m, k=k, n=n)).cycles
+        more = design.gemm_cost(GemmOp(m=m, k=2 * k, n=n)).cycles
+        assert more > base
+
+    @given(m=small, k=dims, n=dims)
+    @settings(max_examples=40, deadline=None)
+    def test_taller_mugi_never_slower(self, m, k, n):
+        op = GemmOp(m=m, k=k, n=n)
+        short = MugiDesign(height=64).gemm_cost(op).cycles
+        tall = MugiDesign(height=256).gemm_cost(op).cycles
+        assert tall <= short
+
+    @given(m=small, k=dims, n=dims)
+    @settings(max_examples=40, deadline=None)
+    def test_energy_scales_with_work(self, m, k, n):
+        design = SystolicDesign(dim=8)
+        op = GemmOp(m=m, k=k, n=n, weights_resident=True)
+        doubled = GemmOp(m=m, k=k, n=2 * n, weights_resident=True)
+        assert design.gemm_cost(doubled).energy_pj > \
+            design.gemm_cost(op).energy_pj
+
+
+class TestNonlinearCostProperties:
+    @given(elements=st.integers(min_value=1, max_value=1 << 20))
+    @settings(max_examples=50, deadline=None)
+    def test_silu_cost_positive(self, elements):
+        cost = MugiDesign(height=128).nonlinear_cost(
+            NonlinearOp(op="silu", elements=elements))
+        assert cost.cycles > 0 and cost.energy_pj > 0
+
+    @given(elements=st.integers(min_value=64, max_value=1 << 18),
+           rows=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_at_least_elementwise_cost(self, elements, rows):
+        design = MugiDesign(height=128)
+        softmax = design.nonlinear_cost(
+            NonlinearOp(op="softmax", elements=elements, rows=rows))
+        silu = design.nonlinear_cost(
+            NonlinearOp(op="silu", elements=elements))
+        assert softmax.cycles >= silu.cycles
+        assert softmax.energy_pj > silu.energy_pj
+
+
+class TestNocProperties:
+    @given(rows=st.integers(min_value=1, max_value=4),
+           cols=st.integers(min_value=1, max_value=4),
+           m=small, k=dims, n=dims)
+    @settings(max_examples=30, deadline=None)
+    def test_mesh_never_slower_than_single_node(self, rows, cols, m, k, n):
+        node = MugiDesign(height=64)
+        system = NocSystem(node, NocConfig(rows=rows, cols=cols))
+        op = GemmOp(m=m, k=k, n=n)
+        assert system.gemm_cost(op).cycles <= node.gemm_cost(op).cycles
+
+    @given(m=small, k=dims, n=dims)
+    @settings(max_examples=30, deadline=None)
+    def test_mesh_energy_at_least_hbm_floor(self, m, k, n):
+        """Whatever the tiling, weights must still stream once."""
+        system = NocSystem(MugiDesign(height=64), NocConfig(4, 4))
+        op = GemmOp(m=m, k=k, n=n)
+        cost = system.gemm_cost(op)
+        assert cost.hbm_bytes >= op.weight_bytes
+
+    @given(count=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_count_instances_parallelize(self, count):
+        """A 16-node mesh running `count` instances is never slower than
+        one node running them back-to-back."""
+        node = MugiDesign(height=64)
+        system = NocSystem(node, NocConfig(4, 4))
+        multi = GemmOp(m=8, k=128, n=256, count=count)
+        mesh_total = system.gemm_cost(multi).cycles * count
+        node_total = node.gemm_cost(multi).cycles * count
+        assert mesh_total <= node_total + 1e-6
+        # And with enough instances the speedup approaches the node count.
+        if count >= 16:
+            assert mesh_total < node_total / 8
+
+
+class TestSimulationProperties:
+    @given(batch=st.integers(min_value=1, max_value=16),
+           seq=st.sampled_from([128, 512, 2048]))
+    @settings(max_examples=15, deadline=None)
+    def test_metrics_self_consistent(self, batch, seq):
+        from repro.llm import LLAMA2_7B, build_decode_ops
+        ops = build_decode_ops(LLAMA2_7B, batch=batch, seq_len=seq)
+        r = simulate_workload(MugiDesign(height=128), ops,
+                              tokens_per_step=batch)
+        assert r.step_seconds == max(r.compute_seconds, r.memory_seconds)
+        assert r.total_power_w > r.leakage_w
+        assert r.energy_efficiency == pytest.approx(
+            r.throughput_tokens_s / r.energy_per_token_j)
+        assert r.power_efficiency == pytest.approx(
+            r.throughput_tokens_s / r.total_power_w)
+        assert sum(r.cycles_by_kind.values()) * 2.5e-9 == pytest.approx(
+            r.compute_seconds)

@@ -1,0 +1,205 @@
+"""End-to-end simulator tests reproducing Table 3 / Fig. 14 / Fig. 17 shapes."""
+
+import pytest
+
+from repro.arch import (
+    NocConfig,
+    NocSystem,
+    make_design,
+    make_noc,
+    simulate_workload,
+)
+from repro.errors import ConfigError, SimulationError
+from repro.llm import LLAMA2_70B_GQA, LLAMA2_7B, build_decode_ops
+
+
+@pytest.fixture(scope="module")
+def llama70b_ops():
+    return build_decode_ops(LLAMA2_70B_GQA, batch=8, seq_len=4096)
+
+
+@pytest.fixture(scope="module")
+def results(llama70b_ops):
+    out = {}
+    for kind, size in [("mugi", 128), ("mugi", 256), ("carat", 256),
+                       ("sa", 16), ("sa", 64), ("tensor", None)]:
+        design = make_design(kind, size)
+        out[(kind, size)] = simulate_workload(design, llama70b_ops,
+                                              tokens_per_step=8)
+    return out
+
+
+class TestTable3Headlines:
+    def test_throughput_ratio_mugi_vs_sa(self, results):
+        """Paper: Mugi(256) = 2.07x SA(16) throughput."""
+        ratio = (results[("mugi", 256)].throughput_tokens_s
+                 / results[("sa", 16)].throughput_tokens_s)
+        assert 1.8 < ratio < 2.4
+
+    def test_energy_efficiency_ratio(self, results):
+        """Paper: 3.11x energy efficiency."""
+        ratio = (results[("mugi", 256)].energy_efficiency
+                 / results[("sa", 16)].energy_efficiency)
+        assert 2.4 < ratio < 4.5
+
+    def test_power_efficiency_ratio(self, results):
+        """Paper: 1.50x power efficiency."""
+        ratio = (results[("mugi", 256)].power_efficiency
+                 / results[("sa", 16)].power_efficiency)
+        assert 1.2 < ratio < 2.3
+
+    def test_absolute_throughputs_in_paper_band(self, results):
+        """Table 3 magnitudes: Mugi(128) 0.71, Mugi(256) 1.39, SA(16) 0.67."""
+        assert 0.5 < results[("mugi", 128)].throughput_tokens_s < 0.9
+        assert 1.1 < results[("mugi", 256)].throughput_tokens_s < 1.7
+        assert 0.5 < results[("sa", 16)].throughput_tokens_s < 0.9
+
+    def test_scaled_up_sa_underutilized(self, results):
+        """SA(64) has 16x the MACs of SA(16) but only ~4x the speed."""
+        ratio = (results[("sa", 64)].throughput_tokens_s
+                 / results[("sa", 16)].throughput_tokens_s)
+        assert 3.0 < ratio < 5.5
+
+    def test_tensor_core_fast_but_power_hungry(self, results):
+        tensor = results[("tensor", None)]
+        mugi = results[("mugi", 256)]
+        assert tensor.throughput_tokens_s > 3 * mugi.throughput_tokens_s
+        assert tensor.power_efficiency < mugi.power_efficiency
+
+    def test_carat_matches_mugi_throughput_not_efficiency(self, results):
+        carat = results[("carat", 256)]
+        mugi = results[("mugi", 256)]
+        assert carat.throughput_tokens_s == pytest.approx(
+            mugi.throughput_tokens_s, rel=0.05)
+        assert carat.energy_efficiency < mugi.energy_efficiency
+        assert carat.area_mm2 > mugi.area_mm2
+
+    def test_compute_bound_at_45nm_400mhz(self, results):
+        """Paper §6.3.1: Mugi is more compute-bounded than memory-bound."""
+        r = results[("mugi", 256)]
+        assert r.compute_seconds > r.memory_seconds
+
+    def test_operational_intensity_similar_across_designs(self, results):
+        """Paper §6.3.1: DRAM traffic is almost identical across designs."""
+        hbm = [results[k].hbm_bytes for k in results]
+        assert max(hbm) / min(hbm) < 1.05
+
+
+class TestBatchSweep:
+    """Fig. 14: Mugi peaks at batch 8; SA keeps gaining with batch."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        out = {}
+        for batch in (1, 2, 4, 8, 16, 32):
+            ops = build_decode_ops(LLAMA2_7B, batch=batch, seq_len=1024)
+            for kind, size in [("mugi", 256), ("sa", 16)]:
+                design = make_design(kind, size)
+                r = simulate_workload(design, ops, tokens_per_step=batch)
+                out[(kind, batch)] = r.throughput_tokens_s
+        return out
+
+    def test_mugi_throughput_saturates_at_batch8(self, sweep):
+        gain_to_8 = sweep[("mugi", 8)] / sweep[("mugi", 1)]
+        gain_8_to_32 = sweep[("mugi", 32)] / sweep[("mugi", 8)]
+        assert gain_to_8 > 4.0          # Filling the 8 columns.
+        assert gain_8_to_32 < 1.6       # Saturated past 8.
+
+    def test_sa_keeps_gaining_past_batch8(self, sweep):
+        """SA(16) peaks only at batch = dim = 16; Mugi is already flat."""
+        sa_gain = sweep[("sa", 16)] / sweep[("sa", 8)]
+        mugi_gain = sweep[("mugi", 16)] / sweep[("mugi", 8)]
+        assert sa_gain > 1.3            # Still filling the 16-wide tiles.
+        assert mugi_gain < 1.05         # Columns already full at 8.
+
+    def test_mugi_best_batch_smaller_than_sa(self, sweep):
+        """Paper: 'The best throughput of Mugi is attainable at a smaller
+        batch size of 8 than other baselines'."""
+        mugi_frac_at_8 = sweep[("mugi", 8)] / sweep[("mugi", 32)]
+        sa_frac_at_8 = sweep[("sa", 8)] / sweep[("sa", 32)]
+        assert mugi_frac_at_8 > sa_frac_at_8
+
+
+class TestGQA:
+    def test_gqa_fills_columns_at_batch_one(self):
+        """Fig. 12 / §4.2: the GQA group of 8 fills Mugi's columns even
+        when the decode batch alone cannot (batch 1 -> m = 8 via GQA,
+        and 8x fewer KV-head GEMM instances)."""
+        from repro.llm import LLAMA2_70B
+        design = make_design("mugi", 256)
+        gqa_ops = build_decode_ops(LLAMA2_70B_GQA, batch=1, seq_len=4096)
+        mha_ops = build_decode_ops(LLAMA2_70B, batch=1, seq_len=4096)
+        gqa = simulate_workload(design, gqa_ops, tokens_per_step=1)
+        mha = simulate_workload(design, mha_ops, tokens_per_step=1)
+        assert gqa.cycles_by_kind["attention"] < \
+            0.2 * mha.cycles_by_kind["attention"]
+
+    def test_gqa_shrinks_kv_traffic(self):
+        """KVQ + GQA: 8x smaller KV cache streamed from HBM."""
+        from repro.llm import LLAMA2_70B
+        design = make_design("mugi", 256)
+        gqa_ops = build_decode_ops(LLAMA2_70B_GQA, batch=8, seq_len=4096)
+        mha_ops = build_decode_ops(LLAMA2_70B, batch=8, seq_len=4096)
+        gqa = simulate_workload(design, gqa_ops, tokens_per_step=8)
+        mha = simulate_workload(design, mha_ops, tokens_per_step=8)
+        assert mha.hbm_bytes > gqa.hbm_bytes * 1.3
+
+
+class TestNocScaling:
+    def test_near_linear_throughput(self, llama70b_ops):
+        single = simulate_workload(make_design("mugi", 256), llama70b_ops,
+                                   tokens_per_step=8)
+        noc = simulate_workload(make_noc("mugi", 256, 4, 4), llama70b_ops,
+                                tokens_per_step=8)
+        speedup = noc.throughput_tokens_s / single.throughput_tokens_s
+        assert 12 < speedup <= 16.5
+
+    def test_noc_beats_scaled_up_single_node(self, llama70b_ops):
+        """Paper §6.3.3: NoC outperforms scaled-up systolic arrays."""
+        noc_sa = simulate_workload(make_noc("sa", 16, 4, 4), llama70b_ops,
+                                   tokens_per_step=8)
+        big_sa = simulate_workload(make_design("sa", 64), llama70b_ops,
+                                   tokens_per_step=8)
+        assert noc_sa.throughput_tokens_s > 2 * big_sa.throughput_tokens_s
+
+    def test_power_efficiency_roughly_scale_invariant(self, llama70b_ops):
+        single = simulate_workload(make_design("mugi", 256), llama70b_ops,
+                                   tokens_per_step=8)
+        noc = simulate_workload(make_noc("mugi", 256, 4, 4), llama70b_ops,
+                                tokens_per_step=8)
+        assert noc.power_efficiency == pytest.approx(
+            single.power_efficiency, rel=0.25)
+
+    def test_noc_area_includes_routers(self):
+        system = make_noc("mugi", 256, 4, 4)
+        node_area = make_design("mugi", 256).area_mm2
+        assert system.area_mm2 > 16 * node_area
+
+    def test_breakdown_noc_level(self):
+        system = make_noc("mugi", 128, 4, 4)
+        bd = system.area_breakdown_noc_level()
+        assert set(bd) == {"array", "sram", "noc"}
+        assert all(v > 0 for v in bd.values())
+
+    def test_invalid_mesh(self):
+        with pytest.raises(ConfigError):
+            NocConfig(rows=0, cols=4)
+
+
+class TestSimulatorValidation:
+    def test_rejects_bad_tokens(self, llama70b_ops):
+        with pytest.raises(SimulationError):
+            simulate_workload(make_design("mugi", 128), llama70b_ops,
+                              tokens_per_step=0)
+
+    def test_rejects_unknown_ops(self):
+        with pytest.raises(SimulationError):
+            simulate_workload(make_design("mugi", 128), ["not an op"],
+                              tokens_per_step=1)
+
+    def test_breakdown_buckets_cover_total(self, llama70b_ops, results):
+        r = results[("mugi", 256)]
+        total = sum(r.cycles_by_kind.values())
+        assert set(r.cycles_by_kind) == {"projection", "attention", "ffn",
+                                         "nonlinear"}
+        assert r.compute_seconds == pytest.approx(total * 2.5e-9, rel=1e-6)

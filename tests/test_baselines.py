@@ -1,0 +1,178 @@
+"""Tests for baseline approximations (precise, PWL, Taylor, PA)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    PWLApproximator,
+    PWLConfig,
+    PartialApproximator,
+    TaylorConfig,
+    TaylorExpApproximator,
+    hard_sigmoid,
+    hard_swish,
+    make_approximator,
+    precise,
+    pwl_softmax,
+    taylor_softmax,
+)
+from repro.errors import ConfigError
+
+
+class TestPrecise:
+    def test_silu_values(self):
+        assert precise.silu(np.array([0.0]))[0] == 0.0
+        assert precise.silu(np.array([10.0]))[0] == pytest.approx(10.0, abs=1e-3)
+
+    def test_gelu_matches_tanh_form_closely(self):
+        x = np.linspace(-4, 4, 100)
+        assert np.max(np.abs(precise.gelu(x) - precise.gelu_tanh(x))) < 3e-3
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = precise.sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == 0.0 and out[1] == 1.0
+        assert np.all(np.isfinite(out))
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((5, 17)) * 50
+        assert np.allclose(precise.softmax(x).sum(axis=-1), 1.0)
+
+    def test_get_function_unknown(self):
+        with pytest.raises(KeyError):
+            precise.get_function("swiglu")
+
+
+class TestPWL:
+    def test_exact_at_knots(self):
+        cfg = PWLConfig(op="exp", segments=22, segment_range=-20.0)
+        approx = PWLApproximator(cfg)
+        assert np.allclose(approx(approx.knots), precise.exp(approx.knots))
+
+    def test_chord_overestimates_convex_exp(self):
+        cfg = PWLConfig(op="exp", segments=8, segment_range=-8.0)
+        approx = PWLApproximator(cfg)
+        x = np.linspace(-7.9, -0.1, 200)
+        assert np.all(approx(x) >= precise.exp(x) - 1e-12)
+
+    def test_error_shrinks_with_segments(self):
+        x = np.linspace(-7.9, -0.1, 500)
+        errs = []
+        for segments in (4, 16, 64):
+            approx = PWLApproximator(PWLConfig(op="exp", segments=segments,
+                                               segment_range=-8.0))
+            errs.append(np.abs(approx(x) - precise.exp(x)).max())
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_silu_domain_symmetric(self):
+        cfg = PWLConfig(op="silu", segments=22, segment_range=8.0)
+        assert cfg.domain == (-8.0, 8.0)
+        approx = PWLApproximator(cfg)
+        x = np.linspace(-7, 7, 100)
+        assert np.abs(approx(x) - precise.silu(x)).max() < 0.05
+
+    def test_edge_segments_extend_linearly(self):
+        cfg = PWLConfig(op="gelu", segments=22, segment_range=8.0)
+        approx = PWLApproximator(cfg)
+        # Beyond +8, GELU ~ identity; the last chord continues with ~slope 1.
+        assert approx(np.array([20.0]))[0] == pytest.approx(20.0, rel=1e-3)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            PWLConfig(op="exp", segment_range=5.0)
+        with pytest.raises(ConfigError):
+            PWLConfig(op="silu", segment_range=-5.0)
+        with pytest.raises(ConfigError):
+            PWLConfig(op="exp", segments=0)
+
+    def test_pwl_softmax_normalized(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((4, 32)) * 3
+        out = pwl_softmax(x, PWLConfig(op="exp", segments=22,
+                                       segment_range=-20.0))
+        assert np.allclose(out.sum(axis=-1), 1.0)
+        ref = precise.softmax(x)
+        assert 0.5 * np.abs(out - ref).sum(axis=-1).max() < 0.02
+
+    def test_coefficient_storage(self):
+        approx = PWLApproximator(PWLConfig(op="exp", segments=22,
+                                           segment_range=-20.0))
+        assert approx.coefficient_words == 44
+
+
+class TestTaylor:
+    def test_accurate_near_center(self):
+        approx = TaylorExpApproximator(TaylorConfig(degree=9, center=-2.0))
+        x = np.linspace(-3.0, -1.0, 100)
+        rel = np.abs(approx(x) - precise.exp(x)) / precise.exp(x)
+        assert rel.max() < 1e-6
+
+    def test_degrades_away_from_center(self):
+        """Paper §2.2.3: accuracy degrades with distance from the center."""
+        approx = TaylorExpApproximator(TaylorConfig(degree=6, center=-2.0))
+        near = np.abs(approx(np.array([-2.5])) - precise.exp(-2.5))[0]
+        far = np.abs(approx(np.array([-9.0])) - precise.exp(-9.0))[0]
+        assert far > 100 * near
+
+    def test_higher_degree_improves(self):
+        x = np.linspace(-6, 0, 200)
+        errs = []
+        for degree in (3, 6, 9):
+            approx = TaylorExpApproximator(TaylorConfig(degree=degree,
+                                                        center=-3.0))
+            errs.append(np.abs(approx(x) - precise.exp(x)).max())
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_mac_count_matches_degree(self):
+        assert TaylorExpApproximator(TaylorConfig(degree=9)).mac_count == 9
+
+    def test_clamped_nonnegative(self):
+        approx = TaylorExpApproximator(TaylorConfig(degree=5, center=0.0))
+        assert np.all(approx(np.linspace(-30, 0, 100)) >= 0)
+
+    def test_taylor_softmax_normalized(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((3, 16))
+        out = taylor_softmax(x, TaylorConfig(degree=9, center=-1.0))
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+class TestPartial:
+    def test_hard_sigmoid_saturation(self):
+        assert hard_sigmoid(np.array([-4.0]))[0] == 0.0
+        assert hard_sigmoid(np.array([4.0]))[0] == 1.0
+        assert hard_sigmoid(np.array([0.0]))[0] == 0.5
+
+    def test_hard_swish_close_to_silu_midrange(self):
+        x = np.linspace(-3, 3, 100)
+        assert np.abs(hard_swish(x) - precise.silu(x)).max() < 0.25
+
+    def test_pa_only_supports_silu(self):
+        with pytest.raises(ValueError):
+            PartialApproximator("gelu")
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,op", [
+        ("precise", "exp"), ("precise", "silu"), ("vlp", "exp"),
+        ("vlp", "gelu"), ("pwl", "silu"), ("taylor", "exp"), ("pa", "silu"),
+    ])
+    def test_factory_builds_callables(self, name, op):
+        kwargs = {}
+        if name == "pwl":
+            kwargs = {"segments": 22,
+                      "segment_range": -20.0 if op == "exp" else 8.0}
+        approx = make_approximator(name, op, **kwargs)
+        x = np.linspace(-4, -0.5, 16) if op == "exp" else np.linspace(-4, 4, 16)
+        out = approx(x)
+        assert np.asarray(out).shape == (16,)
+
+    def test_taylor_rejects_non_exp(self):
+        with pytest.raises(ConfigError):
+            make_approximator("taylor", "silu")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_approximator("chebyshev", "exp")

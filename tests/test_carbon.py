@@ -1,0 +1,77 @@
+"""Tests for the carbon model (paper Eq. 6/7, Fig. 15)."""
+
+import pytest
+
+from repro.arch import make_design, simulate_workload
+from repro.carbon import (
+    CarbonConstants,
+    DEFAULT_CARBON,
+    carbon_report,
+    embodied_carbon_kg,
+    operational_carbon_kg,
+)
+from repro.llm import LLAMA2_7B, build_decode_ops
+
+
+class TestFormulas:
+    def test_operational_is_energy_times_intensity(self):
+        # 1 kWh at the world mix.
+        kg = operational_carbon_kg(3.6e6)
+        assert kg == pytest.approx(DEFAULT_CARBON.carbon_intensity_kg_per_kwh)
+
+    def test_operational_linear_in_energy(self):
+        assert operational_carbon_kg(2.0) == pytest.approx(
+            2 * operational_carbon_kg(1.0))
+
+    def test_embodied_is_area_times_cpa(self):
+        kg = embodied_carbon_kg(10.0)
+        assert kg == pytest.approx(10.0 * DEFAULT_CARBON.cpa_kg_per_mm2)
+
+    def test_cpa_derivation(self):
+        constants = CarbonConstants(carbon_intensity_kg_per_kwh=0.5,
+                                    fab_energy_kwh_per_mm2=2.0,
+                                    fab_carbon_overhead=1.5)
+        assert constants.cpa_kg_per_mm2 == pytest.approx(1.5)
+
+    def test_greener_grid_cuts_operational_only(self):
+        green = CarbonConstants(carbon_intensity_kg_per_kwh=0.05)
+        assert operational_carbon_kg(1e6, green) < \
+            operational_carbon_kg(1e6, DEFAULT_CARBON)
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def results(self):
+        ops = build_decode_ops(LLAMA2_7B, batch=8, seq_len=1024)
+        out = {}
+        for kind, size in [("mugi", 256), ("sa", 16), ("sa", 64)]:
+            design = make_design(kind, size)
+            out[(kind, size)] = simulate_workload(design, ops,
+                                                  tokens_per_step=8)
+        return out
+
+    def test_report_fields_positive(self, results):
+        report = carbon_report(results[("mugi", 256)])
+        assert report.operational_kg_per_token > 0
+        assert report.embodied_kg_per_token > 0
+        assert 0 < report.embodied_fraction < 1
+
+    def test_mugi_cuts_both_carbon_kinds(self, results):
+        """Paper §6.3.2: Mugi reduces operational AND embodied carbon."""
+        mugi = carbon_report(results[("mugi", 256)])
+        sa = carbon_report(results[("sa", 16)])
+        assert sa.operational_kg_per_token > mugi.operational_kg_per_token
+        assert sa.embodied_kg_per_token > mugi.embodied_kg_per_token
+
+    def test_scaled_up_array_pays_embodied(self, results):
+        """A 16x-area array amortized over the same tokens costs more
+        embodied carbon per token despite being faster."""
+        small = carbon_report(results[("sa", 16)])
+        big = carbon_report(results[("sa", 64)])
+        assert big.embodied_kg_per_token > small.embodied_kg_per_token
+
+    def test_operational_dominates_at_45nm(self, results):
+        """Fig. 15: at 45 nm the operational share is the majority
+        (embodied takes over only at advanced nodes)."""
+        report = carbon_report(results[("mugi", 256)])
+        assert report.embodied_fraction < 0.5

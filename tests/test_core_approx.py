@@ -1,0 +1,202 @@
+"""Tests for the VLP nonlinear approximator (paper §3, Fig. 3/8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import precise
+from repro.core import VLPApproxConfig, VLPApproximator, make_vlp, vlp_softmax
+from repro.errors import ConfigError
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = VLPApproxConfig(op="exp")
+        assert cfg.min_exp == -3 and cfg.max_exp == 4
+        assert cfg.resolved_overflow == "clamp"
+
+    def test_silu_defaults_to_passthrough(self):
+        assert VLPApproxConfig(op="silu").resolved_overflow == "passthrough"
+
+    def test_invalid_op(self):
+        with pytest.raises(ConfigError):
+            VLPApproxConfig(op="tanh")
+
+    def test_lut_smaller_than_window_rejected(self):
+        with pytest.raises(ConfigError):
+            VLPApproxConfig(op="exp", lut_size=4, window_size=8)
+
+    def test_with_window(self):
+        cfg = VLPApproxConfig(op="exp").with_window(lut_size=10, max_exp=2)
+        assert cfg.lut_size == 10 and cfg.max_exp == 2 and cfg.min_exp == -7
+
+    def test_latency_is_sum_of_subscriptions(self):
+        approx = make_vlp("exp")
+        assert approx.latency_cycles == 8 + 8
+        assert approx.pipeline_interval == 8
+
+
+class TestInputApproximation:
+    """VLP is input approximation: output = f(x_hat) exactly (paper §3.2)."""
+
+    def test_output_equals_function_of_approx_input(self):
+        approx = make_vlp("silu", store_bf16=False)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(256) * 4
+        x_hat = approx.approximate_input(x)
+        assert np.allclose(approx(x), precise.silu(x_hat), rtol=1e-12)
+
+    def test_in_window_inputs_bounded_relative_error(self):
+        # Inside the window, x_hat errs only by the 3-bit mantissa round:
+        # |x_hat - x| / |x| <= 2**-4 (half ulp of 3 bits) + bf16 noise.
+        approx = make_vlp("exp")
+        x = -np.linspace(0.130, 15.9, 500)  # Exponents within [-3, 4].
+        x_hat = approx.approximate_input(x)
+        rel = np.abs(x_hat - x) / np.abs(x)
+        assert rel.max() <= 2.0 ** -4 + 2.0 ** -8
+
+    def test_underflow_maps_to_zero(self):
+        approx = make_vlp("exp", lut_size=8, max_exp=4)  # Window >= [-3, 4].
+        x = np.array([-0.01])  # Exponent -7, below the window.
+        assert approx.approximate_input(x)[0] == 0.0
+        assert approx(x)[0] == approx.lut.zero_value == 1.0
+
+    def test_exp_overflow_clamps_to_window_top(self):
+        approx = make_vlp("exp", lut_size=8, max_exp=2, store_bf16=False)
+        x = np.array([-100.0])  # Exponent 6 > window top 2.
+        # Clamped to the max-magnitude LUT entry: -(1+7/8)*4 = -7.5.
+        assert approx(x)[0] == pytest.approx(np.exp(-7.5))
+
+    def test_silu_overflow_passes_through(self):
+        approx = make_vlp("silu", lut_size=8, max_exp=2)
+        x = np.array([100.0, -100.0])
+        out = approx(x)
+        assert out[0] == pytest.approx(100.0)    # PP forwards the input.
+        assert out[1] == pytest.approx(-100.0)   # Literal passthrough.
+
+    def test_sliding_window_improves_small_magnitude_tiles(self):
+        x = -np.full(16, 0.02)  # Exponent -6.
+        sliding = make_vlp("exp", lut_size=16, max_exp=4, sliding=True)
+        fixed = make_vlp("exp", lut_size=16, max_exp=4, sliding=False)
+        err_sliding = abs(sliding(x)[0] - np.exp(-0.02))
+        err_fixed = abs(fixed(x)[0] - np.exp(-0.02))
+        assert err_sliding < err_fixed  # Fixed window underflows to 1.
+
+    def test_tile_axes_give_independent_windows(self):
+        approx = make_vlp("exp", lut_size=16, max_exp=4)
+        tiles = np.stack([-np.full(8, 0.02), -np.full(8, 8.0)])
+        out = approx(tiles, tile_axes=(1,))
+        assert np.allclose(out[0], np.exp(-0.02), rtol=0.1)
+        assert np.allclose(out[1], np.exp(-8.0), rtol=0.1)
+
+
+class TestAccuracy:
+    def test_exp_error_tracks_input_delta(self):
+        """For exp, relative output error ≈ |x_hat - x| <= |x| * 2**-4:
+        small near zero (the important softmax inputs), growing with |x|
+        — exactly Fig. 8's 'Exp Mugi' shape."""
+        approx = make_vlp("exp", lut_size=12, max_exp=3)
+        x = -np.linspace(0.26, 3.9, 500)  # Exponents in [-2, 1].
+        rel = np.abs(approx(x) - precise.exp(x)) / precise.exp(x)
+        # Bound: |Delta x| <= |x|/16 (+ slack for bf16 LUT storage).
+        assert np.all(rel <= np.abs(x) / 16 + 0.02)
+
+    def test_exp_important_region_inset(self):
+        """Fig. 8 inset: within [-0.5, 0] the error is within ~±2%."""
+        approx = make_vlp("exp", lut_size=12, max_exp=3)
+        x = -np.linspace(0.002, 0.5, 400)
+        rel = np.abs(approx(x) - precise.exp(x)) / precise.exp(x)
+        assert rel.max() < 0.04
+
+    @pytest.mark.parametrize("op,ref", [("silu", precise.silu),
+                                        ("gelu", precise.gelu)])
+    def test_activation_important_region_inset(self, op, ref):
+        """Fig. 8 insets: SiLU/GELU error within ~±6% on [-0.5, 0.5],
+        away from the underflow threshold."""
+        approx = make_vlp(op, lut_size=12, max_exp=3)
+        x = np.concatenate([np.linspace(-0.5, -1 / 16, 200),
+                            np.linspace(1 / 16, 0.5, 200)])
+        refv = ref(x)
+        rel = np.abs(approx(x) - refv) / np.abs(refv)
+        assert np.median(rel) < 0.04
+        assert rel.max() < 0.10
+
+    @pytest.mark.parametrize("op,ref", [("silu", precise.silu),
+                                        ("gelu", precise.gelu)])
+    def test_activation_underflow_absolute_error_tiny(self, op, ref):
+        """Below the window, outputs flush to f(0)=0 — 100% relative but
+        negligible absolute error (the value-centric trade, §3.4)."""
+        approx = make_vlp(op, lut_size=12, max_exp=3)
+        x = np.linspace(-0.02, 0.02, 101)
+        assert np.abs(approx(x) - ref(x)).max() < 0.02
+
+    def test_specials_routed_by_pp(self):
+        approx = make_vlp("exp")
+        out = approx(np.array([np.inf, -np.inf, np.nan]))
+        assert np.isposinf(out[0]) and out[1] == 0.0 and np.isnan(out[2])
+        approx = make_vlp("silu")
+        out = approx(np.array([np.inf, -np.inf, np.nan]))
+        assert np.isposinf(out[0]) and out[1] == 0.0 and np.isnan(out[2])
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_silu_output_is_function_of_input_approx(self, values):
+        """Invariant: VLP output == precise f(approximate_input(x)).
+
+        Uses the clamp overflow policy: passthrough forwards x itself (not
+        f(x)), intentionally breaking this identity for overflow inputs.
+        """
+        approx = make_vlp("silu", store_bf16=False, lut_size=10, max_exp=3,
+                          overflow="clamp")
+        x = np.asarray(values)
+        x_hat = approx.approximate_input(x)
+        assert np.allclose(approx(x), precise.silu(x_hat), rtol=1e-12,
+                           atol=1e-300)
+
+
+class TestVLPSoftmax:
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(1)
+        scores = rng.standard_normal((4, 6, 32)) * 3
+        out = vlp_softmax(scores)
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-6)
+        assert np.all(out >= 0)
+
+    def test_close_to_reference(self):
+        rng = np.random.default_rng(2)
+        scores = rng.standard_normal((8, 64)) * 2
+        out = vlp_softmax(scores, VLPApproxConfig(op="exp", lut_size=12,
+                                                  max_exp=2))
+        ref = precise.softmax(scores, axis=-1)
+        # Total-variation distance per row stays small.
+        tv = 0.5 * np.abs(out - ref).sum(axis=-1)
+        assert tv.max() < 0.05
+
+    def test_invariant_to_shift(self):
+        rng = np.random.default_rng(3)
+        scores = rng.standard_normal((2, 16))
+        assert np.allclose(vlp_softmax(scores), vlp_softmax(scores + 100.0),
+                           atol=1e-12)
+
+    def test_one_hot_limit(self):
+        scores = np.array([[0.0, -50.0, -50.0, -50.0]])
+        out = vlp_softmax(scores)
+        assert out[0, 0] > 0.99
+
+    def test_stats(self):
+        scores = np.zeros((4, 32))
+        out, stats = vlp_softmax(scores, return_stats=True)
+        assert stats.elements == 128
+        assert stats.rows == 4
+        assert stats.reciprocal_ops == 4
+        assert stats.vector_multiplies == 128
+        assert stats.exp_mappings == 16  # ceil(32/8) per row * 4 rows.
+
+    def test_axis_argument(self):
+        rng = np.random.default_rng(4)
+        scores = rng.standard_normal((16, 4))
+        out = vlp_softmax(scores, axis=0)
+        assert np.allclose(out.sum(axis=0), 1.0, atol=1e-6)

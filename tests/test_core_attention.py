@@ -1,0 +1,96 @@
+"""Tests for the functional VLP attention step (KVQ + GQA + VLP softmax)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import (
+    quantize_kv_pair,
+    reference_attention,
+    vlp_attention,
+)
+from repro.errors import MappingError
+
+
+@pytest.fixture
+def kv_and_queries():
+    rng = np.random.default_rng(0)
+    seq, head_dim, group = 256, 64, 8
+    k = rng.standard_normal((seq, head_dim))
+    v = rng.standard_normal((seq, head_dim))
+    q = rng.standard_normal((group, head_dim))
+    return q, k, v
+
+
+class TestVlpAttention:
+    def test_close_to_reference(self, kv_and_queries):
+        q, k, v = kv_and_queries
+        kq, vq = quantize_kv_pair(k, v, bits=4)
+        result = vlp_attention(q, kq, vq, array_height=128)
+        ref = reference_attention(q, k, v)
+        rel = np.linalg.norm(result.context - ref) / np.linalg.norm(ref)
+        # INT4 KVQ on both operands (V is requantized along the reduction
+        # axis) + VLP softmax, on unstructured Gaussian data — real KV
+        # caches quantize tighter (paper §2.3.3).
+        assert rel < 0.25
+
+    def test_int8_kvq_tightens_error(self, kv_and_queries):
+        q, k, v = kv_and_queries
+        ref = reference_attention(q, k, v)
+
+        def err(bits):
+            kq, vq = quantize_kv_pair(k, v, bits=bits)
+            out = vlp_attention(q, kq, vq).context
+            return np.linalg.norm(out - ref) / np.linalg.norm(ref)
+
+        assert err(8) < err(4)
+
+    def test_context_shape(self, kv_and_queries):
+        q, k, v = kv_and_queries
+        kq, vq = quantize_kv_pair(k, v)
+        result = vlp_attention(q, kq, vq)
+        assert result.context.shape == q.shape
+
+    def test_schedules_cover_both_gemms(self, kv_and_queries):
+        q, k, v = kv_and_queries
+        kq, vq = quantize_kv_pair(k, v)
+        result = vlp_attention(q, kq, vq, array_height=128)
+        # Scores GEMM: m=8 group, k=64, n=256 seq.
+        assert result.scores_schedule.m == 8
+        assert result.scores_schedule.n == 256
+        # Context GEMM: m=8, k=256, n=64.
+        assert result.context_schedule.k == 256
+        assert result.total_cycles == (result.scores_schedule.cycles
+                                       + result.context_schedule.cycles)
+
+    def test_gqa_group_fills_columns(self, kv_and_queries):
+        """The group of 8 queries exactly fills the 8 array columns."""
+        q, k, v = kv_and_queries
+        kq, vq = quantize_kv_pair(k, v)
+        result = vlp_attention(q, kq, vq, array_height=256)
+        assert result.scores_schedule.tiles_cols == 1
+        assert result.scores_schedule.utilization > 0.95
+
+    def test_single_query_wastes_columns(self, kv_and_queries):
+        """Without GQA (group=1), 7 of 8 columns idle (paper §2.3.1)."""
+        q, k, v = kv_and_queries
+        kq, vq = quantize_kv_pair(k, v)
+        result = vlp_attention(q[:1], kq, vq, array_height=256)
+        assert result.scores_schedule.utilization < 0.2
+
+    def test_shape_validation(self, kv_and_queries):
+        q, k, v = kv_and_queries
+        kq, vq = quantize_kv_pair(k, v)
+        with pytest.raises(MappingError):
+            vlp_attention(q[:, :32], kq, vq)
+        with pytest.raises(MappingError):
+            vlp_attention(q.reshape(-1), kq, vq)
+
+    def test_probabilities_effect(self, kv_and_queries):
+        """Attention output lies in the convex hull of V rows (softmax
+        weights are a proper distribution)."""
+        q, k, v = kv_and_queries
+        kq, vq = quantize_kv_pair(k, v, bits=8)
+        out = vlp_attention(q, kq, vq).context
+        v_deq = vq.dequantize()
+        assert np.all(out.max(axis=-1) <= v_deq.max() + 1e-6)
+        assert np.all(out.min(axis=-1) >= v_deq.min() - 1e-6)

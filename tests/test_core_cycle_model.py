@@ -1,0 +1,125 @@
+"""Cycle-accurate simulator vs functional/analytic models (Fig. 9/10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import precise
+from repro.core import (
+    LUTSpec,
+    MugiArraySimulator,
+    NonlinearLUT,
+    schedule_vlp_gemm,
+)
+from repro.errors import SimulationError
+from repro.numerics import to_bfloat16
+
+
+class TestGemmSimulation:
+    def test_single_mapping_outer_product(self):
+        sim = MugiArraySimulator(height=4, width=8)
+        weights = np.array([[3, -1, 0, 7]])          # [k=1, H=4]
+        tokens = np.array([[1.0, 2.0, -0.5, 0.25, 1.5, -2.0, 0.0, 3.0]])
+        out, trace = sim.run_gemm(weights, tokens)
+        assert np.allclose(out, np.outer(weights[0], tokens[0]))
+        # Last capture: base 0 + max|w| 7 + last col 7 = 14 -> 15 cycles.
+        assert trace.cycles == 15
+
+    def test_multi_k_accumulation(self):
+        rng = np.random.default_rng(0)
+        sim = MugiArraySimulator(height=6, width=8)
+        k = 12
+        weights = rng.integers(-7, 8, size=(k, 6))
+        tokens = to_bfloat16(rng.standard_normal((k, 8))).astype(np.float64)
+        out, trace = sim.run_gemm(weights, tokens)
+        assert np.allclose(out, weights.T.astype(float) @ tokens)
+
+    def test_cycles_match_analytic_schedule(self):
+        rng = np.random.default_rng(1)
+        for k in (1, 3, 8, 17):
+            sim = MugiArraySimulator(height=5, width=8)
+            weights = rng.integers(-7, 8, size=(k, 5))
+            # Guarantee the worst-case spike (magnitude 7) appears so the
+            # drain matches the analytic worst case.
+            weights[-1, 0] = 7
+            tokens = rng.standard_normal((k, 8))
+            _, trace = sim.run_gemm(weights, tokens)
+            schedule = schedule_vlp_gemm(m=8, k=k, n=5, array_height=5)
+            assert trace.cycles == schedule.cycles
+
+    def test_or_tree_never_collides(self):
+        """The double-buffered OR bus invariant (paper §4, step 3)."""
+        rng = np.random.default_rng(2)
+        sim = MugiArraySimulator(height=8, width=8)
+        weights = rng.integers(-7, 8, size=(40, 8))
+        tokens = rng.standard_normal((40, 8))
+        _, trace = sim.run_gemm(weights, tokens)   # Raises on conflict.
+        assert trace.or_tree_conflicts == 0
+
+    def test_magnitude_out_of_window_rejected(self):
+        sim = MugiArraySimulator(height=2, width=8)
+        with pytest.raises(SimulationError):
+            sim.run_gemm(np.array([[8, 0]]), np.ones((1, 8)))
+
+    def test_shape_validation(self):
+        sim = MugiArraySimulator(height=2, width=8)
+        with pytest.raises(SimulationError):
+            sim.run_gemm(np.ones((1, 3), dtype=int), np.ones((1, 8)))
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_simulated_equals_functional(self, height, k):
+        rng = np.random.default_rng(height * 100 + k)
+        sim = MugiArraySimulator(height=height, width=8)
+        weights = rng.integers(-7, 8, size=(k, height))
+        tokens = to_bfloat16(rng.standard_normal((k, 8))).astype(np.float64)
+        out, _ = sim.run_gemm(weights, tokens)
+        assert np.allclose(out, weights.T.astype(float) @ tokens)
+
+
+class TestNonlinearSimulation:
+    def _window_lut(self):
+        # The SW block emits the 8-exponent sliding window to the array;
+        # model it as a window-sized LUT.
+        spec = LUTSpec(name="exp", mantissa_bits=3, min_exp=0, max_exp=7,
+                       store_bf16=False)
+        return NonlinearLUT(precise.exp, spec)
+
+    def test_lookup_values(self):
+        lut = self._window_lut()
+        sim = MugiArraySimulator(height=2, width=8)
+        rng = np.random.default_rng(3)
+        sign = rng.integers(0, 2, size=(3, 2, 8))
+        mantissa = rng.integers(0, 8, size=(3, 2, 8))
+        e_off = rng.integers(0, 8, size=(3, 2, 8))
+        out, trace = sim.run_nonlinear(lut, sign, mantissa, e_off)
+        assert np.allclose(out, lut.table[sign, mantissa, e_off])
+
+    def test_latency_is_sum_of_subscriptions(self):
+        """Paper Fig. 3g: completion = mantissa spike + exponent spike."""
+        lut = self._window_lut()
+        sim = MugiArraySimulator(height=1, width=8)
+        sign = np.zeros((1, 1, 8), dtype=int)
+        mantissa = np.full((1, 1, 8), 3)
+        e_off = np.full((1, 1, 8), 2)
+        _, trace = sim.run_nonlinear(lut, sign, mantissa, e_off)
+        # Column 0 completes at 3 + 1 + 2 = 6 (the paper's 6-cycle example);
+        # column 7 completes 7 cycles later.
+        cycles = sorted(c for c, _, _, _ in trace.subscriptions)
+        assert cycles[0] == 6
+        assert trace.cycles == 6 + 7 + 1
+
+    def test_pipelined_mappings_every_spike_window(self):
+        lut = self._window_lut()
+        sim = MugiArraySimulator(height=1, width=8)
+        sign = np.zeros((4, 1, 8), dtype=int)
+        mantissa = np.zeros((4, 1, 8), dtype=int)
+        e_off = np.zeros((4, 1, 8), dtype=int)
+        _, trace = sim.run_nonlinear(lut, sign, mantissa, e_off)
+        firsts = {}
+        for cycle, _, col, _ in trace.subscriptions:
+            firsts.setdefault(col, []).append(cycle)
+        # Column 0's completions are exactly 8 cycles apart (Fig. 10).
+        assert np.all(np.diff(sorted(firsts[0])) == 8)

@@ -1,0 +1,140 @@
+"""Tests for LUT construction and sliding-window selection (Fig. 3/5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import precise
+from repro.core import LUTSpec, NonlinearLUT, select_window
+from repro.errors import ConfigError
+from repro.numerics import split_bfloat16, to_bfloat16
+from repro.numerics.fields import ZERO_EXPONENT
+
+
+class TestLUTSpec:
+    def test_geometry(self):
+        spec = LUTSpec(name="exp", mantissa_bits=3, min_exp=-3, max_exp=4)
+        assert spec.lut_size == 8
+        assert spec.rows == 16  # 2 signs x 8 mantissas.
+        assert spec.entries == 128
+        assert spec.storage_bits() == 128 * 16
+
+    def test_unsigned_halves_rows(self):
+        spec = LUTSpec(name="exp", signed=False)
+        assert spec.rows == 8
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigError):
+            LUTSpec(name="exp", min_exp=3, max_exp=1)
+
+
+class TestNonlinearLUT:
+    def test_entries_are_function_values(self):
+        spec = LUTSpec(name="exp", mantissa_bits=3, min_exp=-2, max_exp=2,
+                       store_bf16=False)
+        lut = NonlinearLUT(np.exp, spec)
+        # (s=1, m=4, e=1): x = -(1 + 4/8) * 2 = -3.0
+        assert lut.table[1, 4, lut.exponent_index(1)] == pytest.approx(np.exp(-3.0))
+
+    def test_bf16_storage_rounds_entries(self):
+        spec = LUTSpec(name="exp", min_exp=-2, max_exp=2, store_bf16=True)
+        lut = NonlinearLUT(np.exp, spec)
+        assert np.all(lut.table == to_bfloat16(lut.table).astype(np.float64))
+
+    def test_zero_value(self):
+        lut = NonlinearLUT(np.exp, LUTSpec(name="exp", store_bf16=False))
+        assert lut.zero_value == 1.0
+        lut = NonlinearLUT(precise.silu, LUTSpec(name="silu", store_bf16=False))
+        assert lut.zero_value == 0.0
+
+    def test_lookup_gather(self):
+        spec = LUTSpec(name="silu", min_exp=-1, max_exp=2, store_bf16=False)
+        lut = NonlinearLUT(precise.silu, spec)
+        signs = np.array([0, 1])
+        mantissas = np.array([0, 7])
+        exps = np.array([0, 2])
+        got = lut.lookup(signs, mantissas, exps)
+        expected = precise.silu(np.array([1.0, -(1 + 7 / 8) * 4]))
+        assert np.allclose(got, expected)
+
+    def test_lookup_out_of_window_rejected(self):
+        lut = NonlinearLUT(np.exp, LUTSpec(name="exp", min_exp=-1, max_exp=1))
+        with pytest.raises(ConfigError):
+            lut.lookup(np.array([0]), np.array([0]), np.array([2]))
+
+    def test_row_is_broadcast_vector(self):
+        spec = LUTSpec(name="exp", min_exp=-3, max_exp=4, store_bf16=False)
+        lut = NonlinearLUT(np.exp, spec)
+        row = lut.row(0, 3)
+        assert row.shape == (8,)
+        x_points = (1 + 3 / 8) * np.exp2(np.arange(-3, 5, dtype=float))
+        assert np.allclose(row, np.exp(x_points))
+
+
+class TestSlidingWindow:
+    def test_tracks_tile_max(self):
+        exps = np.array([-5, -2, 0, 3])
+        win = select_window(exps, lut_min_exp=-6, lut_max_exp=5, window_size=8)
+        assert win.hi == 3 and win.lo == -4
+
+    def test_clamped_to_lut_top(self):
+        exps = np.array([9, 2])
+        win = select_window(exps, lut_min_exp=-6, lut_max_exp=5, window_size=8)
+        assert win.hi == 5
+
+    def test_clamped_to_lut_bottom(self):
+        exps = np.array([-20])
+        win = select_window(exps, lut_min_exp=-6, lut_max_exp=5, window_size=8)
+        assert win.lo == -6 and win.hi == 1
+
+    def test_zero_sentinel_ignored_for_anchor(self):
+        exps = np.array([ZERO_EXPONENT, -1])
+        win = select_window(exps, lut_min_exp=-10, lut_max_exp=5, window_size=8)
+        assert win.hi == -1  # Anchored at -1, not the zero sentinel.
+
+    def test_fixed_window_when_not_sliding(self):
+        exps = np.array([-5, -5])
+        win = select_window(exps, lut_min_exp=-6, lut_max_exp=5,
+                            window_size=8, sliding=False)
+        assert win.hi == 5
+
+    def test_per_tile_axes(self):
+        exps = np.array([[0, 1, 2], [-4, -3, -6]])
+        win = select_window(exps, lut_min_exp=-8, lut_max_exp=4,
+                            window_size=4, tile_axes=(1,))
+        assert win.hi.shape == (2, 1)
+        assert win.hi[0, 0] == 2 and win.hi[1, 0] == -3
+
+    def test_window_wider_than_lut_rejected(self):
+        with pytest.raises(ConfigError):
+            select_window(np.array([0]), lut_min_exp=0, lut_max_exp=3,
+                          window_size=8)
+
+    def test_classify_masks_partition(self):
+        exps = np.array([ZERO_EXPONENT, -9, -4, 0, 3, 7])
+        win = select_window(exps, lut_min_exp=-6, lut_max_exp=3, window_size=8)
+        under, inside, over = win.classify(exps)
+        assert np.array_equal(under | inside | over, np.ones(6, dtype=bool))
+        assert not np.any(under & inside) and not np.any(inside & over)
+        assert under[0] and under[1]   # Zero + below-window underflow.
+        assert over[5]                 # e=7 above hi=3.
+
+    @given(st.lists(st.integers(min_value=-30, max_value=30), min_size=1,
+                    max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_window_always_inside_lut(self, exps):
+        arr = np.asarray(exps)
+        win = select_window(arr, lut_min_exp=-10, lut_max_exp=10,
+                            window_size=8)
+        assert win.lo >= -10 and win.hi <= 10
+        assert win.hi - win.lo + 1 == 8
+
+
+class TestBF16FieldIntegration:
+    def test_window_from_real_values(self):
+        x = np.array([0.01, -0.3, 2.5, -7.0])
+        fields = split_bfloat16(x)
+        win = select_window(fields.exponent, lut_min_exp=-8, lut_max_exp=4,
+                            window_size=8)
+        assert win.hi == 2  # max exponent of 2.5/-7.0 is 2 (|x|<8).

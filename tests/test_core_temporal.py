@@ -1,0 +1,110 @@
+"""Tests for temporal coding and subscription primitives (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TemporalConverter,
+    counter_sequence,
+    decode_spike_trains,
+    outer_product,
+    signed_subscribe,
+    spike_trains,
+    spike_window,
+    temporal_multiply,
+    value_reuse_multiply,
+)
+from repro.errors import FormatError
+
+
+class TestSpikes:
+    def test_window_is_power_of_two(self):
+        assert spike_window(3) == 8
+        assert spike_window(1) == 2
+
+    def test_counter_sequence(self):
+        assert np.array_equal(counter_sequence(2), [0, 1, 2, 3])
+
+    def test_one_hot(self):
+        trains = spike_trains(np.array([0, 3, 7]), bits=3)
+        assert trains.shape == (3, 8)
+        assert np.array_equal(trains.sum(axis=1), [1, 1, 1])
+        assert trains[1, 3] and trains[2, 7]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(FormatError):
+            spike_trains(np.array([8]), bits=3)
+        with pytest.raises(FormatError):
+            spike_trains(np.array([-1]), bits=3)
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_encode_decode_round_trip(self, values):
+        arr = np.asarray(values)
+        assert np.array_equal(decode_spike_trains(spike_trains(arr, 3)), arr)
+
+    def test_stateful_tc_fires_once(self):
+        tc = TemporalConverter(value=5, bits=3)
+        fires = [tc.step(c) for c in counter_sequence(3)]
+        assert fires == [False] * 5 + [True] + [False] * 2
+        assert tc.fired
+
+    def test_tc_reset_reloads(self):
+        tc = TemporalConverter(value=1, bits=3)
+        tc.step(1)
+        tc.reset(value=2)
+        assert not tc.fired and tc.value == 2
+        with pytest.raises(FormatError):
+            tc.reset(value=8)
+
+
+class TestSubscription:
+    def test_paper_walkthrough_example(self):
+        # Paper Fig. 2b-d: i=3, w=1 -> product 3 after a 6-entry sweep.
+        product, trace = temporal_multiply(3, 1.0, bits=3)
+        assert product == 3.0
+        assert trace.cycles == 8 and trace.accumulator_adds == 8
+
+    def test_scalar_product_matches_multiply(self):
+        for i in range(8):
+            product, _ = temporal_multiply(i, -2.5, bits=3)
+            assert product == i * -2.5
+
+    def test_value_reuse_shares_accumulation(self):
+        i_vec = np.array([3, 1, 3, 7, 0])
+        products, trace = value_reuse_multiply(i_vec, 0.5, bits=3)
+        assert np.array_equal(products, i_vec * 0.5)
+        # The key claim: adds don't scale with the subscriber count.
+        assert trace.accumulator_adds == 8
+        assert trace.subscriptions == 5
+
+    def test_outer_product_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        i_vec = rng.integers(0, 8, size=6)
+        w_vec = rng.standard_normal(4)
+        products, trace = outer_product(i_vec, w_vec, bits=3)
+        assert np.allclose(products, np.outer(i_vec, w_vec))
+        assert trace.accumulator_adds == 8 * 4  # Per-column accumulation.
+        assert trace.subscriptions == 24
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_outer_product_property(self, bits, n_rows, n_cols):
+        rng = np.random.default_rng(bits * 1000 + n_rows * 10 + n_cols)
+        i_vec = rng.integers(0, 1 << bits, size=n_rows)
+        w_vec = rng.standard_normal(n_cols)
+        products, trace = outer_product(i_vec, w_vec, bits=bits)
+        assert np.allclose(products, np.outer(i_vec, w_vec))
+        assert trace.cycles == 1 << bits
+
+    def test_signed_subscribe_xor(self):
+        mags = np.array([6.0, 6.0, 6.0, 6.0])
+        sa = np.array([0, 0, 1, 1])
+        sb = np.array([0, 1, 0, 1])
+        out = signed_subscribe(mags, sa, sb)
+        assert np.array_equal(out, [6.0, -6.0, -6.0, 6.0])

@@ -1,0 +1,189 @@
+"""Integration tests: trained models + approximations + profiling.
+
+These exercise the full Fig. 4/6/7 pipeline end-to-end on quick-trained
+models (fewer steps than the benchmarks, same code paths).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model_zoo import get_classifier, get_encoder_decoder, quick_lm
+from repro.llm.nn.data import make_patch_dataset, make_transcription_batch
+from repro.llm.perplexity import (
+    evaluate_classifier_loss,
+    evaluate_encdec_perplexity,
+    evaluate_lm_perplexity,
+    evaluate_with_approximation,
+    make_activation_fn,
+    make_softmax_fn,
+)
+from repro.llm.profiling import profile_model, profile_per_layer
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return quick_lm()
+
+
+class TestTrainedLM:
+    def test_training_learned_something(self, lm):
+        """Far below the uniform-vocabulary perplexity of 256."""
+        ppl = evaluate_lm_perplexity(lm.model, lm.corpus, n_batches=3)
+        assert ppl < 60.0
+
+    def test_losses_decrease(self, lm):
+        first = np.mean(lm.losses[:10])
+        last = np.mean(lm.losses[-10:])
+        assert last < 0.7 * first
+
+    def test_vlp_softmax_barely_moves_ppl(self, lm):
+        base = evaluate_lm_perplexity(lm.model, lm.corpus, n_batches=3)
+        fn = make_softmax_fn("vlp", lut_size=8, max_exp=1)
+        ppl = evaluate_with_approximation(
+            lm.model,
+            lambda m: evaluate_lm_perplexity(m, lm.corpus, n_batches=3),
+            softmax_fn=fn)
+        assert ppl < base * 1.03
+
+    def test_bad_window_hurts_silu(self, lm):
+        """max_exp=0 passthrough overflow damages the gated FFN."""
+        base = evaluate_lm_perplexity(lm.model, lm.corpus, n_batches=3)
+        fn = make_activation_fn("vlp", "silu", lut_size=8, max_exp=0)
+        ppl = evaluate_with_approximation(
+            lm.model,
+            lambda m: evaluate_lm_perplexity(m, lm.corpus, n_batches=3),
+            activation_fn=fn)
+        assert ppl > base * 1.1
+
+    def test_per_layer_override_scopes_correctly(self, lm):
+        """Breaking only layer 0's softmax must differ from breaking all."""
+        def broken_softmax(scores):
+            flat = np.ones_like(scores)
+            return flat / flat.shape[-1]
+
+        def ppl(layers):
+            return evaluate_with_approximation(
+                lm.model,
+                lambda m: evaluate_lm_perplexity(m, lm.corpus, n_batches=2),
+                softmax_fn=broken_softmax, layers=layers)
+
+        base = evaluate_lm_perplexity(lm.model, lm.corpus, n_batches=2)
+        one = ppl([0])
+        all_layers = ppl(None)
+        assert base < one <= all_layers * 1.001
+
+    def test_clear_restores_precise(self, lm):
+        base = evaluate_lm_perplexity(lm.model, lm.corpus, n_batches=2)
+        lm.model.set_nonlinear(softmax_fn=lambda s: np.ones_like(s)
+                               / s.shape[-1])
+        lm.model.clear_nonlinear()
+        assert evaluate_lm_perplexity(lm.model, lm.corpus, n_batches=2) \
+            == pytest.approx(base)
+
+
+class TestProfiling:
+    def test_profiles_capture_both_ops(self, lm):
+        rng = np.random.default_rng(0)
+        batches = [(lm.corpus.sample(rng, 4, 48)[:, :-1],)]
+        profiles = profile_model(lm.model, batches)
+        assert set(profiles) == {"softmax", "silu"}
+        assert profiles["softmax"].values.size > 0
+
+    def test_softmax_exponents_concentrated(self, lm):
+        """The Fig. 4 observation on the stand-in model."""
+        rng = np.random.default_rng(1)
+        batches = [(lm.corpus.sample(rng, 4, 48)[:, :-1],)]
+        profiles = profile_model(lm.model, batches)
+        softmax = profiles["softmax"]
+        lo, hi = softmax.dominant_window(8)
+        assert softmax.mass_within(lo, hi) > 0.5
+
+    def test_silu_inputs_near_zero(self, lm):
+        rng = np.random.default_rng(2)
+        batches = [(lm.corpus.sample(rng, 4, 48)[:, :-1],)]
+        profiles = profile_model(lm.model, batches)
+        silu = profiles["silu"]
+        assert np.median(np.abs(silu.values)) < 4.0
+
+    def test_mask_values_excluded(self, lm):
+        """Causal -1e30 fills must not leak into the profiles."""
+        rng = np.random.default_rng(3)
+        batches = [(lm.corpus.sample(rng, 2, 32)[:, :-1],)]
+        profiles = profile_model(lm.model, batches)
+        assert profiles["softmax"].values.min() > -1e20
+
+    def test_hooks_removed_after_profiling(self, lm):
+        rng = np.random.default_rng(4)
+        batches = [(lm.corpus.sample(rng, 2, 32)[:, :-1],)]
+        profile_model(lm.model, batches)
+        for block in lm.model.blocks:
+            assert block.attn.score_hook is None
+            assert block.ffn.preact_hook is None
+
+    def test_per_layer_profiles(self, lm):
+        rng = np.random.default_rng(5)
+        batches = [(lm.corpus.sample(rng, 2, 32)[:, :-1],)]
+        per_layer = profile_per_layer(lm.model, batches)
+        assert len(per_layer) == len(lm.model.blocks)
+
+
+class TestClassifierFamily:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        return get_classifier("swinv2", steps=120)
+
+    def test_learned(self, trained):
+        loss = evaluate_classifier_loss(trained.model, n_batches=3,
+                                        seq_len=16)
+        assert loss < np.log(8) * 0.9  # Better than chance over 8 classes.
+
+    def test_gelu_approximation_effect(self, trained):
+        base = evaluate_classifier_loss(trained.model, n_batches=3,
+                                        seq_len=16)
+        fn = make_activation_fn("vlp", "gelu", lut_size=12, max_exp=3)
+        loss = evaluate_with_approximation(
+            trained.model,
+            lambda m: evaluate_classifier_loss(m, n_batches=3, seq_len=16),
+            activation_fn=fn)
+        assert loss < base * 1.1
+
+    def test_profiles(self, trained):
+        rng = np.random.default_rng(6)
+        patches, _ = make_patch_dataset(rng, trained.model.n_classes, 4,
+                                        16, trained.model.cfg.dim)
+        profiles = profile_model(trained.model, [(patches,)])
+        assert "gelu" in profiles
+
+
+class TestEncoderDecoderFamily:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        return get_encoder_decoder(steps=120)
+
+    def test_learned(self, trained):
+        # Quick training (120 steps) must at least beat the 128-vocab
+        # uniform baseline; the benchmark zoo trains longer.
+        ppl = evaluate_encdec_perplexity(trained.model, trained.corpus,
+                                         n_batches=3)
+        assert ppl < 115.0
+
+    def test_softmax_approximation_covers_cross_attention(self, trained):
+        base = evaluate_encdec_perplexity(trained.model, trained.corpus,
+                                          n_batches=3)
+        fn = make_softmax_fn("vlp", lut_size=8, max_exp=1)
+        ppl = evaluate_with_approximation(
+            trained.model,
+            lambda m: evaluate_encdec_perplexity(m, trained.corpus,
+                                                 n_batches=3),
+            softmax_fn=fn)
+        assert ppl < base * 1.1
+        # Overrides were installed on cross-attention too, then cleared.
+        for block in trained.model.decoder:
+            assert block.cross.softmax_fn is None
+
+    def test_profiles_include_cross_attention(self, trained):
+        rng = np.random.default_rng(7)
+        features, tokens = make_transcription_batch(
+            rng, trained.corpus, 2, 24, trained.model.cfg.dim)
+        profiles = profile_model(trained.model, [(features, tokens[:, :-1])])
+        assert profiles["softmax"].values.size > 0

@@ -1,0 +1,159 @@
+"""Tests for the synthetic datasets and the Adam optimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.llm.nn import (
+    Adam,
+    Parameter,
+    cross_entropy,
+    entropy_floor_ppl,
+    make_markov_corpus,
+    make_patch_dataset,
+    make_transcription_batch,
+    perplexity_from_loss,
+)
+
+
+class TestMarkovCorpus:
+    def test_transition_rows_stochastic(self):
+        corpus = make_markov_corpus(vocab_size=64, branching=4)
+        sums = corpus.transition.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+        assert np.all(corpus.transition >= 0)
+
+    def test_deterministic_given_seed(self):
+        a = make_markov_corpus(vocab_size=32, seed=5)
+        b = make_markov_corpus(vocab_size=32, seed=5)
+        assert np.array_equal(a.transition, b.transition)
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        assert np.array_equal(a.sample(rng_a, 4, 16), b.sample(rng_b, 4, 16))
+
+    def test_sample_shapes_and_range(self):
+        corpus = make_markov_corpus(vocab_size=50)
+        rng = np.random.default_rng(0)
+        tokens = corpus.sample(rng, batch=3, seq_len=20)
+        assert tokens.shape == (3, 21)
+        assert tokens.min() >= 0 and tokens.max() < 50
+
+    def test_entropy_floor_below_uniform(self):
+        """A branching-6 chain is far more predictable than uniform."""
+        corpus = make_markov_corpus(vocab_size=256, branching=6)
+        floor = entropy_floor_ppl(corpus)
+        assert 1.0 < floor < 40.0
+
+    def test_branching_validation(self):
+        with pytest.raises(ConfigError):
+            make_markov_corpus(vocab_size=8, branching=8)
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_samples_follow_transitions(self, branching):
+        """Observed bigrams must have nonzero transition probability
+        above the smoothing floor most of the time."""
+        corpus = make_markov_corpus(vocab_size=32, branching=branching,
+                                    seed=branching)
+        rng = np.random.default_rng(0)
+        tokens = corpus.sample(rng, batch=8, seq_len=64)
+        probs = corpus.transition[tokens[:, :-1], tokens[:, 1:]]
+        # >80% of transitions come from the high-probability branches.
+        floor = 0.02 / 32
+        assert np.mean(probs > 2 * floor) > 0.8
+
+
+class TestPatchDataset:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        patches, labels = make_patch_dataset(rng, n_classes=5, batch=7,
+                                             seq_len=9, dim=12)
+        assert patches.shape == (7, 9, 12)
+        assert labels.shape == (7,)
+        assert labels.max() < 5
+
+    def test_class_signatures_separable(self):
+        """Same-class examples correlate more than cross-class ones."""
+        rng = np.random.default_rng(1)
+        patches, labels = make_patch_dataset(rng, n_classes=3, batch=60,
+                                             seq_len=16, dim=16, noise=0.1)
+        flat = patches.reshape(60, -1)
+        same, cross = [], []
+        for i in range(0, 40):
+            for j in range(i + 1, 40):
+                corr = np.dot(flat[i], flat[j]) / (
+                    np.linalg.norm(flat[i]) * np.linalg.norm(flat[j]))
+                (same if labels[i] == labels[j] else cross).append(corr)
+        assert np.mean(same) > np.mean(cross) + 0.3
+
+
+class TestTranscriptionBatch:
+    def test_shapes_align(self):
+        corpus = make_markov_corpus(vocab_size=32)
+        rng = np.random.default_rng(2)
+        features, tokens = make_transcription_batch(rng, corpus, batch=4,
+                                                    seq_len=10, dim=16)
+        assert features.shape == (4, 10, 16)
+        assert tokens.shape == (4, 11)
+
+    def test_features_encode_tokens(self):
+        """Identical token prefixes produce correlated features."""
+        corpus = make_markov_corpus(vocab_size=16)
+        rng = np.random.default_rng(3)
+        f1, t1 = make_transcription_batch(rng, corpus, 1, 8, 16, noise=0.0)
+        rng2 = np.random.default_rng(3)
+        f2, t2 = make_transcription_batch(rng2, corpus, 1, 8, 16, noise=0.0)
+        assert np.array_equal(t1, t2)
+        assert np.allclose(f1, f2)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1, clip_norm=None)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad += 2 * p.value  # d/dx of ||x||^2.
+            opt.step()
+        assert np.linalg.norm(p.value) < 1e-2
+
+    def test_gradient_clipping(self):
+        p = Parameter(np.zeros(4))
+        opt = Adam([p], lr=1.0, clip_norm=1.0)
+        p.grad += np.full(4, 100.0)
+        opt.step()
+        # Clipped: first Adam step magnitude is bounded by lr.
+        assert np.all(np.abs(p.value) <= 1.0 + 1e-9)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ConfigError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        opt = Adam([p])
+        p.grad += 1.0
+        opt.zero_grad()
+        assert np.all(p.grad == 0)
+
+
+class TestLossHelpers:
+    def test_perplexity_from_loss(self):
+        assert perplexity_from_loss(0.0) == 1.0
+        assert perplexity_from_loss(np.log(10)) == pytest.approx(10.0)
+
+    def test_perplexity_clamped(self):
+        assert np.isfinite(perplexity_from_loss(1e6))
+
+    @given(st.integers(min_value=2, max_value=20),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_cross_entropy_gradient_sums_to_zero(self, classes, n):
+        rng = np.random.default_rng(classes * 100 + n)
+        logits = rng.standard_normal((n, classes))
+        targets = rng.integers(0, classes, size=n)
+        loss, d = cross_entropy(logits, targets)
+        assert loss > 0
+        # Softmax-CE gradient rows sum to zero.
+        assert np.allclose(d.sum(axis=-1), 0.0, atol=1e-12)

@@ -1,0 +1,239 @@
+"""Gradient checks and unit tests for the numpy NN substrate."""
+
+import numpy as np
+import pytest
+
+from repro.llm.nn import (
+    Adam,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MultiHeadAttention,
+    Parameter,
+    RMSNorm,
+    TinyModelConfig,
+    cross_entropy,
+)
+from repro.llm.nn.transformer import FeedForward, TransformerLM
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    """Central finite differences of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn()
+        flat[i] = orig - eps
+        minus = fn()
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(0)
+        lin = Linear(8, 4, rng)
+        out = lin.forward(rng.standard_normal((2, 3, 8)))
+        assert out.shape == (2, 3, 4)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(1)
+        lin = Linear(5, 3, rng)
+        x = rng.standard_normal((2, 5))
+        dy = rng.standard_normal((2, 3))
+
+        def loss():
+            return float(np.sum(lin.forward(x) * dy))
+
+        num = numerical_grad(loss, x)
+        lin.forward(x)
+        ana = lin.backward(dy)
+        assert np.allclose(ana, num, atol=1e-5)
+
+    def test_weight_gradient(self):
+        rng = np.random.default_rng(2)
+        lin = Linear(4, 3, rng)
+        x = rng.standard_normal((6, 4))
+        dy = rng.standard_normal((6, 3))
+
+        def loss():
+            return float(np.sum(lin.forward(x) * dy))
+
+        num = numerical_grad(loss, lin.weight.value)
+        lin.zero_grad()
+        lin.forward(x)
+        lin.backward(dy)
+        assert np.allclose(lin.weight.grad, num, atol=1e-5)
+
+
+class TestNorms:
+    @pytest.mark.parametrize("norm_cls", [RMSNorm, LayerNorm])
+    def test_input_gradient(self, norm_cls):
+        rng = np.random.default_rng(3)
+        norm = norm_cls(6)
+        x = rng.standard_normal((2, 6))
+        dy = rng.standard_normal((2, 6))
+
+        def loss():
+            return float(np.sum(norm.forward(x) * dy))
+
+        num = numerical_grad(loss, x)
+        norm.forward(x)
+        ana = norm.backward(dy)
+        assert np.allclose(ana, num, atol=1e-5)
+
+    def test_layernorm_output_stats(self):
+        rng = np.random.default_rng(4)
+        norm = LayerNorm(32)
+        out = norm.forward(rng.standard_normal((5, 32)) * 7 + 3)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+
+class TestEmbedding:
+    def test_gradient_accumulates_per_token(self):
+        rng = np.random.default_rng(5)
+        emb = Embedding(10, 4, rng)
+        ids = np.array([[1, 1, 3]])
+        out = emb.forward(ids)
+        dy = np.ones_like(out)
+        emb.backward(dy)
+        assert np.allclose(emb.weight.grad[1], 2.0)  # Token 1 used twice.
+        assert np.allclose(emb.weight.grad[3], 1.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+
+class TestFeedForward:
+    @pytest.mark.parametrize("activation", ["silu", "gelu"])
+    def test_input_gradient(self, activation):
+        rng = np.random.default_rng(6)
+        ffn = FeedForward(5, 7, activation, rng)
+        x = rng.standard_normal((3, 5))
+        dy = rng.standard_normal((3, 5))
+
+        def loss():
+            return float(np.sum(ffn.forward(x) * dy))
+
+        num = numerical_grad(loss, x)
+        ffn.forward(x)
+        ana = ffn.backward(dy)
+        assert np.allclose(ana, num, atol=1e-5)
+
+    def test_activation_override_changes_output(self):
+        rng = np.random.default_rng(7)
+        ffn = FeedForward(5, 7, "silu", rng)
+        x = rng.standard_normal((2, 5))
+        base = ffn.forward(x)
+        ffn.activation_fn = lambda v: np.zeros_like(v)
+        assert not np.allclose(ffn.forward(x), base)
+
+
+class TestAttention:
+    @pytest.mark.parametrize("n_kv_heads", [4, 2, 1])
+    def test_input_gradient(self, n_kv_heads):
+        rng = np.random.default_rng(8)
+        attn = MultiHeadAttention(8, 4, rng, n_kv_heads=n_kv_heads,
+                                  causal=True)
+        x = rng.standard_normal((1, 3, 8))
+        dy = rng.standard_normal((1, 3, 8))
+
+        def loss():
+            return float(np.sum(attn.forward(x) * dy))
+
+        num = numerical_grad(loss, x)
+        attn.forward(x)
+        ana = attn.backward(dy)
+        assert np.allclose(ana, num, atol=1e-4)
+
+    def test_causal_mask(self):
+        rng = np.random.default_rng(9)
+        attn = MultiHeadAttention(8, 2, rng, causal=True)
+        x = rng.standard_normal((1, 4, 8))
+        base = attn.forward(x)
+        x2 = x.copy()
+        x2[0, -1] += 10.0  # Perturb only the last position.
+        out2 = attn.forward(x2)
+        assert np.allclose(base[0, :-1], out2[0, :-1])  # Earlier unchanged.
+
+    def test_gqa_repeats_kv(self):
+        rng = np.random.default_rng(10)
+        attn = MultiHeadAttention(8, 4, rng, n_kv_heads=2)
+        assert attn.group == 2
+        out = attn.forward(rng.standard_normal((2, 5, 8)))
+        assert out.shape == (2, 5, 8)
+
+    def test_softmax_override(self):
+        rng = np.random.default_rng(11)
+        attn = MultiHeadAttention(8, 2, rng)
+        x = rng.standard_normal((1, 4, 8))
+        base = attn.forward(x)
+        calls = []
+
+        def fake_softmax(s):
+            calls.append(s.shape)
+            from repro.baselines import precise
+            return precise.softmax(s, axis=-1)
+
+        attn.softmax_fn = fake_softmax
+        out = attn.forward(x)
+        assert calls and np.allclose(out, base)
+
+
+class TestLMEndToEnd:
+    def test_full_model_gradient(self):
+        cfg = TinyModelConfig(vocab_size=11, dim=8, n_layers=1, n_heads=2,
+                              ffn_dim=12, max_seq_len=8)
+        model = TransformerLM(cfg, seed=0)
+        tokens = np.array([[1, 4, 2, 7]])
+        targets = np.array([[4, 2, 7, 3]])
+
+        def loss():
+            logits = model.forward(tokens)
+            value, _ = cross_entropy(logits, targets)
+            return value
+
+        # Check gradient of one weight matrix by finite differences.
+        w = model.blocks[0].ffn.up.weight
+        num = numerical_grad(loss, w.value, eps=1e-5)
+        model.zero_grad()
+        logits = model.forward(tokens)
+        _, d_logits = cross_entropy(logits, targets)
+        model.backward(d_logits)
+        assert np.allclose(w.grad, num, atol=1e-4)
+
+    def test_adam_reduces_loss(self):
+        cfg = TinyModelConfig(vocab_size=16, dim=16, n_layers=1, n_heads=2,
+                              ffn_dim=32, max_seq_len=16)
+        model = TransformerLM(cfg, seed=1)
+        opt = Adam(model.parameters(), lr=1e-2)
+        rng = np.random.default_rng(12)
+        tokens = rng.integers(0, 16, size=(4, 9))
+        first = None
+        for _ in range(30):
+            logits = model.forward(tokens[:, :-1])
+            loss, d = cross_entropy(logits, tokens[:, 1:])
+            if first is None:
+                first = loss
+            opt.zero_grad()
+            model.backward(d)
+            opt.step()
+        assert loss < 0.5 * first  # Memorizes the fixed batch.
+
+    def test_cross_entropy_matches_uniform(self):
+        logits = np.zeros((2, 3, 10))
+        targets = np.zeros((2, 3), dtype=int)
+        loss, d = cross_entropy(logits, targets)
+        assert loss == pytest.approx(np.log(10))
+        assert d.shape == logits.shape
+
+    def test_parameter_collection(self):
+        cfg = TinyModelConfig(vocab_size=8, dim=8, n_layers=2, n_heads=2,
+                              ffn_dim=8)
+        model = TransformerLM(cfg)
+        params = model.parameters()
+        assert len(params) > 10
+        assert all(isinstance(p, Parameter) for p in params)

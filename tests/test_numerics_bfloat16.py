@@ -1,0 +1,125 @@
+"""Unit and property tests for BF16 conversion and field splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.bfloat16 import BF16_MIN_NORMAL
+from repro.numerics import (
+    BF16_MANTISSA_BITS,
+    ZERO_EXPONENT,
+    bf16_ulp_error,
+    combine_fields,
+    from_bfloat16_bits,
+    split_bfloat16,
+    to_bfloat16,
+    to_bfloat16_bits,
+)
+
+
+class TestRoundTrip:
+    def test_exact_values_survive(self):
+        exact = np.array([0.0, 1.0, -1.0, 0.5, 2.0, -3.5, 128.0, 0.15625])
+        assert np.array_equal(to_bfloat16(exact), exact.astype(np.float32))
+
+    def test_bits_round_trip(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000).astype(np.float32)
+        bits = to_bfloat16_bits(x)
+        twice = to_bfloat16_bits(from_bfloat16_bits(bits))
+        assert np.array_equal(bits, twice)
+
+    def test_relative_error_bound(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(10000) * 10.0 ** rng.integers(-10, 10, 10000)
+        y = to_bfloat16(x).astype(np.float64)
+        rel = np.abs(y - x) / np.abs(x)
+        # 7 mantissa bits -> half-ulp bound 2**-8.
+        assert rel.max() <= 2.0 ** -8 + 1e-12
+
+    def test_round_to_nearest_even(self):
+        # 1 + 2**-8 sits exactly between two BF16 values; ties go to even.
+        val = np.float32(1.0 + 2.0 ** -8)
+        assert to_bfloat16(val) == np.float32(1.0)
+        val = np.float32(1.0 + 3 * 2.0 ** -8)
+        assert to_bfloat16(val) == np.float32(1.0 + 2 * 2.0 ** -7)
+
+    def test_nan_and_inf(self):
+        out = to_bfloat16(np.array([np.nan, -np.nan]))
+        assert np.all(np.isnan(out))
+        out = to_bfloat16(np.array([np.inf, -np.inf]))
+        assert np.isposinf(out[0]) and np.isneginf(out[1])
+
+    def test_overflow_rounds_to_inf(self):
+        assert np.isposinf(to_bfloat16(np.float32(3.4e38)))
+
+
+class TestFieldSplit:
+    def test_known_decomposition(self):
+        fields = split_bfloat16(np.array([1.5]))
+        assert fields.sign[0] == 0
+        assert fields.exponent[0] == 0
+        assert fields.mantissa[0] == 64  # 0.5 * 2**7
+
+    def test_negative_sign(self):
+        fields = split_bfloat16(np.array([-2.0]))
+        assert fields.sign[0] == 1
+        assert fields.exponent[0] == 1
+        assert fields.mantissa[0] == 0
+
+    def test_zero_uses_sentinel(self):
+        fields = split_bfloat16(np.array([0.0, -0.0]))
+        assert np.all(fields.exponent == ZERO_EXPONENT)
+        assert np.all(fields.is_zero())
+
+    def test_subnormals_collapse_to_zero(self):
+        fields = split_bfloat16(np.array([1e-40]))
+        assert fields.is_zero()[0]
+
+    @given(st.lists(st.floats(min_value=-1e30, max_value=1e30,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50))
+    @settings(max_examples=200, deadline=None)
+    def test_split_combine_is_bf16_identity(self, values):
+        x = np.asarray(values)
+        fields = split_bfloat16(x)
+        reconstructed = combine_fields(fields)
+        expected = to_bfloat16(x).astype(np.float64)
+        # Values below the BF16 min normal are subnormal and collapse to 0.
+        tiny = np.abs(expected) < BF16_MIN_NORMAL
+        assert np.allclose(reconstructed[~tiny], expected[~tiny], rtol=0, atol=0)
+        assert np.all(reconstructed[tiny] == 0.0)
+
+    def test_mantissa_bits_constant(self):
+        fields = split_bfloat16(np.array([3.25]))
+        assert fields.mantissa_bits == BF16_MANTISSA_BITS
+
+
+class TestUlpError:
+    def test_identical_is_zero(self):
+        x = np.array([1.0, -2.5, 3.0])
+        assert np.all(bf16_ulp_error(x, x) == 0)
+
+    def test_adjacent_is_one(self):
+        a = np.float32(1.0)
+        b = from_bfloat16_bits(np.uint16(to_bfloat16_bits(a) + 1))
+        assert bf16_ulp_error(a, b) == 1
+
+    def test_sign_crossing(self):
+        # +0 and the smallest negative value are 1 step apart... ordering
+        # must be monotonic across the sign boundary.
+        assert bf16_ulp_error(np.float32(1.0), np.float32(-1.0)) > 0
+
+
+@pytest.mark.parametrize("value,exp,mant", [
+    (1.0, 0, 0),
+    (1.9921875, 0, 127),
+    (4.0, 2, 0),
+    (0.75, -1, 64),
+    (6.0, 2, 64),
+])
+def test_field_split_table(value, exp, mant):
+    fields = split_bfloat16(np.array([value]))
+    assert fields.exponent[0] == exp
+    assert fields.mantissa[0] == mant

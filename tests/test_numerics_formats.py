@@ -1,0 +1,190 @@
+"""Tests for INT4, FP8, mantissa rounding, and quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.numerics import (
+    E4M3,
+    E5M2,
+    INT4_MAX,
+    INT4_MIN,
+    check_int4,
+    fp8_representable_values,
+    from_sign_magnitude,
+    pack_int4,
+    quantization_error,
+    quantize_fp8,
+    quantize_groupwise,
+    quantize_kv_cache,
+    quantize_weights_woq,
+    round_mantissa,
+    split_bfloat16,
+    split_fields,
+    to_sign_magnitude,
+    unpack_int4,
+)
+from repro.numerics.fields import combine_fields
+
+
+class TestInt4:
+    def test_range_enforced(self):
+        with pytest.raises(FormatError):
+            check_int4(np.array([8]))
+        with pytest.raises(FormatError):
+            check_int4(np.array([-8]))
+
+    def test_sign_magnitude_round_trip(self):
+        values = np.arange(INT4_MIN, INT4_MAX + 1)
+        sign, mag = to_sign_magnitude(values)
+        assert np.array_equal(from_sign_magnitude(sign, mag), values)
+
+    def test_magnitude_fits_three_bits(self):
+        _, mag = to_sign_magnitude(np.arange(INT4_MIN, INT4_MAX + 1))
+        assert mag.max() <= 7
+
+    def test_negative_zero_is_canonical(self):
+        sign, mag = to_sign_magnitude(np.array([0]))
+        assert sign[0] == 0 and mag[0] == 0
+
+    @given(st.lists(st.integers(min_value=-7, max_value=7),
+                    min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_pack_unpack(self, values):
+        arr = np.asarray(values)
+        packed = pack_int4(arr)
+        assert packed.nbytes == (arr.size + 1) // 2
+        assert np.array_equal(unpack_int4(packed, arr.size), arr)
+
+
+class TestFP8:
+    def test_representable_values_are_fixed_points(self):
+        for fmt in (E4M3, E5M2):
+            vals = fp8_representable_values(fmt)
+            assert np.array_equal(quantize_fp8(vals, fmt),
+                                  vals.astype(np.float32))
+
+    def test_saturation(self):
+        assert quantize_fp8(np.array([1e6]), E4M3)[0] == np.float32(448.0)
+        assert quantize_fp8(np.array([-1e6]), E4M3)[0] == np.float32(-448.0)
+
+    def test_zero(self):
+        assert quantize_fp8(np.array([0.0]), E4M3)[0] == 0.0
+
+    def test_subnormal_region(self):
+        # Smallest positive E4M3 subnormal is 2**-9.
+        tiny = 2.0 ** -9
+        assert quantize_fp8(np.array([tiny]), E4M3)[0] == np.float32(tiny)
+
+    @given(st.floats(min_value=-400, max_value=400,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200, deadline=None)
+    def test_rounds_to_nearest_representable(self, x):
+        vals = fp8_representable_values(E4M3)
+        q = float(quantize_fp8(np.array([x]), E4M3)[0])
+        best = vals[np.argmin(np.abs(vals - x))]
+        # Allow ties (round-half cases) — q must be at least as close.
+        assert abs(q - x) <= abs(best - x) + 1e-12
+
+    def test_spike_cycles(self):
+        assert E4M3.spike_cycles == 8
+        assert E5M2.spike_cycles == 4
+
+
+class TestMantissaRounding:
+    def test_truncation_cases(self):
+        fields = split_bfloat16(np.array([1.0 + 1.0 / 128]))  # mantissa 0000001
+        rounded = round_mantissa(fields, 3)
+        assert rounded.mantissa[0] == 0 and rounded.exponent[0] == 0
+
+    def test_round_up_with_carry(self):
+        fields = split_bfloat16(np.array([1.9921875]))  # mantissa 1111111
+        rounded = round_mantissa(fields, 3)
+        assert rounded.mantissa[0] == 0
+        assert rounded.exponent[0] == 1  # Carried into the exponent.
+
+    def test_ties_to_even(self):
+        # mantissa fraction 0001000b: exactly half of the 3-bit step, and
+        # the truncated value 000 is even -> stays 000.
+        fields = split_bfloat16(np.array([1.0 + 8.0 / 128]))
+        assert round_mantissa(fields, 3).mantissa[0] == 0
+        # 0011000b: half step above 001 (odd) -> rounds up to 010.
+        fields = split_bfloat16(np.array([1.0 + 24.0 / 128]))
+        assert round_mantissa(fields, 3).mantissa[0] == 2
+
+    def test_zero_passes_through(self):
+        fields = split_bfloat16(np.array([0.0]))
+        assert round_mantissa(fields, 3).is_zero()[0]
+
+    def test_widening_rejected(self):
+        fields = split_bfloat16(np.array([1.0]))
+        with pytest.raises(FormatError):
+            round_mantissa(fields, 9)
+
+    @given(st.lists(st.floats(min_value=-1e20, max_value=1e20,
+                              allow_nan=False, allow_infinity=False)
+                    .filter(lambda v: v == 0 or abs(v) > 1e-30),
+                    min_size=1, max_size=32),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=150, deadline=None)
+    def test_relative_error_bound(self, values, bits):
+        x = np.asarray(values)
+        fields = split_fields(x, mantissa_bits=20)
+        rounded = round_mantissa(fields, bits)
+        approx = combine_fields(rounded)
+        nonzero = x != 0
+        rel = np.abs(approx[nonzero] - x[nonzero]) / np.abs(x[nonzero])
+        # Half-ulp of a `bits`-bit mantissa plus the 20-bit split error.
+        assert np.all(rel <= 2.0 ** -(bits + 1) + 2.0 ** -19)
+
+
+class TestQuantization:
+    def test_woq_shape_and_range(self):
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((64, 256))
+        qt = quantize_weights_woq(w, bits=4, group_size=128)
+        assert qt.q.shape == w.shape
+        assert qt.scales.shape == (64, 2)
+        assert qt.q.min() >= -7 and qt.q.max() <= 7
+
+    def test_dequantize_error_small(self):
+        rng = np.random.default_rng(3)
+        w = rng.standard_normal((32, 128))
+        qt = quantize_weights_woq(w, bits=4, group_size=64)
+        assert quantization_error(w, qt) < 0.12  # INT4 RMS error ~5-10%.
+        qt8 = quantize_groupwise(w, bits=8, group_size=64)
+        assert quantization_error(w, qt8) < 0.01
+
+    def test_kvq_per_token_groups(self):
+        rng = np.random.default_rng(4)
+        kv = rng.standard_normal((2, 16, 64))  # [head, seq, head_dim]
+        qt = quantize_kv_cache(kv, bits=4)
+        assert qt.scales.shape == (2, 16, 1)
+        err = np.abs(qt.dequantize() - kv)
+        assert err.max() < np.abs(kv).max() / 7
+
+    def test_ragged_last_group(self):
+        x = np.arange(10, dtype=np.float64).reshape(1, 10)
+        qt = quantize_groupwise(x, bits=4, group_size=4)
+        assert qt.q.shape == (1, 10)
+        assert qt.scales.shape == (1, 3)
+        # dequantize() must also handle the ragged tail.
+        assert qt.dequantize().shape == (1, 10)
+
+    def test_zero_group_scale_is_safe(self):
+        x = np.zeros((2, 8))
+        qt = quantize_groupwise(x, bits=4, group_size=4)
+        assert np.all(qt.dequantize() == 0.0)
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=96))
+    @settings(max_examples=50, deadline=None)
+    def test_codes_within_symmetric_range(self, rows, cols):
+        rng = np.random.default_rng(rows * 100 + cols)
+        x = rng.standard_normal((rows, cols)) * 10
+        qt = quantize_groupwise(x, bits=4, group_size=32)
+        assert qt.q.min() >= -7 and qt.q.max() <= 7
+        sign, mag = to_sign_magnitude(qt.q)
+        assert np.array_equal(from_sign_magnitude(sign, mag), qt.q)
