@@ -16,6 +16,9 @@ Subpackages
 ``repro.llm``
     LLM workload substrate: model configs, operator graphs, and a numpy
     transformer stack for end-to-end accuracy experiments.
+``repro.serve``
+    Discrete-event continuous-batching serving simulator (traces,
+    schedulers, step engine, TTFT/TPOT/goodput metrics).
 ``repro.carbon``
     Operational / embodied carbon modeling.
 ``repro.analysis``
@@ -24,7 +27,16 @@ Subpackages
 
 __version__ = "1.0.0"
 
-from . import analysis, arch, baselines, carbon, core, llm, numerics  # noqa: F401
+from . import (  # noqa: F401
+    analysis,
+    arch,
+    baselines,
+    carbon,
+    core,
+    llm,
+    numerics,
+    serve,
+)
 
 __all__ = ["analysis", "arch", "baselines", "carbon", "core", "llm",
-           "numerics", "__version__"]
+           "numerics", "serve", "__version__"]

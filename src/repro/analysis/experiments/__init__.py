@@ -17,6 +17,7 @@ Fig. 14   ``batch_sweep``                 batch-size sweeps
 Fig. 15   ``carbon_footprint``            operational/embodied carbon
 Fig. 16   ``latency_breakdown``           per-kind latency stacks
 Fig. 17   ``noc_scaling``                 NoC-level comparisons
+(serving) ``serving_load_sweep``          latency–throughput curves
 ========  ==============================  ================================
 """
 
@@ -33,6 +34,7 @@ from . import (  # noqa: F401
     nonlinear_iso_area,
     per_layer_tuning,
     relative_error,
+    serving_load_sweep,
 )
 
 __all__ = [
@@ -48,4 +50,5 @@ __all__ = [
     "nonlinear_iso_area",
     "per_layer_tuning",
     "relative_error",
+    "serving_load_sweep",
 ]

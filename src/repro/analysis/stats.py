@@ -33,6 +33,6 @@ def normalize_to(values: dict, baseline_key) -> dict:
 
 def speedup(new: float, old: float) -> float:
     """old/new improvement factor for time-like metrics."""
-    if new <= 0:
-        raise ConfigError("speedup requires positive new value")
+    if new <= 0 or old <= 0:
+        raise ConfigError("speedup requires positive old and new values")
     return old / new

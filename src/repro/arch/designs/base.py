@@ -17,6 +17,7 @@ Metric conventions (decoded from Table 3's internal ratios):
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -111,6 +112,31 @@ class OpCost:
                       hbm_bytes=self.hbm_bytes + other.hbm_bytes)
 
 
+def memoize_op_cost(method):
+    """Cache a design's per-op costs on the instance.
+
+    Ops are frozen (hashable) dataclasses and every design's cost model is
+    a pure function of the op *given construction-time configuration*:
+    treat a design as immutable once it has costed anything — reassigning
+    ``tech`` (or array geometry) afterwards would silently serve stale
+    cached costs; build a fresh design instead.  Keys include the
+    defining class's qualname so ``super()`` chains (e.g. Mugi-L → Mugi)
+    keep separate entries.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, op):
+        cache = self.__dict__.setdefault("_op_cost_cache", {})
+        key = (method.__qualname__, op)
+        hit = cache.get(key)
+        if hit is None:
+            hit = cache[key] = method(self, op)
+        return hit
+
+    wrapper.__memoized_cost__ = True
+    return wrapper
+
+
 @dataclass
 class AreaBreakdown:
     """Per-category mm² with convenience totals (Fig. 13)."""
@@ -143,6 +169,15 @@ class AcceleratorDesign(ABC):
 
     def __init__(self, tech: TechnologyModel = TECH_45NM):
         self.tech = tech
+
+    def __init_subclass__(cls, **kwargs):
+        """Memoize every concrete ``gemm_cost`` / ``nonlinear_cost``."""
+        super().__init_subclass__(**kwargs)
+        for name in ("gemm_cost", "nonlinear_cost"):
+            method = cls.__dict__.get(name)
+            if method is not None and \
+                    not getattr(method, "__memoized_cost__", False):
+                setattr(cls, name, memoize_op_cost(method))
 
     # -- structure ------------------------------------------------------
     @abstractmethod

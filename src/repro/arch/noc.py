@@ -14,7 +14,13 @@ import math
 from dataclasses import dataclass
 
 from ..errors import ConfigError
-from .designs.base import AcceleratorDesign, GemmOp, NonlinearOp, OpCost
+from .designs.base import (
+    AcceleratorDesign,
+    GemmOp,
+    NonlinearOp,
+    OpCost,
+    memoize_op_cost,
+)
 from .technology import TECH_45NM, TechnologyModel
 
 
@@ -72,6 +78,7 @@ class NocSystem:
         return self.area_mm2 * self.tech.leakage_w_per_mm2
 
     # -- op costing -----------------------------------------------------
+    @memoize_op_cost
     def gemm_cost(self, op: GemmOp) -> OpCost:
         """Tile the GEMM evenly across nodes (paper §4.2).
 
@@ -141,6 +148,7 @@ class NocSystem:
                       energy_pj=total_energy / op.count,
                       hbm_bytes=hbm / op.count)
 
+    @memoize_op_cost
     def nonlinear_cost(self, op: NonlinearOp) -> OpCost:
         """Split elements (and softmax rows) evenly across nodes."""
         nodes = self.noc.nodes

@@ -49,6 +49,7 @@ class SimulationResult:
     cycles_by_kind: dict = field(default_factory=dict)
     energy_by_kind: dict = field(default_factory=dict)
     hbm_bytes: float = 0.0
+    total_macs: float = 0.0
 
     @property
     def step_seconds(self) -> float:
@@ -91,11 +92,15 @@ class SimulationResult:
 
     @property
     def operational_intensity(self) -> float:
-        """MAC-equivalents per HBM byte (the §6.3.1 DRAM-traffic claim)."""
+        """MACs per HBM byte (the §6.3.1 DRAM-traffic claim).
+
+        Uses the workload's MAC count, not cycles: Mugi spends
+        ``spike_cycles`` per mapping, so cycles/byte would skew
+        cross-design comparisons of the same workload.
+        """
         if self.hbm_bytes == 0:
             return float("inf")
-        total_cycles = sum(self.cycles_by_kind.values())
-        return total_cycles / self.hbm_bytes
+        return self.total_macs / self.hbm_bytes
 
 
 def simulate_workload(design, ops: list, tokens_per_step: int,
@@ -119,12 +124,14 @@ def simulate_workload(design, ops: list, tokens_per_step: int,
     total_cycles = 0.0
     total_energy_pj = 0.0
     total_hbm = 0.0
+    total_macs = 0
     cycles_by_kind = {k: 0.0 for k in BREAKDOWN_KINDS}
     energy_by_kind = {k: 0.0 for k in BREAKDOWN_KINDS}
 
     for op in ops:
         if isinstance(op, GemmOp):
             cost: OpCost = design.gemm_cost(op)
+            total_macs += op.macs * op.count
         elif isinstance(op, NonlinearOp):
             cost = design.nonlinear_cost(op)
         else:
@@ -150,4 +157,5 @@ def simulate_workload(design, ops: list, tokens_per_step: int,
         cycles_by_kind=cycles_by_kind,
         energy_by_kind=energy_by_kind,
         hbm_bytes=total_hbm,
+        total_macs=total_macs,
     )

@@ -212,6 +212,9 @@ class VLPApproximator:
         if self.config.op == "exp":
             out = np.where(pos_inf, np.inf, out)
             out = np.where(neg_inf, 0.0, out)
+        elif self.config.op in ("sin", "cos"):
+            # IEEE 754: sin/cos of an infinity is an invalid operation.
+            out = np.where(pos_inf | neg_inf, np.nan, out)
         else:  # silu / gelu: f(+inf)=+inf, f(-inf)=0.
             out = np.where(pos_inf, np.inf, out)
             out = np.where(neg_inf, 0.0, out)

@@ -17,6 +17,7 @@ applied per quantization group by the vector array after accumulation.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -71,10 +72,13 @@ def _ceil_div(a: int, b: int) -> int:
     return -(-a // b)
 
 
+@functools.lru_cache(maxsize=65536)
 def schedule_vlp_gemm(m: int, k: int, n: int, array_height: int,
                       array_width: int = 8, spike_cycles: int = 8,
                       rows_dim: str = "n") -> GemmSchedule:
-    """Build the analytic schedule for a VLP GEMM.
+    """Build the analytic schedule for a VLP GEMM (memoized — the
+    schedule is a pure function of its integer arguments, and serving
+    traces re-schedule the same shapes thousands of times).
 
     Parameters
     ----------

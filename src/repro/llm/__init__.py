@@ -29,6 +29,8 @@ from .moe import (
 from .workload import (
     build_decode_ops,
     build_prefill_ops,
+    build_ragged_decode_ops,
+    build_serving_step_ops,
     gemm_macs,
     nonlinear_elements,
 )
@@ -50,6 +52,8 @@ __all__ = [
     "build_decode_ops",
     "build_moe_decode_ops",
     "build_prefill_ops",
+    "build_ragged_decode_ops",
+    "build_serving_step_ops",
     "expert_token_buckets",
     "gemm_macs",
     "get_model",

@@ -16,6 +16,8 @@ any Table 2 design (or NoC system) can consume.
 
 from __future__ import annotations
 
+from collections import Counter
+
 from ..arch.designs.base import GemmOp, NonlinearOp
 from ..errors import ConfigError
 from .config import ModelConfig
@@ -46,55 +48,157 @@ def build_decode_ops(config: ModelConfig, batch: int, seq_len: int,
     """
     if batch < 1 or seq_len < 1:
         raise ConfigError("batch and seq_len must be positive")
+    return build_ragged_decode_ops(config, [seq_len] * batch,
+                                   woq_bits=woq_bits, kvq_bits=kvq_bits,
+                                   include_lm_head=include_lm_head,
+                                   include_aux_ops=include_aux_ops)
+
+
+def build_ragged_decode_ops(config: ModelConfig, seq_lens,
+                            woq_bits: int = 4, kvq_bits: int = 4,
+                            include_lm_head: bool = True,
+                            include_aux_ops: bool = False) -> list:
+    """Operator list for one decode step over a *ragged* active set.
+
+    Continuous-batching serving (:mod:`repro.serve`) decodes sequences
+    whose context lengths differ; projections and FFN GEMMs still batch
+    all sequences (``m = len(seq_lens)``), while the per-(sequence, KV
+    head) attention GEMMs and softmax rows are emitted per distinct
+    context length.  With a uniform ``seq_lens`` this reproduces
+    :func:`build_decode_ops` exactly.
+
+    Parameters
+    ----------
+    config:
+        A Table 1 model configuration.
+    seq_lens:
+        Per-sequence context lengths (KV cache depths) of the active set.
+    woq_bits / kvq_bits / include_lm_head / include_aux_ops:
+        As in :func:`build_decode_ops`.
+    """
+    seq_lens = [int(s) for s in seq_lens]  # Accept any array-like.
+    if not seq_lens:
+        raise ConfigError("seq_lens must be non-empty")
+    return build_serving_step_ops(config, decode_lens=seq_lens,
+                                  prefill_lens=(), woq_bits=woq_bits,
+                                  kvq_bits=kvq_bits,
+                                  include_lm_head=include_lm_head,
+                                  include_aux_ops=include_aux_ops)
+
+
+def build_serving_step_ops(config: ModelConfig, decode_lens, prefill_lens,
+                           woq_bits: int = 4, kvq_bits: int = 4,
+                           include_lm_head: bool = True,
+                           include_aux_ops: bool = False) -> list:
+    """Operator list for one *fused* serving step.
+
+    Continuous batching runs prefills and decodes in the same iteration;
+    like the real iteration-level engines, all their tokens share each
+    layer's projection/FFN GEMMs (``m`` = decode sequences + prompt
+    tokens), so model weights stream from HBM once per step no matter
+    how many sequences are active.  Attention stays per-sequence:
+    decode sequences get the ragged per-context-length KV GEMMs, while
+    prefilling sequences get the quadratic self-attention GEMMs over KV
+    tiles just produced on chip (``weights_resident``).
+
+    With ``prefill_lens`` empty this is exactly the ragged decode graph;
+    one prefill and no decodes reproduces :func:`build_prefill_ops` plus
+    the first-token LM head.
+
+    Parameters
+    ----------
+    config:
+        A Table 1 model configuration.
+    decode_lens:
+        Context lengths (KV depths) of the decoding sequences.
+    prefill_lens:
+        Prompt lengths of the sequences prefilling this step.
+    woq_bits / kvq_bits / include_lm_head / include_aux_ops:
+        As in :func:`build_decode_ops`.
+    """
+    decode_lens = [int(s) for s in decode_lens]
+    prefill_lens = [int(s) for s in prefill_lens]
+    if not decode_lens and not prefill_lens:
+        raise ConfigError("step needs at least one active sequence")
+    if (decode_lens and min(decode_lens) < 1) or \
+            (prefill_lens and min(prefill_lens) < 1):
+        raise ConfigError("sequence lengths must be positive")
+    #: Tokens through the projections/FFN: one per decoder plus every
+    #: prompt token; output tokens: one per active sequence.
+    tokens = len(decode_lens) + sum(prefill_lens)
+    out_tokens = len(decode_lens) + len(prefill_lens)
     ops: list = []
     h = config.hidden_dim
     d = config.head_dim
     group = config.gqa_group
+    #: Sequences sharing a context length share one (counted) GEMM.
+    decode_groups = sorted(Counter(decode_lens).items())
+    prefill_groups = sorted(Counter(prefill_lens).items())
 
     for _ in range(config.n_layers):
         if include_aux_ops:
-            ops.append(NonlinearOp(op="layernorm", elements=batch * h))
+            ops.append(NonlinearOp(op="layernorm", elements=tokens * h))
         # QKV projection: fused [h -> h + 2*kv_dim].
-        ops.append(GemmOp(m=batch, k=h, n=h + 2 * config.kv_dim,
+        ops.append(GemmOp(m=tokens, k=h, n=h + 2 * config.kv_dim,
                           kind="projection", weight_bits=woq_bits))
         if include_aux_ops:
             # RoPE rotates the new Q and K vectors (sin + cos lookups
             # per pair lane; see repro.core.rope).
-            rope_elements = batch * (config.n_heads + config.n_kv_heads) * d
+            rope_elements = tokens * (config.n_heads + config.n_kv_heads) * d
             ops.append(NonlinearOp(op="rope", elements=rope_elements))
-        # Attention scores: each (sequence, KV head) pair has its own KV
+        # Decode attention: each (sequence, KV head) pair has its own KV
         # cache, so one GEMM instance per pair; the GQA group of Q heads
         # sharing that cache forms the GEMM batch (m = group — a GEMV
         # when group == 1, the §2.3.1 utilization problem).  The KV cache
         # is the quantized "weight" operand streamed from off-chip.
-        ops.append(GemmOp(m=group, k=d, n=seq_len,
-                          kind="attention_qk", weight_bits=kvq_bits,
-                          count=batch * config.n_kv_heads))
-        ops.append(NonlinearOp(op="softmax",
-                               elements=batch * config.n_heads * seq_len,
-                               rows=batch * config.n_heads))
-        ops.append(GemmOp(m=group, k=seq_len, n=d,
-                          kind="attention_pv", weight_bits=kvq_bits,
-                          count=batch * config.n_kv_heads))
+        for seq_len, seqs in decode_groups:
+            ops.append(GemmOp(m=group, k=d, n=seq_len,
+                              kind="attention_qk", weight_bits=kvq_bits,
+                              count=seqs * config.n_kv_heads))
+        # Prefill self-attention is quadratic over KV tiles just
+        # produced on chip.
+        for seq_len, seqs in prefill_groups:
+            ops.append(GemmOp(m=seq_len * group, k=d, n=seq_len,
+                              kind="attention_qk", weight_bits=kvq_bits,
+                              count=seqs * config.n_kv_heads,
+                              weights_resident=True))
+        for seq_len, seqs in decode_groups:
+            ops.append(NonlinearOp(op="softmax",
+                                   elements=seqs * config.n_heads * seq_len,
+                                   rows=seqs * config.n_heads))
+        for seq_len, seqs in prefill_groups:
+            ops.append(NonlinearOp(
+                op="softmax",
+                elements=seqs * config.n_heads * seq_len * seq_len,
+                rows=seqs * config.n_heads * seq_len))
+        for seq_len, seqs in decode_groups:
+            ops.append(GemmOp(m=group, k=seq_len, n=d,
+                              kind="attention_pv", weight_bits=kvq_bits,
+                              count=seqs * config.n_kv_heads))
+        for seq_len, seqs in prefill_groups:
+            ops.append(GemmOp(m=seq_len * group, k=seq_len, n=d,
+                              kind="attention_pv", weight_bits=kvq_bits,
+                              count=seqs * config.n_kv_heads,
+                              weights_resident=True))
         # Output projection.
-        ops.append(GemmOp(m=batch, k=h, n=h, kind="projection",
+        ops.append(GemmOp(m=tokens, k=h, n=h, kind="projection",
                           weight_bits=woq_bits))
         if include_aux_ops:
-            ops.append(NonlinearOp(op="layernorm", elements=batch * h))
+            ops.append(NonlinearOp(op="layernorm", elements=tokens * h))
         # FFN: gated (SwiGLU) or plain.
         if config.gated_ffn:
-            ops.append(GemmOp(m=batch, k=h, n=config.ffn_dim, kind="ffn",
+            ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
                               weight_bits=woq_bits, count=2))
         else:
-            ops.append(GemmOp(m=batch, k=h, n=config.ffn_dim, kind="ffn",
+            ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
                               weight_bits=woq_bits))
         ops.append(NonlinearOp(op=config.activation,
-                               elements=batch * config.ffn_dim))
-        ops.append(GemmOp(m=batch, k=config.ffn_dim, n=h, kind="ffn",
+                               elements=tokens * config.ffn_dim))
+        ops.append(GemmOp(m=tokens, k=config.ffn_dim, n=h, kind="ffn",
                           weight_bits=woq_bits))
 
     if include_lm_head:
-        ops.append(GemmOp(m=batch, k=h, n=config.vocab_size,
+        ops.append(GemmOp(m=out_tokens, k=h, n=config.vocab_size,
                           kind="projection", weight_bits=woq_bits))
     return ops
 

@@ -1,0 +1,60 @@
+"""Continuous-batching serving simulator.
+
+A discrete-event layer above the architecture simulator: request traces
+(:mod:`.trace`) flow through a batching policy (:mod:`.scheduler`) and a
+step loop (:mod:`.engine`) that lowers each step's ragged active set to
+operator graphs and prices them on any Table 2 design or NoC system;
+:mod:`.metrics` aggregates TTFT/TPOT/latency percentiles and goodput.
+
+Quick start::
+
+    from repro.arch import make_design
+    from repro.llm import LLAMA2_70B_GQA
+    from repro.serve import poisson_trace, simulate_trace
+
+    trace = poisson_trace(n_requests=500, rate_rps=1.0, seed=0)
+    report = simulate_trace(make_design("mugi", 256), LLAMA2_70B_GQA,
+                            trace, policy="continuous", max_batch=16)
+    print(report.summary())
+"""
+
+from .engine import ServingEngine, simulate_trace
+from .metrics import RequestRecord, ServingReport, percentile
+from .scheduler import (
+    SCHEDULERS,
+    ContinuousBatchScheduler,
+    Scheduler,
+    SequenceState,
+    StaticBatchScheduler,
+    StepPlan,
+    make_scheduler,
+)
+from .trace import (
+    LengthSpec,
+    Request,
+    bursty_trace,
+    offered_load_rps,
+    poisson_trace,
+    steady_trace,
+)
+
+__all__ = [
+    "SCHEDULERS",
+    "ContinuousBatchScheduler",
+    "LengthSpec",
+    "Request",
+    "RequestRecord",
+    "Scheduler",
+    "SequenceState",
+    "ServingEngine",
+    "ServingReport",
+    "StaticBatchScheduler",
+    "StepPlan",
+    "bursty_trace",
+    "make_scheduler",
+    "offered_load_rps",
+    "percentile",
+    "poisson_trace",
+    "simulate_trace",
+    "steady_trace",
+]

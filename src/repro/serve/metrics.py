@@ -1,0 +1,149 @@
+"""Serving metrics: TTFT, TPOT, latency percentiles, goodput.
+
+The engine produces one :class:`RequestRecord` per completed request; a
+:class:`ServingReport` aggregates them into the latency–throughput
+numbers that serving papers plot (p50/p99 latency, goodput vs offered
+load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from .trace import Request
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Completion record of one served request (all times in seconds)."""
+
+    request: Request
+    admitted_s: float
+    first_token_s: float
+    finish_s: float
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Arrival → admission wait."""
+        return self.admitted_s - self.request.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token: arrival → end of the prefill step."""
+        return self.first_token_s - self.request.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Time per output token after the first (0 for 1-token outputs)."""
+        extra = self.request.output_len - 1
+        if extra == 0:
+            return 0.0
+        return (self.finish_s - self.first_token_s) / extra
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end request latency."""
+        return self.finish_s - self.request.arrival_s
+
+
+def percentile(values, q: float) -> float:
+    """The ``q``-th percentile (0–100) of a sequence."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigError("percentile of empty sequence")
+    return float(np.percentile(arr, q))
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of one trace on one design + scheduler."""
+
+    design: str
+    scheduler: str
+    records: list = field(default_factory=list)
+    makespan_s: float = 0.0
+    energy_j: float = 0.0
+    steps: int = 0
+    peak_kv_bytes: float = 0.0
+    kv_capacity_bytes: float | None = None
+    offered_rps: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def generated_tokens(self) -> int:
+        return sum(r.request.output_len for r in self.records)
+
+    @property
+    def throughput_tokens_s(self) -> float:
+        """Output tokens per second over the whole run."""
+        return self.generated_tokens / max(self.makespan_s, 1e-12)
+
+    @property
+    def request_rate_rps(self) -> float:
+        """Completed requests per second over the whole run."""
+        return self.completed / max(self.makespan_s, 1e-12)
+
+    def goodput_rps(self, ttft_slo_s: float | None = None,
+                    tpot_slo_s: float | None = None) -> float:
+        """Completed requests per second meeting the latency SLOs.
+
+        Without SLOs this equals :attr:`request_rate_rps` — every
+        completion counts.
+        """
+        good = [r for r in self.records
+                if (ttft_slo_s is None or r.ttft_s <= ttft_slo_s)
+                and (tpot_slo_s is None or r.tpot_s <= tpot_slo_s)]
+        return len(good) / max(self.makespan_s, 1e-12)
+
+    # -- latency percentiles -------------------------------------------
+    def latency_percentile(self, q: float) -> float:
+        return percentile((r.latency_s for r in self.records), q)
+
+    def ttft_percentile(self, q: float) -> float:
+        return percentile((r.ttft_s for r in self.records), q)
+
+    def tpot_percentile(self, q: float) -> float:
+        return percentile((r.tpot_s for r in self.records), q)
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def mean_ttft_s(self) -> float:
+        return float(np.mean([r.ttft_s for r in self.records]))
+
+    @property
+    def mean_tpot_s(self) -> float:
+        return float(np.mean([r.tpot_s for r in self.records]))
+
+    @property
+    def energy_per_token_j(self) -> float:
+        return self.energy_j / max(self.generated_tokens, 1)
+
+    def summary(self) -> dict:
+        """Flat dict of the headline numbers (for tables/plots)."""
+        return {
+            "design": self.design,
+            "scheduler": self.scheduler,
+            "offered_rps": self.offered_rps,
+            "completed": self.completed,
+            "goodput_rps": self.goodput_rps(),
+            "throughput_tokens_s": self.throughput_tokens_s,
+            "p50_latency_s": self.p50_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "mean_ttft_s": self.mean_ttft_s,
+            "mean_tpot_s": self.mean_tpot_s,
+            "energy_per_token_j": self.energy_per_token_j,
+            "steps": self.steps,
+        }

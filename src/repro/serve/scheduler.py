@@ -1,0 +1,200 @@
+"""Batching policies for the serving engine.
+
+Two schedulers share a strictly-FCFS admission queue with KV-capacity
+admission control (a request reserves its *peak* KV footprint —
+prompt + output tokens — at admission, so capacity can never be exceeded
+mid-decode and no running sequence is ever preempted):
+
+* :class:`StaticBatchScheduler` — admit up to ``max_batch`` requests,
+  run the batch to completion, only then admit the next batch (the
+  pre-Orca serving model; late joiners wait for the whole drain).
+* :class:`ContinuousBatchScheduler` — admit at *every* step boundary
+  while batch slots and KV capacity allow; newly admitted requests
+  prefill in the same step the existing set decodes (prefill–decode
+  interleaving, the Orca/vLLM-style iteration-level policy).
+
+Admission is head-of-line: a queued request that does not fit blocks the
+requests behind it, which is what makes FCFS starvation-free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..llm.config import ModelConfig
+from .trace import Request
+
+
+@dataclass
+class SequenceState:
+    """Mutable serving state of one admitted request.
+
+    ``context_len`` is the KV depth used to lower the next decode step;
+    ``generated`` counts emitted tokens (the prefill step emits the
+    first).
+    """
+
+    request: Request
+    admitted_s: float
+    context_len: int = 0
+    generated: int = 0
+    first_token_s: float | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_len
+
+
+@dataclass
+class StepPlan:
+    """The active set of one engine step."""
+
+    prefill: list = field(default_factory=list)
+    decode: list = field(default_factory=list)
+
+    @property
+    def batch(self) -> int:
+        return len(self.prefill) + len(self.decode)
+
+
+class Scheduler:
+    """FCFS queue + KV-capacity admission shared by both policies.
+
+    Parameters
+    ----------
+    config:
+        The served model (its GQA geometry sets per-token KV bytes).
+    max_batch:
+        Most sequences decoded together (array occupancy bound).
+    kv_capacity_bytes:
+        On-device KV budget; ``None`` disables the capacity check.
+    kvq_bits:
+        KV-cache quantization width (4 under KVQ).
+    """
+
+    name = "fcfs"
+
+    def __init__(self, config: ModelConfig, max_batch: int = 16,
+                 kv_capacity_bytes: float | None = None, kvq_bits: int = 4):
+        if max_batch < 1:
+            raise ConfigError("max_batch must be positive")
+        if kv_capacity_bytes is not None and kv_capacity_bytes <= 0:
+            raise ConfigError("kv_capacity_bytes must be positive")
+        self.config = config
+        self.max_batch = max_batch
+        self.kv_capacity_bytes = kv_capacity_bytes
+        self.kvq_bits = kvq_bits
+        self.queue: deque[Request] = deque()
+        self.running: list[SequenceState] = []
+        self.reserved_bytes = 0.0
+
+    # -- KV accounting --------------------------------------------------
+    def kv_bytes(self, tokens: int) -> float:
+        """KV footprint of one sequence at ``tokens`` context."""
+        return self.config.kv_cache_bytes(seq_len=tokens, batch=1,
+                                          bits=self.kvq_bits)
+
+    def _footprint(self, request: Request) -> float:
+        return self.kv_bytes(request.total_tokens)
+
+    def admission_error(self, request: Request) -> str | None:
+        """Why this request can never be served, or None if it can be.
+
+        The engine pre-validates whole traces with this before simulating
+        so an unservable request fails fast, not mid-run.
+        """
+        if request.total_tokens > self.config.max_seq_len:
+            return (f"request {request.req_id} needs "
+                    f"{request.total_tokens} context tokens, over "
+                    f"{self.config.name}'s max_seq_len "
+                    f"{self.config.max_seq_len}")
+        if self.kv_capacity_bytes is not None and \
+                self._footprint(request) > self.kv_capacity_bytes:
+            return (f"request {request.req_id} needs "
+                    f"{self._footprint(request):.3g} KV bytes, over the "
+                    f"{self.kv_capacity_bytes:.3g}-byte capacity")
+        return None
+
+    def enqueue(self, request: Request) -> None:
+        """Append to the FCFS queue (rejects requests that can never fit)."""
+        error = self.admission_error(request)
+        if error:
+            raise ConfigError(error)
+        self.queue.append(request)
+
+    def _admit_head(self, now: float) -> SequenceState | None:
+        """Admit the queue head if slots and KV capacity allow."""
+        if not self.queue or len(self.running) >= self.max_batch:
+            return None
+        footprint = self._footprint(self.queue[0])
+        if self.kv_capacity_bytes is not None and \
+                self.reserved_bytes + footprint > self.kv_capacity_bytes:
+            return None
+        request = self.queue.popleft()
+        self.reserved_bytes += footprint
+        state = SequenceState(request=request, admitted_s=now,
+                              context_len=request.prompt_len)
+        self.running.append(state)
+        return state
+
+    def _admit_all(self, now: float) -> list[SequenceState]:
+        """Admit queue heads until slots or KV capacity run out."""
+        admitted = []
+        while True:
+            state = self._admit_head(now)
+            if state is None:
+                return admitted
+            admitted.append(state)
+
+    def release(self, state: SequenceState) -> None:
+        """Free a finished sequence's slot and KV reservation."""
+        self.running.remove(state)
+        self.reserved_bytes -= self._footprint(state.request)
+        if not self.running:
+            self.reserved_bytes = 0.0  # Clear accumulated float dust.
+
+    # -- policy ---------------------------------------------------------
+    def has_work(self) -> bool:
+        return bool(self.queue or self.running)
+
+    def plan_step(self, now: float) -> StepPlan:
+        """The active set for the step starting at ``now``."""
+        raise NotImplementedError
+
+
+class ContinuousBatchScheduler(Scheduler):
+    """Iteration-level batching with prefill–decode interleaving."""
+
+    name = "continuous"
+
+    def plan_step(self, now: float) -> StepPlan:
+        decode = [s for s in self.running if not s.done]
+        return StepPlan(prefill=self._admit_all(now), decode=decode)
+
+
+class StaticBatchScheduler(Scheduler):
+    """Admit a fresh batch only after the previous batch fully drains."""
+
+    name = "static"
+
+    def plan_step(self, now: float) -> StepPlan:
+        if self.running:
+            return StepPlan(decode=[s for s in self.running if not s.done])
+        return StepPlan(prefill=self._admit_all(now))
+
+
+#: Scheduler registry for string-based construction.
+SCHEDULERS = {cls.name: cls
+              for cls in (ContinuousBatchScheduler, StaticBatchScheduler)}
+
+
+def make_scheduler(policy: str, config: ModelConfig, **kwargs) -> Scheduler:
+    """``make_scheduler("continuous", LLAMA2_70B_GQA, max_batch=16)``."""
+    try:
+        cls = SCHEDULERS[policy]
+    except KeyError:
+        raise ConfigError(f"unknown scheduler policy {policy!r}; "
+                          f"choose from {sorted(SCHEDULERS)}") from None
+    return cls(config, **kwargs)

@@ -1,0 +1,175 @@
+"""Request traces for the serving simulator.
+
+A *trace* is a list of :class:`Request` objects — arrival time, prompt
+length, output length — sorted by arrival.  Generators cover the three
+canonical serving scenarios:
+
+* :func:`poisson_trace` — memoryless arrivals at a target rate (the
+  standard open-loop load model);
+* :func:`steady_trace` — equally spaced arrivals (closed-loop-like,
+  isolates queueing from arrival variance);
+* :func:`bursty_trace` — clustered arrivals (the small-batch regime
+  where Mugi's §2.3.1 utilization claim matters most: between bursts the
+  active set decays to a handful of sequences).
+
+Prompt/output lengths come from :class:`LengthSpec` distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request of a serving trace.
+
+    Attributes
+    ----------
+    req_id:
+        Stable identifier (also the FCFS tiebreak at equal arrivals).
+    arrival_s:
+        Arrival time in seconds from trace start.
+    prompt_len:
+        Prompt tokens to prefill.
+    output_len:
+        Tokens to decode (the first is produced by the prefill step).
+    """
+
+    req_id: int
+    arrival_s: float
+    prompt_len: int
+    output_len: int
+
+    def __post_init__(self):
+        if self.arrival_s < 0:
+            raise ConfigError("arrival_s must be non-negative")
+        if self.prompt_len < 1 or self.output_len < 1:
+            raise ConfigError("prompt_len and output_len must be positive")
+
+    @property
+    def total_tokens(self) -> int:
+        """Peak KV footprint in tokens (prompt + all generated tokens)."""
+        return self.prompt_len + self.output_len
+
+
+@dataclass(frozen=True)
+class LengthSpec:
+    """Distribution of prompt or output lengths (tokens).
+
+    ``kind`` selects the sampler:
+
+    * ``"fixed"`` — every request gets ``value`` tokens;
+    * ``"uniform"`` — integers in ``[low, high]``;
+    * ``"lognormal"`` — ``value`` is the median, ``sigma`` the log-std,
+      clipped into ``[low, high]`` (the heavy-tailed shape of production
+      prompt-length logs).
+    """
+
+    kind: str = "fixed"
+    value: int = 128
+    low: int = 1
+    high: int = 4096
+    sigma: float = 0.6
+
+    def __post_init__(self):
+        if self.kind not in ("fixed", "uniform", "lognormal"):
+            raise ConfigError(f"unknown length distribution {self.kind!r}")
+        if self.low < 1 or self.high < self.low:
+            raise ConfigError("need 1 <= low <= high")
+        if self.kind == "fixed" and self.value < 1:
+            raise ConfigError("fixed length must be positive")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` lengths."""
+        if self.kind == "fixed":
+            return np.full(size, self.value, dtype=np.int64)
+        if self.kind == "uniform":
+            return rng.integers(self.low, self.high + 1, size=size)
+        lengths = np.round(self.value * np.exp(
+            rng.normal(0.0, self.sigma, size=size)))
+        return np.clip(lengths, self.low, self.high).astype(np.int64)
+
+
+def _make_requests(arrivals: np.ndarray, prompt: LengthSpec,
+                   output: LengthSpec, rng: np.random.Generator
+                   ) -> list[Request]:
+    arrivals = np.sort(np.asarray(arrivals, dtype=np.float64))
+    prompts = prompt.sample(rng, arrivals.size)
+    outputs = output.sample(rng, arrivals.size)
+    return [Request(req_id=i, arrival_s=float(arrivals[i]),
+                    prompt_len=int(prompts[i]), output_len=int(outputs[i]))
+            for i in range(arrivals.size)]
+
+
+def poisson_trace(n_requests: int, rate_rps: float,
+                  prompt: LengthSpec = LengthSpec("lognormal", value=256,
+                                                  low=16, high=2048),
+                  output: LengthSpec = LengthSpec("lognormal", value=64,
+                                                  low=4, high=512),
+                  seed: int = 0) -> list[Request]:
+    """Poisson arrivals at ``rate_rps`` requests per second."""
+    if n_requests < 1 or rate_rps <= 0:
+        raise ConfigError("need n_requests >= 1 and rate_rps > 0")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=n_requests)
+    arrivals = np.cumsum(gaps) - gaps[0]  # First request at t = 0.
+    return _make_requests(arrivals, prompt, output, rng)
+
+
+def steady_trace(n_requests: int, rate_rps: float,
+                 prompt: LengthSpec = LengthSpec("fixed", value=256),
+                 output: LengthSpec = LengthSpec("fixed", value=64),
+                 seed: int = 0) -> list[Request]:
+    """Equally spaced arrivals at ``rate_rps`` requests per second."""
+    if n_requests < 1 or rate_rps <= 0:
+        raise ConfigError("need n_requests >= 1 and rate_rps > 0")
+    rng = np.random.default_rng(seed)
+    arrivals = np.arange(n_requests, dtype=np.float64) / rate_rps
+    return _make_requests(arrivals, prompt, output, rng)
+
+
+def bursty_trace(n_requests: int, burst_size: int, burst_period_s: float,
+                 prompt: LengthSpec = LengthSpec("lognormal", value=256,
+                                                 low=16, high=2048),
+                 output: LengthSpec = LengthSpec("lognormal", value=64,
+                                                 low=4, high=512),
+                 jitter_s: float = 0.0, seed: int = 0) -> list[Request]:
+    """Bursts of ``burst_size`` near-simultaneous requests every period.
+
+    ``jitter_s`` spreads each burst's arrivals uniformly over that many
+    seconds (0 = truly simultaneous).
+    """
+    if n_requests < 1 or burst_size < 1 or burst_period_s <= 0:
+        raise ConfigError("need positive n_requests/burst_size/period")
+    if jitter_s < 0:
+        raise ConfigError("jitter_s must be non-negative")
+    rng = np.random.default_rng(seed)
+    bursts = -(-n_requests // burst_size)
+    arrivals = np.repeat(np.arange(bursts) * burst_period_s,
+                         burst_size)[:n_requests]
+    if jitter_s > 0:
+        arrivals = arrivals + rng.uniform(0.0, jitter_s, size=n_requests)
+    return _make_requests(arrivals, prompt, output, rng)
+
+
+def offered_load_rps(trace: list[Request]) -> float:
+    """Offered request rate of a trace.
+
+    The span between first and last arrival contains ``n - 1`` gaps, so
+    the unbiased estimate is ``(n - 1) / span`` (0 for a single-request
+    trace, whose rate is undefined; inf when every request arrives at
+    the same instant).
+    """
+    if not trace:
+        raise ConfigError("empty trace")
+    if len(trace) == 1:
+        return 0.0
+    span = max(r.arrival_s for r in trace) - min(r.arrival_s for r in trace)
+    if span == 0:
+        return float("inf")
+    return (len(trace) - 1) / span

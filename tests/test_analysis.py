@@ -28,6 +28,16 @@ class TestStats:
     def test_speedup(self):
         assert speedup(new=2.0, old=6.0) == pytest.approx(3.0)
 
+    def test_speedup_rejects_nonpositive(self):
+        """Both operands must be positive — a zero/negative old value
+        silently produced nonsensical "speedups" before."""
+        with pytest.raises(ConfigError):
+            speedup(new=0.0, old=6.0)
+        with pytest.raises(ConfigError):
+            speedup(new=2.0, old=0.0)
+        with pytest.raises(ConfigError):
+            speedup(new=2.0, old=-1.0)
+
 
 class TestRendering:
     def test_table_contains_cells(self):

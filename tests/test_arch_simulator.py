@@ -84,6 +84,22 @@ class TestTable3Headlines:
         hbm = [results[k].hbm_bytes for k in results]
         assert max(hbm) / min(hbm) < 1.05
 
+    def test_operational_intensity_is_macs_per_byte(self, results):
+        """Intensity counts workload MACs, not design cycles: the same
+        op list on different designs yields the same MAC count, so
+        intensity ratios track HBM traffic only."""
+        macs = {k: results[k].total_macs for k in results}
+        assert len(set(macs.values())) == 1  # Workload-, not design-bound.
+        r = results[("mugi", 256)]
+        assert r.total_macs > 0
+        assert r.operational_intensity == pytest.approx(
+            r.total_macs / r.hbm_bytes)
+        # Mugi spends 8 cycles per mapping; cycles/byte would overstate
+        # its intensity vs SA by ~the spike window.
+        sa = results[("sa", 16)]
+        assert r.operational_intensity == pytest.approx(
+            sa.operational_intensity, rel=0.05)
+
 
 class TestBatchSweep:
     """Fig. 14: Mugi peaks at batch 8; SA keeps gaining with batch."""

@@ -139,6 +139,15 @@ class TestAccuracy:
         out = approx(np.array([np.inf, -np.inf, np.nan]))
         assert np.isposinf(out[0]) and out[1] == 0.0 and np.isnan(out[2])
 
+    @pytest.mark.parametrize("op", ["sin", "cos"])
+    def test_trig_specials_are_nan(self, op):
+        """IEEE 754: sin/cos of ±inf is invalid → NaN (they previously
+        fell through the silu/gelu asymptote branch)."""
+        approx = make_vlp(op)
+        out = approx(np.array([np.inf, -np.inf, np.nan, 0.5]))
+        assert np.isnan(out[0]) and np.isnan(out[1]) and np.isnan(out[2])
+        assert np.isfinite(out[3])
+
     @given(st.lists(st.floats(min_value=-50, max_value=50,
                               allow_nan=False, allow_infinity=False),
                     min_size=1, max_size=64))

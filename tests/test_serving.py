@@ -1,0 +1,368 @@
+"""Serving simulator tests: traces, schedulers, engine invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import make_design
+from repro.core.gemm import schedule_vlp_gemm
+from repro.errors import ConfigError
+from repro.arch import GemmOp
+from repro.llm import (
+    LLAMA2_70B_GQA,
+    ModelConfig,
+    build_decode_ops,
+    build_prefill_ops,
+    build_ragged_decode_ops,
+    build_serving_step_ops,
+)
+from repro.serve import (
+    LengthSpec,
+    ServingEngine,
+    bursty_trace,
+    make_scheduler,
+    offered_load_rps,
+    poisson_trace,
+    simulate_trace,
+    steady_trace,
+)
+
+#: A GQA-group-8 model small enough for fast engine tests.
+TINY_GQA = ModelConfig(name="Tiny-GQA", family="llama2", n_layers=2,
+                       n_heads=16, n_kv_heads=2, hidden_dim=512,
+                       ffn_dim=1024, max_seq_len=2048, vocab_size=1000)
+
+SHORT = LengthSpec("uniform", low=4, high=48)
+
+
+def tiny_design():
+    return make_design("mugi", 64)
+
+
+class TestTraces:
+    def test_poisson_trace_shape(self):
+        trace = poisson_trace(n_requests=50, rate_rps=2.0, seed=3)
+        assert len(trace) == 50
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0.0
+        assert [r.req_id for r in trace] == list(range(50))
+
+    def test_steady_trace_spacing(self):
+        trace = steady_trace(n_requests=10, rate_rps=4.0)
+        gaps = [b.arrival_s - a.arrival_s
+                for a, b in zip(trace, trace[1:])]
+        assert all(g == pytest.approx(0.25) for g in gaps)
+
+    def test_bursty_trace_clusters(self):
+        trace = bursty_trace(n_requests=30, burst_size=10,
+                             burst_period_s=60.0)
+        arrivals = sorted({r.arrival_s for r in trace})
+        assert arrivals == [0.0, 60.0, 120.0]
+
+    def test_length_spec_bounds(self):
+        import numpy as np
+        spec = LengthSpec("lognormal", value=64, low=8, high=128)
+        lengths = spec.sample(np.random.default_rng(0), 500)
+        assert lengths.min() >= 8 and lengths.max() <= 128
+
+    def test_length_spec_validation(self):
+        with pytest.raises(ConfigError):
+            LengthSpec("zipf")
+        with pytest.raises(ConfigError):
+            LengthSpec("uniform", low=8, high=4)
+
+    def test_bursty_rejects_negative_jitter(self):
+        with pytest.raises(ConfigError):
+            bursty_trace(n_requests=10, burst_size=5, burst_period_s=10.0,
+                         jitter_s=-1.0)
+
+    def test_offered_load(self):
+        trace = steady_trace(n_requests=11, rate_rps=2.0)
+        assert offered_load_rps(trace) == pytest.approx(2.0)
+        single = steady_trace(n_requests=1, rate_rps=2.0)
+        assert offered_load_rps(single) == 0.0
+        burst = bursty_trace(n_requests=8, burst_size=8,
+                             burst_period_s=60.0)
+        assert offered_load_rps(burst) == float("inf")
+
+
+class TestRaggedOps:
+    def test_uniform_matches_build_decode_ops(self):
+        """All sequences at one length reproduce the decode graph exactly."""
+        for kwargs in ({}, {"include_lm_head": False},
+                       {"include_aux_ops": True}):
+            uniform = build_ragged_decode_ops(LLAMA2_70B_GQA, [512] * 8,
+                                              **kwargs)
+            reference = build_decode_ops(LLAMA2_70B_GQA, batch=8,
+                                         seq_len=512, **kwargs)
+            assert uniform == reference
+
+    def test_ragged_attention_matches_per_sequence_sum(self):
+        """Ragged attention MACs equal the sum of single-sequence graphs."""
+        lens = [100, 100, 300, 700]
+        ragged = build_ragged_decode_ops(TINY_GQA, lens,
+                                         include_lm_head=False)
+
+        def attn_macs(ops):
+            return sum(op.macs * op.count for op in ops
+                       if getattr(op, "kind", "").startswith("attention"))
+
+        singles = sum(attn_macs(build_decode_ops(TINY_GQA, batch=1,
+                                                 seq_len=length,
+                                                 include_lm_head=False))
+                      for length in lens)
+        assert attn_macs(ragged) == singles
+
+    def test_projection_batches_all_sequences(self):
+        ops = build_ragged_decode_ops(TINY_GQA, [10, 20, 30])
+        projections = [op for op in ops
+                       if getattr(op, "kind", "") == "projection"]
+        assert all(op.m == 3 for op in projections)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            build_ragged_decode_ops(TINY_GQA, [])
+        with pytest.raises(ConfigError):
+            build_ragged_decode_ops(TINY_GQA, [16, 0])
+        with pytest.raises(ConfigError):
+            build_serving_step_ops(TINY_GQA, [], [])
+
+
+class TestServingStepOps:
+    @staticmethod
+    def _streamed_weight_bytes(ops):
+        return sum(op.weight_bytes * op.count for op in ops
+                   if isinstance(op, GemmOp) and not op.weights_resident
+                   and op.kind in ("projection", "ffn"))
+
+    def test_weights_stream_once_per_step(self):
+        """Concurrent prefills share the step's weight pass instead of
+        re-streaming the full model per request."""
+        few = build_serving_step_ops(TINY_GQA, [32, 32], [64])
+        many = build_serving_step_ops(TINY_GQA, [32, 32], [64, 64, 64])
+        assert self._streamed_weight_bytes(few) == \
+            self._streamed_weight_bytes(many)
+
+    def test_decode_only_equals_ragged_builder(self):
+        assert build_serving_step_ops(TINY_GQA, [32, 48], []) == \
+            build_ragged_decode_ops(TINY_GQA, [32, 48])
+
+    def test_prefill_only_matches_prefill_builder(self):
+        """One prefill, no decoders == build_prefill_ops + LM head."""
+        step = build_serving_step_ops(TINY_GQA, [], [64],
+                                      include_lm_head=False)
+        assert step == build_prefill_ops(TINY_GQA, batch=1, seq_len=64)
+        with_head = build_serving_step_ops(TINY_GQA, [], [64])
+        assert len(with_head) == len(step) + 1
+        assert with_head[-1].m == 1  # One first token sampled.
+
+    def test_mixed_step_lm_head_covers_active_set(self):
+        step = build_serving_step_ops(TINY_GQA, [32, 32, 48], [64, 100])
+        assert step[-1].m == 5
+        assert step[-1].n == TINY_GQA.vocab_size
+
+
+class TestSchedulerInvariants:
+    def _capacity(self, slots: int) -> float:
+        """KV capacity for `slots` sequences at the max trace footprint."""
+        return slots * TINY_GQA.kv_cache_bytes(seq_len=2 * SHORT.high,
+                                               batch=1, bits=4)
+
+    @given(seed=st.integers(0, 2 ** 16), n=st.integers(1, 24),
+           policy=st.sampled_from(["continuous", "static"]))
+    @settings(max_examples=15, deadline=None)
+    def test_no_starvation_and_kv_capacity(self, seed, n, policy):
+        """Every request completes; reserved KV never exceeds capacity."""
+        trace = poisson_trace(n_requests=n, rate_rps=1.0, prompt=SHORT,
+                              output=SHORT, seed=seed)
+        capacity = self._capacity(3)
+        report = simulate_trace(tiny_design(), TINY_GQA, trace,
+                                policy=policy, max_batch=4,
+                                kv_capacity_bytes=capacity)
+        assert report.completed == n
+        assert report.peak_kv_bytes <= capacity * (1 + 1e-9)
+        assert report.generated_tokens == sum(r.output_len for r in trace)
+
+    @given(seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=10, deadline=None)
+    def test_fcfs_admission_order(self, seed):
+        """Earlier arrivals are never admitted after later ones."""
+        trace = poisson_trace(n_requests=16, rate_rps=2.0, prompt=SHORT,
+                              output=SHORT, seed=seed)
+        report = simulate_trace(tiny_design(), TINY_GQA, trace,
+                                policy="continuous", max_batch=2,
+                                kv_capacity_bytes=self._capacity(2))
+        admitted = {r.request.req_id: r.admitted_s for r in report.records}
+        times = [admitted[i] for i in range(len(trace))]
+        assert times == sorted(times)
+
+    def test_continuous_at_least_static_goodput_on_bursty(self):
+        """ISSUE headline: iteration-level batching >= run-to-drain."""
+        trace = bursty_trace(n_requests=48, burst_size=12,
+                             burst_period_s=30.0, prompt=SHORT,
+                             output=SHORT, seed=5)
+        reports = {
+            policy: simulate_trace(tiny_design(), TINY_GQA, trace,
+                                   policy=policy, max_batch=8,
+                                   kv_capacity_bytes=self._capacity(8))
+            for policy in ("continuous", "static")}
+        assert reports["continuous"].goodput_rps() >= \
+            reports["static"].goodput_rps()
+        assert reports["continuous"].mean_ttft_s <= \
+            reports["static"].mean_ttft_s
+
+    def test_rejects_impossible_request(self):
+        scheduler = make_scheduler("continuous", TINY_GQA, max_batch=4,
+                                   kv_capacity_bytes=1024.0)
+        trace = steady_trace(n_requests=1, rate_rps=1.0,
+                             prompt=LengthSpec("fixed", value=1000),
+                             output=LengthSpec("fixed", value=1000))
+        with pytest.raises(ConfigError):
+            scheduler.enqueue(trace[0])
+
+    def test_rejects_request_over_context_window(self):
+        """prompt + output beyond max_seq_len cannot be served at all."""
+        scheduler = make_scheduler("continuous", TINY_GQA)
+        trace = steady_trace(n_requests=1, rate_rps=1.0,
+                             prompt=LengthSpec("fixed", value=1500),
+                             output=LengthSpec("fixed", value=1500))
+        with pytest.raises(ConfigError):
+            scheduler.enqueue(trace[0])
+
+    def test_unservable_trace_fails_before_simulation(self):
+        """An unservable late request aborts run() up front, not mid-run
+        after the earlier requests were already simulated."""
+        good = steady_trace(n_requests=4, rate_rps=1.0, prompt=SHORT,
+                            output=SHORT)
+        bad = steady_trace(n_requests=1, rate_rps=0.001,
+                           prompt=LengthSpec("fixed", value=1500),
+                           output=LengthSpec("fixed", value=1500))
+        trace = good + [bad[0].__class__(req_id=99, arrival_s=1000.0,
+                                         prompt_len=1500,
+                                         output_len=1500)]
+        scheduler = make_scheduler("continuous", TINY_GQA)
+        engine = ServingEngine(tiny_design(), TINY_GQA, scheduler)
+        with pytest.raises(ConfigError, match="unservable trace"):
+            engine.run(trace)
+        assert engine.scheduler.reserved_bytes == 0  # Nothing simulated.
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            make_scheduler("priority", TINY_GQA)
+
+    def test_scheduler_model_mismatch(self):
+        scheduler = make_scheduler("continuous", TINY_GQA)
+        with pytest.raises(ConfigError):
+            ServingEngine(tiny_design(), LLAMA2_70B_GQA, scheduler)
+
+
+class TestEngine:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_trace(tiny_design(), TINY_GQA, [])
+
+    def test_single_request_timing(self):
+        trace = steady_trace(n_requests=1, rate_rps=1.0,
+                             prompt=LengthSpec("fixed", value=32),
+                             output=LengthSpec("fixed", value=8))
+        report = simulate_trace(tiny_design(), TINY_GQA, trace)
+        assert report.completed == 1
+        record = report.records[0]
+        # Prefill emits the first token; 7 decode steps finish the rest.
+        assert record.ttft_s > 0
+        assert record.latency_s == pytest.approx(
+            record.ttft_s + 7 * record.tpot_s)
+        assert report.makespan_s == pytest.approx(record.finish_s)
+        assert report.steps == 8
+
+    def test_bucketing_preserves_completion(self):
+        trace = poisson_trace(n_requests=12, rate_rps=1.0, prompt=SHORT,
+                              output=SHORT, seed=9)
+        exact = simulate_trace(tiny_design(), TINY_GQA, trace,
+                               seq_len_bucket=1)
+        bucketed = simulate_trace(tiny_design(), TINY_GQA, trace,
+                                  seq_len_bucket=64)
+        assert exact.completed == bucketed.completed == 12
+        # Bucketing only rounds costs up, never below the exact lowering.
+        assert bucketed.makespan_s >= 0.99 * exact.makespan_s
+
+    def test_step_cache_hits(self):
+        design = tiny_design()
+        config = TINY_GQA
+        scheduler = make_scheduler("continuous", config, max_batch=4)
+        engine = ServingEngine(design, config, scheduler,
+                               seq_len_bucket=64)
+        trace = steady_trace(n_requests=8, rate_rps=100.0,
+                             prompt=LengthSpec("fixed", value=32),
+                             output=LengthSpec("fixed", value=16))
+        report = engine.run(trace)
+        # Identical (bucketed) active sets collapse onto cached costs.
+        assert report.steps > len(engine._step_cache)
+
+
+class TestCostMemoization:
+    def test_schedule_cache_returns_same_object(self):
+        a = schedule_vlp_gemm(8, 512, 512, array_height=128)
+        b = schedule_vlp_gemm(8, 512, 512, array_height=128)
+        assert a is b
+
+    def test_design_cost_cache(self):
+        from repro.arch import GemmOp, NonlinearOp
+        design = make_design("mugi", 128)
+        op = GemmOp(m=8, k=256, n=256)
+        assert design.gemm_cost(op) is design.gemm_cost(op)
+        nl = NonlinearOp(op="softmax", elements=4096, rows=32)
+        assert design.nonlinear_cost(nl) is design.nonlinear_cost(nl)
+        assert len(design._op_cost_cache) == 2
+
+    def test_noc_cost_cache(self):
+        from repro.arch import GemmOp, make_noc
+        system = make_noc("mugi", 128, 2, 2)
+        op = GemmOp(m=8, k=256, n=256)
+        assert system.gemm_cost(op) is system.gemm_cost(op)
+
+    def test_subclass_cache_keys_distinct(self):
+        """Mugi-L's super() chain must not collide with its own entry."""
+        from repro.arch import MugiDesign, MugiLDesign, NonlinearOp
+        op = NonlinearOp(op="silu", elements=4096)
+        mugi_l = MugiLDesign(height=128)
+        base = MugiDesign(height=128)
+        assert mugi_l.nonlinear_cost(op).energy_pj > \
+            base.nonlinear_cost(op).energy_pj
+
+
+class TestReportMetrics:
+    def test_goodput_slo_filters(self):
+        trace = poisson_trace(n_requests=10, rate_rps=0.5, prompt=SHORT,
+                              output=SHORT, seed=11)
+        report = simulate_trace(tiny_design(), TINY_GQA, trace)
+        assert report.goodput_rps() == pytest.approx(
+            report.request_rate_rps)
+        assert report.goodput_rps(ttft_slo_s=0.0) == 0.0
+
+    def test_summary_keys(self):
+        trace = steady_trace(n_requests=3, rate_rps=1.0, prompt=SHORT,
+                             output=SHORT)
+        report = simulate_trace(tiny_design(), TINY_GQA, trace)
+        summary = report.summary()
+        for key in ("design", "goodput_rps", "p99_latency_s",
+                    "mean_ttft_s", "mean_tpot_s"):
+            assert key in summary
+
+    def test_percentiles_ordered(self):
+        trace = poisson_trace(n_requests=20, rate_rps=1.0, prompt=SHORT,
+                              output=SHORT, seed=13)
+        report = simulate_trace(tiny_design(), TINY_GQA, trace)
+        assert report.p50_latency_s <= report.p99_latency_s
+        assert report.ttft_percentile(50) <= report.ttft_percentile(99)
+
+
+class TestServeModelSlice:
+    def test_sweep_model_is_gqa8(self):
+        from repro.analysis.experiments.serving_load_sweep import SERVE_MODEL
+        assert SERVE_MODEL.gqa_group == 8
+        assert SERVE_MODEL.n_layers == 4
+
+    def test_tiny_model_is_gqa8(self):
+        assert TINY_GQA.gqa_group == 8
