@@ -16,6 +16,9 @@ Subpackages
 ``repro.llm``
     LLM workload substrate: model configs, operator graphs, and a numpy
     transformer stack for end-to-end accuracy experiments.
+``repro.parallel``
+    Tensor/pipeline-parallel sharding across chips: partitioner,
+    collective-communication cost model, and sharded deployments.
 ``repro.serve``
     Discrete-event continuous-batching serving simulator (traces,
     schedulers, step engine, TTFT/TPOT/goodput metrics).
@@ -35,8 +38,9 @@ from . import (  # noqa: F401
     core,
     llm,
     numerics,
+    parallel,
     serve,
 )
 
 __all__ = ["analysis", "arch", "baselines", "carbon", "core", "llm",
-           "numerics", "serve", "__version__"]
+           "numerics", "parallel", "serve", "__version__"]

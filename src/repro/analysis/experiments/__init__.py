@@ -18,6 +18,7 @@ Fig. 15   ``carbon_footprint``            operational/embodied carbon
 Fig. 16   ``latency_breakdown``           per-kind latency stacks
 Fig. 17   ``noc_scaling``                 NoC-level comparisons
 (serving) ``serving_load_sweep``          latency–throughput curves
+(serving) ``parallel_scaling``            TP×PP sharded-pod scaling
 ========  ==============================  ================================
 """
 
@@ -32,6 +33,7 @@ from . import (  # noqa: F401
     latency_breakdown,
     noc_scaling,
     nonlinear_iso_area,
+    parallel_scaling,
     per_layer_tuning,
     relative_error,
     serving_load_sweep,
@@ -48,6 +50,7 @@ __all__ = [
     "latency_breakdown",
     "noc_scaling",
     "nonlinear_iso_area",
+    "parallel_scaling",
     "per_layer_tuning",
     "relative_error",
     "serving_load_sweep",

@@ -1,0 +1,145 @@
+"""Parallel scaling — sharded serving across TP × PP chip grids.
+
+Answers the deployment question PR 1's single-design serving sweep
+could not: *at what tensor/pipeline-parallel degree does a Mugi pod
+beat an iso-area systolic pod under SLOs?*  Each design serves the same
+GQA serving trace (the §2.3.1 small-batch regime) on every grid in
+``TP ∈ {1, 2, 4, 8} × PP ∈ {1, 2, 4}``, through the continuous-batching
+engine on a :class:`repro.parallel.ShardedSystem`.
+
+Scaling is *not* free: row-parallel all-reduces and pipeline-boundary
+transfers grow with TP degree (``comm_seconds`` in every report), KV-head
+parallelism caps at the model's ``n_kv_heads``, and micro-batched
+pipelines pay the fill/drain bubble — so goodput-per-chip falls as the
+grid grows, and the sweep exposes where extra chips stop paying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...arch import make_design
+from ...llm.config import ModelConfig
+from ...parallel import (
+    DEFAULT_INTERCONNECT,
+    InterconnectConfig,
+    ParallelConfig,
+    ShardedSystem,
+)
+from ...serve import poisson_trace, simulate_trace
+from .serving_load_sweep import OUTPUT_SPEC, PROMPT_SPEC, SERVE_MODEL
+
+#: The acceptance grid: tensor × pipeline degrees.
+TP_DEGREES = (1, 2, 4, 8)
+PP_DEGREES = (1, 2, 4)
+
+#: Chip list: Mugi vs the iso-area systolic array, plus the scaled-up
+#: tensor core (same cast as the serving-load sweep).
+PARALLEL_DESIGNS = (("mugi", 256), ("sa", 16), ("tensor", None))
+
+#: Offered load that overloads every single chip above, so extra chips
+#: translate into goodput until communication and bubbles bite.
+DEFAULT_RATE_RPS = 0.64
+
+#: Default latency SLOs for the "under SLOs" goodput column.
+TTFT_SLO_S = 5.0
+TPOT_SLO_S = 0.2
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (design, TP, PP) cell of the parallel-scaling sweep."""
+
+    design: str
+    chip: str
+    tp: int
+    pp: int
+    chips: int
+    area_mm2: float
+    offered_rps: float
+    goodput_rps: float
+    slo_goodput_rps: float
+    throughput_tokens_s: float
+    mean_ttft_s: float
+    mean_tpot_s: float
+    p99_latency_s: float
+    comm_seconds: float
+    comm_fraction: float
+    energy_per_token_j: float
+
+    @property
+    def goodput_per_chip(self) -> float:
+        """Scaling efficiency: goodput amortized over the grid."""
+        return self.goodput_rps / self.chips
+
+
+def run(tp_degrees=TP_DEGREES, pp_degrees=PP_DEGREES,
+        designs=PARALLEL_DESIGNS, model: ModelConfig = SERVE_MODEL,
+        rate_rps: float = DEFAULT_RATE_RPS, n_requests: int = 60,
+        max_batch: int = 8, policy: str = "continuous",
+        seq_len_bucket: int = 32, seed: int = 0,
+        microbatches: int | None = None,
+        interconnect: InterconnectConfig = DEFAULT_INTERCONNECT,
+        ttft_slo_s: float = TTFT_SLO_S,
+        tpot_slo_s: float = TPOT_SLO_S) -> list[ScalingPoint]:
+    """Serve one shared trace on every (design, TP, PP) grid.
+
+    KV capacity scales with the grid (each chip contributes its
+    ``max_batch``-sequence budget), matching how real pods shard the KV
+    cache across tensor ranks and pipeline stages.
+    """
+    trace = poisson_trace(n_requests=n_requests, rate_rps=rate_rps,
+                          prompt=PROMPT_SPEC, output=OUTPUT_SPEC,
+                          seed=seed)
+    chip_kv = model.kv_cache_bytes(seq_len=model.max_seq_len,
+                                   batch=max_batch)
+    points = []
+    for kind, size in designs:
+        chip = make_design(kind, size)
+        for tp in tp_degrees:
+            for pp in pp_degrees:
+                parallel = ParallelConfig(tp=tp, pp=pp,
+                                          microbatches=microbatches)
+                pod = ShardedSystem(chip, model, parallel,
+                                    interconnect=interconnect)
+                report = simulate_trace(
+                    pod, model, trace, policy=policy, max_batch=max_batch,
+                    kv_capacity_bytes=chip_kv * parallel.chips,
+                    seq_len_bucket=seq_len_bucket)
+                points.append(ScalingPoint(
+                    design=pod.label(), chip=chip.label(), tp=tp, pp=pp,
+                    chips=parallel.chips, area_mm2=pod.area_mm2,
+                    offered_rps=rate_rps,
+                    goodput_rps=report.goodput_rps(),
+                    slo_goodput_rps=report.goodput_rps(
+                        ttft_slo_s=ttft_slo_s, tpot_slo_s=tpot_slo_s),
+                    throughput_tokens_s=report.throughput_tokens_s,
+                    mean_ttft_s=report.mean_ttft_s,
+                    mean_tpot_s=report.mean_tpot_s,
+                    p99_latency_s=report.p99_latency_s,
+                    comm_seconds=report.comm_seconds,
+                    comm_fraction=report.comm_fraction,
+                    energy_per_token_j=report.energy_per_token_j))
+    return points
+
+
+def curve(points: list[ScalingPoint], chip: str,
+          pp: int = 1) -> list[ScalingPoint]:
+    """One chip's TP-scaling curve at a fixed PP depth."""
+    return sorted((p for p in points if p.chip == chip and p.pp == pp),
+                  key=lambda p: p.tp)
+
+
+def best_under_slo(points: list[ScalingPoint],
+                   chip: str) -> ScalingPoint | None:
+    """Smallest grid of ``chip`` reaching its best SLO-goodput tier.
+
+    "Best tier" tolerates 5% slack so a 32-chip grid that matches an
+    8-chip grid's SLO-goodput does not displace it.
+    """
+    candidates = [p for p in points if p.chip == chip]
+    if not candidates:
+        return None
+    best = max(p.slo_goodput_rps for p in candidates)
+    good = [p for p in candidates if p.slo_goodput_rps >= 0.95 * best]
+    return min(good, key=lambda p: (p.chips, -p.slo_goodput_rps))

@@ -21,6 +21,7 @@ from .designs import (
     AcceleratorDesign,
     AreaBreakdown,
     CaratDesign,
+    CollectiveOp,
     GemmOp,
     MugiDesign,
     MugiLDesign,
@@ -48,6 +49,7 @@ __all__ = [
     "AcceleratorDesign",
     "AreaBreakdown",
     "CaratDesign",
+    "CollectiveOp",
     "ComponentSpec",
     "GemmOp",
     "MUGI_HEIGHTS",

@@ -2,8 +2,10 @@
 
 from .base import (
     BREAKDOWN_CATEGORIES,
+    COLLECTIVE_KINDS,
     AcceleratorDesign,
     AreaBreakdown,
+    CollectiveOp,
     GemmOp,
     NonlinearOp,
     OpCost,
@@ -23,7 +25,9 @@ __all__ = [
     "AcceleratorDesign",
     "AreaBreakdown",
     "BREAKDOWN_CATEGORIES",
+    "COLLECTIVE_KINDS",
     "CaratDesign",
+    "CollectiveOp",
     "GemmOp",
     "MugiDesign",
     "MugiLDesign",

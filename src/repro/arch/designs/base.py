@@ -98,18 +98,68 @@ class NonlinearOp:
             raise MappingError("nonlinear count must be >= 1")
 
 
+#: Collective kinds the cost model understands (ring algorithms for the
+#: multi-chip variants, a single hop for ``send_recv``).
+COLLECTIVE_KINDS = ("all_reduce", "all_gather", "reduce_scatter",
+                    "send_recv")
+
+
+@dataclass(frozen=True)
+class CollectiveOp:
+    """One collective-communication operation between chips.
+
+    Emitted by the tensor/pipeline partitioner (:mod:`repro.parallel`)
+    alongside the per-shard compute ops: ``all_reduce`` merges
+    row-parallel partial sums, ``all_gather`` rebuilds a column-sharded
+    activation (e.g. the vocab-parallel logits), and ``send_recv``
+    carries activations across a pipeline-stage boundary.
+
+    ``bytes`` is the *logical* payload (the full unsharded tensor); the
+    cost model derives per-link traffic from it and ``participants``.
+    """
+
+    kind: str
+    bytes: float
+    participants: int
+    #: Identical instances (multiplied by the simulator).
+    count: int = 1
+
+    def __post_init__(self):
+        if self.kind not in COLLECTIVE_KINDS:
+            raise MappingError(f"unknown collective kind {self.kind!r}; "
+                               f"choose from {COLLECTIVE_KINDS}")
+        if self.bytes <= 0:
+            raise MappingError("collective payload must be positive")
+        if self.participants < 1:
+            raise MappingError("collective needs at least one participant")
+        if self.count < 1:
+            raise MappingError("collective count must be >= 1")
+
+
 @dataclass(frozen=True)
 class OpCost:
-    """Cost of one op on one design."""
+    """Cost of one op on one design.
+
+    ``comm_seconds`` / ``comm_energy_pj`` are inter-chip communication
+    time and wire energy (collectives / pipeline hops), kept separate
+    from ``cycles`` / ``energy_pj`` so the simulator can overlap
+    communication with compute and attribute it to its own breakdown
+    bucket; both are 0 for every single-chip design.
+    """
 
     cycles: float
     energy_pj: float
     hbm_bytes: float = 0.0
+    comm_seconds: float = 0.0
+    comm_energy_pj: float = 0.0
 
     def __add__(self, other: "OpCost") -> "OpCost":
         return OpCost(cycles=self.cycles + other.cycles,
                       energy_pj=self.energy_pj + other.energy_pj,
-                      hbm_bytes=self.hbm_bytes + other.hbm_bytes)
+                      hbm_bytes=self.hbm_bytes + other.hbm_bytes,
+                      comm_seconds=self.comm_seconds + other.comm_seconds,
+                      comm_energy_pj=self.comm_energy_pj
+                      + other.comm_energy_pj)
 
 
 def memoize_op_cost(method):

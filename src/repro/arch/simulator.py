@@ -14,15 +14,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import SimulationError
-from .designs.base import GemmOp, NonlinearOp, OpCost
+from .designs.base import CollectiveOp, GemmOp, NonlinearOp, OpCost
 from .technology import TECH_45NM, TechnologyModel
 
-#: Latency-breakdown buckets of Fig. 16.
-BREAKDOWN_KINDS = ("projection", "attention", "ffn", "nonlinear")
+#: Latency-breakdown buckets of Fig. 16 (+ collective communication).
+BREAKDOWN_KINDS = ("projection", "attention", "ffn", "nonlinear",
+                   "collective")
 
 
 def _bucket(op) -> str:
     """Map an op to its Fig. 15/16 breakdown bucket."""
+    if isinstance(op, CollectiveOp):
+        return "collective"
     if isinstance(op, NonlinearOp):
         return "nonlinear"
     if op.kind in ("attention_qk", "attention_pv", "attention"):
@@ -46,15 +49,30 @@ class SimulationResult:
     dynamic_energy_j: float
     area_mm2: float
     leakage_w: float
+    #: Per-bucket cycles for the Fig. 15/16 breakdowns.  The
+    #: "collective" bucket holds communication time as clock-equivalent
+    #: cycles so sharded breakdowns show the comm share; it is *not*
+    #: part of ``compute_seconds`` (communication enters the step
+    #: roofline through ``comm_seconds`` and the overlap model).
     cycles_by_kind: dict = field(default_factory=dict)
     energy_by_kind: dict = field(default_factory=dict)
     hbm_bytes: float = 0.0
     total_macs: float = 0.0
+    #: Inter-chip collective time (0 for single-chip designs) and the
+    #: fraction of it the deployment hides under compute.
+    comm_seconds: float = 0.0
+    comm_overlap: float = 0.0
 
     @property
     def step_seconds(self) -> float:
-        """Wall time per decode step: compute/memory roofline."""
-        return max(self.compute_seconds, self.memory_seconds)
+        """Wall time per decode step: compute/memory roofline plus the
+        exposed (non-overlapped) share of collective communication —
+        never less than the communication time itself."""
+        base = max(self.compute_seconds, self.memory_seconds)
+        if not self.comm_seconds:
+            return base
+        exposed = self.comm_seconds * (1.0 - self.comm_overlap)
+        return max(base + exposed, self.comm_seconds)
 
     @property
     def throughput_tokens_s(self) -> float:
@@ -104,27 +122,43 @@ class SimulationResult:
 
 
 def simulate_workload(design, ops: list, tokens_per_step: int,
-                      tech: TechnologyModel = TECH_45NM) -> SimulationResult:
+                      tech: TechnologyModel | None = None
+                      ) -> SimulationResult:
     """Run an operator list through a design's cost model.
 
     Parameters
     ----------
     design:
         Any object exposing ``gemm_cost`` / ``nonlinear_cost`` /
-        ``area_mm2`` / ``leakage_w`` (single nodes and
-        :class:`repro.arch.noc.NocSystem` both qualify).
+        ``area_mm2`` / ``leakage_w`` (single nodes,
+        :class:`repro.arch.noc.NocSystem`, and
+        :class:`repro.parallel.ShardedSystem` all qualify; the latter
+        additionally prices :class:`CollectiveOp` via
+        ``collective_cost``).  A sharded system shards each op
+        internally, so feed it the ordinary *unsharded* builders'
+        graphs — re-running an explicit
+        :func:`repro.llm.build_sharded_step_ops` shard through it would
+        split the ops twice.
     ops:
-        Sequence of :class:`GemmOp` / :class:`NonlinearOp` describing one
-        decode step (or prefill pass).
+        Sequence of :class:`GemmOp` / :class:`NonlinearOp` /
+        :class:`CollectiveOp` describing one decode step (or prefill
+        pass).
     tokens_per_step:
         Tokens produced per step (the batch size for decode).
+    tech:
+        Timing constants; defaults to the design's own ``tech`` (which a
+        sharded system scales to its aggregate HBM bandwidth), falling
+        back to :data:`TECH_45NM`.
     """
     if tokens_per_step < 1:
         raise SimulationError("tokens_per_step must be >= 1")
+    if tech is None:
+        tech = getattr(design, "tech", TECH_45NM)
     total_cycles = 0.0
     total_energy_pj = 0.0
     total_hbm = 0.0
     total_macs = 0
+    total_comm_s = 0.0
     cycles_by_kind = {k: 0.0 for k in BREAKDOWN_KINDS}
     energy_by_kind = {k: 0.0 for k in BREAKDOWN_KINDS}
 
@@ -134,15 +168,33 @@ def simulate_workload(design, ops: list, tokens_per_step: int,
             total_macs += op.macs * op.count
         elif isinstance(op, NonlinearOp):
             cost = design.nonlinear_cost(op)
+        elif isinstance(op, CollectiveOp):
+            collective_cost = getattr(design, "collective_cost", None)
+            if collective_cost is None:
+                raise SimulationError(
+                    f"{getattr(design, 'name', type(design).__name__)} "
+                    f"cannot price collective ops; wrap the chip in a "
+                    f"repro.parallel.ShardedSystem")
+            cost = collective_cost(op)
         else:
             raise SimulationError(f"unknown op type {type(op).__name__}")
         bucket = _bucket(op)
         count = op.count
         total_cycles += cost.cycles * count
-        total_energy_pj += cost.energy_pj * count
+        total_energy_pj += (cost.energy_pj + cost.comm_energy_pj) * count
         total_hbm += cost.hbm_bytes * count
+        total_comm_s += cost.comm_seconds * count
         cycles_by_kind[bucket] += cost.cycles * count
         energy_by_kind[bucket] += cost.energy_pj * count
+        # Communication (carried separately, wherever it rides —
+        # explicit collectives or a sharded GEMM's attached all-reduce)
+        # is attributed to the "collective" bucket: wire energy
+        # directly, time as clock-equivalent cycles.  The time stays out
+        # of compute_seconds; the step roofline combines it with
+        # comm_seconds via the overlap model.
+        energy_by_kind["collective"] += cost.comm_energy_pj * count
+        cycles_by_kind["collective"] += \
+            cost.comm_seconds * count * tech.frequency_hz
 
     compute_seconds = total_cycles * tech.cycle_seconds
     memory_seconds = total_hbm / tech.hbm_bandwidth_bytes
@@ -158,4 +210,6 @@ def simulate_workload(design, ops: list, tokens_per_step: int,
         energy_by_kind=energy_by_kind,
         hbm_bytes=total_hbm,
         total_macs=total_macs,
+        comm_seconds=total_comm_s,
+        comm_overlap=getattr(design, "comm_overlap", 0.0),
     )

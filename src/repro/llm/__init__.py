@@ -31,6 +31,7 @@ from .workload import (
     build_prefill_ops,
     build_ragged_decode_ops,
     build_serving_step_ops,
+    build_sharded_step_ops,
     gemm_macs,
     nonlinear_elements,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "build_prefill_ops",
     "build_ragged_decode_ops",
     "build_serving_step_ops",
+    "build_sharded_step_ops",
     "expert_token_buckets",
     "gemm_macs",
     "get_model",

@@ -11,16 +11,24 @@ A decode step of a batched transformer LM lowers to:
 * **ffn** GEMMs — gate/up/down projections with SiLU/GELU in between.
 
 The builder emits :class:`repro.arch.GemmOp` / ``NonlinearOp`` lists that
-any Table 2 design (or NoC system) can consume.
+any Table 2 design (or NoC system) can consume;
+:func:`build_sharded_step_ops` emits the same step as per-shard op lists
+plus collectives for a tensor/pipeline-parallel chip grid
+(:mod:`repro.parallel`).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 
+from typing import TYPE_CHECKING
+
 from ..arch.designs.base import GemmOp, NonlinearOp
 from ..errors import ConfigError
 from .config import ModelConfig
+
+if TYPE_CHECKING:  # Layering: repro.llm never loads repro.parallel.
+    from ..parallel.partition import ParallelConfig, ShardedStep
 
 
 def build_decode_ops(config: ModelConfig, batch: int, seq_len: int,
@@ -116,6 +124,19 @@ def build_serving_step_ops(config: ModelConfig, decode_lens, prefill_lens,
     woq_bits / kvq_bits / include_lm_head / include_aux_ops:
         As in :func:`build_decode_ops`.
     """
+    decode_lens, prefill_lens, tokens, out_tokens = \
+        _validate_step(decode_lens, prefill_lens)
+    layer = _step_layer_ops(config, tokens, decode_lens, prefill_lens,
+                            woq_bits=woq_bits, kvq_bits=kvq_bits,
+                            include_aux_ops=include_aux_ops)
+    ops = [op for _ in range(config.n_layers) for op in layer]
+    if include_lm_head:
+        ops.append(_lm_head_op(config, out_tokens, woq_bits))
+    return ops
+
+
+def _validate_step(decode_lens, prefill_lens) -> tuple:
+    """Normalize/validate active-set lengths; return token counts too."""
     decode_lens = [int(s) for s in decode_lens]
     prefill_lens = [int(s) for s in prefill_lens]
     if not decode_lens and not prefill_lens:
@@ -123,10 +144,22 @@ def build_serving_step_ops(config: ModelConfig, decode_lens, prefill_lens,
     if (decode_lens and min(decode_lens) < 1) or \
             (prefill_lens and min(prefill_lens) < 1):
         raise ConfigError("sequence lengths must be positive")
-    #: Tokens through the projections/FFN: one per decoder plus every
-    #: prompt token; output tokens: one per active sequence.
+    # Tokens through the projections/FFN: one per decoder plus every
+    # prompt token; output tokens: one per active sequence.
     tokens = len(decode_lens) + sum(prefill_lens)
     out_tokens = len(decode_lens) + len(prefill_lens)
+    return decode_lens, prefill_lens, tokens, out_tokens
+
+
+def _step_layer_ops(config: ModelConfig, tokens: int, decode_lens,
+                    prefill_lens, woq_bits: int, kvq_bits: int,
+                    include_aux_ops: bool) -> list:
+    """Ops of *one* transformer layer of a fused serving step.
+
+    Every layer of the step is identical, so the step builders repeat
+    this list ``n_layers`` times, and the tensor/pipeline partitioner
+    (:mod:`repro.parallel`) shards it per layer.
+    """
     ops: list = []
     h = config.hidden_dim
     d = config.head_dim
@@ -135,72 +168,106 @@ def build_serving_step_ops(config: ModelConfig, decode_lens, prefill_lens,
     decode_groups = sorted(Counter(decode_lens).items())
     prefill_groups = sorted(Counter(prefill_lens).items())
 
-    for _ in range(config.n_layers):
-        if include_aux_ops:
-            ops.append(NonlinearOp(op="layernorm", elements=tokens * h))
-        # QKV projection: fused [h -> h + 2*kv_dim].
-        ops.append(GemmOp(m=tokens, k=h, n=h + 2 * config.kv_dim,
-                          kind="projection", weight_bits=woq_bits))
-        if include_aux_ops:
-            # RoPE rotates the new Q and K vectors (sin + cos lookups
-            # per pair lane; see repro.core.rope).
-            rope_elements = tokens * (config.n_heads + config.n_kv_heads) * d
-            ops.append(NonlinearOp(op="rope", elements=rope_elements))
-        # Decode attention: each (sequence, KV head) pair has its own KV
-        # cache, so one GEMM instance per pair; the GQA group of Q heads
-        # sharing that cache forms the GEMM batch (m = group — a GEMV
-        # when group == 1, the §2.3.1 utilization problem).  The KV cache
-        # is the quantized "weight" operand streamed from off-chip.
-        for seq_len, seqs in decode_groups:
-            ops.append(GemmOp(m=group, k=d, n=seq_len,
-                              kind="attention_qk", weight_bits=kvq_bits,
-                              count=seqs * config.n_kv_heads))
-        # Prefill self-attention is quadratic over KV tiles just
-        # produced on chip.
-        for seq_len, seqs in prefill_groups:
-            ops.append(GemmOp(m=seq_len * group, k=d, n=seq_len,
-                              kind="attention_qk", weight_bits=kvq_bits,
-                              count=seqs * config.n_kv_heads,
-                              weights_resident=True))
-        for seq_len, seqs in decode_groups:
-            ops.append(NonlinearOp(op="softmax",
-                                   elements=seqs * config.n_heads * seq_len,
-                                   rows=seqs * config.n_heads))
-        for seq_len, seqs in prefill_groups:
-            ops.append(NonlinearOp(
-                op="softmax",
-                elements=seqs * config.n_heads * seq_len * seq_len,
-                rows=seqs * config.n_heads * seq_len))
-        for seq_len, seqs in decode_groups:
-            ops.append(GemmOp(m=group, k=seq_len, n=d,
-                              kind="attention_pv", weight_bits=kvq_bits,
-                              count=seqs * config.n_kv_heads))
-        for seq_len, seqs in prefill_groups:
-            ops.append(GemmOp(m=seq_len * group, k=seq_len, n=d,
-                              kind="attention_pv", weight_bits=kvq_bits,
-                              count=seqs * config.n_kv_heads,
-                              weights_resident=True))
-        # Output projection.
-        ops.append(GemmOp(m=tokens, k=h, n=h, kind="projection",
+    if include_aux_ops:
+        ops.append(NonlinearOp(op="layernorm", elements=tokens * h))
+    # QKV projection: fused [h -> h + 2*kv_dim].
+    ops.append(GemmOp(m=tokens, k=h, n=h + 2 * config.kv_dim,
+                      kind="projection", weight_bits=woq_bits))
+    if include_aux_ops:
+        # RoPE rotates the new Q and K vectors (sin + cos lookups
+        # per pair lane; see repro.core.rope).
+        rope_elements = tokens * (config.n_heads + config.n_kv_heads) * d
+        ops.append(NonlinearOp(op="rope", elements=rope_elements))
+    # Decode attention: each (sequence, KV head) pair has its own KV
+    # cache, so one GEMM instance per pair; the GQA group of Q heads
+    # sharing that cache forms the GEMM batch (m = group — a GEMV
+    # when group == 1, the §2.3.1 utilization problem).  The KV cache
+    # is the quantized "weight" operand streamed from off-chip.
+    for seq_len, seqs in decode_groups:
+        ops.append(GemmOp(m=group, k=d, n=seq_len,
+                          kind="attention_qk", weight_bits=kvq_bits,
+                          count=seqs * config.n_kv_heads))
+    # Prefill self-attention is quadratic over KV tiles just
+    # produced on chip.
+    for seq_len, seqs in prefill_groups:
+        ops.append(GemmOp(m=seq_len * group, k=d, n=seq_len,
+                          kind="attention_qk", weight_bits=kvq_bits,
+                          count=seqs * config.n_kv_heads,
+                          weights_resident=True))
+    for seq_len, seqs in decode_groups:
+        ops.append(NonlinearOp(op="softmax",
+                               elements=seqs * config.n_heads * seq_len,
+                               rows=seqs * config.n_heads))
+    for seq_len, seqs in prefill_groups:
+        ops.append(NonlinearOp(
+            op="softmax",
+            elements=seqs * config.n_heads * seq_len * seq_len,
+            rows=seqs * config.n_heads * seq_len))
+    for seq_len, seqs in decode_groups:
+        ops.append(GemmOp(m=group, k=seq_len, n=d,
+                          kind="attention_pv", weight_bits=kvq_bits,
+                          count=seqs * config.n_kv_heads))
+    for seq_len, seqs in prefill_groups:
+        ops.append(GemmOp(m=seq_len * group, k=seq_len, n=d,
+                          kind="attention_pv", weight_bits=kvq_bits,
+                          count=seqs * config.n_kv_heads,
+                          weights_resident=True))
+    # Output projection.
+    ops.append(GemmOp(m=tokens, k=h, n=h, kind="projection",
+                      weight_bits=woq_bits))
+    if include_aux_ops:
+        ops.append(NonlinearOp(op="layernorm", elements=tokens * h))
+    # FFN: gated (SwiGLU) or plain.
+    if config.gated_ffn:
+        ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
+                          weight_bits=woq_bits, count=2))
+    else:
+        ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
                           weight_bits=woq_bits))
-        if include_aux_ops:
-            ops.append(NonlinearOp(op="layernorm", elements=tokens * h))
-        # FFN: gated (SwiGLU) or plain.
-        if config.gated_ffn:
-            ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
-                              weight_bits=woq_bits, count=2))
-        else:
-            ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
-                              weight_bits=woq_bits))
-        ops.append(NonlinearOp(op=config.activation,
-                               elements=tokens * config.ffn_dim))
-        ops.append(GemmOp(m=tokens, k=config.ffn_dim, n=h, kind="ffn",
-                          weight_bits=woq_bits))
-
-    if include_lm_head:
-        ops.append(GemmOp(m=out_tokens, k=h, n=config.vocab_size,
-                          kind="projection", weight_bits=woq_bits))
+    ops.append(NonlinearOp(op=config.activation,
+                           elements=tokens * config.ffn_dim))
+    ops.append(GemmOp(m=tokens, k=config.ffn_dim, n=h, kind="ffn",
+                      weight_bits=woq_bits))
     return ops
+
+
+def _lm_head_op(config: ModelConfig, out_tokens: int,
+                woq_bits: int) -> GemmOp:
+    """The vocabulary projection over the step's output tokens."""
+    return GemmOp(m=out_tokens, k=config.hidden_dim, n=config.vocab_size,
+                  kind="projection", weight_bits=woq_bits)
+
+
+def build_sharded_step_ops(config: ModelConfig, decode_lens, prefill_lens,
+                           parallel: "ParallelConfig", woq_bits: int = 4,
+                           kvq_bits: int = 4, include_lm_head: bool = True,
+                           include_aux_ops: bool = False) -> "ShardedStep":
+    """One fused serving step partitioned onto a ``tp × pp`` chip grid.
+
+    The same step :func:`build_serving_step_ops` lowers, but emitted as
+    per-shard op lists plus collective ops (:class:`ShardedStep`):
+    column/row-split GEMM slices per tensor-parallel rank, per-layer
+    all-reduces, contiguous layer ranges per pipeline stage, and the
+    stage-boundary activation transfers.  Across all shards the graph
+    conserves the unsharded step's GEMM MACs, nonlinear elements, and
+    KV/weight bytes exactly; a ``tp=1, pp=1`` grid holds the unsharded
+    graph on its single chip.
+
+    For *pricing* a sharded deployment end to end, wrap the chip in a
+    :class:`repro.parallel.ShardedSystem` instead — it applies these
+    split rules per op so the serving engine runs unchanged.
+    """
+    from ..parallel.partition import partition_step_layers
+
+    decode_lens, prefill_lens, tokens, out_tokens = \
+        _validate_step(decode_lens, prefill_lens)
+    layer = _step_layer_ops(config, tokens, decode_lens, prefill_lens,
+                            woq_bits=woq_bits, kvq_bits=kvq_bits,
+                            include_aux_ops=include_aux_ops)
+    layers = [layer] * config.n_layers
+    head_ops = [_lm_head_op(config, out_tokens, woq_bits)] \
+        if include_lm_head else []
+    return partition_step_layers(config, layers, head_ops, tokens, parallel)
 
 
 def build_prefill_ops(config: ModelConfig, batch: int, seq_len: int,

@@ -1,0 +1,63 @@
+"""Multi-chip sharded serving: tensor/pipeline partitioning + collectives.
+
+The subsystem answers "at what TP/PP degree does a Mugi pod beat an
+iso-area systolic pod under SLOs?":
+
+* :mod:`.partition` — Megatron-style tensor-parallel splits
+  (column/row/KV-head), pipeline layer ranges with micro-batch bubbles,
+  and the exactly-conserving :func:`partition_step_layers` graph
+  transform;
+* :mod:`.collective` — ring all-reduce / all-gather / boundary-transfer
+  latency, traffic, and energy on :class:`InterconnectConfig` links;
+* :mod:`.sharded` — :class:`ShardedSystem`, a deployment that quacks
+  like an :class:`repro.arch.AcceleratorDesign` so the serving engine
+  and every experiment run unchanged on it.
+
+Quick start::
+
+    from repro.arch import make_design
+    from repro.llm import LLAMA2_70B_GQA
+    from repro.parallel import ParallelConfig, ShardedSystem
+    from repro.serve import poisson_trace, simulate_trace
+
+    pod = ShardedSystem(make_design("mugi", 256), LLAMA2_70B_GQA,
+                        ParallelConfig(tp=4, pp=2))
+    trace = poisson_trace(n_requests=200, rate_rps=1.0, seed=0)
+    report = simulate_trace(pod, LLAMA2_70B_GQA, trace)
+"""
+
+from .collective import (
+    DEFAULT_INTERCONNECT,
+    CollectiveOp,
+    InterconnectConfig,
+    collective_cost,
+    collective_seconds,
+    collective_traffic_bytes,
+)
+from .partition import (
+    ParallelConfig,
+    ShardedStep,
+    StageShard,
+    classify_gemm,
+    partition_step_layers,
+    shard_gemm,
+    shard_nonlinear,
+)
+from .sharded import ShardedSystem
+
+__all__ = [
+    "CollectiveOp",
+    "DEFAULT_INTERCONNECT",
+    "InterconnectConfig",
+    "ParallelConfig",
+    "ShardedStep",
+    "ShardedSystem",
+    "StageShard",
+    "classify_gemm",
+    "collective_cost",
+    "collective_seconds",
+    "collective_traffic_bytes",
+    "partition_step_layers",
+    "shard_gemm",
+    "shard_nonlinear",
+]

@@ -1,0 +1,241 @@
+"""A tensor/pipeline-sharded deployment that quacks like one design.
+
+:class:`ShardedSystem` wraps any single-chip design (or
+:class:`repro.arch.NocSystem`) into a ``tp × pp`` grid and exposes the
+same costing surface as an :class:`repro.arch.AcceleratorDesign` —
+``gemm_cost`` / ``nonlinear_cost`` / ``collective_cost`` / ``area_mm2``
+/ ``leakage_w`` / ``tech`` — so :func:`repro.arch.simulate_workload`,
+:class:`repro.serve.ServingEngine`, and every existing experiment run
+unchanged on sharded deployments.
+
+Feed it **unsharded** operator graphs (the ordinary
+:mod:`repro.llm.workload` builders): each op is sharded internally with
+the same split rules the explicit partitioner
+(:func:`repro.parallel.partition_step_layers`) uses, so the two views
+agree.  Do *not* feed it a :class:`ShardedStep`'s per-rank compute ops —
+already-split shards would be re-classified by their (reduced) shapes
+and sharded a second time; the explicit graph form exists for
+conservation analysis, and only its ``collectives`` price meaningfully
+here.  Per op the model reports:
+
+* **cycles** — the critical rank's share (rank 0 holds every ceiling
+  split), scaled by the pipeline bubble factor ``(p + m − 1)/(p·m)``;
+* **energy** — summed over all ranks, plus collective wire energy;
+* **HBM bytes** — summed over ranks (weights are sharded; activations
+  are replicated per rank, the real TP overhead).  ``tech`` presents an
+  aggregate HBM bandwidth of ``chips ×`` the chip's, and each op's
+  reported bytes are normalized by its *actual* streaming concurrency —
+  attention ranks idled by the KV-head cap grant no memory-bandwidth
+  speedup, and the pipeline's memory path pays the same
+  ``p·m/(p + m − 1)`` concurrency limit as its compute path — so
+  ``SimulationResult.hbm_bytes`` on a sharded system is an effective
+  (roofline) quantity, not raw traffic;
+* **comm_seconds** — ring all-reduce/all-gather time of row-parallel and
+  vocab-parallel GEMMs, plus the ``pp − 1`` stage-boundary activation
+  transfers amortized over the layers' FFN-down ops.
+
+Approximations, stated: micro-batched GEMMs are priced at the full step
+batch (per-microbatch fill overheads fold into the bubble term), and the
+tiny layer-norm statistics exchange is ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from ..arch.designs.base import (
+    CollectiveOp,
+    GemmOp,
+    NonlinearOp,
+    OpCost,
+    memoize_op_cost,
+)
+from ..arch.technology import TECH_45NM
+from ..errors import ConfigError
+from .collective import (
+    DEFAULT_INTERCONNECT,
+    InterconnectConfig,
+    collective_cost,
+)
+from .partition import (
+    ACT_BYTES,
+    ParallelConfig,
+    classify_gemm,
+    shard_gemm,
+    shard_nonlinear,
+)
+
+__all__ = ["ShardedSystem"]
+
+
+class ShardedSystem:
+    """A ``tp × pp`` grid of identical chips serving one model.
+
+    Parameters
+    ----------
+    chip:
+        The per-chip design — anything with ``gemm_cost`` /
+        ``nonlinear_cost`` / ``area_mm2`` / ``leakage_w`` (single node
+        or NoC system).
+    config:
+        The served :class:`repro.llm.ModelConfig`; its geometry drives
+        the TP classification of each GEMM and the pipeline-boundary
+        payloads, so graphs priced here must come from this model.
+    parallel:
+        Grid degrees (:class:`repro.parallel.ParallelConfig`).
+    interconnect:
+        Chip-to-chip link parameters.
+    comm_overlap:
+        Fraction of collective time hidden under compute (0 = fully
+        serial, 1 = fully overlapped); the step roofline still never
+        beats the pure communication time.
+    """
+
+    def __init__(self, chip, config, parallel: ParallelConfig,
+                 interconnect: InterconnectConfig = DEFAULT_INTERCONNECT,
+                 comm_overlap: float = 0.5):
+        if not 0.0 <= comm_overlap <= 1.0:
+            raise ConfigError("comm_overlap must be in [0, 1]")
+        if parallel.pp > config.n_layers:
+            raise ConfigError(f"pp={parallel.pp} exceeds {config.name}'s "
+                              f"{config.n_layers} layers")
+        self.chip = chip
+        self.config = config
+        self.parallel = parallel
+        self.interconnect = interconnect
+        self.comm_overlap = comm_overlap
+        base_tech = getattr(chip, "tech", TECH_45NM)
+        #: Aggregate view: every chip streams its own HBM concurrently.
+        self.tech = base_tech if parallel.is_trivial else dc_replace(
+            base_tech,
+            hbm_bandwidth_bytes=base_tech.hbm_bandwidth_bytes
+            * parallel.chips)
+        self.name = f"{parallel.label()} {chip.name}"
+        # Pipeline-boundary amortization: pp − 1 activation crossings
+        # per step, spread over the layers' row-parallel FFN GEMM
+        # *instances* (normally just the FFN-down; square geometries
+        # where up/gate also classify "row" share the charge instead of
+        # multiplying it).
+        row_instances = sum(
+            probe.count for probe in (
+                GemmOp(m=1, k=config.hidden_dim, n=config.ffn_dim,
+                       kind="ffn", count=2 if config.gated_ffn else 1),
+                GemmOp(m=1, k=config.ffn_dim, n=config.hidden_dim,
+                       kind="ffn"))
+            if classify_gemm(probe, config) == "row")
+        self._boundary_share = 0.0 if parallel.pp == 1 else \
+            (parallel.pp - 1) / (config.n_layers * row_instances)
+
+    # -- structure ------------------------------------------------------
+    @property
+    def chips(self) -> int:
+        return self.parallel.chips
+
+    @property
+    def area_mm2(self) -> float:
+        """All chips plus (for real grids) one link controller each."""
+        area = self.chip.area_mm2 * self.chips
+        if self.chips > 1:
+            area += self.interconnect.nic_area_mm2 * self.chips
+        return area
+
+    def leakage_w(self) -> float:
+        return self.area_mm2 * self.tech.leakage_w_per_mm2
+
+    def label(self) -> str:
+        chip_label = getattr(self.chip, "label", lambda: self.chip.name)()
+        return f"{self.parallel.label()} {chip_label}"
+
+    def _microbatch_limit(self, op, mode: str | None = None) -> int:
+        """Micro-batches the step's tokens can actually form for ``op``.
+
+        Micro-batching splits the token batch, so the limit is a
+        (conservative) per-op estimate of that batch: GEMM rows for
+        token-batched GEMMs, sequences for per-KV-head attention
+        instances, rows-per-head or elements-per-FFN-lane for nonlinear
+        passes.
+        """
+        if isinstance(op, GemmOp):
+            if mode == "count":
+                return max(1, op.count // self.config.n_kv_heads)
+            return op.m
+        if op.op == "softmax":
+            return max(1, op.rows // self.config.n_heads)
+        return max(1, op.elements // self.config.ffn_dim)
+
+    def _hbm_effective(self, hbm: float, active_ranks: int,
+                       available: int) -> float:
+        """Normalize true HBM bytes to the aggregate-bandwidth ``tech``.
+
+        ``memory_seconds`` divides total bytes by ``chips × bw``; an op
+        streamed by only ``active_ranks`` chips (KV-head cap) at the
+        pipeline's ``p·m/(p + m − 1)`` concurrency must not enjoy the
+        idle ranks' bandwidth, so its bytes are scaled up accordingly.
+        """
+        factor = self.parallel.pipeline_latency_factor_at(available)
+        return hbm * self.chips * factor / active_ranks
+
+    # -- op costing -----------------------------------------------------
+    @memoize_op_cost
+    def gemm_cost(self, op: GemmOp) -> OpCost:
+        """Shard one GEMM across the grid; report per-instance shares."""
+        mode = classify_gemm(op, self.config)
+        shards, collectives = shard_gemm(op, self.parallel.tp, mode,
+                                         self.config)
+        if mode == "count":
+            # Instances spread across ranks; rank 0 serializes the most.
+            rank_costs = [(self.chip.gemm_cost(s), s.count) for s in shards]
+            cycles = rank_costs[0][0].cycles * rank_costs[0][1] / op.count
+            energy = sum(c.energy_pj * n for c, n in rank_costs) / op.count
+            hbm = sum(c.hbm_bytes * n for c, n in rank_costs) / op.count
+            comm = OpCost(cycles=0.0, energy_pj=0.0)
+        else:
+            # One instance split across ranks; every rank runs its slice
+            # in parallel, so the critical path is rank 0's shard.
+            costs = [self.chip.gemm_cost(shard) for shard in shards]
+            cycles = costs[0].cycles
+            energy = sum(c.energy_pj for c in costs)
+            hbm = sum(c.hbm_bytes for c in costs)
+            comm = sum((collective_cost(c, self.interconnect)
+                        for c in collectives),
+                       OpCost(cycles=0.0, energy_pj=0.0))
+        # Pipeline boundaries: tokens × hidden activations cross pp − 1
+        # stage edges per step, amortized per row-parallel FFN GEMM
+        # instance (see __init__; the simulator re-multiplies by count).
+        if self._boundary_share and mode == "row" and op.kind == "ffn":
+            boundary = CollectiveOp(
+                kind="send_recv",
+                bytes=op.m * self.config.hidden_dim * ACT_BYTES,
+                participants=2)
+            share = self._boundary_share
+            cost = collective_cost(boundary, self.interconnect)
+            comm = comm + OpCost(
+                cycles=0.0, energy_pj=0.0,
+                comm_seconds=cost.comm_seconds * share,
+                comm_energy_pj=cost.comm_energy_pj * share)
+        available = self._microbatch_limit(op, mode)
+        factor = self.parallel.pipeline_latency_factor_at(available)
+        return OpCost(cycles=cycles * factor,
+                      energy_pj=energy,
+                      hbm_bytes=self._hbm_effective(hbm, len(shards),
+                                                    available),
+                      comm_seconds=comm.comm_seconds,
+                      comm_energy_pj=comm.comm_energy_pj)
+
+    @memoize_op_cost
+    def nonlinear_cost(self, op: NonlinearOp) -> OpCost:
+        """Elements (and softmax rows) shard with their TP rank."""
+        shards = shard_nonlinear(op, self.parallel.tp)
+        costs = [self.chip.nonlinear_cost(shard) for shard in shards]
+        available = self._microbatch_limit(op)
+        factor = self.parallel.pipeline_latency_factor_at(available)
+        return OpCost(
+            cycles=costs[0].cycles * factor,
+            energy_pj=sum(c.energy_pj for c in costs),
+            hbm_bytes=self._hbm_effective(
+                sum(c.hbm_bytes for c in costs), len(shards), available))
+
+    @memoize_op_cost
+    def collective_cost(self, op: CollectiveOp) -> OpCost:
+        """Price an explicit collective (sharded-graph lowering)."""
+        return collective_cost(op, self.interconnect)

@@ -9,10 +9,13 @@ The engine advances a clock step by step.  Each step it
    (:func:`repro.llm.workload.build_serving_step_ops`: projections and
    FFN GEMMs shared by every active token so model weights stream once
    per step, attention per context length) and prices it with
-   :func:`repro.arch.simulate_workload` on any Table 2 design or NoC
-   system;
-4. advances the clock by the step's roofline time and credits one token
-   to every active sequence (the prefill step emits the first token).
+   :func:`repro.arch.simulate_workload` on any Table 2 design, NoC
+   system, or tensor/pipeline-sharded deployment
+   (:class:`repro.parallel.ShardedSystem`);
+4. advances the clock by the step's roofline time — for sharded
+   deployments that roofline overlaps compute with the step's exposed
+   collective-communication time — and credits one token to every
+   active sequence (the prefill step emits the first token).
 
 Steps over near-identical active sets dominate a trace, so the engine
 caches whole-step costs keyed by the active set's length signature
@@ -63,6 +66,15 @@ class ServingEngine:
             raise ConfigError("seq_len_bucket must be >= 1")
         if scheduler.config != config:
             raise ConfigError("scheduler is bound to a different model")
+        design_config = getattr(design, "config", None)
+        if isinstance(design_config, ModelConfig) and \
+                design_config != config:
+            # A sharded deployment classifies ops against its own model
+            # geometry; serving a different model would silently misprice
+            # every collective.
+            raise ConfigError(
+                f"design {getattr(design, 'name', design)} is sharded for "
+                f"{design_config.name}, not {config.name}")
         self.design = design
         self.config = config
         self.scheduler = scheduler
@@ -143,6 +155,7 @@ class ServingEngine:
             cost = self._step_cost(plan)
             now += cost.step_seconds
             report.energy_j += cost.dynamic_energy_j
+            report.comm_seconds += cost.comm_seconds
             report.steps += 1
 
             for state in plan.prefill:

@@ -50,7 +50,9 @@ class RequestRecord:
 
 
 def percentile(values, q: float) -> float:
-    """The ``q``-th percentile (0–100) of a sequence."""
+    """The ``q``-th percentile (0–100) of a non-empty sequence."""
+    if not 0.0 <= q <= 100.0:  # Also rejects NaN.
+        raise ConfigError(f"percentile q must be in [0, 100], got {q!r}")
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         raise ConfigError("percentile of empty sequence")
@@ -70,6 +72,9 @@ class ServingReport:
     peak_kv_bytes: float = 0.0
     kv_capacity_bytes: float | None = None
     offered_rps: float = 0.0
+    #: Total inter-chip collective time across all steps (before
+    #: overlap; 0 for single-chip designs).
+    comm_seconds: float = 0.0
 
     @property
     def completed(self) -> int:
@@ -101,14 +106,36 @@ class ServingReport:
                 and (tpot_slo_s is None or r.tpot_s <= tpot_slo_s)]
         return len(good) / max(self.makespan_s, 1e-12)
 
+    @property
+    def comm_fraction(self) -> float:
+        """Collective *wire-busy* time over the makespan.
+
+        The numerator is pre-overlap communication time (how long the
+        links carry traffic), so with compute/communication overlap this
+        exceeds the exposed wall-clock share — it measures interconnect
+        utilization pressure, not serving slowdown.
+        """
+        if self.makespan_s == 0:
+            return 0.0
+        return self.comm_seconds / self.makespan_s
+
+    def _require_completions(self) -> None:
+        if not self.records:
+            raise ConfigError(
+                f"report for {self.design}/{self.scheduler} has no "
+                f"completed requests; latency statistics are undefined")
+
     # -- latency percentiles -------------------------------------------
     def latency_percentile(self, q: float) -> float:
+        self._require_completions()
         return percentile((r.latency_s for r in self.records), q)
 
     def ttft_percentile(self, q: float) -> float:
+        self._require_completions()
         return percentile((r.ttft_s for r in self.records), q)
 
     def tpot_percentile(self, q: float) -> float:
+        self._require_completions()
         return percentile((r.tpot_s for r in self.records), q)
 
     @property
@@ -121,10 +148,12 @@ class ServingReport:
 
     @property
     def mean_ttft_s(self) -> float:
+        self._require_completions()
         return float(np.mean([r.ttft_s for r in self.records]))
 
     @property
     def mean_tpot_s(self) -> float:
+        self._require_completions()
         return float(np.mean([r.tpot_s for r in self.records]))
 
     @property
@@ -132,7 +161,20 @@ class ServingReport:
         return self.energy_j / max(self.generated_tokens, 1)
 
     def summary(self) -> dict:
-        """Flat dict of the headline numbers (for tables/plots)."""
+        """Flat dict of the headline numbers (for tables/plots).
+
+        Latency statistics are ``None`` when no request completed —
+        rates are 0 then, but percentiles have no defined value.
+        """
+        stats = dict.fromkeys(("p50_latency_s", "p99_latency_s",
+                               "mean_ttft_s", "mean_tpot_s"))
+        if self.records:
+            stats = {
+                "p50_latency_s": self.p50_latency_s,
+                "p99_latency_s": self.p99_latency_s,
+                "mean_ttft_s": self.mean_ttft_s,
+                "mean_tpot_s": self.mean_tpot_s,
+            }
         return {
             "design": self.design,
             "scheduler": self.scheduler,
@@ -140,10 +182,8 @@ class ServingReport:
             "completed": self.completed,
             "goodput_rps": self.goodput_rps(),
             "throughput_tokens_s": self.throughput_tokens_s,
-            "p50_latency_s": self.p50_latency_s,
-            "p99_latency_s": self.p99_latency_s,
-            "mean_ttft_s": self.mean_ttft_s,
-            "mean_tpot_s": self.mean_tpot_s,
+            **stats,
             "energy_per_token_j": self.energy_per_token_j,
+            "comm_seconds": self.comm_seconds,
             "steps": self.steps,
         }

@@ -217,5 +217,6 @@ class TestSimulatorValidation:
         r = results[("mugi", 256)]
         total = sum(r.cycles_by_kind.values())
         assert set(r.cycles_by_kind) == {"projection", "attention", "ffn",
-                                         "nonlinear"}
+                                         "nonlinear", "collective"}
+        assert r.cycles_by_kind["collective"] == 0.0  # Single chip.
         assert r.compute_seconds == pytest.approx(total * 2.5e-9, rel=1e-6)

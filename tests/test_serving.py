@@ -358,6 +358,103 @@ class TestReportMetrics:
         assert report.ttft_percentile(50) <= report.ttft_percentile(99)
 
 
+class TestTraceDeterminism:
+    """ISSUE satellite: generators are pure functions of their seed."""
+
+    def test_same_seed_same_trace(self):
+        for make in (
+            lambda s: poisson_trace(n_requests=40, rate_rps=2.0, seed=s),
+            lambda s: steady_trace(n_requests=40, rate_rps=2.0, seed=s),
+            lambda s: bursty_trace(n_requests=40, burst_size=8,
+                                   burst_period_s=30.0, jitter_s=2.0,
+                                   seed=s),
+        ):
+            assert make(7) == make(7)  # Requests are frozen dataclasses.
+
+    def test_different_seed_different_trace(self):
+        a = poisson_trace(n_requests=40, rate_rps=2.0, seed=1)
+        b = poisson_trace(n_requests=40, rate_rps=2.0, seed=2)
+        assert a != b
+
+    def test_poisson_offered_load_near_target(self):
+        trace = poisson_trace(n_requests=600, rate_rps=2.0, seed=3)
+        assert offered_load_rps(trace) == pytest.approx(2.0, rel=0.15)
+
+    def test_bursty_offered_load_near_target(self):
+        # 10-request bursts every 10 s offer 1 req/s on average.
+        trace = bursty_trace(n_requests=400, burst_size=10,
+                             burst_period_s=10.0, jitter_s=1.0, seed=4)
+        assert offered_load_rps(trace) == pytest.approx(1.0, rel=0.15)
+
+    def test_steady_offered_load_exact(self):
+        trace = steady_trace(n_requests=41, rate_rps=4.0)
+        assert offered_load_rps(trace) == pytest.approx(4.0)
+
+
+class TestMetricsEdgeCases:
+    """ISSUE satellite: zero-completion reports and metric validation."""
+
+    @staticmethod
+    def _empty_report():
+        from repro.serve import ServingReport
+        return ServingReport(design="Mugi", scheduler="continuous")
+
+    def test_zero_completion_rates_are_zero(self):
+        report = self._empty_report()
+        assert report.completed == 0
+        assert report.goodput_rps() == 0.0
+        assert report.goodput_rps(ttft_slo_s=1.0, tpot_slo_s=0.1) == 0.0
+        assert report.request_rate_rps == 0.0
+        assert report.throughput_tokens_s == 0.0
+        assert report.energy_per_token_j == 0.0
+        assert report.comm_fraction == 0.0
+
+    def test_zero_completion_latency_stats_raise_clearly(self):
+        report = self._empty_report()
+        for stat in ("p50_latency_s", "p99_latency_s", "mean_ttft_s",
+                     "mean_tpot_s"):
+            with pytest.raises(ConfigError, match="no completed"):
+                getattr(report, stat)
+        with pytest.raises(ConfigError, match="no completed"):
+            report.ttft_percentile(50)
+
+    def test_zero_completion_summary_is_defined(self):
+        summary = self._empty_report().summary()
+        assert summary["completed"] == 0
+        assert summary["goodput_rps"] == 0.0
+        for key in ("p50_latency_s", "p99_latency_s", "mean_ttft_s",
+                    "mean_tpot_s"):
+            assert summary[key] is None
+
+    def test_percentile_validates_q(self):
+        from repro.serve import percentile
+        for q in (-1.0, 100.5, float("nan")):
+            with pytest.raises(ConfigError, match=r"\[0, 100\]"):
+                percentile([1.0, 2.0], q)
+        assert percentile([1.0, 2.0], 0) == 1.0
+        assert percentile([1.0, 2.0], 100) == 2.0
+        with pytest.raises(ConfigError, match="empty"):
+            percentile([], 50)
+
+    def test_tpot_zero_for_single_token_outputs(self):
+        from repro.serve import Request, RequestRecord
+        request = Request(req_id=0, arrival_s=0.0, prompt_len=16,
+                          output_len=1)
+        record = RequestRecord(request=request, admitted_s=0.0,
+                               first_token_s=0.5, finish_s=0.5)
+        assert record.tpot_s == 0.0
+        assert record.latency_s == pytest.approx(0.5)
+
+    def test_single_token_output_served_end_to_end(self):
+        trace = steady_trace(n_requests=3, rate_rps=1.0,
+                             prompt=LengthSpec("fixed", value=16),
+                             output=LengthSpec("fixed", value=1))
+        report = simulate_trace(tiny_design(), TINY_GQA, trace)
+        assert report.completed == 3
+        assert all(r.tpot_s == 0.0 for r in report.records)
+        assert report.mean_tpot_s == 0.0
+
+
 class TestServeModelSlice:
     def test_sweep_model_is_gqa8(self):
         from repro.analysis.experiments.serving_load_sweep import SERVE_MODEL

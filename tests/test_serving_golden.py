@@ -1,0 +1,175 @@
+"""Golden regression tests for serving-report summaries.
+
+One small fixed-seed trace per (design, scheduler) pair, with every
+``ServingReport.summary()`` number pinned.  Any drift in the engine's
+step costing, the schedulers' admission order, the designs' cost
+models, or the sharded deployment's collective pricing fails here in
+tier-1 instead of silently shifting benchmark tables.
+
+Regenerate after an *intended* metric change with::
+
+    PYTHONPATH=src python tests/test_serving_golden.py
+"""
+
+import pytest
+
+from repro.arch import make_design
+from repro.llm import ModelConfig
+from repro.parallel import ParallelConfig, ShardedSystem
+from repro.serve import LengthSpec, poisson_trace, simulate_trace
+
+TINY_GQA = ModelConfig(name="Tiny-GQA", family="llama2", n_layers=2,
+                       n_heads=16, n_kv_heads=2, hidden_dim=512,
+                       ffn_dim=1024, max_seq_len=2048, vocab_size=1000)
+SHORT = LengthSpec("uniform", low=4, high=48)
+
+#: Dense enough that continuous vs static batching actually diverge.
+TRACE_KWARGS = dict(n_requests=12, rate_rps=40.0, prompt=SHORT,
+                    output=SHORT, seed=42)
+MAX_BATCH = 4
+
+DESIGNS = {
+    "mugi64": lambda: make_design("mugi", 64),
+    "sa8": lambda: make_design("sa", 8),
+    "tensor": lambda: make_design("tensor", None),
+    "mugi64-tp2": lambda: ShardedSystem(
+        make_design("mugi", 64), TINY_GQA, ParallelConfig(tp=2)),
+}
+
+GOLDEN_SUMMARIES = {
+    ("mugi64", "continuous"): {
+        "design": "Mugi",
+        "scheduler": "continuous",
+        "offered_rps": 32.93557515706506,
+        "completed": 12,
+        "goodput_rps": 29.822545829354898,
+        "throughput_tokens_s": 884.735526270862,
+        "p50_latency_s": 0.060517903310778914,
+        "p99_latency_s": 0.08357289680012683,
+        "mean_ttft_s": 0.006761727361255339,
+        "mean_tpot_s": 0.0017306008963443944,
+        "energy_per_token_j": 5.4347969571752895e-05,
+        "comm_seconds": 0.0,
+        "steps": 220,
+    },
+    ("mugi64", "static"): {
+        "design": "Mugi",
+        "scheduler": "static",
+        "offered_rps": 32.93557515706506,
+        "completed": 12,
+        "goodput_rps": 26.17434058571507,
+        "throughput_tokens_s": 776.5054373762136,
+        "p50_latency_s": 0.06596911305984515,
+        "p99_latency_s": 0.12201737311514012,
+        "mean_ttft_s": 0.02538079240031785,
+        "mean_tpot_s": 0.0015274160796148748,
+        "energy_per_token_j": 6.391428795502138e-05,
+        "comm_seconds": 0.0,
+        "steps": 263,
+    },
+    ("sa8", "continuous"): {
+        "design": "SA",
+        "scheduler": "continuous",
+        "offered_rps": 32.93557515706506,
+        "completed": 12,
+        "goodput_rps": 29.69986336829513,
+        "throughput_tokens_s": 881.0959465927555,
+        "p50_latency_s": 0.06245784874046639,
+        "p99_latency_s": 0.08637334557356433,
+        "mean_ttft_s": 0.00695016169068242,
+        "mean_tpot_s": 0.0017345261413876285,
+        "energy_per_token_j": 6.669101030868318e-05,
+        "comm_seconds": 0.0,
+        "steps": 218,
+    },
+    ("sa8", "static"): {
+        "design": "SA",
+        "scheduler": "static",
+        "offered_rps": 32.93557515706506,
+        "completed": 12,
+        "goodput_rps": 25.96350666294279,
+        "throughput_tokens_s": 770.2506976673028,
+        "p50_latency_s": 0.07011475555984509,
+        "p99_latency_s": 0.1260875488096713,
+        "mean_ttft_s": 0.028083357107349088,
+        "mean_tpot_s": 0.0015622857364356103,
+        "energy_per_token_j": 7.651468981932608e-05,
+        "comm_seconds": 0.0,
+        "steps": 263,
+    },
+    ("tensor", "continuous"): {
+        "design": "Tensor",
+        "scheduler": "continuous",
+        "offered_rps": 32.93557515706506,
+        "completed": 12,
+        "goodput_rps": 35.67732917683292,
+        "throughput_tokens_s": 1058.4274322460433,
+        "p50_latency_s": 0.0021504143749999927,
+        "p99_latency_s": 0.0033558443750000715,
+        "mean_ttft_s": 0.0002988529031329543,
+        "mean_tpot_s": 5.560597489154753e-05,
+        "energy_per_token_j": 9.038598967571338e-05,
+        "comm_seconds": 0.0,
+        "steps": 337,
+    },
+    ("mugi64-tp2", "continuous"): {
+        "design": "TP2xPP1 Mugi",
+        "scheduler": "continuous",
+        "offered_rps": 32.93557515706506,
+        "completed": 12,
+        "goodput_rps": 32.58973594260803,
+        "throughput_tokens_s": 966.8288329640382,
+        "p50_latency_s": 0.029359826531250008,
+        "p99_latency_s": 0.04103598271531254,
+        "mean_ttft_s": 0.0029947871651986886,
+        "mean_tpot_s": 0.0008140914385751098,
+        "energy_per_token_j": 7.12260454661221e-05,
+        "comm_seconds": 0.002799162000000004,
+        "steps": 290,
+    },
+}
+
+
+def run_pair(design_key: str, policy: str) -> dict:
+    trace = poisson_trace(**TRACE_KWARGS)
+    report = simulate_trace(DESIGNS[design_key](), TINY_GQA, trace,
+                            policy=policy, max_batch=MAX_BATCH)
+    return report.summary()
+
+
+@pytest.mark.parametrize(("design_key", "policy"),
+                         sorted(GOLDEN_SUMMARIES))
+def test_summary_matches_golden(design_key, policy):
+    summary = run_pair(design_key, policy)
+    golden = GOLDEN_SUMMARIES[(design_key, policy)]
+    assert set(summary) == set(golden)
+    for key, expected in golden.items():
+        actual = summary[key]
+        if isinstance(expected, float):
+            assert actual == pytest.approx(expected, rel=1e-9), key
+        else:
+            assert actual == expected, key
+
+
+def test_goldens_distinguish_schedulers():
+    """The trace is dense enough that the policies actually diverge —
+    otherwise the static goldens would not guard anything."""
+    for design_key in ("mugi64", "sa8"):
+        cont = GOLDEN_SUMMARIES[(design_key, "continuous")]
+        stat = GOLDEN_SUMMARIES[(design_key, "static")]
+        assert cont["mean_ttft_s"] < stat["mean_ttft_s"]
+        assert cont["goodput_rps"] > stat["goodput_rps"]
+
+
+def _regenerate() -> None:
+    print("GOLDEN_SUMMARIES = {")
+    for (design_key, policy) in sorted(GOLDEN_SUMMARIES):
+        print(f"    ({design_key!r}, {policy!r}): {{")
+        for key, value in run_pair(design_key, policy).items():
+            print(f"        {key!r}: {value!r},")
+        print("    },")
+    print("}")
+
+
+if __name__ == "__main__":
+    _regenerate()
