@@ -1,0 +1,59 @@
+"""Paged-KV serving demo: block manager, prefix caching, policies.
+
+Serves a shared-prefix chat trace at a deliberately tight KV budget
+(6 peak request footprints) four ways: the PR 1 peak-reservation
+continuous scheduler vs the paged scheduler stack (FCFS / priority /
+preemptive), then sketches goodput vs block size and shows a TP-sharded
+pod sizing its block pool from the per-chip budget.
+
+Run:  python examples/paged_serving_demo.py
+"""
+
+from repro.analysis.experiments import paged_serving
+from repro.analysis.tables import render_table
+from repro.arch import make_design
+from repro.parallel import ParallelConfig, ShardedSystem
+from repro.serve import BlockManager
+
+MODEL = paged_serving.SERVE_MODEL  # Llama2-70B-GQA, 4-layer slice.
+CAPACITY = 6.0 * paged_serving.peak_footprint_bytes(MODEL)
+
+# ---------------------------------------------------------------- 1. ---
+print("=== 1. Peak-reservation vs the paged scheduler stack ===")
+points = paged_serving.run_policy_comparison(n_requests=120, rate_rps=0.4)
+rows = [[p.policy, f"{p.goodput_rps:.4f}", f"{p.mean_ttft_s:.1f}",
+         f"{p.premium_ttft_s:.1f}", f"{p.prefix_hit_rate:.2f}",
+         f"{p.mean_kv_utilization:.2f}"]
+        for p in sorted(points, key=lambda p: p.policy)]
+print(render_table(
+    ["Policy", "Goodput req/s", "Mean TTFT (s)", "Premium TTFT (s)",
+     "Prefix hit", "KV util"],
+    rows, title=f"Mugi (256) serving {MODEL.name}, 35% shared-prefix "
+                f"trace (25% premium priority), KV budget = 6 peak "
+                f"footprints"))
+by_policy = {p.policy: p.goodput_rps for p in points}
+print(f"\nPaged goodput gain at equal KV capacity: "
+      f"{by_policy['paged'] / by_policy['continuous']:.2f}x")
+
+# ---------------------------------------------------------------- 2. ---
+print("\n=== 2. Goodput vs KV block size ===")
+points = paged_serving.run_block_size_sweep(block_sizes=(8, 32, 128),
+                                            n_requests=120)
+rows = [[p.design, f"{p.block_size}", f"{p.goodput_rps:.4f}",
+         f"{p.prefix_hit_rate:.2f}"]
+        for p in sorted(points, key=lambda p: (p.design, p.block_size))]
+print(render_table(
+    ["Design", "Block size", "Goodput req/s", "Prefix hit"],
+    rows, title="Fine blocks track footprints tightly; coarse blocks "
+                "drift toward peak reservation"))
+
+# ---------------------------------------------------------------- 3. ---
+print("\n=== 3. Sharded pod: the block pool splits across shards ===")
+pod = ShardedSystem(make_design("mugi", 256), MODEL, ParallelConfig(tp=4))
+per_chip = CAPACITY / 4
+pool = BlockManager.for_design(pod, MODEL, per_chip)
+single = BlockManager(MODEL, per_chip)
+print(f"{pod.name}: kv_shard_factor = {pod.kv_shard_factor} "
+      f"(TP4 splits the model's {MODEL.n_kv_heads} KV heads)")
+print(f"per-chip budget {per_chip / 1e6:.1f} MB -> pool of "
+      f"{pool.num_blocks} blocks (vs {single.num_blocks} on one chip)")

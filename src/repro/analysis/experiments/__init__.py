@@ -19,6 +19,7 @@ Fig. 16   ``latency_breakdown``           per-kind latency stacks
 Fig. 17   ``noc_scaling``                 NoC-level comparisons
 (serving) ``serving_load_sweep``          latency–throughput curves
 (serving) ``parallel_scaling``            TP×PP sharded-pod scaling
+(serving) ``paged_serving``               paged-KV goodput sweeps
 ========  ==============================  ================================
 """
 
@@ -33,6 +34,7 @@ from . import (  # noqa: F401
     latency_breakdown,
     noc_scaling,
     nonlinear_iso_area,
+    paged_serving,
     parallel_scaling,
     per_layer_tuning,
     relative_error,
@@ -50,6 +52,7 @@ __all__ = [
     "latency_breakdown",
     "noc_scaling",
     "nonlinear_iso_area",
+    "paged_serving",
     "parallel_scaling",
     "per_layer_tuning",
     "relative_error",

@@ -27,7 +27,9 @@ from .moe import (
     mixtral_like,
 )
 from .workload import (
+    build_chunked_prefill_ops,
     build_decode_ops,
+    build_paged_step_ops,
     build_prefill_ops,
     build_ragged_decode_ops,
     build_serving_step_ops,
@@ -50,8 +52,10 @@ __all__ = [
     "VIVIT_BASE",
     "WHISPER_LARGE",
     "WHISPER_TINY",
+    "build_chunked_prefill_ops",
     "build_decode_ops",
     "build_moe_decode_ops",
+    "build_paged_step_ops",
     "build_prefill_ops",
     "build_ragged_decode_ops",
     "build_serving_step_ops",

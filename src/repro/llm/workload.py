@@ -126,13 +126,93 @@ def build_serving_step_ops(config: ModelConfig, decode_lens, prefill_lens,
     """
     decode_lens, prefill_lens, tokens, out_tokens = \
         _validate_step(decode_lens, prefill_lens)
-    layer = _step_layer_ops(config, tokens, decode_lens, prefill_lens,
+    layer = _step_layer_ops(config, tokens, decode_lens,
+                            [(0, s) for s in prefill_lens],
                             woq_bits=woq_bits, kvq_bits=kvq_bits,
                             include_aux_ops=include_aux_ops)
     ops = [op for _ in range(config.n_layers) for op in layer]
     if include_lm_head:
         ops.append(_lm_head_op(config, out_tokens, woq_bits))
     return ops
+
+
+def build_paged_step_ops(config: ModelConfig, decode_lens, chunks,
+                         n_finishing: int | None = None,
+                         woq_bits: int = 4, kvq_bits: int = 4,
+                         include_lm_head: bool = True,
+                         include_aux_ops: bool = False) -> list:
+    """Operator list for one fused serving step with *chunked* prefill.
+
+    ``chunks`` is a list of ``(past, new)`` pairs: a prefilling sequence
+    processes ``new`` prompt tokens this step on top of ``past`` KV
+    tokens already cached (earlier chunks, or blocks shared through the
+    prefix cache — both are priced identically: streamed KV reads).
+    Each chunk's attention splits into a streamed GEMM against the
+    ``past`` KV plus the on-chip quadratic GEMM over the chunk itself,
+    so a single ``(0, S)`` chunk reproduces
+    :func:`build_serving_step_ops`'s prefill graph *exactly*, and a
+    multi-chunk prefill conserves projection/FFN MACs, KV bytes written,
+    and the block-causal attention work ``Σ new·(past + new)`` per head.
+
+    ``n_finishing`` counts the chunks that complete their prompt this
+    step — only those sequences (plus every decoder) sample a token, so
+    only they cross the LM head.  ``None`` means all chunks finish.
+    """
+    decode_lens = [int(s) for s in decode_lens]
+    chunks = [(int(p), int(n)) for p, n in chunks]
+    if not decode_lens and not chunks:
+        raise ConfigError("step needs at least one active sequence")
+    if decode_lens and min(decode_lens) < 1:
+        raise ConfigError("sequence lengths must be positive")
+    if any(p < 0 or n < 1 for p, n in chunks):
+        raise ConfigError("chunks need past >= 0 and new >= 1")
+    if n_finishing is None:
+        n_finishing = len(chunks)
+    if not 0 <= n_finishing <= len(chunks):
+        raise ConfigError(f"n_finishing must be in [0, {len(chunks)}]")
+    tokens = len(decode_lens) + sum(n for _, n in chunks)
+    out_tokens = len(decode_lens) + n_finishing
+    layer = _step_layer_ops(config, tokens, decode_lens, chunks,
+                            woq_bits=woq_bits, kvq_bits=kvq_bits,
+                            include_aux_ops=include_aux_ops)
+    ops = [op for _ in range(config.n_layers) for op in layer]
+    if include_lm_head and out_tokens > 0:
+        ops.append(_lm_head_op(config, out_tokens, woq_bits))
+    return ops
+
+
+def build_chunked_prefill_ops(config: ModelConfig, prompt_len: int,
+                              chunk_tokens: int, cached_len: int = 0,
+                              woq_bits: int = 4, kvq_bits: int = 4,
+                              include_lm_head: bool = True,
+                              include_aux_ops: bool = False) -> list[list]:
+    """Per-chunk operator lists for one prompt prefilled in chunks.
+
+    The prompt's last ``prompt_len - cached_len`` tokens are split into
+    chunks of at most ``chunk_tokens``; chunk ``i`` attends to the
+    ``cached_len`` prefix-cache tokens plus every earlier chunk.  Only
+    the final chunk emits a token (and the LM head).  One chunk with no
+    cache is exactly the one-shot prefill step
+    (:func:`build_serving_step_ops` with one prefill sequence).
+    """
+    if prompt_len < 1 or chunk_tokens < 1:
+        raise ConfigError("prompt_len and chunk_tokens must be positive")
+    if not 0 <= cached_len < prompt_len:
+        # A full-prompt cache hit would leave nothing to prefill; the
+        # last token is always recomputed so its logits exist to sample.
+        raise ConfigError("need 0 <= cached_len < prompt_len")
+    steps = []
+    past = cached_len
+    while past < prompt_len:
+        new = min(chunk_tokens, prompt_len - past)
+        finishes = past + new == prompt_len
+        steps.append(build_paged_step_ops(
+            config, [], [(past, new)], n_finishing=1 if finishes else 0,
+            woq_bits=woq_bits, kvq_bits=kvq_bits,
+            include_lm_head=include_lm_head,
+            include_aux_ops=include_aux_ops))
+        past += new
+    return steps
 
 
 def _validate_step(decode_lens, prefill_lens) -> tuple:
@@ -152,9 +232,17 @@ def _validate_step(decode_lens, prefill_lens) -> tuple:
 
 
 def _step_layer_ops(config: ModelConfig, tokens: int, decode_lens,
-                    prefill_lens, woq_bits: int, kvq_bits: int,
+                    chunks, woq_bits: int, kvq_bits: int,
                     include_aux_ops: bool) -> list:
     """Ops of *one* transformer layer of a fused serving step.
+
+    ``chunks`` holds the step's prefill work as ``(past, new)`` pairs —
+    a whole-prompt prefill is the ``(0, prompt_len)`` chunk.  A chunk
+    with ``past > 0`` reads that much already-cached KV (earlier chunks
+    or prefix-cache hits) as a *streamed* attention operand, exactly
+    like decode, while the chunk's own quadratic self-attention stays
+    on-chip (``weights_resident``); with ``past == 0`` the emitted ops
+    are identical to the pre-chunking prefill lowering.
 
     Every layer of the step is identical, so the step builders repeat
     this list ``n_layers`` times, and the tensor/pipeline partitioner
@@ -166,7 +254,7 @@ def _step_layer_ops(config: ModelConfig, tokens: int, decode_lens,
     group = config.gqa_group
     #: Sequences sharing a context length share one (counted) GEMM.
     decode_groups = sorted(Counter(decode_lens).items())
-    prefill_groups = sorted(Counter(prefill_lens).items())
+    chunk_groups = sorted(Counter(chunks).items())
 
     if include_aux_ops:
         ops.append(NonlinearOp(op="layernorm", elements=tokens * h))
@@ -187,10 +275,15 @@ def _step_layer_ops(config: ModelConfig, tokens: int, decode_lens,
         ops.append(GemmOp(m=group, k=d, n=seq_len,
                           kind="attention_qk", weight_bits=kvq_bits,
                           count=seqs * config.n_kv_heads))
-    # Prefill self-attention is quadratic over KV tiles just
+    # Chunk attention: the past KV streams from the cache like decode;
+    # the chunk's own self-attention is quadratic over KV tiles just
     # produced on chip.
-    for seq_len, seqs in prefill_groups:
-        ops.append(GemmOp(m=seq_len * group, k=d, n=seq_len,
+    for (past, new), seqs in chunk_groups:
+        if past:
+            ops.append(GemmOp(m=new * group, k=d, n=past,
+                              kind="attention_qk", weight_bits=kvq_bits,
+                              count=seqs * config.n_kv_heads))
+        ops.append(GemmOp(m=new * group, k=d, n=new,
                           kind="attention_qk", weight_bits=kvq_bits,
                           count=seqs * config.n_kv_heads,
                           weights_resident=True))
@@ -198,17 +291,21 @@ def _step_layer_ops(config: ModelConfig, tokens: int, decode_lens,
         ops.append(NonlinearOp(op="softmax",
                                elements=seqs * config.n_heads * seq_len,
                                rows=seqs * config.n_heads))
-    for seq_len, seqs in prefill_groups:
+    for (past, new), seqs in chunk_groups:
         ops.append(NonlinearOp(
             op="softmax",
-            elements=seqs * config.n_heads * seq_len * seq_len,
-            rows=seqs * config.n_heads * seq_len))
+            elements=seqs * config.n_heads * new * (past + new),
+            rows=seqs * config.n_heads * new))
     for seq_len, seqs in decode_groups:
         ops.append(GemmOp(m=group, k=seq_len, n=d,
                           kind="attention_pv", weight_bits=kvq_bits,
                           count=seqs * config.n_kv_heads))
-    for seq_len, seqs in prefill_groups:
-        ops.append(GemmOp(m=seq_len * group, k=seq_len, n=d,
+    for (past, new), seqs in chunk_groups:
+        if past:
+            ops.append(GemmOp(m=new * group, k=past, n=d,
+                              kind="attention_pv", weight_bits=kvq_bits,
+                              count=seqs * config.n_kv_heads))
+        ops.append(GemmOp(m=new * group, k=new, n=d,
                           kind="attention_pv", weight_bits=kvq_bits,
                           count=seqs * config.n_kv_heads,
                           weights_resident=True))
@@ -261,7 +358,8 @@ def build_sharded_step_ops(config: ModelConfig, decode_lens, prefill_lens,
 
     decode_lens, prefill_lens, tokens, out_tokens = \
         _validate_step(decode_lens, prefill_lens)
-    layer = _step_layer_ops(config, tokens, decode_lens, prefill_lens,
+    layer = _step_layer_ops(config, tokens, decode_lens,
+                            [(0, s) for s in prefill_lens],
                             woq_bits=woq_bits, kvq_bits=kvq_bits,
                             include_aux_ops=include_aux_ops)
     layers = [layer] * config.n_layers

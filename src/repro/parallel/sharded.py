@@ -132,6 +132,21 @@ class ShardedSystem:
         return self.parallel.chips
 
     @property
+    def kv_shard_factor(self) -> int:
+        """How many ways the grid splits one sequence's KV cache.
+
+        Attention shards by KV head (capped at the model's
+        ``n_kv_heads``) and the pipeline shards by layer, so each chip
+        holds ``1/factor`` of every sequence's KV and the aggregate KV
+        pool is ``factor ×`` one chip's budget.  TP ranks beyond the
+        KV-head cap replicate instead of splitting and add nothing.
+        :meth:`repro.serve.BlockManager.for_design` uses this to size a
+        paged block pool from a per-chip capacity.
+        """
+        return min(self.parallel.tp, self.config.n_kv_heads) \
+            * self.parallel.pp
+
+    @property
     def area_mm2(self) -> float:
         """All chips plus (for real grids) one link controller each."""
         area = self.chip.area_mm2 * self.chips

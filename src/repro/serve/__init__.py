@@ -1,10 +1,14 @@
-"""Continuous-batching serving simulator.
+"""Continuous-batching serving simulator with paged KV management.
 
 A discrete-event layer above the architecture simulator: request traces
-(:mod:`.trace`) flow through a batching policy (:mod:`.scheduler`) and a
-step loop (:mod:`.engine`) that lowers each step's ragged active set to
-operator graphs and prices them on any Table 2 design or NoC system;
-:mod:`.metrics` aggregates TTFT/TPOT/latency percentiles and goodput.
+(:mod:`.trace`) flow through a batching policy — the PR 1
+peak-reservation schedulers (:mod:`.scheduler`) or the paged
+block-granular stack (:mod:`.policy` over :mod:`.kv_cache`: prefix
+caching, chunked prefill, recompute/swap preemption) — and a step loop
+(:mod:`.engine`) that lowers each step's ragged active set to operator
+graphs and prices them on any Table 2 design or NoC system;
+:mod:`.metrics` aggregates TTFT/TPOT/latency/queue-delay percentiles,
+goodput, KV utilization, and prefix-hit rate.
 
 Quick start::
 
@@ -19,7 +23,20 @@ Quick start::
 """
 
 from .engine import ServingEngine, simulate_trace
+from .kv_cache import BlockManager, BlockPoolStats
 from .metrics import RequestRecord, ServingReport, percentile
+from .policy import (
+    POLICIES,
+    ChunkTask,
+    FCFSPolicy,
+    PagedPreemptiveScheduler,
+    PagedPriorityScheduler,
+    PagedScheduler,
+    PagedSequenceState,
+    PreemptivePriorityPolicy,
+    PriorityPolicy,
+    SchedulingPolicy,
+)
 from .scheduler import (
     SCHEDULERS,
     ContinuousBatchScheduler,
@@ -31,6 +48,7 @@ from .scheduler import (
 )
 from .trace import (
     LengthSpec,
+    PrefixSpec,
     Request,
     bursty_trace,
     offered_load_rps,
@@ -39,12 +57,25 @@ from .trace import (
 )
 
 __all__ = [
+    "POLICIES",
     "SCHEDULERS",
+    "BlockManager",
+    "BlockPoolStats",
+    "ChunkTask",
     "ContinuousBatchScheduler",
+    "FCFSPolicy",
     "LengthSpec",
+    "PagedPreemptiveScheduler",
+    "PagedPriorityScheduler",
+    "PagedScheduler",
+    "PagedSequenceState",
+    "PreemptivePriorityPolicy",
+    "PrefixSpec",
+    "PriorityPolicy",
     "Request",
     "RequestRecord",
     "Scheduler",
+    "SchedulingPolicy",
     "SequenceState",
     "ServingEngine",
     "ServingReport",

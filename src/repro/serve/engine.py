@@ -4,7 +4,9 @@ The engine advances a clock step by step.  Each step it
 
 1. ingests every request that has arrived by the clock;
 2. asks the scheduler for the step's active set (new admissions to
-   prefill + running sequences to decode);
+   prefill + running sequences to decode; the paged schedulers of
+   :mod:`repro.serve.policy` hand back budgeted prefill *chunks* and
+   may charge host-link swap time for preempted KV);
 3. lowers that *ragged* active set to one fused operator graph
    (:func:`repro.llm.workload.build_serving_step_ops`: projections and
    FFN GEMMs shared by every active token so model weights stream once
@@ -31,7 +33,7 @@ from ..arch.simulator import SimulationResult, simulate_workload
 from ..arch.technology import TECH_45NM
 from ..errors import ConfigError
 from ..llm.config import ModelConfig
-from ..llm.workload import build_serving_step_ops
+from ..llm.workload import build_paged_step_ops, build_serving_step_ops
 from .metrics import RequestRecord, ServingReport
 from .scheduler import Scheduler, StepPlan, make_scheduler
 from .trace import Request, offered_load_rps
@@ -96,11 +98,33 @@ class ServingEngine:
                                for s in plan.prefill))
         decode = tuple(sorted(Counter(
             self._bucket(s.context_len) for s in plan.decode).items()))
-        return prefill, decode
+        # Chunked prefill: past KV is bucketed like decode context; the
+        # chunk itself is budget-sized and stays exact.  Whether a chunk
+        # finishes matters because only finishing chunks cross the LM
+        # head.
+        chunks = tuple(sorted(Counter(
+            (self._bucket(t.past) if t.past else 0, t.new, t.finishes)
+            for t in plan.chunks).items()))
+        return prefill, decode, chunks
 
-    def _step_ops(self, prefill_lens: tuple, decode_hist: tuple) -> list:
+    def _step_ops(self, prefill_lens: tuple, decode_hist: tuple,
+                  chunk_hist: tuple) -> list:
         decode_lens = [length for length, count in decode_hist
                        for _ in range(count)]
+        if chunk_hist:
+            chunks = [(past, new) for (past, new, _), count in chunk_hist
+                      for _ in range(count)]
+            n_finishing = sum(count for (_, _, fin), count in chunk_hist
+                              if fin)
+            # Whole-prompt prefills (if a plan ever mixes both forms)
+            # are the (0, prompt) chunk that finishes immediately.
+            chunks += [(0, s) for s in prefill_lens]
+            n_finishing += len(prefill_lens)
+            return build_paged_step_ops(
+                self.config, decode_lens=decode_lens, chunks=chunks,
+                n_finishing=n_finishing, woq_bits=self.woq_bits,
+                kvq_bits=self.kvq_bits,
+                include_lm_head=self.include_lm_head)
         return build_serving_step_ops(
             self.config, decode_lens=decode_lens,
             prefill_lens=prefill_lens, woq_bits=self.woq_bits,
@@ -147,31 +171,60 @@ class ServingEngine:
                 idx += 1
             plan = self.scheduler.plan_step(now)
             if plan.batch == 0:
+                if idx >= len(pending):
+                    # Nothing runnable and nothing left to arrive: a
+                    # scheduler bug, not a state the loop can leave.
+                    raise ConfigError(
+                        f"scheduler {self.scheduler.name} stalled with "
+                        f"work queued but nothing planned")
                 # Idle: jump to the next arrival.
                 now = max(now, pending[idx].arrival_s)
                 continue
             report.peak_kv_bytes = max(report.peak_kv_bytes,
                                        self.scheduler.reserved_bytes)
+            report.kv_utilization.append(self.scheduler.kv_utilization())
             cost = self._step_cost(plan)
-            now += cost.step_seconds
+            now += cost.step_seconds + plan.swap_seconds
             report.energy_j += cost.dynamic_energy_j
             report.comm_seconds += cost.comm_seconds
+            report.swap_seconds += plan.swap_seconds
             report.steps += 1
 
             for state in plan.prefill:
                 state.first_token_s = now
                 state.generated = 1
                 state.context_len = state.request.prompt_len + 1
+            finished_chunks = []
+            for task in plan.chunks:
+                if not task.finishes:
+                    continue
+                # The last chunk of a prefill (or of a post-preemption
+                # KV rebuild) emits one token, like the one-shot
+                # prefill step does.
+                state = task.state
+                if state.first_token_s is None:
+                    state.first_token_s = now
+                state.generated += 1
+                state.context_len = state.prefill_target + 1
+                finished_chunks.append(state)
             for state in plan.decode:
                 state.generated += 1
                 state.context_len += 1
-            for state in plan.prefill + plan.decode:
+            for state in plan.prefill + plan.decode + finished_chunks:
                 if state.done:
                     self.scheduler.release(state)
                     report.records.append(RequestRecord(
                         request=state.request, admitted_s=state.admitted_s,
                         first_token_s=state.first_token_s, finish_s=now))
         report.makespan_s = now
+        for key, value in self.scheduler.runtime_stats().items():
+            if not hasattr(report, key):
+                # A typo'd stats key must fail loudly, not create a
+                # ghost attribute while the real metric stays 0.
+                raise ConfigError(
+                    f"scheduler {self.scheduler.name} reported unknown "
+                    f"stat {key!r}; ServingReport has no such field")
+            setattr(report, key, value)
         return report
 
 
@@ -179,14 +232,20 @@ def simulate_trace(design, config: ModelConfig, trace: list[Request],
                    policy: str = "continuous", max_batch: int = 16,
                    kv_capacity_bytes: float | None = None,
                    kvq_bits: int = 4, seq_len_bucket: int = 1,
+                   scheduler_kwargs: dict | None = None,
                    **engine_kwargs) -> ServingReport:
     """One-call serving run: build scheduler + engine, serve the trace.
 
     ``simulate_trace(make_design("mugi", 256), LLAMA2_70B_GQA, trace)``
+
+    ``scheduler_kwargs`` reach the scheduler constructor — e.g.
+    ``policy="paged", scheduler_kwargs={"block_size": 32,
+    "preemption": "swap"}``.
     """
     scheduler = make_scheduler(policy, config, max_batch=max_batch,
                                kv_capacity_bytes=kv_capacity_bytes,
-                               kvq_bits=kvq_bits)
+                               kvq_bits=kvq_bits,
+                               **(scheduler_kwargs or {}))
     engine = ServingEngine(design, config, scheduler, kvq_bits=kvq_bits,
                            seq_len_bucket=seq_len_bucket, **engine_kwargs)
     return engine.run(trace)

@@ -1,0 +1,356 @@
+"""Paged KV-cache block manager with copy-on-write prefix caching.
+
+vLLM-style block-granular KV accounting for the serving simulator: the
+device KV budget is carved into fixed-size blocks of ``block_size``
+tokens, and each admitted sequence holds a *block table* covering
+exactly the KV tokens it has materialized so far — not its peak
+footprint, which is what lets the paged schedulers (:mod:`.policy`)
+admit far deeper batches than the PR 1 peak-reservation policies at the
+same capacity.
+
+Prefix caching: requests that declare a shared prompt prefix
+(:attr:`repro.serve.trace.Request.prefix_group` /
+:attr:`~repro.serve.trace.Request.prefix_len`) hash their full prefix
+blocks by ``(group, block_index)``.  A later request whose prefix
+blocks are already resident *shares* them (refcount++) and skips their
+prefill compute; blocks whose refcount drops to zero are retained in an
+LRU-evictable cached pool so hits survive across non-overlapping
+request lifetimes.  Writing into a block shared by several sequences
+(an exact re-asked prompt whose recomputed last token lands mid-block)
+triggers **copy-on-write**: the writer gets a private copy, the shared
+block keeps serving everyone else.
+
+The conservation invariant — every block is in exactly one of
+{free, live (refcount >= 1), cached} and the three sets partition the
+pool — is checked by :meth:`BlockManager.check_invariants` and
+property-tested under randomized admit/extend/free/swap sequences.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .trace import Request
+
+
+@dataclass
+class BlockPoolStats:
+    """Counters the block manager accumulates over a run."""
+
+    prefix_hit_tokens: int = 0
+    prefix_query_tokens: int = 0
+    cow_copies: int = 0
+    evictions: int = 0
+    swap_out_bytes: float = 0.0
+    swap_in_bytes: float = 0.0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Prompt tokens served from the prefix cache, over all prompt
+        tokens that went through admission."""
+        if self.prefix_query_tokens == 0:
+            return 0.0
+        return self.prefix_hit_tokens / self.prefix_query_tokens
+
+
+class BlockManager:
+    """Allocate fixed-size KV blocks with refcounts and prefix caching.
+
+    Parameters
+    ----------
+    config:
+        The served model; its GQA geometry sets bytes per KV token.
+    capacity_bytes:
+        Device KV budget; the pool holds ``capacity // block_bytes``
+        blocks (at least one).
+    block_size:
+        Tokens per block (vLLM's default is 16).
+    kvq_bits:
+        KV-cache quantization width.
+    """
+
+    def __init__(self, config, capacity_bytes: float, block_size: int = 16,
+                 kvq_bits: int = 4):
+        if block_size < 1:
+            raise ConfigError("block_size must be positive")
+        if capacity_bytes <= 0:
+            raise ConfigError("capacity_bytes must be positive")
+        self.config = config
+        self.block_size = block_size
+        self.kvq_bits = kvq_bits
+        self.bytes_per_token = config.kv_cache_bytes(seq_len=1, batch=1,
+                                                     bits=kvq_bits)
+        self.block_bytes = self.bytes_per_token * block_size
+        self.num_blocks = int(capacity_bytes // self.block_bytes)
+        if self.num_blocks < 1:
+            raise ConfigError(
+                f"capacity {capacity_bytes:.3g} B holds no "
+                f"{self.block_bytes:.3g}-B block; shrink block_size")
+        #: LIFO free list (block 0 pops first).
+        self._free = list(range(self.num_blocks - 1, -1, -1))
+        self._ref: dict[int, int] = {}          # live block -> refcount
+        self._table: dict[int, list[int]] = {}  # seq -> block table
+        self._tokens: dict[int, int] = {}       # seq -> KV tokens held
+        self._prefix: dict[int, tuple] = {}     # seq -> (group, prefix_len)
+        self._hash_of: dict[int, tuple] = {}    # prefix block -> key
+        self._block_of: dict[tuple, int] = {}   # key -> prefix block
+        #: Refcount-0 prefix blocks retained for future hits (LRU order).
+        self._cached: OrderedDict[int, tuple] = OrderedDict()
+        self.stats = BlockPoolStats()
+
+    @classmethod
+    def for_design(cls, design, config, capacity_bytes: float,
+                   **kwargs) -> "BlockManager":
+        """Pool for a (possibly sharded) deployment.
+
+        ``capacity_bytes`` is the *per-chip* KV budget; a
+        :class:`repro.parallel.ShardedSystem` splits every sequence's KV
+        across its KV-head and pipeline shards, so the aggregate pool is
+        ``kv_shard_factor`` times one chip's (plain designs scale by 1).
+        """
+        scale = getattr(design, "kv_shard_factor", 1)
+        return cls(config, capacity_bytes * scale, **kwargs)
+
+    # -- capacity views --------------------------------------------------
+    @property
+    def capacity_bytes(self) -> float:
+        """Pool capacity actually usable (whole blocks)."""
+        return self.num_blocks * self.block_bytes
+
+    @property
+    def live_blocks(self) -> int:
+        return len(self._ref)
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def cached_blocks(self) -> int:
+        return len(self._cached)
+
+    @property
+    def available_blocks(self) -> int:
+        """Blocks an allocation could obtain (free + evictable cached)."""
+        return len(self._free) + len(self._cached)
+
+    @property
+    def used_bytes(self) -> float:
+        """Bytes held by live sequences (cached-only blocks excluded)."""
+        return self.live_blocks * self.block_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Live-block share of the pool."""
+        return self.live_blocks / self.num_blocks
+
+    def blocks_needed(self, tokens: int) -> int:
+        return -(-tokens // self.block_size)
+
+    def tokens_of(self, seq_id: int) -> int:
+        return self._tokens[seq_id]
+
+    # -- allocation core -------------------------------------------------
+    def _take_free(self) -> int:
+        """Pop a free block, evicting the LRU cached block if needed."""
+        if self._free:
+            return self._free.pop()
+        block, key = self._cached.popitem(last=False)
+        del self._hash_of[block]
+        del self._block_of[key]
+        self.stats.evictions += 1
+        return block
+
+    def _register(self, block: int, key: tuple) -> None:
+        """Hash a freshly allocated full prefix block (first writer wins)."""
+        if key not in self._block_of:
+            self._block_of[key] = block
+            self._hash_of[block] = key
+
+    def _unregister(self, block: int) -> None:
+        key = self._hash_of.pop(block, None)
+        if key is not None:
+            del self._block_of[key]
+
+    # -- sequence lifecycle ----------------------------------------------
+    def begin_sequence(self, seq_id: int, request: Request) -> int:
+        """Open a block table for ``request``; return prefix-cached tokens.
+
+        Walks the request's shared-prefix blocks through the hash map:
+        resident blocks (live or cached) are attached with a refcount
+        instead of allocated, and their tokens — capped at
+        ``prompt_len - 1``, since the last prompt token is always
+        recomputed to produce logits — skip prefill compute.
+        """
+        if seq_id in self._table:
+            raise ConfigError(f"sequence {seq_id} already has a table")
+        self._table[seq_id] = []
+        self._prefix[seq_id] = (request.prefix_group, request.prefix_len)
+        self.stats.prefix_query_tokens += request.prompt_len
+        cached = 0
+        group = request.prefix_group
+        if group is not None:
+            max_cached = request.prompt_len - 1
+            idx = 0
+            while (idx + 1) * self.block_size <= request.prefix_len and \
+                    idx * self.block_size < max_cached:
+                block = self._block_of.get((group, idx))
+                if block is None:
+                    break
+                if block in self._cached:
+                    del self._cached[block]
+                    self._ref[block] = 1
+                else:
+                    self._ref[block] += 1
+                self._table[seq_id].append(block)
+                idx += 1
+            cached = min(idx * self.block_size, max_cached)
+            self.stats.prefix_hit_tokens += cached
+        self._tokens[seq_id] = cached
+        return cached
+
+    def max_extend(self, seq_id: int) -> int:
+        """Most tokens :meth:`extend` could currently grant ``seq_id``."""
+        table = self._table[seq_id]
+        tokens = self._tokens[seq_id]
+        slack = len(table) * self.block_size - tokens
+        budget = self.available_blocks
+        if slack and self._needs_cow(seq_id, tokens):
+            if budget == 0:
+                return 0
+            budget -= 1  # The first write burns one block on the copy.
+        return slack + budget * self.block_size
+
+    def _needs_cow(self, seq_id: int, position: int) -> bool:
+        """Would writing ``position`` hit a block shared with others?"""
+        table = self._table[seq_id]
+        idx = position // self.block_size
+        if idx >= len(table):
+            return False
+        return self._ref[table[idx]] > 1
+
+    def extend(self, seq_id: int, n_tokens: int) -> bool:
+        """Materialize ``n_tokens`` more KV tokens for ``seq_id``.
+
+        Allocates new blocks as the sequence crosses block boundaries
+        and copy-on-writes a shared tail block before the first write
+        lands in it.  All-or-nothing: returns False (and changes
+        nothing) when the pool cannot supply every needed block.
+        """
+        if n_tokens < 1:
+            raise ConfigError("n_tokens must be positive")
+        table = self._table[seq_id]
+        cur = self._tokens[seq_id]
+        target = cur + n_tokens
+        need = max(0, self.blocks_needed(target) - len(table))
+        cow = self._needs_cow(seq_id, cur)
+        if need + (1 if cow else 0) > self.available_blocks:
+            return False
+        if cow:
+            # A private copy for the writer; the shared original keeps
+            # serving its other holders (and the hash map).  Writes
+            # into a *sole-held* hashed block need no copy: hashed
+            # blocks lie wholly inside the shared prefix, so any write
+            # there recomputes prefix content, never diverges from it.
+            write_idx = cur // self.block_size
+            old = table[write_idx]
+            copy = self._take_free()
+            self._ref[old] -= 1
+            self._ref[copy] = 1
+            table[write_idx] = copy
+            self.stats.cow_copies += 1
+        while len(table) < self.blocks_needed(target):
+            block = self._take_free()
+            self._ref[block] = 1
+            table.append(block)
+        self._tokens[seq_id] = target
+        group, prefix_len = self._prefix[seq_id]
+        if group is not None:
+            # Hash prefix blocks only once their KV is fully written —
+            # a chunk boundary mid-block must not publish a half-built
+            # block for cache hits.
+            for idx in range(cur // self.block_size,
+                             min(target, prefix_len) // self.block_size):
+                self._register(table[idx], (group, idx))
+        return True
+
+    def _drop_blocks(self, seq_id: int) -> None:
+        for block in self._table[seq_id]:
+            self._ref[block] -= 1
+            if self._ref[block] == 0:
+                del self._ref[block]
+                key = self._hash_of.get(block)
+                if key is not None:
+                    self._cached[block] = key
+                    self._cached.move_to_end(block)
+                else:
+                    self._free.append(block)
+
+    def free_sequence(self, seq_id: int) -> None:
+        """Release a sequence's blocks (prefix blocks stay cached)."""
+        self._drop_blocks(seq_id)
+        del self._table[seq_id]
+        del self._tokens[seq_id]
+        del self._prefix[seq_id]
+
+    # -- swap-style preemption -------------------------------------------
+    def swap_out(self, seq_id: int) -> float:
+        """Move a sequence's KV to the host; return bytes transferred."""
+        tokens = self._tokens[seq_id]
+        self.free_sequence(seq_id)
+        bytes_moved = tokens * self.bytes_per_token
+        self.stats.swap_out_bytes += bytes_moved
+        return bytes_moved
+
+    def swap_in(self, seq_id: int, tokens: int) -> float | None:
+        """Restore ``tokens`` KV tokens from the host.
+
+        Returns the bytes transferred, or None when the pool cannot hold
+        the sequence right now.  Restored blocks are private (host pages
+        are not re-hashed into the prefix cache).
+        """
+        need = self.blocks_needed(max(tokens, 1))
+        if need > self.available_blocks:
+            return None
+        if seq_id in self._table:
+            raise ConfigError(f"sequence {seq_id} is already resident")
+        table = [self._take_free() for _ in range(need)]
+        for block in table:
+            self._ref[block] = 1
+        self._table[seq_id] = table
+        self._tokens[seq_id] = tokens
+        self._prefix[seq_id] = (None, 0)
+        bytes_moved = tokens * self.bytes_per_token
+        self.stats.swap_in_bytes += bytes_moved
+        return bytes_moved
+
+    # -- invariants ------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise ConfigError if the pool's conservation laws are broken."""
+        free, live, cached = set(self._free), set(self._ref), \
+            set(self._cached)
+        if free & live or free & cached or live & cached:
+            raise ConfigError("a block is in two pools at once")
+        if len(free) + len(live) + len(cached) != self.num_blocks:
+            raise ConfigError(
+                f"allocated + cached + free = "
+                f"{len(live)} + {len(cached)} + {len(free)} "
+                f"!= {self.num_blocks} total")
+        if any(count < 1 for count in self._ref.values()):
+            raise ConfigError("live block with refcount < 1")
+        held: dict[int, int] = {}
+        for table in self._table.values():
+            for block in table:
+                held[block] = held.get(block, 0) + 1
+        if held != self._ref:
+            raise ConfigError("refcounts disagree with block tables")
+        for seq_id, table in self._table.items():
+            tokens = self._tokens[seq_id]
+            if not tokens <= len(table) * self.block_size:
+                raise ConfigError(f"sequence {seq_id} holds fewer blocks "
+                                  f"than its {tokens} tokens need")
+        for key, block in self._block_of.items():
+            if self._hash_of.get(block) != key:
+                raise ConfigError("prefix hash maps disagree")

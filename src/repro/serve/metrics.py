@@ -75,6 +75,15 @@ class ServingReport:
     #: Total inter-chip collective time across all steps (before
     #: overlap; 0 for single-chip designs).
     comm_seconds: float = 0.0
+    #: Per-step KV-budget occupancy series (reserved/capacity for the
+    #: peak-reservation schedulers, live-block share for paged ones).
+    kv_utilization: list = field(default_factory=list)
+    #: Paged-scheduler counters (0 under the PR 1 schedulers).
+    preemptions: int = 0
+    prefix_hit_tokens: int = 0
+    prefix_query_tokens: int = 0
+    swap_bytes: float = 0.0
+    swap_seconds: float = 0.0
 
     @property
     def completed(self) -> int:
@@ -125,6 +134,26 @@ class ServingReport:
                 f"report for {self.design}/{self.scheduler} has no "
                 f"completed requests; latency statistics are undefined")
 
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Prompt tokens served from the paged prefix cache."""
+        if self.prefix_query_tokens == 0:
+            return 0.0
+        return self.prefix_hit_tokens / self.prefix_query_tokens
+
+    @property
+    def mean_kv_utilization(self) -> float:
+        """Average per-step KV-budget occupancy (0 with no steps)."""
+        if not self.kv_utilization:
+            return 0.0
+        return float(np.mean(self.kv_utilization))
+
+    @property
+    def peak_kv_utilization(self) -> float:
+        if not self.kv_utilization:
+            return 0.0
+        return float(np.max(self.kv_utilization))
+
     # -- latency percentiles -------------------------------------------
     def latency_percentile(self, q: float) -> float:
         self._require_completions()
@@ -138,6 +167,16 @@ class ServingReport:
         self._require_completions()
         return percentile((r.tpot_s for r in self.records), q)
 
+    def queue_delay_percentile(self, q: float) -> float:
+        """Arrival-to-admission wait percentile.
+
+        Head-of-line blocking lives here (TTFT only folds it in), so
+        p99 queue delay is the first metric to blow up when admission
+        starves behind a monster request.
+        """
+        self._require_completions()
+        return percentile((r.queue_delay_s for r in self.records), q)
+
     @property
     def p50_latency_s(self) -> float:
         return self.latency_percentile(50)
@@ -145,6 +184,19 @@ class ServingReport:
     @property
     def p99_latency_s(self) -> float:
         return self.latency_percentile(99)
+
+    @property
+    def p50_queue_delay_s(self) -> float:
+        return self.queue_delay_percentile(50)
+
+    @property
+    def p99_queue_delay_s(self) -> float:
+        return self.queue_delay_percentile(99)
+
+    @property
+    def mean_queue_delay_s(self) -> float:
+        self._require_completions()
+        return float(np.mean([r.queue_delay_s for r in self.records]))
 
     @property
     def mean_ttft_s(self) -> float:
@@ -167,13 +219,16 @@ class ServingReport:
         rates are 0 then, but percentiles have no defined value.
         """
         stats = dict.fromkeys(("p50_latency_s", "p99_latency_s",
-                               "mean_ttft_s", "mean_tpot_s"))
+                               "mean_ttft_s", "mean_tpot_s",
+                               "p50_queue_delay_s", "p99_queue_delay_s"))
         if self.records:
             stats = {
                 "p50_latency_s": self.p50_latency_s,
                 "p99_latency_s": self.p99_latency_s,
                 "mean_ttft_s": self.mean_ttft_s,
                 "mean_tpot_s": self.mean_tpot_s,
+                "p50_queue_delay_s": self.p50_queue_delay_s,
+                "p99_queue_delay_s": self.p99_queue_delay_s,
             }
         return {
             "design": self.design,
@@ -186,4 +241,7 @@ class ServingReport:
             "energy_per_token_j": self.energy_per_token_j,
             "comm_seconds": self.comm_seconds,
             "steps": self.steps,
+            "mean_kv_utilization": self.mean_kv_utilization,
+            "preemptions": self.preemptions,
+            "prefix_hit_rate": self.prefix_hit_rate,
         }

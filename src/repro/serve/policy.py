@@ -1,0 +1,464 @@
+"""Pluggable scheduling policies over the paged KV-cache block manager.
+
+The PR 1 schedulers (:mod:`.scheduler`) reserve a request's *peak* KV
+footprint at admission and never preempt — safe, but badly
+under-utilized on long-context traffic.  This module replaces that with
+vLLM/Orca-style block-granular scheduling:
+
+* admission reserves only the blocks the *first prefill chunk* needs;
+  decode steps allocate one token at a time as contexts actually grow;
+* long prompts prefill in budgeted **chunks** interleaved with decode
+  steps (``chunk_tokens`` per step), so a 2k-token prompt no longer
+  stalls every running decode behind one monster step;
+* when a decode-time block allocation fails, the scheduler **preempts**
+  a victim — recompute-style (drop its blocks, re-prefill later; the
+  prefix cache usually makes the re-prefill cheap) or swap-style (move
+  its KV over the host link and restore it when space frees);
+* three policies share this admission interface: strict **FCFS**,
+  **priority** ordering, and **preemptive priority** (a high-priority
+  arrival may evict a low-priority running sequence immediately).
+
+The scheduler plugs into the unchanged :class:`repro.serve.ServingEngine`
+loop through the same ``plan_step`` protocol, with chunk work carried in
+:attr:`repro.serve.scheduler.StepPlan.chunks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..llm.config import ModelConfig
+from .kv_cache import BlockManager
+from .scheduler import (
+    SCHEDULERS,
+    SequenceState,
+    StepPlan,
+    context_window_error,
+)
+from .trace import Request
+
+
+@dataclass
+class PagedSequenceState(SequenceState):
+    """Serving state of one request under the paged schedulers.
+
+    ``prefilled`` counts prompt tokens whose KV is materialized
+    (prefix-cache hits included); ``prefill_target`` is where prefill
+    ends — ``prompt_len`` normally, ``prompt_len + generated`` while
+    rebuilding after a recompute preemption.
+    """
+
+    prefilled: int = 0
+    prefill_target: int = 0
+    cached_tokens: int = 0
+    preemptions: int = 0
+    swapped_tokens: int = 0
+
+    @property
+    def prefill_done(self) -> bool:
+        return self.prefilled >= self.prefill_target
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One prefill chunk of one step: ``new`` prompt tokens computed on
+    top of ``past`` already-cached KV tokens.  ``finishes`` chunks
+    complete their prompt and sample a token this step."""
+
+    state: PagedSequenceState
+    past: int
+    new: int
+    finishes: bool
+
+
+class SchedulingPolicy:
+    """Ordering rules shared by every paged scheduler.
+
+    ``queue_key`` sorts waiting (and running) sequences — lowest first
+    is served first; ``victim_key`` picks preemption victims — the
+    *maximum* is evicted; ``outranks`` gates preemptive admission.
+    """
+
+    name = "fcfs"
+    preemptive_admission = False
+
+    def queue_key(self, state: PagedSequenceState) -> tuple:
+        return (state.request.arrival_s, state.request.req_id)
+
+    def victim_key(self, state: PagedSequenceState) -> tuple:
+        # Latest-admitted first (LIFO), the vLLM recompute default: the
+        # youngest sequence has the least KV to rebuild.
+        return (state.admitted_s or 0.0, state.request.req_id)
+
+    def outranks(self, state: PagedSequenceState,
+                 victim: PagedSequenceState) -> bool:
+        return False
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Order by :attr:`Request.priority` (higher first), then arrival."""
+
+    name = "priority"
+
+    def queue_key(self, state: PagedSequenceState) -> tuple:
+        request = state.request
+        return (-request.priority, request.arrival_s, request.req_id)
+
+    def victim_key(self, state: PagedSequenceState) -> tuple:
+        return (-state.request.priority, state.admitted_s or 0.0,
+                state.request.req_id)
+
+    def outranks(self, state: PagedSequenceState,
+                 victim: PagedSequenceState) -> bool:
+        return state.request.priority > victim.request.priority
+
+
+class PreemptivePriorityPolicy(PriorityPolicy):
+    """Priority ordering where a blocked high-priority arrival may evict
+    a lower-priority running sequence instead of queueing behind it."""
+
+    name = "preemptive"
+    preemptive_admission = True
+
+
+#: The base policy *is* FCFS; the alias names that explicitly.
+FCFSPolicy = SchedulingPolicy
+
+#: Policy registry for string-based construction.
+POLICIES = {cls.name: cls for cls in (
+    SchedulingPolicy, PriorityPolicy, PreemptivePriorityPolicy)}
+
+
+class PagedScheduler:
+    """Block-granular continuous batching with chunked prefill.
+
+    Drives a :class:`repro.serve.kv_cache.BlockManager`: admission
+    reserves only the first chunk's blocks, decode allocates per token,
+    and allocation failure preempts per the policy.  Implements the
+    same protocol the :class:`repro.serve.ServingEngine` event loop
+    speaks (``enqueue`` / ``plan_step`` / ``release`` / ...).
+
+    Parameters
+    ----------
+    config:
+        The served model.
+    max_batch:
+        Most sequences active together.
+    kv_capacity_bytes:
+        Device KV budget carved into blocks; ``None`` defaults to
+        ``max_batch`` full-context sequences (a roomy pool).
+    kvq_bits / block_size:
+        KV quantization width and tokens per block.
+    chunk_tokens:
+        Prefill-token budget per engine step.
+    preemption:
+        ``"recompute"`` (drop KV, re-prefill later) or ``"swap"``
+        (move KV over the host link and restore it).
+    admit_headroom:
+        Pool fraction the admission gate keeps free (a vLLM-style
+        watermark).  Running decodes grow into this headroom between
+        completions instead of triggering preemption storms; 0 admits
+        to the last block.
+    host_link_bytes_s:
+        Host link bandwidth charged for swap traffic.
+    policy:
+        A :class:`SchedulingPolicy` name or instance; ``None`` uses the
+        class default (:attr:`policy_cls`).
+    block_manager:
+        Pre-built pool (e.g. :meth:`BlockManager.for_design` for a
+        sharded deployment); overrides ``kv_capacity_bytes``.
+    """
+
+    name = "paged"
+    policy_cls = SchedulingPolicy
+
+    def __init__(self, config: ModelConfig, max_batch: int = 16,
+                 kv_capacity_bytes: float | None = None, kvq_bits: int = 4,
+                 block_size: int = 16, chunk_tokens: int = 256,
+                 preemption: str = "recompute",
+                 host_link_bytes_s: float = 64e9,
+                 admit_headroom: float = 0.1,
+                 policy: SchedulingPolicy | str | None = None,
+                 block_manager: BlockManager | None = None):
+        if max_batch < 1:
+            raise ConfigError("max_batch must be positive")
+        if chunk_tokens < 1:
+            raise ConfigError("chunk_tokens must be positive")
+        if not 0.0 <= admit_headroom < 1.0:
+            raise ConfigError("admit_headroom must be in [0, 1)")
+        if preemption not in ("recompute", "swap"):
+            raise ConfigError(f"unknown preemption mode {preemption!r}; "
+                              f"choose 'recompute' or 'swap'")
+        if host_link_bytes_s <= 0:
+            raise ConfigError("host_link_bytes_s must be positive")
+        self.config = config
+        self.max_batch = max_batch
+        self.kvq_bits = kvq_bits
+        self.chunk_tokens = chunk_tokens
+        self.preemption = preemption
+        self.host_link_bytes_s = host_link_bytes_s
+        self.admit_headroom = admit_headroom
+        if isinstance(policy, str):
+            try:
+                policy = POLICIES[policy]()
+            except KeyError:
+                raise ConfigError(
+                    f"unknown scheduling policy {policy!r}; "
+                    f"choose from {sorted(POLICIES)}") from None
+        self.policy = policy if policy is not None else self.policy_cls()
+        if block_manager is not None:
+            self.block_manager = block_manager
+        else:
+            if kv_capacity_bytes is None:
+                kv_capacity_bytes = max_batch * config.kv_cache_bytes(
+                    seq_len=config.max_seq_len, batch=1, bits=kvq_bits)
+            self.block_manager = BlockManager(
+                config, kv_capacity_bytes, block_size=block_size,
+                kvq_bits=kvq_bits)
+        self.waiting: list[PagedSequenceState] = []
+        self.running: list[PagedSequenceState] = []
+        self.swapped: list[PagedSequenceState] = []
+        self.preemption_count = 0
+
+    # -- engine protocol: capacity views ---------------------------------
+    @property
+    def kv_capacity_bytes(self) -> float:
+        return self.block_manager.capacity_bytes
+
+    @property
+    def reserved_bytes(self) -> float:
+        return self.block_manager.used_bytes
+
+    def kv_utilization(self) -> float:
+        return self.block_manager.utilization
+
+    def runtime_stats(self) -> dict:
+        stats = self.block_manager.stats
+        return {
+            "preemptions": self.preemption_count,
+            "prefix_hit_tokens": stats.prefix_hit_tokens,
+            "prefix_query_tokens": stats.prefix_query_tokens,
+            "swap_bytes": stats.swap_out_bytes + stats.swap_in_bytes,
+        }
+
+    # -- engine protocol: admission --------------------------------------
+    def admission_error(self, request: Request) -> str | None:
+        """Why this request can never be served, or None if it can be."""
+        error = context_window_error(self.config, request)
+        if error:
+            return error
+        manager = self.block_manager
+        need = manager.blocks_needed(request.total_tokens)
+        if need > manager.num_blocks:
+            return (f"request {request.req_id} needs {need} KV blocks at "
+                    f"peak, over the pool's {manager.num_blocks} "
+                    f"({manager.capacity_bytes:.3g} bytes)")
+        return None
+
+    def enqueue(self, request: Request) -> None:
+        error = self.admission_error(request)
+        if error:
+            raise ConfigError(error)
+        self.waiting.append(PagedSequenceState(
+            request=request, admitted_s=None,
+            prefill_target=request.prompt_len))
+
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.running or self.swapped)
+
+    def release(self, state: PagedSequenceState) -> None:
+        """Free a finished sequence's blocks (prefix blocks stay cached)."""
+        self.running.remove(state)
+        self.block_manager.free_sequence(state.request.req_id)
+
+    # -- preemption ------------------------------------------------------
+    def _pick_victim(self, exclude_ids: set) -> PagedSequenceState | None:
+        candidates = [s for s in self.running if id(s) not in exclude_ids]
+        if not candidates:
+            return None
+        return max(candidates, key=self.policy.victim_key)
+
+    def _preempt(self, state: PagedSequenceState, plan: StepPlan) -> None:
+        self.running.remove(state)
+        self.preemption_count += 1
+        state.preemptions += 1
+        seq_id = state.request.req_id
+        manager = self.block_manager
+        if self.preemption == "swap":
+            state.swapped_tokens = manager.tokens_of(seq_id)
+            moved = manager.swap_out(seq_id)
+            plan.swap_seconds += moved / self.host_link_bytes_s
+            self.swapped.append(state)
+        else:
+            # Recompute: drop the KV; the sequence re-prefills its
+            # prompt *plus* everything it already generated (prefix
+            # cache hits usually cover the shared head of that rebuild).
+            manager.free_sequence(seq_id)
+            state.prefilled = 0
+            state.prefill_target = state.request.prompt_len + state.generated
+            state.context_len = 0
+            self.waiting.append(state)
+
+    def _rollback_admission(self, state: PagedSequenceState,
+                            cached: int) -> None:
+        """Undo a begin_sequence whose first chunk could not be placed."""
+        stats = self.block_manager.stats
+        stats.prefix_query_tokens -= state.request.prompt_len
+        stats.prefix_hit_tokens -= cached
+        self.block_manager.free_sequence(state.request.req_id)
+
+    # -- the step planner ------------------------------------------------
+    def plan_step(self, now: float) -> StepPlan:
+        """Plan one engine step: swap-ins, decodes, prefill chunks,
+        admissions — preempting per policy when blocks run out."""
+        plan = StepPlan()
+        manager = self.block_manager
+        preempted_now: set[int] = set()
+        committed: set[int] = set()  # ids of states planned this step
+        headroom_blocks = int(self.admit_headroom * manager.num_blocks)
+
+        def preempt(state):
+            preempted_now.add(id(state))
+            self._preempt(state, plan)
+
+        # 1. Swapped-out sequences come back as soon as space allows —
+        #    they were running once, so they outrank the waiting queue.
+        #    The watermark applies here too, and a swapped-in sequence
+        #    counts as committed: paying the host link both ways in one
+        #    step (swap in, evicted straight back out) helps nobody.
+        for state in sorted(self.swapped, key=self.policy.queue_key):
+            if len(self.running) >= self.max_batch:
+                break
+            need = manager.blocks_needed(max(state.swapped_tokens, 1))
+            if self.running and \
+                    manager.available_blocks - need < headroom_blocks:
+                break
+            moved = manager.swap_in(state.request.req_id,
+                                    state.swapped_tokens)
+            if moved is None:
+                break
+            plan.swap_seconds += moved / self.host_link_bytes_s
+            self.swapped.remove(state)
+            self.running.append(state)
+            committed.add(id(state))
+
+        # 2. Decode: every running sequence past prefill appends one
+        #    token; allocation failure preempts a victim (possibly the
+        #    sequence itself when it is the lowest-ranked survivor).
+        decoders = sorted(
+            (s for s in self.running if s.prefill_done and not s.done),
+            key=self.policy.queue_key)
+        for state in decoders:
+            if state not in self.running:
+                continue  # Taken as a victim earlier in this loop.
+            while True:
+                if manager.extend(state.request.req_id, 1):
+                    plan.decode.append(state)
+                    committed.add(id(state))
+                    break
+                victim = self._pick_victim(committed | {id(state)})
+                if victim is None:
+                    if id(state) in committed:
+                        # Swapped in earlier this step: hold the blocks
+                        # and retry next step rather than paying the
+                        # host link both ways for zero progress.
+                        break
+                    preempt(state)
+                    break
+                preempt(victim)
+
+        # 3. Chunked prefill: continue partial prefills under the step's
+        #    token budget, oldest/highest-priority first.
+        budget = self.chunk_tokens
+        prefilling = sorted((s for s in self.running if not s.prefill_done),
+                            key=self.policy.queue_key)
+        for state in prefilling:
+            if budget <= 0:
+                break
+            if state not in self.running:
+                continue
+            seq_id = state.request.req_id
+            while True:
+                take = min(budget, state.prefill_target - state.prefilled,
+                           manager.max_extend(seq_id))
+                if take > 0:
+                    manager.extend(seq_id, take)
+                    plan.chunks.append(ChunkTask(
+                        state=state, past=state.prefilled, new=take,
+                        finishes=state.prefilled + take
+                        == state.prefill_target))
+                    state.prefilled += take
+                    committed.add(id(state))
+                    budget -= take
+                    break
+                victim = self._pick_victim(committed | {id(state)})
+                if victim is None:
+                    break  # Alone and blocked cannot happen (admission
+                    # bounds peak need); with company, company yields.
+                preempt(victim)
+
+        # 4. Admission: reserve only the first chunk's blocks.  The
+        #    head of the (policy-ordered) queue blocks the rest — FCFS
+        #    stays starvation-free — unless the policy preempts for it.
+        self.waiting.sort(key=self.policy.queue_key)
+        while budget > 0 and self.waiting and \
+                len(self.running) < self.max_batch:
+            state = self.waiting[0]
+            if id(state) in preempted_now:
+                break  # No same-step readmission thrash.
+            seq_id = state.request.req_id
+            cached = manager.begin_sequence(seq_id, state.request)
+            take = min(budget, state.prefill_target - cached,
+                       manager.max_extend(seq_id))
+            need = manager.blocks_needed(cached + take) \
+                - manager.blocks_needed(cached)
+            if take > 0 and self.running and \
+                    manager.available_blocks - need < headroom_blocks:
+                # Watermark: leave headroom for running decodes to grow
+                # into, or admission churns straight into preemption.
+                take = 0
+            if take <= 0:
+                self._rollback_admission(state, cached)
+                victim = None
+                if self.policy.preemptive_admission:
+                    candidate = self._pick_victim(committed)
+                    if candidate is not None and \
+                            self.policy.outranks(state, candidate):
+                        victim = candidate
+                if victim is None:
+                    break
+                preempt(victim)
+                continue
+            self.waiting.pop(0)
+            manager.extend(seq_id, take)
+            state.cached_tokens += cached
+            state.prefilled = cached + take
+            if state.admitted_s is None:
+                state.admitted_s = now
+            self.running.append(state)
+            plan.chunks.append(ChunkTask(
+                state=state, past=cached, new=take,
+                finishes=state.prefilled == state.prefill_target))
+            committed.add(id(state))
+            budget -= take
+        return plan
+
+
+class PagedPriorityScheduler(PagedScheduler):
+    """Paged scheduling ordered by request priority."""
+
+    name = "paged-priority"
+    policy_cls = PriorityPolicy
+
+
+class PagedPreemptiveScheduler(PagedScheduler):
+    """Priority scheduling that evicts lower-priority running sequences
+    when a blocked higher-priority request waits."""
+
+    name = "paged-preemptive"
+    policy_cls = PreemptivePriorityPolicy
+
+
+SCHEDULERS.update({cls.name: cls for cls in (
+    PagedScheduler, PagedPriorityScheduler, PagedPreemptiveScheduler)})

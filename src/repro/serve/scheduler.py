@@ -27,6 +27,20 @@ from ..llm.config import ModelConfig
 from .trace import Request
 
 
+def context_window_error(config: ModelConfig, request: Request
+                         ) -> str | None:
+    """Why ``request`` cannot fit ``config``'s context window, or None.
+
+    Shared by every scheduler family's ``admission_error`` — the check
+    is capacity-independent: prompt + output must fit ``max_seq_len``.
+    """
+    if request.total_tokens > config.max_seq_len:
+        return (f"request {request.req_id} needs "
+                f"{request.total_tokens} context tokens, over "
+                f"{config.name}'s max_seq_len {config.max_seq_len}")
+    return None
+
+
 @dataclass
 class SequenceState:
     """Mutable serving state of one admitted request.
@@ -49,14 +63,22 @@ class SequenceState:
 
 @dataclass
 class StepPlan:
-    """The active set of one engine step."""
+    """The active set of one engine step.
+
+    ``prefill`` holds whole-prompt prefills (the PR 1 schedulers);
+    ``chunks`` holds :class:`repro.serve.policy.ChunkTask` chunked
+    prefill work (the paged schedulers); ``swap_seconds`` is host-link
+    time this step spent moving preempted KV, added to the step clock.
+    """
 
     prefill: list = field(default_factory=list)
     decode: list = field(default_factory=list)
+    chunks: list = field(default_factory=list)
+    swap_seconds: float = 0.0
 
     @property
     def batch(self) -> int:
-        return len(self.prefill) + len(self.decode)
+        return len(self.prefill) + len(self.decode) + len(self.chunks)
 
 
 class Scheduler:
@@ -105,11 +127,9 @@ class Scheduler:
         The engine pre-validates whole traces with this before simulating
         so an unservable request fails fast, not mid-run.
         """
-        if request.total_tokens > self.config.max_seq_len:
-            return (f"request {request.req_id} needs "
-                    f"{request.total_tokens} context tokens, over "
-                    f"{self.config.name}'s max_seq_len "
-                    f"{self.config.max_seq_len}")
+        error = context_window_error(self.config, request)
+        if error:
+            return error
         if self.kv_capacity_bytes is not None and \
                 self._footprint(request) > self.kv_capacity_bytes:
             return (f"request {request.req_id} needs "
@@ -162,6 +182,17 @@ class Scheduler:
     def plan_step(self, now: float) -> StepPlan:
         """The active set for the step starting at ``now``."""
         raise NotImplementedError
+
+    # -- engine hooks ----------------------------------------------------
+    def kv_utilization(self) -> float:
+        """Share of the KV budget held right now (0 when unbounded)."""
+        if self.kv_capacity_bytes is None:
+            return 0.0
+        return self.reserved_bytes / self.kv_capacity_bytes
+
+    def runtime_stats(self) -> dict:
+        """Post-run counters folded into the :class:`ServingReport`."""
+        return {}
 
 
 class ContinuousBatchScheduler(Scheduler):

@@ -12,7 +12,11 @@ canonical serving scenarios:
   where Mugi's §2.3.1 utilization claim matters most: between bursts the
   active set decays to a handful of sequences).
 
-Prompt/output lengths come from :class:`LengthSpec` distributions.
+Prompt/output lengths come from :class:`LengthSpec` distributions;
+:class:`PrefixSpec` adds shared prompt prefixes (system prompts) that
+the paged KV cache dedupes.  Every generator accepts either a ``seed``
+or an explicit ``numpy.random.Generator``; none touches numpy's global
+state.
 """
 
 from __future__ import annotations
@@ -38,18 +42,36 @@ class Request:
         Prompt tokens to prefill.
     output_len:
         Tokens to decode (the first is produced by the prefill step).
+    priority:
+        Scheduling priority (higher is served first by the priority
+        policies; FCFS ignores it).
+    prefix_group:
+        Identity of the shared prompt prefix this request starts with
+        (e.g. one system prompt); requests in the same group share their
+        first ``prefix_len`` tokens, which the paged KV cache serves
+        from hashed blocks.  ``None`` means a fully private prompt.
+    prefix_len:
+        Length of that shared prefix in tokens (0 without a group).
     """
 
     req_id: int
     arrival_s: float
     prompt_len: int
     output_len: int
+    priority: int = 0
+    prefix_group: int | None = None
+    prefix_len: int = 0
 
     def __post_init__(self):
         if self.arrival_s < 0:
             raise ConfigError("arrival_s must be non-negative")
         if self.prompt_len < 1 or self.output_len < 1:
             raise ConfigError("prompt_len and output_len must be positive")
+        if self.prefix_group is None:
+            if self.prefix_len != 0:
+                raise ConfigError("prefix_len needs a prefix_group")
+        elif not 1 <= self.prefix_len <= self.prompt_len:
+            raise ConfigError("need 1 <= prefix_len <= prompt_len")
 
     @property
     def total_tokens(self) -> int:
@@ -95,15 +117,80 @@ class LengthSpec:
         return np.clip(lengths, self.low, self.high).astype(np.int64)
 
 
+@dataclass(frozen=True)
+class PrefixSpec:
+    """Shared-prompt-prefix structure of a trace.
+
+    A ``share`` fraction of requests starts with one of ``n_groups``
+    shared prefixes (system prompts / few-shot headers) whose lengths
+    are drawn once per group from ``length``; their private prompt part
+    follows.  Among those, a ``dup_share`` fraction are exact re-asks —
+    ``prompt_len == prefix_len`` — the workload where paged prefix
+    caching (and its copy-on-write tail blocks) pays off most.
+    """
+
+    share: float = 0.3
+    n_groups: int = 8
+    length: LengthSpec = LengthSpec("fixed", value=64)
+    dup_share: float = 0.25
+
+    def __post_init__(self):
+        if not 0.0 <= self.share <= 1.0:
+            raise ConfigError("share must be in [0, 1]")
+        if not 0.0 <= self.dup_share <= 1.0:
+            raise ConfigError("dup_share must be in [0, 1]")
+        if self.n_groups < 1:
+            raise ConfigError("n_groups must be positive")
+
+
+def _resolve_rng(seed: int, rng: np.random.Generator | None
+                 ) -> np.random.Generator:
+    """The caller's explicit generator, else a fresh one from ``seed``.
+
+    Generators never touch module-level numpy state: determinism is a
+    pure function of ``seed`` (or of the passed generator's state).
+    """
+    if rng is None:
+        return np.random.default_rng(seed)
+    if not isinstance(rng, np.random.Generator):
+        raise ConfigError("rng must be a numpy.random.Generator")
+    return rng
+
+
 def _make_requests(arrivals: np.ndarray, prompt: LengthSpec,
-                   output: LengthSpec, rng: np.random.Generator
-                   ) -> list[Request]:
+                   output: LengthSpec, rng: np.random.Generator,
+                   prefix: PrefixSpec | None = None,
+                   priorities=None) -> list[Request]:
     arrivals = np.sort(np.asarray(arrivals, dtype=np.float64))
-    prompts = prompt.sample(rng, arrivals.size)
-    outputs = output.sample(rng, arrivals.size)
+    n = arrivals.size
+    prompts = prompt.sample(rng, n)
+    outputs = output.sample(rng, n)
+    if priorities is None:
+        levels = np.zeros(n, dtype=np.int64)
+    else:
+        priorities = [int(p) for p in priorities]
+        if not priorities:
+            raise ConfigError("priorities must be a non-empty sequence")
+        levels = rng.choice(np.asarray(priorities, dtype=np.int64),
+                            size=n)
+    groups = np.full(n, -1)
+    prefix_lens = np.zeros(n, dtype=np.int64)
+    if prefix is not None and prefix.share > 0:
+        group_lens = prefix.length.sample(rng, prefix.n_groups)
+        shared = rng.random(n) < prefix.share
+        groups = np.where(shared, rng.integers(0, prefix.n_groups, size=n),
+                          -1)
+        dup = shared & (rng.random(n) < prefix.dup_share)
+        for i in np.flatnonzero(shared):
+            plen = int(group_lens[groups[i]])
+            prefix_lens[i] = plen
+            prompts[i] = plen if dup[i] else plen + prompts[i]
     return [Request(req_id=i, arrival_s=float(arrivals[i]),
-                    prompt_len=int(prompts[i]), output_len=int(outputs[i]))
-            for i in range(arrivals.size)]
+                    prompt_len=int(prompts[i]), output_len=int(outputs[i]),
+                    priority=int(levels[i]),
+                    prefix_group=int(groups[i]) if groups[i] >= 0 else None,
+                    prefix_len=int(prefix_lens[i]))
+            for i in range(n)]
 
 
 def poisson_trace(n_requests: int, rate_rps: float,
@@ -111,26 +198,36 @@ def poisson_trace(n_requests: int, rate_rps: float,
                                                   low=16, high=2048),
                   output: LengthSpec = LengthSpec("lognormal", value=64,
                                                   low=4, high=512),
-                  seed: int = 0) -> list[Request]:
-    """Poisson arrivals at ``rate_rps`` requests per second."""
+                  seed: int = 0, rng: np.random.Generator | None = None,
+                  prefix: PrefixSpec | None = None,
+                  priorities=None) -> list[Request]:
+    """Poisson arrivals at ``rate_rps`` requests per second.
+
+    ``priorities`` (optional): levels each request's priority is drawn
+    from uniformly, e.g. ``(0, 0, 0, 1)`` for 25 % premium traffic.
+    """
     if n_requests < 1 or rate_rps <= 0:
         raise ConfigError("need n_requests >= 1 and rate_rps > 0")
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(seed, rng)
     gaps = rng.exponential(1.0 / rate_rps, size=n_requests)
     arrivals = np.cumsum(gaps) - gaps[0]  # First request at t = 0.
-    return _make_requests(arrivals, prompt, output, rng)
+    return _make_requests(arrivals, prompt, output, rng, prefix,
+                          priorities)
 
 
 def steady_trace(n_requests: int, rate_rps: float,
                  prompt: LengthSpec = LengthSpec("fixed", value=256),
                  output: LengthSpec = LengthSpec("fixed", value=64),
-                 seed: int = 0) -> list[Request]:
+                 seed: int = 0, rng: np.random.Generator | None = None,
+                 prefix: PrefixSpec | None = None,
+                 priorities=None) -> list[Request]:
     """Equally spaced arrivals at ``rate_rps`` requests per second."""
     if n_requests < 1 or rate_rps <= 0:
         raise ConfigError("need n_requests >= 1 and rate_rps > 0")
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(seed, rng)
     arrivals = np.arange(n_requests, dtype=np.float64) / rate_rps
-    return _make_requests(arrivals, prompt, output, rng)
+    return _make_requests(arrivals, prompt, output, rng, prefix,
+                          priorities)
 
 
 def bursty_trace(n_requests: int, burst_size: int, burst_period_s: float,
@@ -138,7 +235,10 @@ def bursty_trace(n_requests: int, burst_size: int, burst_period_s: float,
                                                  low=16, high=2048),
                  output: LengthSpec = LengthSpec("lognormal", value=64,
                                                  low=4, high=512),
-                 jitter_s: float = 0.0, seed: int = 0) -> list[Request]:
+                 jitter_s: float = 0.0, seed: int = 0,
+                 rng: np.random.Generator | None = None,
+                 prefix: PrefixSpec | None = None,
+                 priorities=None) -> list[Request]:
     """Bursts of ``burst_size`` near-simultaneous requests every period.
 
     ``jitter_s`` spreads each burst's arrivals uniformly over that many
@@ -148,13 +248,14 @@ def bursty_trace(n_requests: int, burst_size: int, burst_period_s: float,
         raise ConfigError("need positive n_requests/burst_size/period")
     if jitter_s < 0:
         raise ConfigError("jitter_s must be non-negative")
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(seed, rng)
     bursts = -(-n_requests // burst_size)
     arrivals = np.repeat(np.arange(bursts) * burst_period_s,
                          burst_size)[:n_requests]
     if jitter_s > 0:
         arrivals = arrivals + rng.uniform(0.0, jitter_s, size=n_requests)
-    return _make_requests(arrivals, prompt, output, rng)
+    return _make_requests(arrivals, prompt, output, rng, prefix,
+                          priorities)
 
 
 def offered_load_rps(trace: list[Request]) -> float:

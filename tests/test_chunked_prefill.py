@@ -1,0 +1,182 @@
+"""Chunked-prefill builder conservation tests.
+
+The paged engine lowers prefill in budgeted chunks
+(:func:`repro.llm.build_chunked_prefill_ops` /
+:func:`repro.llm.build_paged_step_ops`).  These tests pin the exact
+conservation laws against the one-shot builders: token-linear work
+(projections, FFN, KV writes) is conserved exactly for any chunking,
+attention follows the closed-form block-causal sum
+``Σ new·(past + new)`` per head, and a single full-prompt chunk
+reproduces the one-shot op list verbatim.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import GemmOp
+from repro.errors import ConfigError
+from repro.llm import (
+    ModelConfig,
+    build_chunked_prefill_ops,
+    build_paged_step_ops,
+    build_ragged_decode_ops,
+    build_serving_step_ops,
+    gemm_macs,
+    nonlinear_elements,
+)
+
+TINY_GQA = ModelConfig(name="Tiny-GQA", family="llama2", n_layers=2,
+                       n_heads=16, n_kv_heads=2, hidden_dim=512,
+                       ffn_dim=1024, max_seq_len=2048, vocab_size=1000)
+
+
+def _chunk_bounds(prompt_len, chunk_tokens, cached_len=0):
+    past = cached_len
+    while past < prompt_len:
+        new = min(chunk_tokens, prompt_len - past)
+        yield past, new
+        past += new
+
+
+def _kind_macs(ops, *kinds):
+    return sum(op.macs * op.count for op in ops if isinstance(op, GemmOp)
+               and op.kind in kinds)
+
+
+class TestSingleChunkEquality:
+    def test_one_chunk_equals_one_shot_prefill_step(self):
+        for kwargs in ({}, {"include_lm_head": False},
+                       {"include_aux_ops": True}):
+            chunked = build_paged_step_ops(TINY_GQA, [], [(0, 64)],
+                                           n_finishing=1, **kwargs)
+            one_shot = build_serving_step_ops(TINY_GQA, [], [64], **kwargs)
+            assert chunked == one_shot
+
+    def test_chunked_prefill_ops_single_chunk(self):
+        steps = build_chunked_prefill_ops(TINY_GQA, prompt_len=96,
+                                          chunk_tokens=96)
+        assert len(steps) == 1
+        assert steps[0] == build_serving_step_ops(TINY_GQA, [], [96])
+
+    def test_decode_only_equals_ragged_builder(self):
+        assert build_paged_step_ops(TINY_GQA, [32, 48], []) == \
+            build_ragged_decode_ops(TINY_GQA, [32, 48])
+
+
+class TestConservation:
+    @given(prompt_len=st.integers(2, 400), chunk_tokens=st.integers(1, 128))
+    @settings(max_examples=30, deadline=None)
+    def test_token_linear_work_conserved(self, prompt_len, chunk_tokens):
+        """Projections/FFN MACs and nonlinear-activation elements sum to
+        the one-shot values for any chunking (both are token-linear)."""
+        steps = build_chunked_prefill_ops(TINY_GQA, prompt_len,
+                                          chunk_tokens)
+        one_shot = build_serving_step_ops(TINY_GQA, [], [prompt_len])
+        chunked_linear = sum(_kind_macs(ops, "projection", "ffn")
+                             for ops in steps)
+        assert chunked_linear == _kind_macs(one_shot, "projection", "ffn")
+
+        def silu_elements(ops):
+            return nonlinear_elements(
+                [op for op in ops if getattr(op, "op", "") == "silu"])
+
+        assert sum(silu_elements(ops) for ops in steps) == \
+            silu_elements(one_shot)
+
+    @given(prompt_len=st.integers(2, 400), chunk_tokens=st.integers(1, 128),
+           cached_len=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_attention_macs_match_block_causal_closed_form(
+            self, prompt_len, chunk_tokens, cached_len):
+        """QK and PV MACs equal Σ new·(past + new)·d per (seq, KV head)
+        GEMM instance — the exact block-causal attention work."""
+        cached_len = min(cached_len, prompt_len - 1)
+        steps = build_chunked_prefill_ops(TINY_GQA, prompt_len,
+                                          chunk_tokens, cached_len)
+        expected = sum(new * (past + new) for past, new in _chunk_bounds(
+            prompt_len, chunk_tokens, cached_len))
+        per_head = TINY_GQA.gqa_group * TINY_GQA.head_dim * \
+            TINY_GQA.n_kv_heads * TINY_GQA.n_layers
+        for kind in ("attention_qk", "attention_pv"):
+            got = sum(_kind_macs(ops, kind) for ops in steps)
+            assert got == expected * per_head
+
+    @given(prompt_len=st.integers(2, 400), chunk_tokens=st.integers(1, 128))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_rows_conserved(self, prompt_len, chunk_tokens):
+        """Every prompt token softmaxes exactly once per head/layer."""
+        steps = build_chunked_prefill_ops(TINY_GQA, prompt_len,
+                                          chunk_tokens,
+                                          include_lm_head=False)
+        rows = sum(op.rows for ops in steps for op in ops
+                   if getattr(op, "op", "") == "softmax")
+        assert rows == prompt_len * TINY_GQA.n_heads * TINY_GQA.n_layers
+
+    def test_streamed_kv_bytes_track_past_context(self):
+        """A chunk's streamed attention reads exactly the past KV; the
+        on-chip square stays resident."""
+        ops = build_paged_step_ops(TINY_GQA, [], [(96, 32)], n_finishing=0)
+        qk = [op for op in ops if isinstance(op, GemmOp)
+              and op.kind == "attention_qk"]
+        streamed = [op for op in qk if not op.weights_resident]
+        resident = [op for op in qk if op.weights_resident]
+        assert all(op.n == 96 for op in streamed)
+        assert all(op.n == 32 for op in resident)
+
+    def test_weights_stream_once_per_step_with_chunks(self):
+        """Chunks share the step's weight pass with decoders, like
+        whole-prompt prefills do."""
+        def streamed_weight_bytes(ops):
+            return sum(op.weight_bytes * op.count for op in ops
+                       if isinstance(op, GemmOp) and not op.weights_resident
+                       and op.kind in ("projection", "ffn"))
+
+        few = build_paged_step_ops(TINY_GQA, [32, 32], [(0, 64)],
+                                   n_finishing=0)
+        many = build_paged_step_ops(TINY_GQA, [32, 32],
+                                    [(0, 64), (128, 64), (256, 64)],
+                                    n_finishing=1)
+        assert streamed_weight_bytes(few) == streamed_weight_bytes(many)
+
+
+class TestLMHeadGating:
+    def test_only_finishing_chunks_cross_lm_head(self):
+        finishing = build_paged_step_ops(TINY_GQA, [16], [(0, 32)],
+                                         n_finishing=1)
+        mid = build_paged_step_ops(TINY_GQA, [16], [(0, 32)],
+                                   n_finishing=0)
+        assert finishing[-1].n == TINY_GQA.vocab_size
+        assert finishing[-1].m == 2  # One decoder + one finishing chunk.
+        assert mid[-1].m == 1        # The decoder alone.
+
+    def test_step_with_no_output_tokens_has_no_lm_head(self):
+        ops = build_paged_step_ops(TINY_GQA, [], [(0, 32)], n_finishing=0)
+        assert all(getattr(op, "n", None) != TINY_GQA.vocab_size
+                   for op in ops)
+
+    def test_chunked_prefill_emits_lm_head_only_on_last_chunk(self):
+        steps = build_chunked_prefill_ops(TINY_GQA, prompt_len=100,
+                                          chunk_tokens=30)
+        assert len(steps) == 4
+        for ops in steps[:-1]:
+            assert all(getattr(op, "n", None) != TINY_GQA.vocab_size
+                       for op in ops)
+        assert steps[-1][-1].n == TINY_GQA.vocab_size
+
+
+class TestValidation:
+    def test_rejects_bad_chunks(self):
+        with pytest.raises(ConfigError):
+            build_paged_step_ops(TINY_GQA, [], [])
+        with pytest.raises(ConfigError):
+            build_paged_step_ops(TINY_GQA, [], [(0, 0)])
+        with pytest.raises(ConfigError):
+            build_paged_step_ops(TINY_GQA, [], [(-1, 4)])
+        with pytest.raises(ConfigError):
+            build_paged_step_ops(TINY_GQA, [], [(0, 4)], n_finishing=2)
+
+    def test_rejects_full_prompt_cache(self):
+        with pytest.raises(ConfigError):
+            build_chunked_prefill_ops(TINY_GQA, prompt_len=32,
+                                      chunk_tokens=16, cached_len=32)

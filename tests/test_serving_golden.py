@@ -37,103 +37,164 @@ DESIGNS = {
 }
 
 GOLDEN_SUMMARIES = {
-    ("mugi64", "continuous"): {
-        "design": "Mugi",
-        "scheduler": "continuous",
-        "offered_rps": 32.93557515706506,
-        "completed": 12,
-        "goodput_rps": 29.822545829354898,
-        "throughput_tokens_s": 884.735526270862,
-        "p50_latency_s": 0.060517903310778914,
-        "p99_latency_s": 0.08357289680012683,
-        "mean_ttft_s": 0.006761727361255339,
-        "mean_tpot_s": 0.0017306008963443944,
-        "energy_per_token_j": 5.4347969571752895e-05,
-        "comm_seconds": 0.0,
-        "steps": 220,
+    ('mugi64', 'continuous'): {
+        'design': 'Mugi',
+        'scheduler': 'continuous',
+        'offered_rps': 32.93557515706506,
+        'completed': 12,
+        'goodput_rps': 29.822545829354898,
+        'throughput_tokens_s': 884.735526270862,
+        'p50_latency_s': 0.060517903310778914,
+        'p99_latency_s': 0.08357289680012683,
+        'mean_ttft_s': 0.006761727361255339,
+        'mean_tpot_s': 0.0017306008963443944,
+        'p50_queue_delay_s': 0.0005633034230715754,
+        'p99_queue_delay_s': 0.006413487941774785,
+        'energy_per_token_j': 5.4347969571752895e-05,
+        'comm_seconds': 0.0,
+        'steps': 220,
+        'mean_kv_utilization': 0.0,
+        'preemptions': 0,
+        'prefix_hit_rate': 0.0,
     },
-    ("mugi64", "static"): {
-        "design": "Mugi",
-        "scheduler": "static",
-        "offered_rps": 32.93557515706506,
-        "completed": 12,
-        "goodput_rps": 26.17434058571507,
-        "throughput_tokens_s": 776.5054373762136,
-        "p50_latency_s": 0.06596911305984515,
-        "p99_latency_s": 0.12201737311514012,
-        "mean_ttft_s": 0.02538079240031785,
-        "mean_tpot_s": 0.0015274160796148748,
-        "energy_per_token_j": 6.391428795502138e-05,
-        "comm_seconds": 0.0,
-        "steps": 263,
+    ('mugi64', 'paged'): {
+        'design': 'Mugi',
+        'scheduler': 'paged',
+        'offered_rps': 32.93557515706506,
+        'completed': 12,
+        'goodput_rps': 28.77175824938175,
+        'throughput_tokens_s': 853.5621613983253,
+        'p50_latency_s': 0.06497882237603485,
+        'p99_latency_s': 0.0899223422431048,
+        'mean_ttft_s': 0.00947015617635952,
+        'mean_tpot_s': 0.0019121766552325156,
+        'p50_queue_delay_s': 0.001019525108038155,
+        'p99_queue_delay_s': 0.009123411151931054,
+        'energy_per_token_j': 5.5941317502738034e-05,
+        'comm_seconds': 0.0,
+        'steps': 225,
+        'mean_kv_utilization': 0.5797530864197531,
+        'preemptions': 3,
+        'prefix_hit_rate': 0.0,
     },
-    ("sa8", "continuous"): {
-        "design": "SA",
-        "scheduler": "continuous",
-        "offered_rps": 32.93557515706506,
-        "completed": 12,
-        "goodput_rps": 29.69986336829513,
-        "throughput_tokens_s": 881.0959465927555,
-        "p50_latency_s": 0.06245784874046639,
-        "p99_latency_s": 0.08637334557356433,
-        "mean_ttft_s": 0.00695016169068242,
-        "mean_tpot_s": 0.0017345261413876285,
-        "energy_per_token_j": 6.669101030868318e-05,
-        "comm_seconds": 0.0,
-        "steps": 218,
+    ('mugi64', 'static'): {
+        'design': 'Mugi',
+        'scheduler': 'static',
+        'offered_rps': 32.93557515706506,
+        'completed': 12,
+        'goodput_rps': 26.17434058571507,
+        'throughput_tokens_s': 776.5054373762136,
+        'p50_latency_s': 0.06596911305984515,
+        'p99_latency_s': 0.12201737311514012,
+        'mean_ttft_s': 0.02538079240031785,
+        'mean_tpot_s': 0.0015274160796148748,
+        'p50_queue_delay_s': 0.010202894752210999,
+        'p99_queue_delay_s': 0.055292106397952644,
+        'energy_per_token_j': 6.391428795502138e-05,
+        'comm_seconds': 0.0,
+        'steps': 263,
+        'mean_kv_utilization': 0.0,
+        'preemptions': 0,
+        'prefix_hit_rate': 0.0,
     },
-    ("sa8", "static"): {
-        "design": "SA",
-        "scheduler": "static",
-        "offered_rps": 32.93557515706506,
-        "completed": 12,
-        "goodput_rps": 25.96350666294279,
-        "throughput_tokens_s": 770.2506976673028,
-        "p50_latency_s": 0.07011475555984509,
-        "p99_latency_s": 0.1260875488096713,
-        "mean_ttft_s": 0.028083357107349088,
-        "mean_tpot_s": 0.0015622857364356103,
-        "energy_per_token_j": 7.651468981932608e-05,
-        "comm_seconds": 0.0,
-        "steps": 263,
+    ('mugi64-tp2', 'continuous'): {
+        'design': 'TP2xPP1 Mugi',
+        'scheduler': 'continuous',
+        'offered_rps': 32.93557515706506,
+        'completed': 12,
+        'goodput_rps': 32.58973594260803,
+        'throughput_tokens_s': 966.8288329640382,
+        'p50_latency_s': 0.029359826531250008,
+        'p99_latency_s': 0.04103598271531254,
+        'mean_ttft_s': 0.0029947871651986886,
+        'mean_tpot_s': 0.0008140914385751098,
+        'p50_queue_delay_s': 0.0,
+        'p99_queue_delay_s': 0.002470284098038163,
+        'energy_per_token_j': 7.12260454661221e-05,
+        'comm_seconds': 0.002799162000000004,
+        'steps': 290,
+        'mean_kv_utilization': 0.0,
+        'preemptions': 0,
+        'prefix_hit_rate': 0.0,
     },
-    ("tensor", "continuous"): {
-        "design": "Tensor",
-        "scheduler": "continuous",
-        "offered_rps": 32.93557515706506,
-        "completed": 12,
-        "goodput_rps": 35.67732917683292,
-        "throughput_tokens_s": 1058.4274322460433,
-        "p50_latency_s": 0.0021504143749999927,
-        "p99_latency_s": 0.0033558443750000715,
-        "mean_ttft_s": 0.0002988529031329543,
-        "mean_tpot_s": 5.560597489154753e-05,
-        "energy_per_token_j": 9.038598967571338e-05,
-        "comm_seconds": 0.0,
-        "steps": 337,
+    ('sa8', 'continuous'): {
+        'design': 'SA',
+        'scheduler': 'continuous',
+        'offered_rps': 32.93557515706506,
+        'completed': 12,
+        'goodput_rps': 29.69986336829513,
+        'throughput_tokens_s': 881.0959465927555,
+        'p50_latency_s': 0.06245784874046639,
+        'p99_latency_s': 0.08637334557356433,
+        'mean_ttft_s': 0.00695016169068242,
+        'mean_tpot_s': 0.0017345261413876285,
+        'p50_queue_delay_s': 0.0008023153033506203,
+        'p99_queue_delay_s': 0.0068511737042747985,
+        'energy_per_token_j': 6.669101030868318e-05,
+        'comm_seconds': 0.0,
+        'steps': 218,
+        'mean_kv_utilization': 0.0,
+        'preemptions': 0,
+        'prefix_hit_rate': 0.0,
     },
-    ("mugi64-tp2", "continuous"): {
-        "design": "TP2xPP1 Mugi",
-        "scheduler": "continuous",
-        "offered_rps": 32.93557515706506,
-        "completed": 12,
-        "goodput_rps": 32.58973594260803,
-        "throughput_tokens_s": 966.8288329640382,
-        "p50_latency_s": 0.029359826531250008,
-        "p99_latency_s": 0.04103598271531254,
-        "mean_ttft_s": 0.0029947871651986886,
-        "mean_tpot_s": 0.0008140914385751098,
-        "energy_per_token_j": 7.12260454661221e-05,
-        "comm_seconds": 0.002799162000000004,
-        "steps": 290,
+    ('sa8', 'static'): {
+        'design': 'SA',
+        'scheduler': 'static',
+        'offered_rps': 32.93557515706506,
+        'completed': 12,
+        'goodput_rps': 25.96350666294279,
+        'throughput_tokens_s': 770.2506976673028,
+        'p50_latency_s': 0.07011475555984509,
+        'p99_latency_s': 0.1260875488096713,
+        'mean_ttft_s': 0.028083357107349088,
+        'mean_tpot_s': 0.0015622857364356103,
+        'p50_queue_delay_s': 0.012369964986585998,
+        'p99_queue_delay_s': 0.058516071709671276,
+        'energy_per_token_j': 7.651468981932608e-05,
+        'comm_seconds': 0.0,
+        'steps': 263,
+        'mean_kv_utilization': 0.0,
+        'preemptions': 0,
+        'prefix_hit_rate': 0.0,
+    },
+    ('tensor', 'continuous'): {
+        'design': 'Tensor',
+        'scheduler': 'continuous',
+        'offered_rps': 32.93557515706506,
+        'completed': 12,
+        'goodput_rps': 35.67732917683292,
+        'throughput_tokens_s': 1058.4274322460433,
+        'p50_latency_s': 0.0021504143749999927,
+        'p99_latency_s': 0.0033558443750000715,
+        'mean_ttft_s': 0.0002988529031329543,
+        'mean_tpot_s': 5.560597489154753e-05,
+        'p50_queue_delay_s': 0.0,
+        'p99_queue_delay_s': 4.576028801712874e-05,
+        'energy_per_token_j': 9.038598967571338e-05,
+        'comm_seconds': 0.0,
+        'steps': 337,
+        'mean_kv_utilization': 0.0,
+        'preemptions': 0,
+        'prefix_hit_rate': 0.0,
     },
 }
 
 
+#: Paged runs pin block-granular admission, multi-chunk prefill (the
+#: 16-token budget splits most prompts), and preemption (the pool holds
+#: ~1.6 peak footprints, so decode growth evicts).
+PAGED_KWARGS = dict(block_size=16, chunk_tokens=16)
+PAGED_CAPACITY = TINY_GQA.kv_cache_bytes(seq_len=96, batch=1, bits=4) * 1.6
+
+
 def run_pair(design_key: str, policy: str) -> dict:
     trace = poisson_trace(**TRACE_KWARGS)
-    report = simulate_trace(DESIGNS[design_key](), TINY_GQA, trace,
-                            policy=policy, max_batch=MAX_BATCH)
+    paged = policy.startswith("paged")
+    report = simulate_trace(
+        DESIGNS[design_key](), TINY_GQA, trace, policy=policy,
+        max_batch=MAX_BATCH,
+        kv_capacity_bytes=PAGED_CAPACITY if paged else None,
+        scheduler_kwargs=PAGED_KWARGS if paged else None)
     return report.summary()
 
 
