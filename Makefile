@@ -1,0 +1,25 @@
+# Convenience entry points (CI runs the same commands).
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint demos bench-gate bench-baseline
+
+test:
+	$(PY) -m pytest -x -q
+
+lint:
+	ruff check src tests benchmarks examples
+
+demos:
+	$(PY) examples/serving_demo.py
+	$(PY) examples/parallel_serving_demo.py
+	$(PY) examples/paged_serving_demo.py
+	$(PY) examples/cluster_serving_demo.py
+
+# Compare fixed-seed serving benchmarks against BENCH_serving.json.
+bench-gate:
+	$(PY) benchmarks/gate.py --check
+
+# Intentional perf change? Regenerate the baseline and commit it.
+bench-baseline:
+	$(PY) benchmarks/gate.py --update-baseline

@@ -1,0 +1,225 @@
+"""CI benchmark-regression gate for the serving stack.
+
+Runs one small fixed-seed serving trace per scheduler generation —
+``legacy`` (peak-reservation continuous batching), ``paged``
+(block-granular KV + prefix caching), ``cluster`` (4 prefix-affinity
+replicas) — and records three numbers per scenario: simulated goodput,
+simulated TTFT p99, and host wall-clock.  The gate fails when, versus
+the checked-in ``BENCH_serving.json`` baseline,
+
+* goodput drops by more than 5 % (simulated metrics are deterministic
+  under the pinned CI dependencies, so any drop is a real behavior
+  change), or
+* wall-clock grows by more than 25 % *after machine-speed
+  normalization*: both baseline and current runs time a fixed
+  calibration workload, and the gate compares
+  ``wall_s / calibration_s`` ratios, so a slower CI runner does not
+  masquerade as a hot-path regression.
+
+Usage::
+
+    python benchmarks/gate.py --check             # CI job (default)
+    python benchmarks/gate.py --update-baseline   # make bench-baseline
+
+``--check`` writes the fresh measurements beside the baseline as
+``BENCH_serving.current.json`` for debugging; only
+``--update-baseline`` touches ``BENCH_serving.json`` itself.
+Thresholds can be widened per run via the ``BENCH_GATE_GOODPUT_DROP``
+and ``BENCH_GATE_WALL_GROWTH`` environment variables (fractions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.analysis.experiments import cluster_serving  # noqa: E402
+from repro.arch import make_design  # noqa: E402
+from repro.serve import simulate_trace  # noqa: E402
+
+BASELINE_PATH = ROOT / "BENCH_serving.json"
+CURRENT_PATH = ROOT / "BENCH_serving.current.json"
+
+#: Default gate thresholds (fractions).
+MAX_GOODPUT_DROP = 0.05
+MAX_WALL_GROWTH = 0.25
+
+#: One shared fixed-seed trace spec: the cluster experiment's
+#: shared-prefix workload, sized so each scenario's wall time is large
+#: enough (hundreds of ms) that the normalized timing gate measures the
+#: simulator, not interpreter noise.
+N_REQUESTS = 600
+RATE_RPS = 8.0
+SEED = 17
+
+#: Wall-clock is the min over this many runs per scenario (the standard
+#: trick against one-off scheduling hiccups on shared CI runners).
+TIMING_RUNS = 2
+
+
+def _calibration_s() -> float:
+    """Host-speed probe: fixed pure-Python + numpy mix.
+
+    The serving simulator's hot path is Python dict/loop work over
+    memoized numpy-costed ops, so the probe mixes both; its runtime is
+    the unit the wall-clock gate measures scenarios in.
+    """
+    start = time.perf_counter()
+    acc = 0
+    for i in range(2_000_000):
+        acc += i ^ (i >> 3)
+    x = np.random.default_rng(0).standard_normal((256, 256))
+    for _ in range(20):
+        x = x @ x
+        x /= np.abs(x).max()
+    if not np.isfinite(x).all() or acc < 0:  # Defeat dead-code elision.
+        raise RuntimeError("calibration workload corrupted")
+    return time.perf_counter() - start
+
+
+def _trace():
+    return cluster_serving.make_cluster_trace(N_REQUESTS, RATE_RPS,
+                                              seed=SEED)
+
+
+def _capacity() -> float:
+    model = cluster_serving.SERVE_MODEL
+    return cluster_serving.DEFAULT_CAPACITY_PEAKS \
+        * cluster_serving.peak_footprint_bytes(model)
+
+
+def _run_legacy() -> dict:
+    report = simulate_trace(
+        make_design("mugi", 256), cluster_serving.SERVE_MODEL, _trace(),
+        policy="continuous", max_batch=24, kv_capacity_bytes=_capacity(),
+        seq_len_bucket=32)
+    return {"goodput_rps": report.goodput_rps(),
+            "ttft_p99_s": report.ttft_percentile(99)}
+
+
+def _run_paged() -> dict:
+    report = simulate_trace(
+        make_design("mugi", 256), cluster_serving.SERVE_MODEL, _trace(),
+        policy="paged", max_batch=24, seq_len_bucket=32,
+        kv_capacity_bytes=_capacity(),
+        scheduler_kwargs={"block_size": 16, "chunk_tokens": 768})
+    return {"goodput_rps": report.goodput_rps(),
+            "ttft_p99_s": report.ttft_percentile(99)}
+
+
+def _run_cluster() -> dict:
+    cluster = cluster_serving._cluster(cluster_serving.SERVE_MODEL, 4,
+                                       "prefix-affinity")
+    report = cluster.run(_trace())
+    return {"goodput_rps": report.goodput_rps(),
+            "ttft_p99_s": report.ttft_percentile(99)}
+
+
+SCENARIOS = {
+    "legacy": _run_legacy,
+    "paged": _run_paged,
+    "cluster": _run_cluster,
+}
+
+
+def measure() -> dict:
+    results = {"calibration_s": _calibration_s(), "scenarios": {}}
+    for name, runner in SCENARIOS.items():
+        walls = []
+        for _ in range(TIMING_RUNS):
+            start = time.perf_counter()
+            metrics = runner()
+            walls.append(time.perf_counter() - start)
+        metrics["wall_s"] = min(walls)
+        results["scenarios"][name] = metrics
+        print(f"  {name:8s} goodput={metrics['goodput_rps']:.4f} req/s  "
+              f"ttft_p99={metrics['ttft_p99_s']:.2f} s  "
+              f"wall={metrics['wall_s']:.2f} s")
+    print(f"  calibration: {results['calibration_s']:.3f} s")
+    return results
+
+
+def check(current: dict, baseline: dict) -> list[str]:
+    """Every gate violation as a human-readable line (empty = pass)."""
+    goodput_drop = float(os.environ.get("BENCH_GATE_GOODPUT_DROP",
+                                        MAX_GOODPUT_DROP))
+    wall_growth = float(os.environ.get("BENCH_GATE_WALL_GROWTH",
+                                       MAX_WALL_GROWTH))
+    failures = []
+    missing = set(baseline["scenarios"]) - set(current["scenarios"])
+    if missing:
+        failures.append(f"scenarios vanished vs baseline: "
+                        f"{sorted(missing)}")
+    for name, base in baseline["scenarios"].items():
+        now = current["scenarios"].get(name)
+        if now is None:
+            continue
+        floor = base["goodput_rps"] * (1.0 - goodput_drop)
+        if now["goodput_rps"] < floor:
+            failures.append(
+                f"{name}: goodput {now['goodput_rps']:.4f} req/s fell "
+                f">{goodput_drop:.0%} below baseline "
+                f"{base['goodput_rps']:.4f}")
+        base_norm = base["wall_s"] / baseline["calibration_s"]
+        now_norm = now["wall_s"] / current["calibration_s"]
+        if now_norm > base_norm * (1.0 + wall_growth):
+            failures.append(
+                f"{name}: normalized wall-clock {now_norm:.2f} "
+                f"(={now['wall_s']:.2f}s / cal "
+                f"{current['calibration_s']:.2f}s) grew "
+                f">{wall_growth:.0%} over baseline {base_norm:.2f}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--check", action="store_true",
+                      help="compare against the checked-in baseline "
+                           "(default)")
+    mode.add_argument("--update-baseline", action="store_true",
+                      help=f"regenerate {BASELINE_PATH.name} "
+                           f"(intentional perf changes only)")
+    args = parser.parse_args(argv)
+
+    print("benchmark gate: measuring fixed-seed serving scenarios")
+    current = measure()
+
+    if args.update_baseline:
+        BASELINE_PATH.write_text(json.dumps(current, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    CURRENT_PATH.write_text(json.dumps(current, indent=2,
+                                       sort_keys=True) + "\n")
+    if not BASELINE_PATH.exists():
+        print(f"FAIL: no baseline at {BASELINE_PATH}; run "
+              f"`make bench-baseline` and commit it")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = check(current, baseline)
+    if failures:
+        print("benchmark gate FAILED:")
+        for line in failures:
+            print(f"  - {line}")
+        print("(intentional? regenerate with `make bench-baseline` "
+              "and commit BENCH_serving.json)")
+        return 1
+    print("benchmark gate passed: goodput within 5%, normalized "
+          "wall-clock within 25% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

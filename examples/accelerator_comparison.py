@@ -45,7 +45,7 @@ print(render_table(
 
 mugi = simulate_workload(make_design("mugi", 256), ops, tokens_per_step=BATCH)
 sa = simulate_workload(make_design("sa", 16), ops, tokens_per_step=BATCH)
-print(f"\nHeadline (paper: 2.07x / 3.11x / 1.50x):")
+print("\nHeadline (paper: 2.07x / 3.11x / 1.50x):")
 print(f"  throughput  {mugi.throughput_tokens_s / sa.throughput_tokens_s:.2f}x")
 print(f"  energy eff  {mugi.energy_efficiency / sa.energy_efficiency:.2f}x")
 print(f"  power eff   {mugi.power_efficiency / sa.power_efficiency:.2f}x")

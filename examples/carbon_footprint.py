@@ -39,7 +39,7 @@ print(render_table(
     rows, title="Per-token CO2eq, Llama-2 70B GQA, batch 8, seq 4096"))
 
 mugi, sa = reports["Mugi (256)"], reports["SA (16)"]
-print(f"\nMugi vs systolic baseline (paper: 1.45x / 1.48x):")
+print("\nMugi vs systolic baseline (paper: 1.45x / 1.48x):")
 print(f"  operational reduction: "
       f"{sa.operational_kg_per_token / mugi.operational_kg_per_token:.2f}x")
 print(f"  embodied reduction:    "

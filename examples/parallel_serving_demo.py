@@ -13,7 +13,6 @@ Run:  python examples/parallel_serving_demo.py
 from repro.analysis.experiments import parallel_scaling
 from repro.analysis.tables import render_table
 from repro.arch import make_design
-from repro.llm import LLAMA2_70B_GQA
 from repro.parallel import ParallelConfig, ShardedSystem
 from repro.serve import poisson_trace, simulate_trace
 

@@ -20,6 +20,7 @@ Fig. 17   ``noc_scaling``                 NoC-level comparisons
 (serving) ``serving_load_sweep``          latency–throughput curves
 (serving) ``parallel_scaling``            TP×PP sharded-pod scaling
 (serving) ``paged_serving``               paged-KV goodput sweeps
+(serving) ``cluster_serving``             multi-replica router sweeps
 ========  ==============================  ================================
 """
 
@@ -28,6 +29,7 @@ from . import (  # noqa: F401
     batch_sweep,
     breakdown,
     carbon_footprint,
+    cluster_serving,
     distributions,
     end_to_end,
     gemm_iso_area,
@@ -46,6 +48,7 @@ __all__ = [
     "batch_sweep",
     "breakdown",
     "carbon_footprint",
+    "cluster_serving",
     "distributions",
     "end_to_end",
     "gemm_iso_area",

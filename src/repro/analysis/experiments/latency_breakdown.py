@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from ...arch import TECH_45NM, simulate_workload
 from ...llm.config import LLAMA2_13B, LLAMA2_70B, LLAMA2_70B_GQA, LLAMA2_7B
 from ...llm.workload import build_decode_ops
-from .carbon_footprint import FIG15_DESIGNS, _make
+from .carbon_footprint import _make
 
 #: Fig. 16 design columns (S covers systolic/SIMD, per the caption).
 FIG16_DESIGNS = ("M", "C", "S", "T", "P")

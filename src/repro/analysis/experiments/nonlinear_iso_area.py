@@ -10,7 +10,7 @@ iso-area view).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...arch import (
     CaratDesign,

@@ -7,7 +7,7 @@ the ``[-0.5, 0.5]`` important-region inset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

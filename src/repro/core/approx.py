@@ -28,7 +28,6 @@ import numpy as np
 from ..baselines import precise
 from ..errors import ConfigError
 from ..numerics import round_mantissa, split_bfloat16, to_bfloat16
-from ..numerics.fields import FieldSplit
 from .lut import LUTSpec, NonlinearLUT
 from .window import OVERFLOW_POLICIES, select_window
 

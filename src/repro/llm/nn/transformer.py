@@ -26,7 +26,7 @@ from scipy.special import erf
 from ...baselines import precise
 from ...errors import ConfigError
 from .attention import MultiHeadAttention
-from .layers import Embedding, LayerNorm, Linear, Module, Parameter, RMSNorm
+from .layers import Embedding, LayerNorm, Linear, Module, RMSNorm
 
 
 @dataclass(frozen=True)

@@ -10,21 +10,47 @@ graphs and prices them on any Table 2 design or NoC system;
 :mod:`.metrics` aggregates TTFT/TPOT/latency/queue-delay percentiles,
 goodput, KV utilization, and prefix-hit rate.
 
+Above the single engine sits the cluster layer (:mod:`.cluster` /
+:mod:`.router`): N independent replicas behind a pluggable router
+(round-robin, least-outstanding, power-of-two-choices, prefix-affinity)
+with an optional DistServe-style disaggregated mode that dedicates
+replicas to prefill vs decode and charges the KV migration over an
+:class:`repro.parallel.InterconnectConfig` link.
+
 Quick start::
 
     from repro.arch import make_design
     from repro.llm import LLAMA2_70B_GQA
-    from repro.serve import poisson_trace, simulate_trace
+    from repro.serve import make_cluster, poisson_trace, simulate_trace
 
     trace = poisson_trace(n_requests=500, rate_rps=1.0, seed=0)
     report = simulate_trace(make_design("mugi", 256), LLAMA2_70B_GQA,
                             trace, policy="continuous", max_batch=16)
     print(report.summary())
+
+    cluster = make_cluster(make_design("mugi", 256), LLAMA2_70B_GQA,
+                           n_replicas=4, router="prefix-affinity")
+    print(cluster.run(trace).summary())
 """
 
+from .cluster import Replica, ServingCluster, make_cluster
 from .engine import ServingEngine, simulate_trace
 from .kv_cache import BlockManager, BlockPoolStats
-from .metrics import RequestRecord, ServingReport, percentile
+from .metrics import (
+    ClusterReport,
+    RequestRecord,
+    ServingReport,
+    percentile,
+)
+from .router import (
+    ROUTERS,
+    LeastOutstandingRouter,
+    PowerOfTwoRouter,
+    PrefixAffinityRouter,
+    Router,
+    RoundRobinRouter,
+    make_router,
+)
 from .policy import (
     POLICIES,
     ChunkTask,
@@ -58,30 +84,41 @@ from .trace import (
 
 __all__ = [
     "POLICIES",
+    "ROUTERS",
     "SCHEDULERS",
     "BlockManager",
     "BlockPoolStats",
     "ChunkTask",
+    "ClusterReport",
     "ContinuousBatchScheduler",
     "FCFSPolicy",
+    "LeastOutstandingRouter",
     "LengthSpec",
     "PagedPreemptiveScheduler",
     "PagedPriorityScheduler",
     "PagedScheduler",
     "PagedSequenceState",
+    "PowerOfTwoRouter",
     "PreemptivePriorityPolicy",
+    "PrefixAffinityRouter",
     "PrefixSpec",
     "PriorityPolicy",
+    "Replica",
     "Request",
     "RequestRecord",
+    "Router",
+    "RoundRobinRouter",
     "Scheduler",
     "SchedulingPolicy",
     "SequenceState",
+    "ServingCluster",
     "ServingEngine",
     "ServingReport",
     "StaticBatchScheduler",
     "StepPlan",
     "bursty_trace",
+    "make_cluster",
+    "make_router",
     "make_scheduler",
     "offered_load_rps",
     "percentile",

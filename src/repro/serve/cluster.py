@@ -1,0 +1,424 @@
+"""Cluster-scale serving: replicated engines behind a request router.
+
+:class:`ServingCluster` runs N independent engine replicas — each its
+own :class:`repro.serve.ServingEngine` over its own scheduler and (for
+the paged policies) its own :class:`repro.serve.BlockManager` pool —
+against one arrival stream.  A :class:`repro.serve.router.Router`
+assigns every request to a replica at its arrival instant; the cluster
+then interleaves the replicas' steps in global time order through the
+engine's external-clock API (:meth:`~repro.serve.ServingEngine.start` /
+``submit`` / ``step`` / ``advance_to`` / ``finish``).
+
+Two deployment modes:
+
+* **unified** — every replica serves requests end to end (prefill and
+  decode), the iso-silicon baseline for router comparisons;
+* **disaggregated** — DistServe-style: the first ``prefill_replicas``
+  replicas run prefill only (any scheduler policy, so paged prefix
+  caches live here), the rest decode only.  When a prefill finishes,
+  the sequence's KV migrates to a decode replica over the cluster
+  ``interconnect``: the transfer of the context's KV bytes is charged
+  as arrival delay on the decode side (one
+  :class:`~repro.parallel.InterconnectConfig` link hop), and the decode
+  replica admits the request with :attr:`Request.kv_ready` — full
+  footprint reserved, no prefill compute.
+
+Event-loop causality: a replica's step is committed once every arrival
+up to the step's start has been routed, so router decisions at time
+``t`` see each replica at its last step boundary — a lead/lag of less
+than one step, the same bounded staleness a real async router works
+under.  All tie-breaks are by replica index and any router randomness
+is seeded, so cluster runs are deterministic functions of
+``(trace, routers, replica construction)``.
+
+Requests are re-instantiated per replica (`dataclasses.replace`), so
+replicas fed from the same trace can never alias per-request state.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+from ..parallel.collective import DEFAULT_INTERCONNECT, InterconnectConfig
+from .engine import ServingEngine
+from .metrics import ClusterReport, RequestRecord
+from .router import Router, make_router
+from .scheduler import make_scheduler
+from .trace import Request, offered_load_rps
+
+__all__ = ["Replica", "ServingCluster", "make_cluster"]
+
+
+@dataclass
+class Replica:
+    """One engine of the cluster plus its routing-time view."""
+
+    index: int
+    engine: ServingEngine
+    role: str = "unified"  # "unified" | "prefill" | "decode"
+    routed: int = 0
+    arrivals: list = field(default_factory=list)
+
+    @property
+    def outstanding_tokens(self) -> int:
+        """KV-footprint-weighted work this replica still owes.
+
+        The load signal the state-aware routers compare: every queued
+        request counts its full footprint (``total_tokens``), every
+        admitted sequence its footprint minus the tokens already
+        generated — so a long-prompt decode still weighs its held
+        context, not just its remaining outputs.  Works across both
+        scheduler families (peak-reservation ``queue`` of requests vs
+        the paged ``waiting``/``running``/``swapped`` state lists).
+        """
+        scheduler = self.engine.scheduler
+        queue = getattr(scheduler, "queue", None)
+        if queue is not None:
+            pending = sum(r.total_tokens for r in queue)
+            states = list(scheduler.running)
+        else:
+            pending = 0
+            states = (scheduler.waiting + scheduler.running
+                      + scheduler.swapped)
+        return pending + sum(
+            max(s.request.total_tokens - s.generated, 0) for s in states)
+
+
+def _offered_rps(arrivals: list) -> float:
+    """Offered rate of one replica's routed sub-stream (0 if < 2)."""
+    if len(arrivals) < 2:
+        return 0.0
+    span = max(arrivals) - min(arrivals)
+    if span == 0:
+        return float("inf")
+    return (len(arrivals) - 1) / span
+
+
+class ServingCluster:
+    """N engine replicas behind a router, on one global clock.
+
+    Parameters
+    ----------
+    engines:
+        One :class:`ServingEngine` per replica, all serving the same
+        model (designs may differ — e.g. mixed single-chip and
+        :class:`repro.parallel.ShardedSystem` replicas).
+    router:
+        :class:`~repro.serve.router.Router` name or instance assigning
+        arrivals (to prefill replicas in disaggregated mode).
+    mode:
+        ``"unified"`` or ``"disaggregated"``.
+    prefill_replicas:
+        Disaggregated mode: how many leading replicas are dedicated to
+        prefill (default half, at least one of each role).
+    decode_router:
+        Router for KV migrations onto decode replicas (disaggregated
+        mode only; prefix affinity is meaningless there, so the default
+        is least-outstanding).
+    interconnect:
+        Link the migrated KV crosses; one hop of the context's KV bytes
+        is charged per migration.
+    """
+
+    def __init__(self, engines: list, router: Router | str = "round-robin",
+                 mode: str = "unified", prefill_replicas: int | None = None,
+                 decode_router: Router | str = "least-outstanding",
+                 interconnect: InterconnectConfig = DEFAULT_INTERCONNECT,
+                 name: str | None = None):
+        if not engines:
+            raise ConfigError("a cluster needs at least one engine")
+        if mode not in ("unified", "disaggregated"):
+            raise ConfigError(f"unknown cluster mode {mode!r}; choose "
+                              f"'unified' or 'disaggregated'")
+        self.config = engines[0].config
+        for engine in engines:
+            if engine.config != self.config:
+                raise ConfigError(
+                    f"replica serves {engine.config.name}, cluster serves "
+                    f"{self.config.name}; all replicas must share a model")
+        self.mode = mode
+        self.interconnect = interconnect
+        self.router = make_router(router)
+        self.decode_router = make_router(decode_router)
+        n = len(engines)
+        if mode == "unified":
+            if prefill_replicas is not None:
+                raise ConfigError("prefill_replicas only applies to "
+                                  "disaggregated clusters")
+            roles = ["unified"] * n
+        else:
+            if n < 2:
+                raise ConfigError("disaggregation needs >= 2 replicas")
+            if prefill_replicas is None:
+                prefill_replicas = max(1, n // 2)
+            if not 1 <= prefill_replicas <= n - 1:
+                raise ConfigError(
+                    f"need 1 <= prefill_replicas <= {n - 1}, got "
+                    f"{prefill_replicas}")
+            roles = ["prefill"] * prefill_replicas + \
+                ["decode"] * (n - prefill_replicas)
+            for engine, role in zip(engines, roles):
+                if role == "decode" and \
+                        not engine.scheduler.supports_kv_ready:
+                    raise ConfigError(
+                        f"decode replicas admit migrated KV directly, "
+                        f"which the {engine.scheduler.name} scheduler "
+                        f"cannot represent; use a peak-reservation "
+                        f"policy for decode replicas")
+        self.replicas = [Replica(index=i, engine=engine, role=role)
+                         for i, (engine, role) in
+                         enumerate(zip(engines, roles))]
+        designs = {getattr(e.design, "name", type(e.design).__name__)
+                   for e in engines}
+        self.name = name if name is not None else \
+            f"{n}x {designs.pop() if len(designs) == 1 else 'mixed'}"
+
+    # -- views -----------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    def _arrival_targets(self) -> list:
+        if self.mode == "unified":
+            return self.replicas
+        return [r for r in self.replicas if r.role == "prefill"]
+
+    def _decode_targets(self) -> list:
+        return [r for r in self.replicas if r.role == "decode"]
+
+    # -- validation ------------------------------------------------------
+    def _validate(self, pending: list) -> None:
+        """Whole-trace admission check before simulating anything."""
+        ids = {r.req_id for r in pending}
+        if len(ids) != len(pending):
+            raise ConfigError("trace has duplicate req_ids; cluster "
+                              "completion merging needs unique ids")
+        decode_targets = self._decode_targets()
+        for request in pending:
+            if request.kv_ready:
+                raise ConfigError(
+                    f"request {request.req_id} sets kv_ready; that flag "
+                    f"is cluster-internal (set on KV migration)")
+            for rep in self._arrival_targets():
+                error = rep.engine.scheduler.admission_error(
+                    request if self.mode == "unified"
+                    else replace(request, output_len=1))
+                if error:
+                    raise ConfigError(f"unservable trace: {error}")
+            if self.mode == "disaggregated" and request.output_len > 1:
+                probe = self._decode_request(request, arrival_s=0.0)
+                for rep in decode_targets:
+                    error = rep.engine.scheduler.admission_error(probe)
+                    if error:
+                        raise ConfigError(f"unservable trace: {error}")
+
+    # -- disaggregation --------------------------------------------------
+    def _decode_request(self, origin: Request,
+                        arrival_s: float) -> Request:
+        """The decode-side half of a migrated request.
+
+        The prefill replica produced the first token, so the decode
+        replica sees a context of ``prompt_len + 1`` tokens already
+        materialized (``kv_ready``) and ``output_len - 1`` tokens left
+        to generate; the total KV footprint is unchanged.  The prefix
+        group is dropped — migrated KV arrives whole, nothing is left
+        for a prefix cache to serve.
+        """
+        return replace(origin, arrival_s=arrival_s,
+                       prompt_len=origin.prompt_len + 1,
+                       output_len=origin.output_len - 1,
+                       prefix_group=None, prefix_len=0, kv_ready=True)
+
+    def _transfer(self, origin: Request, kvq_bits: int) -> tuple:
+        """(bytes, seconds) of one KV migration over the interconnect."""
+        moved = self.config.kv_cache_bytes(
+            seq_len=origin.prompt_len + 1, batch=1, bits=kvq_bits)
+        seconds = moved / self.interconnect.link_bandwidth_bytes \
+            + self.interconnect.link_latency_s
+        return moved, seconds
+
+    # -- the cluster event loop ------------------------------------------
+    def run(self, trace: list[Request]) -> ClusterReport:
+        """Serve a trace across the replicas; merge into one report."""
+        if not trace:
+            raise ConfigError("empty trace")
+        pending = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
+        self._validate(pending)
+        self.router.reset()
+        self.decode_router.reset()
+        for rep in self.replicas:
+            rep.engine.start()
+            rep.routed = 0
+            rep.arrivals = []
+
+        inf = float("inf")
+        migrations: list = []   # heap of (arrival_s, seq, Request)
+        event_seq = 0
+        origins: dict[int, Request] = {}
+        prefill_half: dict[int, RequestRecord] = {}
+        merged: list[RequestRecord] = []
+        seen_records = [0] * self.n_replicas
+        n_migrations = 0
+        transfer_bytes = 0.0
+        transfer_seconds = 0.0
+
+        def route(request: Request, targets: list, chooser: Router,
+                  now: float) -> None:
+            rep = chooser.select(request, targets)
+            rep.engine.advance_to(now)
+            rep.engine.submit(request)
+            rep.routed += 1
+            rep.arrivals.append(now)
+
+        def drain(rep: Replica) -> None:
+            """Fold a replica's new completions into the cluster view."""
+            nonlocal event_seq, n_migrations, transfer_bytes, \
+                transfer_seconds
+            records = rep.engine.report.records
+            fresh = records[seen_records[rep.index]:]
+            seen_records[rep.index] = len(records)
+            for record in fresh:
+                if self.mode == "unified":
+                    merged.append(record)
+                    continue
+                origin = origins[record.request.req_id]
+                if rep.role == "decode":
+                    first = prefill_half.pop(origin.req_id)
+                    merged.append(RequestRecord(
+                        request=origin, admitted_s=first.admitted_s,
+                        first_token_s=first.first_token_s,
+                        finish_s=record.finish_s))
+                elif origin.output_len == 1:
+                    # Nothing left to decode: done at the prefill side.
+                    merged.append(RequestRecord(
+                        request=origin, admitted_s=record.admitted_s,
+                        first_token_s=record.first_token_s,
+                        finish_s=record.finish_s))
+                else:
+                    moved, seconds = self._transfer(origin,
+                                                    rep.engine.kvq_bits)
+                    n_migrations += 1
+                    transfer_bytes += moved
+                    transfer_seconds += seconds
+                    sub = self._decode_request(
+                        origin, arrival_s=record.finish_s + seconds)
+                    heapq.heappush(migrations,
+                                   (sub.arrival_s, event_seq, sub))
+                    event_seq += 1
+                    prefill_half[origin.req_id] = record
+
+        idx = 0
+        while True:
+            arrival_t = pending[idx].arrival_s if idx < len(pending) \
+                else inf
+            migration_t = migrations[0][0] if migrations else inf
+            next_event = min(arrival_t, migration_t)
+            workers = [rep for rep in self.replicas
+                       if rep.engine.has_work()]
+            worker = min(workers,
+                         key=lambda rep: (rep.engine.now, rep.index)) \
+                if workers else None
+            if worker is not None and worker.engine.now < next_event:
+                # Every arrival up to this step's start is routed, so
+                # the step is causally committed.
+                if worker.engine.step():
+                    drain(worker)
+                elif next_event == inf:
+                    raise ConfigError(
+                        f"replica {worker.index} "
+                        f"({worker.engine.scheduler.name}) stalled with "
+                        f"work queued but nothing planned")
+                else:
+                    worker.engine.advance_to(next_event)
+                continue
+            if next_event == inf:
+                break
+            if arrival_t <= migration_t:
+                request = pending[idx]
+                idx += 1
+                if self.mode == "unified":
+                    # Re-instantiated per replica: engines fed from one
+                    # trace must never share request objects.
+                    sub = replace(request)
+                else:
+                    origins[request.req_id] = request
+                    sub = replace(request, output_len=1)
+                route(sub, self._arrival_targets(), self.router,
+                      request.arrival_s)
+            else:
+                when, _, sub = heapq.heappop(migrations)
+                route(sub, self._decode_targets(), self.decode_router,
+                      when)
+
+        if prefill_half:
+            raise ConfigError(f"{len(prefill_half)} migrated requests "
+                              f"never completed decode; cluster "
+                              f"bookkeeping is broken")
+        if len(merged) != len(pending):
+            raise ConfigError(
+                f"cluster completed {len(merged)} of {len(pending)} "
+                f"requests; completion merging lost records")
+        makespan = max(rep.engine.now for rep in self.replicas)
+        reports = []
+        for rep in self.replicas:
+            rep.engine.report.offered_rps = _offered_rps(rep.arrivals)
+            reports.append(rep.engine.finish())
+        merged.sort(key=lambda r: (r.finish_s, r.request.req_id))
+        return ClusterReport(
+            design=self.name, router=self.router.name, mode=self.mode,
+            replicas=reports, records=merged, makespan_s=makespan,
+            offered_rps=offered_load_rps(trace),
+            routed=[rep.routed for rep in self.replicas],
+            migrations=n_migrations, kv_transfer_bytes=transfer_bytes,
+            kv_transfer_seconds=transfer_seconds)
+
+
+def make_cluster(design, config, n_replicas: int,
+                 policy: str = "paged", router: Router | str = "round-robin",
+                 mode: str = "unified", prefill_replicas: int | None = None,
+                 decode_router: Router | str = "least-outstanding",
+                 max_batch: int = 16,
+                 kv_capacity_bytes: float | None = None, kvq_bits: int = 4,
+                 scheduler_kwargs: dict | None = None,
+                 interconnect: InterconnectConfig = DEFAULT_INTERCONNECT,
+                 seq_len_bucket: int = 1, **engine_kwargs) -> ServingCluster:
+    """N identical replicas of ``design`` behind a router.
+
+    ``kv_capacity_bytes`` is the *per-replica* KV budget; every replica
+    builds its own scheduler (and, for paged policies, its own block
+    pool) from it.  In disaggregated mode the prefill replicas run
+    ``policy`` while decode replicas run the peak-reservation
+    ``continuous`` policy, which admits migrated (``kv_ready``) KV.
+
+    ``make_cluster(make_design("mugi", 256), SERVE_MODEL, 4,
+    router="prefix-affinity")``
+    """
+    if n_replicas < 1:
+        raise ConfigError("n_replicas must be positive")
+    scheduler_kwargs = dict(scheduler_kwargs or {})
+    if "block_manager" in scheduler_kwargs:
+        raise ConfigError(
+            "pass kv_capacity_bytes, not a block_manager: a shared pool "
+            "instance would alias KV state across replicas")
+    if mode == "disaggregated" and prefill_replicas is None:
+        prefill_replicas = max(1, n_replicas // 2)
+    engines = []
+    for index in range(n_replicas):
+        decode_side = mode == "disaggregated" and \
+            prefill_replicas is not None and index >= prefill_replicas
+        replica_policy = "continuous" if decode_side else policy
+        kwargs = {} if replica_policy != policy else scheduler_kwargs
+        scheduler = make_scheduler(replica_policy, config,
+                                   max_batch=max_batch,
+                                   kv_capacity_bytes=kv_capacity_bytes,
+                                   kvq_bits=kvq_bits, **kwargs)
+        engines.append(ServingEngine(design, config, scheduler,
+                                     kvq_bits=kvq_bits,
+                                     seq_len_bucket=seq_len_bucket,
+                                     **engine_kwargs))
+    return ServingCluster(engines, router=router, mode=mode,
+                          prefill_replicas=prefill_replicas,
+                          decode_router=decode_router,
+                          interconnect=interconnect)

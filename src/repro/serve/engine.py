@@ -23,6 +23,15 @@ Steps over near-identical active sets dominate a trace, so the engine
 caches whole-step costs keyed by the active set's length signature
 (optionally bucketing context lengths, which is what lets a 10k-request
 trace finish in seconds on top of the design layer's op-cost memoization).
+
+The engine no longer has to own the event loop: :meth:`ServingEngine.run`
+drives the classic single-engine trace-to-completion loop, but the
+primitives it is built from — :meth:`~ServingEngine.start` /
+:meth:`~ServingEngine.submit` / :meth:`~ServingEngine.step` /
+:meth:`~ServingEngine.advance_to` / :meth:`~ServingEngine.finish` — are
+public, so an external clock (the multi-replica
+:class:`repro.serve.ServingCluster`) can interleave many engines'
+steps against one global arrival stream.
 """
 
 from __future__ import annotations
@@ -86,6 +95,8 @@ class ServingEngine:
         self.seq_len_bucket = seq_len_bucket
         self.tech = getattr(design, "tech", TECH_45NM)
         self._step_cache: dict = {}
+        self._report: ServingReport | None = None
+        self._now = 0.0
 
     # -- step lowering --------------------------------------------------
     def _bucket(self, tokens: int) -> int:
@@ -147,6 +158,125 @@ class ServingEngine:
                 self._step_cache[key] = result
         return result
 
+    # -- externally clocked session --------------------------------------
+    @property
+    def now(self) -> float:
+        """The engine's clock: end time of the last committed step."""
+        return self._now
+
+    @property
+    def report(self) -> ServingReport | None:
+        """The in-progress report of the active session (None outside)."""
+        return self._report
+
+    def _active_report(self) -> ServingReport:
+        if self._report is None:
+            raise ConfigError("no active serving session; call start()")
+        return self._report
+
+    def start(self, offered_rps: float = 0.0) -> ServingReport:
+        """Open a serving session at clock 0 and return its live report.
+
+        ``run`` calls this internally; an external driver (the cluster's
+        event loop) calls it once, then interleaves :meth:`submit` /
+        :meth:`step` / :meth:`advance_to` and closes with
+        :meth:`finish`.
+        """
+        self._report = ServingReport(
+            design=getattr(self.design, "name", type(self.design).__name__),
+            scheduler=self.scheduler.name,
+            kv_capacity_bytes=self.scheduler.kv_capacity_bytes,
+            offered_rps=offered_rps)
+        self._now = 0.0
+        return self._report
+
+    def submit(self, request: Request) -> None:
+        """Hand one request to the scheduler (external-clock ingest)."""
+        error = self.scheduler.admission_error(request)
+        if error:
+            raise ConfigError(f"unservable request: {error}")
+        self.scheduler.enqueue(request)
+
+    def has_work(self) -> bool:
+        return self.scheduler.has_work()
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t`` (idle time; never backward)."""
+        if t > self._now:
+            self._now = t
+
+    def step(self) -> bool:
+        """Plan, price, and commit one step at the current clock.
+
+        Returns False (and leaves every clock and state untouched) when
+        the scheduler plans an empty step; the caller decides whether
+        that means idle-until-next-arrival or a stall.
+        """
+        report = self._active_report()
+        plan = self.scheduler.plan_step(self._now)
+        if plan.batch == 0:
+            return False
+        report.peak_kv_bytes = max(report.peak_kv_bytes,
+                                   self.scheduler.reserved_bytes)
+        report.kv_utilization.append(self.scheduler.kv_utilization())
+        cost = self._step_cost(plan)
+        duration = cost.step_seconds + plan.swap_seconds
+        self._now += duration
+        now = self._now
+        report.energy_j += cost.dynamic_energy_j
+        report.comm_seconds += cost.comm_seconds
+        report.swap_seconds += plan.swap_seconds
+        report.busy_seconds += duration
+        report.steps += 1
+
+        for state in plan.prefill:
+            state.first_token_s = now
+            state.generated = 1
+            state.context_len = state.request.prompt_len + 1
+        finished_chunks = []
+        for task in plan.chunks:
+            if not task.finishes:
+                continue
+            # The last chunk of a prefill (or of a post-preemption
+            # KV rebuild) emits one token, like the one-shot
+            # prefill step does.
+            state = task.state
+            if state.first_token_s is None:
+                state.first_token_s = now
+            state.generated += 1
+            state.context_len = state.prefill_target + 1
+            finished_chunks.append(state)
+        for state in plan.decode:
+            if state.first_token_s is None:
+                # KV-ready admissions (cluster disaggregation: the KV
+                # arrived over the interconnect) emit their first local
+                # token from a decode step, never a prefill.
+                state.first_token_s = now
+            state.generated += 1
+            state.context_len += 1
+        for state in plan.prefill + plan.decode + finished_chunks:
+            if state.done:
+                self.scheduler.release(state)
+                report.records.append(RequestRecord(
+                    request=state.request, admitted_s=state.admitted_s,
+                    first_token_s=state.first_token_s, finish_s=now))
+        return True
+
+    def finish(self) -> ServingReport:
+        """Close the session: stamp the makespan, fold scheduler stats."""
+        report = self._active_report()
+        report.makespan_s = self._now
+        for key, value in self.scheduler.runtime_stats().items():
+            if not hasattr(report, key):
+                # A typo'd stats key must fail loudly, not create a
+                # ghost attribute while the real metric stays 0.
+                raise ConfigError(
+                    f"scheduler {self.scheduler.name} reported unknown "
+                    f"stat {key!r}; ServingReport has no such field")
+            setattr(report, key, value)
+        self._report = None
+        return report
+
     # -- event loop -----------------------------------------------------
     def run(self, trace: list[Request]) -> ServingReport:
         """Serve a trace to completion and return the aggregate report."""
@@ -158,74 +288,23 @@ class ServingEngine:
             error = self.scheduler.admission_error(request)
             if error:
                 raise ConfigError(f"unservable trace: {error}")
-        report = ServingReport(
-            design=getattr(self.design, "name", type(self.design).__name__),
-            scheduler=self.scheduler.name,
-            kv_capacity_bytes=self.scheduler.kv_capacity_bytes,
-            offered_rps=offered_load_rps(trace))
-        now = 0.0
+        self.start(offered_rps=offered_load_rps(trace))
         idx = 0
         while idx < len(pending) or self.scheduler.has_work():
-            while idx < len(pending) and pending[idx].arrival_s <= now:
+            while idx < len(pending) and pending[idx].arrival_s <= self._now:
                 self.scheduler.enqueue(pending[idx])
                 idx += 1
-            plan = self.scheduler.plan_step(now)
-            if plan.batch == 0:
-                if idx >= len(pending):
-                    # Nothing runnable and nothing left to arrive: a
-                    # scheduler bug, not a state the loop can leave.
-                    raise ConfigError(
-                        f"scheduler {self.scheduler.name} stalled with "
-                        f"work queued but nothing planned")
-                # Idle: jump to the next arrival.
-                now = max(now, pending[idx].arrival_s)
+            if self.step():
                 continue
-            report.peak_kv_bytes = max(report.peak_kv_bytes,
-                                       self.scheduler.reserved_bytes)
-            report.kv_utilization.append(self.scheduler.kv_utilization())
-            cost = self._step_cost(plan)
-            now += cost.step_seconds + plan.swap_seconds
-            report.energy_j += cost.dynamic_energy_j
-            report.comm_seconds += cost.comm_seconds
-            report.swap_seconds += plan.swap_seconds
-            report.steps += 1
-
-            for state in plan.prefill:
-                state.first_token_s = now
-                state.generated = 1
-                state.context_len = state.request.prompt_len + 1
-            finished_chunks = []
-            for task in plan.chunks:
-                if not task.finishes:
-                    continue
-                # The last chunk of a prefill (or of a post-preemption
-                # KV rebuild) emits one token, like the one-shot
-                # prefill step does.
-                state = task.state
-                if state.first_token_s is None:
-                    state.first_token_s = now
-                state.generated += 1
-                state.context_len = state.prefill_target + 1
-                finished_chunks.append(state)
-            for state in plan.decode:
-                state.generated += 1
-                state.context_len += 1
-            for state in plan.prefill + plan.decode + finished_chunks:
-                if state.done:
-                    self.scheduler.release(state)
-                    report.records.append(RequestRecord(
-                        request=state.request, admitted_s=state.admitted_s,
-                        first_token_s=state.first_token_s, finish_s=now))
-        report.makespan_s = now
-        for key, value in self.scheduler.runtime_stats().items():
-            if not hasattr(report, key):
-                # A typo'd stats key must fail loudly, not create a
-                # ghost attribute while the real metric stays 0.
+            if idx >= len(pending):
+                # Nothing runnable and nothing left to arrive: a
+                # scheduler bug, not a state the loop can leave.
                 raise ConfigError(
-                    f"scheduler {self.scheduler.name} reported unknown "
-                    f"stat {key!r}; ServingReport has no such field")
-            setattr(report, key, value)
-        return report
+                    f"scheduler {self.scheduler.name} stalled with "
+                    f"work queued but nothing planned")
+            # Idle: jump to the next arrival.
+            self.advance_to(pending[idx].arrival_s)
+        return self.finish()
 
 
 def simulate_trace(design, config: ModelConfig, trace: list[Request],

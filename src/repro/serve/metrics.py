@@ -3,7 +3,13 @@
 The engine produces one :class:`RequestRecord` per completed request; a
 :class:`ServingReport` aggregates them into the latency–throughput
 numbers that serving papers plot (p50/p99 latency, goodput vs offered
-load).
+load).  :class:`ClusterReport` aggregates a multi-replica
+:class:`repro.serve.ServingCluster` run the same way — cluster-level
+TTFT/TPOT/goodput over the merged request records — and adds the
+per-replica utilization/balance view plus the disaggregated mode's
+KV-migration accounting.  Both share the :class:`RecordStats` mixin so
+a cluster report answers every latency question a single-engine report
+does.
 """
 
 from __future__ import annotations
@@ -59,31 +65,21 @@ def percentile(values, q: float) -> float:
     return float(np.percentile(arr, q))
 
 
-@dataclass
-class ServingReport:
-    """Aggregate outcome of one trace on one design + scheduler."""
+class RecordStats:
+    """Latency/throughput aggregation over completed request records.
 
-    design: str
-    scheduler: str
-    records: list = field(default_factory=list)
-    makespan_s: float = 0.0
-    energy_j: float = 0.0
-    steps: int = 0
-    peak_kv_bytes: float = 0.0
-    kv_capacity_bytes: float | None = None
-    offered_rps: float = 0.0
-    #: Total inter-chip collective time across all steps (before
-    #: overlap; 0 for single-chip designs).
-    comm_seconds: float = 0.0
-    #: Per-step KV-budget occupancy series (reserved/capacity for the
-    #: peak-reservation schedulers, live-block share for paged ones).
-    kv_utilization: list = field(default_factory=list)
-    #: Paged-scheduler counters (0 under the PR 1 schedulers).
-    preemptions: int = 0
-    prefix_hit_tokens: int = 0
-    prefix_query_tokens: int = 0
-    swap_bytes: float = 0.0
-    swap_seconds: float = 0.0
+    Mixed into :class:`ServingReport` (one engine) and
+    :class:`ClusterReport` (merged cluster records): anything with a
+    ``records`` list and a ``makespan_s`` gets the full percentile /
+    goodput surface.
+    """
+
+    records: list
+    makespan_s: float
+
+    @property
+    def _label(self) -> str:
+        return type(self).__name__
 
     @property
     def completed(self) -> int:
@@ -115,44 +111,11 @@ class ServingReport:
                 and (tpot_slo_s is None or r.tpot_s <= tpot_slo_s)]
         return len(good) / max(self.makespan_s, 1e-12)
 
-    @property
-    def comm_fraction(self) -> float:
-        """Collective *wire-busy* time over the makespan.
-
-        The numerator is pre-overlap communication time (how long the
-        links carry traffic), so with compute/communication overlap this
-        exceeds the exposed wall-clock share — it measures interconnect
-        utilization pressure, not serving slowdown.
-        """
-        if self.makespan_s == 0:
-            return 0.0
-        return self.comm_seconds / self.makespan_s
-
     def _require_completions(self) -> None:
         if not self.records:
             raise ConfigError(
-                f"report for {self.design}/{self.scheduler} has no "
+                f"report for {self._label} has no "
                 f"completed requests; latency statistics are undefined")
-
-    @property
-    def prefix_hit_rate(self) -> float:
-        """Prompt tokens served from the paged prefix cache."""
-        if self.prefix_query_tokens == 0:
-            return 0.0
-        return self.prefix_hit_tokens / self.prefix_query_tokens
-
-    @property
-    def mean_kv_utilization(self) -> float:
-        """Average per-step KV-budget occupancy (0 with no steps)."""
-        if not self.kv_utilization:
-            return 0.0
-        return float(np.mean(self.kv_utilization))
-
-    @property
-    def peak_kv_utilization(self) -> float:
-        if not self.kv_utilization:
-            return 0.0
-        return float(np.max(self.kv_utilization))
 
     # -- latency percentiles -------------------------------------------
     def latency_percentile(self, q: float) -> float:
@@ -208,6 +171,82 @@ class ServingReport:
         self._require_completions()
         return float(np.mean([r.tpot_s for r in self.records]))
 
+
+@dataclass
+class ServingReport(RecordStats):
+    """Aggregate outcome of one trace on one design + scheduler."""
+
+    design: str
+    scheduler: str
+    records: list = field(default_factory=list)
+    makespan_s: float = 0.0
+    energy_j: float = 0.0
+    steps: int = 0
+    peak_kv_bytes: float = 0.0
+    kv_capacity_bytes: float | None = None
+    offered_rps: float = 0.0
+    #: Total inter-chip collective time across all steps (before
+    #: overlap; 0 for single-chip designs).
+    comm_seconds: float = 0.0
+    #: Wall time the engine spent inside steps (swap time included);
+    #: ``busy_seconds / makespan_s`` is the replica-utilization stat the
+    #: cluster report builds on.  Idle gaps between arrivals are the
+    #: difference to the makespan.
+    busy_seconds: float = 0.0
+    #: Per-step KV-budget occupancy series (reserved/capacity for the
+    #: peak-reservation schedulers, live-block share for paged ones).
+    kv_utilization: list = field(default_factory=list)
+    #: Paged-scheduler counters (0 under the PR 1 schedulers).
+    preemptions: int = 0
+    prefix_hit_tokens: int = 0
+    prefix_query_tokens: int = 0
+    swap_bytes: float = 0.0
+    swap_seconds: float = 0.0
+
+    @property
+    def _label(self) -> str:
+        return f"{self.design}/{self.scheduler}"
+
+    @property
+    def comm_fraction(self) -> float:
+        """Collective *wire-busy* time over the makespan.
+
+        The numerator is pre-overlap communication time (how long the
+        links carry traffic), so with compute/communication overlap this
+        exceeds the exposed wall-clock share — it measures interconnect
+        utilization pressure, not serving slowdown.
+        """
+        if self.makespan_s == 0:
+            return 0.0
+        return self.comm_seconds / self.makespan_s
+
+    @property
+    def busy_fraction(self) -> float:
+        """Share of the makespan spent stepping (0 with no makespan)."""
+        if self.makespan_s == 0:
+            return 0.0
+        return self.busy_seconds / self.makespan_s
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Prompt tokens served from the paged prefix cache."""
+        if self.prefix_query_tokens == 0:
+            return 0.0
+        return self.prefix_hit_tokens / self.prefix_query_tokens
+
+    @property
+    def mean_kv_utilization(self) -> float:
+        """Average per-step KV-budget occupancy (0 with no steps)."""
+        if not self.kv_utilization:
+            return 0.0
+        return float(np.mean(self.kv_utilization))
+
+    @property
+    def peak_kv_utilization(self) -> float:
+        if not self.kv_utilization:
+            return 0.0
+        return float(np.max(self.kv_utilization))
+
     @property
     def energy_per_token_j(self) -> float:
         return self.energy_j / max(self.generated_tokens, 1)
@@ -244,4 +283,130 @@ class ServingReport:
             "mean_kv_utilization": self.mean_kv_utilization,
             "preemptions": self.preemptions,
             "prefix_hit_rate": self.prefix_hit_rate,
+        }
+
+
+@dataclass
+class ClusterReport(RecordStats):
+    """Aggregate outcome of one trace on a multi-replica cluster.
+
+    ``records`` holds one *cluster-level* :class:`RequestRecord` per
+    original trace request — in disaggregated mode the prefill and
+    decode halves are already merged, so TTFT comes from the prefill
+    replica and the finish time from the decode replica, with the KV
+    migration delay in between.  ``replicas`` keeps every engine's own
+    :class:`ServingReport` for the per-replica view.
+    """
+
+    design: str
+    router: str
+    mode: str
+    replicas: list = field(default_factory=list)
+    records: list = field(default_factory=list)
+    makespan_s: float = 0.0
+    offered_rps: float = 0.0
+    #: Requests the router assigned to each replica, by replica index.
+    routed: list = field(default_factory=list)
+    #: Disaggregated-mode KV migrations (0 in unified mode).
+    migrations: int = 0
+    kv_transfer_bytes: float = 0.0
+    kv_transfer_seconds: float = 0.0
+
+    @property
+    def _label(self) -> str:
+        return f"{self.design}/{self.router}"
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    # -- whole-cluster rollups ------------------------------------------
+    @property
+    def energy_j(self) -> float:
+        return sum(r.energy_j for r in self.replicas)
+
+    @property
+    def energy_per_token_j(self) -> float:
+        return self.energy_j / max(self.generated_tokens, 1)
+
+    @property
+    def steps(self) -> int:
+        return sum(r.steps for r in self.replicas)
+
+    @property
+    def preemptions(self) -> int:
+        return sum(r.preemptions for r in self.replicas)
+
+    @property
+    def comm_seconds(self) -> float:
+        return sum(r.comm_seconds for r in self.replicas)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Cluster-wide prompt tokens served from per-replica caches."""
+        queried = sum(r.prefix_query_tokens for r in self.replicas)
+        if queried == 0:
+            return 0.0
+        return sum(r.prefix_hit_tokens for r in self.replicas) / queried
+
+    # -- per-replica balance --------------------------------------------
+    @property
+    def completed_per_replica(self) -> list:
+        return [r.completed for r in self.replicas]
+
+    @property
+    def tokens_per_replica(self) -> list:
+        """Output tokens each replica produced (halves count locally)."""
+        return [r.generated_tokens for r in self.replicas]
+
+    @property
+    def utilization_per_replica(self) -> list:
+        """Per-replica busy share of the *cluster* makespan."""
+        if self.makespan_s == 0:
+            return [0.0 for _ in self.replicas]
+        return [r.busy_seconds / self.makespan_s for r in self.replicas]
+
+    @property
+    def token_balance(self) -> float:
+        """Max-over-mean of per-replica token load (1.0 = perfectly
+        balanced; large values mean the router piled work on one
+        replica)."""
+        tokens = self.tokens_per_replica
+        if not tokens or sum(tokens) == 0:
+            return 1.0
+        return max(tokens) / (sum(tokens) / len(tokens))
+
+    def summary(self) -> dict:
+        """Flat dict of the headline numbers (for tables/plots)."""
+        stats = dict.fromkeys(("p50_latency_s", "p99_latency_s",
+                               "mean_ttft_s", "p99_ttft_s", "mean_tpot_s",
+                               "p50_queue_delay_s", "p99_queue_delay_s"))
+        if self.records:
+            stats = {
+                "p50_latency_s": self.p50_latency_s,
+                "p99_latency_s": self.p99_latency_s,
+                "mean_ttft_s": self.mean_ttft_s,
+                "p99_ttft_s": self.ttft_percentile(99),
+                "mean_tpot_s": self.mean_tpot_s,
+                "p50_queue_delay_s": self.p50_queue_delay_s,
+                "p99_queue_delay_s": self.p99_queue_delay_s,
+            }
+        return {
+            "design": self.design,
+            "router": self.router,
+            "mode": self.mode,
+            "n_replicas": self.n_replicas,
+            "offered_rps": self.offered_rps,
+            "completed": self.completed,
+            "goodput_rps": self.goodput_rps(),
+            "throughput_tokens_s": self.throughput_tokens_s,
+            **stats,
+            "energy_per_token_j": self.energy_per_token_j,
+            "steps": self.steps,
+            "preemptions": self.preemptions,
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "token_balance": self.token_balance,
+            "migrations": self.migrations,
+            "kv_transfer_bytes": self.kv_transfer_bytes,
+            "kv_transfer_seconds": self.kv_transfer_seconds,
         }

@@ -25,7 +25,7 @@ loop through the same ``plan_step`` protocol, with chunk work carried in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ConfigError
 from ..llm.config import ModelConfig
@@ -172,6 +172,11 @@ class PagedScheduler:
 
     name = "paged"
     policy_cls = SchedulingPolicy
+    #: Block tables only materialize through local chunk compute, so a
+    #: migrated-in KV cache (:attr:`Request.kv_ready`) cannot be
+    #: represented; the cluster's disaggregated decode replicas must use
+    #: the peak-reservation schedulers instead.
+    supports_kv_ready = False
 
     def __init__(self, config: ModelConfig, max_batch: int = 16,
                  kv_capacity_bytes: float | None = None, kvq_bits: int = 4,
@@ -248,6 +253,10 @@ class PagedScheduler:
         error = context_window_error(self.config, request)
         if error:
             return error
+        if request.kv_ready:
+            return (f"request {request.req_id} arrives with kv_ready set, "
+                    f"but the {self.name} scheduler always rebuilds KV "
+                    f"through local prefill chunks")
         manager = self.block_manager
         need = manager.blocks_needed(request.total_tokens)
         if need > manager.num_blocks:

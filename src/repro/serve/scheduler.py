@@ -97,6 +97,11 @@ class Scheduler:
     """
 
     name = "fcfs"
+    #: Whether the policy can admit :attr:`Request.kv_ready` sequences
+    #: (KV migrated in from a prefill replica) straight into decode.
+    #: The paged schedulers cannot — their block tables only materialize
+    #: through local chunk compute — and override this to False.
+    supports_kv_ready = True
 
     def __init__(self, config: ModelConfig, max_batch: int = 16,
                  kv_capacity_bytes: float | None = None, kvq_bits: int = 4):
@@ -195,6 +200,19 @@ class Scheduler:
         return {}
 
 
+def split_kv_ready(admitted: list) -> tuple[list, list]:
+    """(prefill, decode) split of freshly admitted sequences.
+
+    ``kv_ready`` admissions (a cluster KV migration delivered the
+    context over the interconnect) skip prefill compute entirely: their
+    ``context_len`` is already the full prompt depth, so they join the
+    decode set in the same step they are admitted.
+    """
+    prefill = [s for s in admitted if not s.request.kv_ready]
+    ready = [s for s in admitted if s.request.kv_ready]
+    return prefill, ready
+
+
 class ContinuousBatchScheduler(Scheduler):
     """Iteration-level batching with prefill–decode interleaving."""
 
@@ -202,7 +220,8 @@ class ContinuousBatchScheduler(Scheduler):
 
     def plan_step(self, now: float) -> StepPlan:
         decode = [s for s in self.running if not s.done]
-        return StepPlan(prefill=self._admit_all(now), decode=decode)
+        prefill, ready = split_kv_ready(self._admit_all(now))
+        return StepPlan(prefill=prefill, decode=decode + ready)
 
 
 class StaticBatchScheduler(Scheduler):
@@ -213,7 +232,8 @@ class StaticBatchScheduler(Scheduler):
     def plan_step(self, now: float) -> StepPlan:
         if self.running:
             return StepPlan(decode=[s for s in self.running if not s.done])
-        return StepPlan(prefill=self._admit_all(now))
+        prefill, ready = split_kv_ready(self._admit_all(now))
+        return StepPlan(prefill=prefill, decode=ready)
 
 
 #: Scheduler registry for string-based construction.

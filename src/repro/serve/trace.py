@@ -52,6 +52,13 @@ class Request:
         from hashed blocks.  ``None`` means a fully private prompt.
     prefix_len:
         Length of that shared prefix in tokens (0 without a group).
+    kv_ready:
+        The prompt's KV is already materialized off-engine and arrives
+        with the request (a cluster KV migration after disaggregated
+        prefill): admission still reserves the full footprint but the
+        sequence skips prefill compute and decodes immediately.  Trace
+        generators never set this; :class:`repro.serve.ServingCluster`
+        does when a request migrates from a prefill to a decode replica.
     """
 
     req_id: int
@@ -61,6 +68,7 @@ class Request:
     priority: int = 0
     prefix_group: int | None = None
     prefix_len: int = 0
+    kv_ready: bool = False
 
     def __post_init__(self):
         if self.arrival_s < 0:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.arch import (
     NocConfig,
-    NocSystem,
     make_design,
     make_noc,
     simulate_workload,

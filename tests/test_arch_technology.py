@@ -1,6 +1,5 @@
 """Tests for the technology library, SRAM, and FIFO cost models."""
 
-import numpy as np
 import pytest
 
 from repro.arch import (

@@ -22,7 +22,6 @@ from repro.llm import (
     build_paged_step_ops,
     build_ragged_decode_ops,
     build_serving_step_ops,
-    gemm_macs,
     nonlinear_elements,
 )
 

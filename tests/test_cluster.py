@@ -1,0 +1,447 @@
+"""Cluster-serving tests: routers, event loop, disaggregation.
+
+ISSUE satellites pinned here:
+
+* determinism regression — same trace + seed + router gives identical
+  per-replica assignment and metrics on two independently built
+  clusters;
+* conservation — per-replica completed tokens sum to exactly the
+  single-engine totals for the same trace;
+* the aliasing bugfix — replicas fed from one trace get re-instantiated
+  ``Request`` objects, never the caller's.
+"""
+
+import pytest
+
+from repro.arch import make_design
+from repro.errors import ConfigError
+from repro.llm import ModelConfig
+from repro.serve import (
+    LengthSpec,
+    PrefixSpec,
+    Replica,
+    Request,
+    ServingCluster,
+    ServingEngine,
+    bursty_trace,
+    make_cluster,
+    make_router,
+    make_scheduler,
+    poisson_trace,
+    simulate_trace,
+)
+from repro.serve.router import (
+    LeastOutstandingRouter,
+    PowerOfTwoRouter,
+    PrefixAffinityRouter,
+    RoundRobinRouter,
+)
+
+TINY_GQA = ModelConfig(name="Tiny-GQA", family="llama2", n_layers=2,
+                       n_heads=16, n_kv_heads=2, hidden_dim=512,
+                       ffn_dim=1024, max_seq_len=2048, vocab_size=1000)
+SHORT = LengthSpec("uniform", low=4, high=48)
+PREFIX = PrefixSpec(share=0.5, n_groups=4,
+                    length=LengthSpec("fixed", value=32), dup_share=0.3)
+
+ROUTERS = ("round-robin", "least-outstanding", "power-of-two",
+           "prefix-affinity")
+
+
+def tiny_design():
+    return make_design("mugi", 64)
+
+
+def tiny_trace(n=40, rate=4.0, seed=3, prefix=PREFIX):
+    return poisson_trace(n_requests=n, rate_rps=rate, prompt=SHORT,
+                         output=SHORT, prefix=prefix, seed=seed)
+
+
+def tiny_cluster(n_replicas=3, router="round-robin", policy="paged",
+                 **kwargs):
+    return make_cluster(tiny_design(), TINY_GQA, n_replicas,
+                        policy=policy, router=router, **kwargs)
+
+
+class _StubReplica:
+    """Just enough replica surface for router unit tests."""
+
+    def __init__(self, index, outstanding):
+        self.index = index
+        self.outstanding_tokens = outstanding
+
+
+def _request(req_id=0, group=None, prefix_len=0):
+    return Request(req_id=req_id, arrival_s=0.0, prompt_len=16,
+                   output_len=4, prefix_group=group,
+                   prefix_len=prefix_len)
+
+
+class TestRouters:
+    def test_round_robin_cycles(self):
+        router = RoundRobinRouter()
+        reps = [_StubReplica(i, 0) for i in range(3)]
+        picks = [router.select(_request(i), reps).index for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+        router.reset()
+        assert router.select(_request(), reps).index == 0
+
+    def test_least_outstanding_picks_min_then_index(self):
+        router = LeastOutstandingRouter()
+        reps = [_StubReplica(0, 50), _StubReplica(1, 10),
+                _StubReplica(2, 10)]
+        assert router.select(_request(), reps).index == 1
+
+    def test_power_of_two_deterministic_per_seed(self):
+        reps = [_StubReplica(i, i * 10) for i in range(4)]
+        first = PowerOfTwoRouter(seed=5)
+        picks_a = [first.select(_request(i), reps).index
+                   for i in range(8)]
+        router = PowerOfTwoRouter(seed=5)
+        picks_b = [router.select(_request(i), reps).index
+                   for i in range(8)]
+        assert picks_a == picks_b
+        router.reset()
+        assert router.select(_request(), reps).index == picks_a[0]
+
+    def test_power_of_two_prefers_less_loaded_of_pair(self):
+        reps = [_StubReplica(0, 0), _StubReplica(1, 100)]
+        router = PowerOfTwoRouter()
+        for i in range(6):
+            assert router.select(_request(i), reps).index == 0
+
+    def test_prefix_affinity_sticks_per_group(self):
+        router = PrefixAffinityRouter(overload_factor=None)
+        reps = [_StubReplica(i, 0) for i in range(4)]
+        for group in range(8):
+            picks = {router.select(_request(i, group=group, prefix_len=8),
+                                   reps).index for i in range(5)}
+            assert len(picks) == 1
+
+    def test_prefix_affinity_ungrouped_uses_fallback(self):
+        router = PrefixAffinityRouter()
+        reps = [_StubReplica(0, 50), _StubReplica(1, 5)]
+        assert router.select(_request(), reps).index == 1
+
+    def test_prefix_affinity_overload_spills(self):
+        reps = [_StubReplica(0, 0), _StubReplica(1, 0)]
+        router = PrefixAffinityRouter(overload_factor=1.5)
+        group = next(g for g in range(16)
+                     if router.select(_request(group=g, prefix_len=8),
+                                      reps).index == 0)
+        request = _request(group=group, prefix_len=8)
+        reps[0].outstanding_tokens = 1000  # Far over 1.5x the mean.
+        assert router.select(request, reps).index == 1
+        reps[0].outstanding_tokens = 0
+        assert router.select(request, reps).index == 0
+
+    def test_make_router_validation(self):
+        with pytest.raises(ConfigError, match="unknown router"):
+            make_router("sticky")
+        with pytest.raises(ConfigError, match="ignored"):
+            make_router(RoundRobinRouter(), seed=3)
+        with pytest.raises(ConfigError, match="overload_factor"):
+            PrefixAffinityRouter(overload_factor=0.5)
+        assert make_router("power-of-two", seed=9).name == "power-of-two"
+
+
+class TestClusterDeterminism:
+    """ISSUE satellite: clusters are pure functions of (trace, router,
+    construction) — no hidden global state, no unseeded randomness."""
+
+    @pytest.mark.parametrize("router", ROUTERS)
+    def test_same_trace_same_assignment_and_metrics(self, router):
+        trace = tiny_trace()
+        runs = []
+        for _ in range(2):
+            report = tiny_cluster(router=router).run(trace)
+            runs.append((
+                report.routed,
+                [[r.request.req_id for r in rep.records]
+                 for rep in report.replicas],
+                [rep.summary() for rep in report.replicas],
+                report.summary(),
+            ))
+        assert runs[0] == runs[1]
+
+    def test_disaggregated_determinism(self):
+        trace = tiny_trace()
+        summaries = [tiny_cluster(4, mode="disaggregated").run(trace)
+                     .summary() for _ in range(2)]
+        assert summaries[0] == summaries[1]
+
+
+class TestConservation:
+    """ISSUE satellite: replica-sharded serving loses no tokens."""
+
+    @pytest.mark.parametrize("policy", ("continuous", "paged"))
+    def test_per_replica_tokens_sum_to_single_engine(self, policy):
+        trace = tiny_trace(n=30)
+        single = simulate_trace(tiny_design(), TINY_GQA, trace,
+                                policy=policy)
+        cluster = tiny_cluster(3, policy=policy).run(trace)
+        assert sum(r.generated_tokens for r in cluster.replicas) == \
+            single.generated_tokens
+        assert sum(r.completed for r in cluster.replicas) == \
+            single.completed == len(trace)
+        assert cluster.generated_tokens == single.generated_tokens
+
+    def test_single_replica_cluster_matches_engine_exactly(self):
+        """N=1 round-robin degenerates to the plain engine loop."""
+        trace = tiny_trace(n=25)
+        single = simulate_trace(tiny_design(), TINY_GQA, trace,
+                                policy="paged")
+        cluster = tiny_cluster(1).run(trace)
+        replica = cluster.replicas[0]
+        assert replica.makespan_s == pytest.approx(single.makespan_s)
+        assert replica.steps == single.steps
+        assert cluster.goodput_rps() == pytest.approx(
+            single.goodput_rps())
+
+    def test_disaggregated_conserves_output_tokens(self):
+        trace = tiny_trace(n=30)
+        report = tiny_cluster(4, mode="disaggregated").run(trace)
+        assert report.completed == len(trace)
+        assert report.generated_tokens == sum(r.output_len for r in trace)
+        # Halves: prefill replicas emit 1 token/request, decode the rest.
+        per_role = {"prefill": 0, "decode": 0}
+        for rep, role in zip(report.replicas,
+                             ("prefill", "prefill", "decode", "decode")):
+            per_role[role] += rep.generated_tokens
+        multi = sum(1 for r in trace if r.output_len > 1)
+        assert per_role["prefill"] == len(trace)
+        assert per_role["decode"] == report.generated_tokens - len(trace)
+        assert report.migrations == multi
+
+
+class TestRequestReinstantiation:
+    """ISSUE bugfix: replicas must not share the caller's (or each
+    other's) Request objects — per-replica state can never alias."""
+
+    def test_replica_requests_are_fresh_instances(self):
+        trace = tiny_trace(n=20)
+        by_id = {r.req_id: r for r in trace}
+        report = tiny_cluster(2).run(trace)
+        for rep in report.replicas:
+            for record in rep.records:
+                assert record.request == by_id[record.request.req_id]
+                assert record.request is not by_id[record.request.req_id]
+
+    def test_rerunning_same_trace_objects_is_safe(self):
+        trace = tiny_trace(n=15)
+        before = [Request(**{f: getattr(r, f) for f in (
+            "req_id", "arrival_s", "prompt_len", "output_len", "priority",
+            "prefix_group", "prefix_len", "kv_ready")}) for r in trace]
+        a = tiny_cluster(2).run(trace).summary()
+        b = tiny_cluster(2).run(trace).summary()
+        assert a == b
+        assert trace == before  # The cluster never mutates the trace.
+
+
+class TestKvReadyAdmission:
+    def test_continuous_admits_kv_ready_straight_to_decode(self):
+        scheduler = make_scheduler("continuous", TINY_GQA)
+        request = Request(req_id=0, arrival_s=0.0, prompt_len=32,
+                          output_len=4, kv_ready=True)
+        scheduler.enqueue(request)
+        plan = scheduler.plan_step(0.0)
+        assert plan.prefill == []
+        assert len(plan.decode) == 1
+        assert plan.decode[0].context_len == 32
+
+    def test_static_admits_kv_ready_straight_to_decode(self):
+        scheduler = make_scheduler("static", TINY_GQA)
+        request = Request(req_id=0, arrival_s=0.0, prompt_len=32,
+                          output_len=4, kv_ready=True)
+        scheduler.enqueue(request)
+        plan = scheduler.plan_step(0.0)
+        assert plan.prefill == [] and len(plan.decode) == 1
+
+    def test_paged_rejects_kv_ready(self):
+        scheduler = make_scheduler("paged", TINY_GQA)
+        request = Request(req_id=0, arrival_s=0.0, prompt_len=32,
+                          output_len=4, kv_ready=True)
+        assert "kv_ready" in scheduler.admission_error(request)
+        with pytest.raises(ConfigError, match="kv_ready"):
+            scheduler.enqueue(request)
+
+    def test_engine_serves_kv_ready_without_prefill_cost(self):
+        """A kv_ready request decodes output_len tokens, one per step."""
+        engine = ServingEngine(tiny_design(), TINY_GQA,
+                               make_scheduler("continuous", TINY_GQA))
+        engine.start()
+        engine.submit(Request(req_id=0, arrival_s=0.0, prompt_len=64,
+                              output_len=5, kv_ready=True))
+        while engine.has_work():
+            assert engine.step()
+        report = engine.finish()
+        assert report.steps == 5
+        record = report.records[0]
+        assert record.first_token_s > 0  # Set by the first decode step.
+
+
+class TestExternalClockApi:
+    def test_manual_loop_matches_run(self):
+        trace = bursty_trace(n_requests=12, burst_size=4,
+                             burst_period_s=30.0, prompt=SHORT,
+                             output=SHORT, seed=2)
+        auto = ServingEngine(tiny_design(), TINY_GQA,
+                             make_scheduler("continuous", TINY_GQA))
+        reference = auto.run(trace)
+
+        manual = ServingEngine(tiny_design(), TINY_GQA,
+                               make_scheduler("continuous", TINY_GQA))
+        manual.start(offered_rps=reference.offered_rps)
+        pending = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
+        idx = 0
+        while idx < len(pending) or manual.has_work():
+            while idx < len(pending) and \
+                    pending[idx].arrival_s <= manual.now:
+                manual.submit(pending[idx])
+                idx += 1
+            if not manual.step():
+                manual.advance_to(pending[idx].arrival_s)
+        report = manual.finish()
+        assert report.summary() == reference.summary()
+        assert report.busy_seconds == pytest.approx(
+            reference.busy_seconds)
+
+    def test_step_requires_started_session(self):
+        engine = ServingEngine(tiny_design(), TINY_GQA,
+                               make_scheduler("continuous", TINY_GQA))
+        with pytest.raises(ConfigError, match="start"):
+            engine.step()
+        with pytest.raises(ConfigError, match="start"):
+            engine.finish()
+
+    def test_submit_rejects_unservable(self):
+        engine = ServingEngine(tiny_design(), TINY_GQA,
+                               make_scheduler("continuous", TINY_GQA))
+        engine.start()
+        with pytest.raises(ConfigError, match="unservable"):
+            engine.submit(Request(req_id=0, arrival_s=0.0,
+                                  prompt_len=1500, output_len=1500))
+
+    def test_busy_seconds_bounded_by_makespan(self):
+        trace = tiny_trace(n=20)
+        report = simulate_trace(tiny_design(), TINY_GQA, trace,
+                                policy="continuous")
+        assert 0 < report.busy_seconds <= report.makespan_s + 1e-9
+        assert 0 < report.busy_fraction <= 1.0 + 1e-9
+
+
+class TestClusterValidation:
+    def test_empty_trace(self):
+        with pytest.raises(ConfigError, match="empty"):
+            tiny_cluster().run([])
+
+    def test_duplicate_req_ids(self):
+        request = _request(req_id=7)
+        with pytest.raises(ConfigError, match="duplicate"):
+            tiny_cluster().run([request, _request(req_id=7)])
+
+    def test_trace_must_not_preset_kv_ready(self):
+        bad = Request(req_id=0, arrival_s=0.0, prompt_len=16,
+                      output_len=4, kv_ready=True)
+        with pytest.raises(ConfigError, match="cluster-internal"):
+            tiny_cluster(policy="continuous").run([bad])
+
+    def test_unservable_trace_fails_fast(self):
+        bad = Request(req_id=0, arrival_s=0.0, prompt_len=1500,
+                      output_len=1500)
+        with pytest.raises(ConfigError, match="unservable"):
+            tiny_cluster().run([bad])
+
+    def test_mode_and_role_validation(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            ServingCluster([])
+        with pytest.raises(ConfigError, match="unknown cluster mode"):
+            tiny_cluster(mode="sharded")
+        with pytest.raises(ConfigError, match="prefill_replicas"):
+            tiny_cluster(prefill_replicas=1)  # Unified mode.
+        with pytest.raises(ConfigError, match=">= 2 replicas"):
+            tiny_cluster(1, mode="disaggregated")
+        with pytest.raises(ConfigError, match="prefill_replicas"):
+            tiny_cluster(3, mode="disaggregated", prefill_replicas=3)
+
+    def test_decode_replicas_must_support_kv_ready(self):
+        engines = [ServingEngine(tiny_design(), TINY_GQA,
+                                 make_scheduler("paged", TINY_GQA))
+                   for _ in range(2)]
+        with pytest.raises(ConfigError, match="decode replicas"):
+            ServingCluster(engines, mode="disaggregated",
+                           prefill_replicas=1)
+
+    def test_replicas_must_share_model(self):
+        other = ModelConfig(name="Other-GQA", family="llama2", n_layers=2,
+                            n_heads=16, n_kv_heads=2, hidden_dim=512,
+                            ffn_dim=1024, max_seq_len=2048,
+                            vocab_size=2000)
+        engines = [
+            ServingEngine(tiny_design(), TINY_GQA,
+                          make_scheduler("continuous", TINY_GQA)),
+            ServingEngine(tiny_design(), other,
+                          make_scheduler("continuous", other)),
+        ]
+        with pytest.raises(ConfigError, match="share a model"):
+            ServingCluster(engines)
+
+    def test_make_cluster_rejects_shared_block_manager(self):
+        from repro.serve import BlockManager
+        pool = BlockManager(TINY_GQA, 1e9)
+        with pytest.raises(ConfigError, match="alias"):
+            tiny_cluster(scheduler_kwargs={"block_manager": pool})
+
+    def test_per_replica_pools_are_distinct(self):
+        cluster = tiny_cluster(3)
+        pools = {id(rep.engine.scheduler.block_manager)
+                 for rep in cluster.replicas}
+        assert len(pools) == 3
+
+
+class TestDisaggregation:
+    def test_migration_timing_and_merge(self):
+        trace = tiny_trace(n=24, seed=9)
+        report = tiny_cluster(4, mode="disaggregated").run(trace)
+        assert report.mode == "disaggregated"
+        assert report.kv_transfer_bytes > 0
+        assert report.kv_transfer_seconds > 0
+        by_id = {r.req_id: r for r in trace}
+        for record in report.records:
+            origin = by_id[record.request.req_id]
+            assert record.request == origin
+            assert record.first_token_s >= origin.arrival_s
+            assert record.finish_s >= record.first_token_s
+            if origin.output_len > 1:
+                # The decode half ran after the transfer: TPOT absorbs
+                # the migration latency.
+                assert record.tpot_s > 0
+
+    def test_prefill_replicas_only_prefill(self):
+        trace = tiny_trace(n=24, seed=9)
+        cluster = tiny_cluster(4, mode="disaggregated")
+        report = cluster.run(trace)
+        roles = [rep.role for rep in cluster.replicas]
+        assert roles == ["prefill", "prefill", "decode", "decode"]
+        for rep, serving in zip(cluster.replicas, report.replicas):
+            if rep.role == "prefill":
+                # Every prefill-side record emits exactly one token.
+                assert all(r.request.output_len == 1
+                           for r in serving.records)
+            else:
+                assert all(r.request.kv_ready for r in serving.records)
+
+    def test_outstanding_tokens_view(self):
+        engine = ServingEngine(tiny_design(), TINY_GQA,
+                               make_scheduler("continuous", TINY_GQA,
+                                              max_batch=1))
+        replica = Replica(index=0, engine=engine)
+        assert replica.outstanding_tokens == 0
+        engine.start()
+        engine.submit(_request(req_id=0))
+        engine.submit(_request(req_id=1))
+        assert replica.outstanding_tokens == 2 * 20  # 16 + 4 each.
+        assert engine.step()
+        # One admitted (1 of its 20 footprint tokens generated), one
+        # still queued at its full footprint.
+        assert replica.outstanding_tokens == 20 + 19

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import precise
-from repro.core import VLPApproxConfig, VLPApproximator, make_vlp, vlp_softmax
+from repro.core import VLPApproxConfig, make_vlp, vlp_softmax
 from repro.errors import ConfigError
 
 
