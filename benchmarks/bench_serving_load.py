@@ -4,6 +4,12 @@ Runs the serving-load sweep (Poisson arrivals, ragged lengths, service
 batch 8) for Mugi vs the iso-area systolic/SIMD baselines and the tensor
 core, and times a 10k-request trace to pin down the cost-memoization
 speedup (the acceptance bar: < 30 s).
+
+Run directly with ``--profile`` to print the 10k-trace wall-clock split
+by subsystem (op/cost-surface build, scheduler logic, engine loop,
+metrics aggregation)::
+
+    PYTHONPATH=src python benchmarks/bench_serving_load.py --profile
 """
 
 import time
@@ -69,9 +75,56 @@ def test_serving_10k_trace_under_30s(save_result):
     assert elapsed < 30.0
     save_result("serving_10k_trace", "\n".join([
         "10k-request Poisson trace on Mugi (256), continuous batching:",
-        f"  wall time       {elapsed:.1f} s ({report.steps} engine steps)",
+        f"  wall time       {elapsed:.1f} s ({report.steps} engine steps, "
+        f"{report.leap_steps} leapt)",
         f"  goodput         {report.goodput_rps():.3f} req/s",
         f"  tokens/s        {report.throughput_tokens_s:.2f}",
         f"  p50 / p99 lat   {report.p50_latency_s:.1f} / "
         f"{report.p99_latency_s:.1f} s",
     ]))
+
+
+def _run_10k():
+    """The timed 10k-trace scenario, shared with ``--profile``."""
+    trace = poisson_trace(n_requests=10_000, rate_rps=2.0,
+                          prompt=serving_load_sweep.PROMPT_SPEC,
+                          output=serving_load_sweep.OUTPUT_SPEC, seed=7)
+    model = serving_load_sweep.SERVE_MODEL
+    return simulate_trace(
+        make_design("mugi", 256), model, trace, policy="continuous",
+        max_batch=8,
+        kv_capacity_bytes=model.kv_cache_bytes(seq_len=model.max_seq_len,
+                                               batch=8),
+        seq_len_bucket=32)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the 10k-request trace and print "
+                             "the wall-clock split by subsystem")
+    args = parser.parse_args(argv)
+    if args.profile:
+        import gate
+
+        start = time.perf_counter()
+        report = _run_10k()
+        wall = time.perf_counter() - start
+        print(f"10k trace: {wall:.2f} s wall, {report.steps} steps "
+              f"({report.leap_steps} leapt), cache "
+              f"{report.step_cache_hits}/{report.step_cache_misses} "
+              f"hit/miss")
+        total, buckets = gate.profile_split(_run_10k)
+        gate.print_split("serving_10k_trace", total, buckets)
+        return 0
+    print("run under pytest for the sweep benchmarks, or pass "
+          "--profile for the wall-clock split")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

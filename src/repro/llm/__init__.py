@@ -27,6 +27,7 @@ from .moe import (
     mixtral_like,
 )
 from .workload import (
+    StepCostSurface,
     build_chunked_prefill_ops,
     build_decode_ops,
     build_paged_step_ops,
@@ -47,6 +48,7 @@ __all__ = [
     "MODELS",
     "MoEConfig",
     "ModelConfig",
+    "StepCostSurface",
     "SWINV2_LARGE",
     "SWINV2_TINY",
     "VIVIT_BASE",

@@ -231,6 +231,93 @@ def _validate_step(decode_lens, prefill_lens) -> tuple:
     return decode_lens, prefill_lens, tokens, out_tokens
 
 
+def _qkv_op(config: ModelConfig, tokens: int, woq_bits: int) -> GemmOp:
+    """QKV projection: fused [h -> h + 2*kv_dim] over the step's tokens."""
+    h = config.hidden_dim
+    return GemmOp(m=tokens, k=h, n=h + 2 * config.kv_dim,
+                  kind="projection", weight_bits=woq_bits)
+
+
+def _out_proj_op(config: ModelConfig, tokens: int, woq_bits: int) -> GemmOp:
+    """Attention output projection over the step's tokens."""
+    h = config.hidden_dim
+    return GemmOp(m=tokens, k=h, n=h, kind="projection",
+                  weight_bits=woq_bits)
+
+
+def _ffn_ops(config: ModelConfig, tokens: int, woq_bits: int) -> list:
+    """FFN GEMMs — gated (SwiGLU) or plain — plus the activation pass."""
+    h = config.hidden_dim
+    ops: list = []
+    if config.gated_ffn:
+        ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
+                          weight_bits=woq_bits, count=2))
+    else:
+        ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
+                          weight_bits=woq_bits))
+    ops.append(NonlinearOp(op=config.activation,
+                           elements=tokens * config.ffn_dim))
+    ops.append(GemmOp(m=tokens, k=config.ffn_dim, n=h, kind="ffn",
+                      weight_bits=woq_bits))
+    return ops
+
+
+def _decode_attention_ops(config: ModelConfig, seq_len: int, seqs: int,
+                          kvq_bits: int) -> tuple:
+    """(qk, softmax, pv) of ``seqs`` decode sequences at one context.
+
+    Each (sequence, KV head) pair has its own KV cache, so one GEMM
+    instance per pair; the GQA group of Q heads sharing that cache forms
+    the GEMM batch (m = group — a GEMV when group == 1, the §2.3.1
+    utilization problem).  The KV cache is the quantized "weight"
+    operand streamed from off-chip.
+    """
+    d = config.head_dim
+    group = config.gqa_group
+    qk = GemmOp(m=group, k=d, n=seq_len, kind="attention_qk",
+                weight_bits=kvq_bits, count=seqs * config.n_kv_heads)
+    softmax = NonlinearOp(op="softmax",
+                          elements=seqs * config.n_heads * seq_len,
+                          rows=seqs * config.n_heads)
+    pv = GemmOp(m=group, k=seq_len, n=d, kind="attention_pv",
+                weight_bits=kvq_bits, count=seqs * config.n_kv_heads)
+    return qk, softmax, pv
+
+
+def _chunk_attention_ops(config: ModelConfig, past: int, new: int,
+                         seqs: int, kvq_bits: int) -> tuple:
+    """(qk ops, softmax, pv ops) of ``seqs`` prefill chunks (past, new).
+
+    The past KV streams from the cache like decode; the chunk's own
+    self-attention is quadratic over KV tiles just produced on chip
+    (``weights_resident``).
+    """
+    d = config.head_dim
+    group = config.gqa_group
+    count = seqs * config.n_kv_heads
+    qk_ops = []
+    if past:
+        qk_ops.append(GemmOp(m=new * group, k=d, n=past,
+                             kind="attention_qk", weight_bits=kvq_bits,
+                             count=count))
+    qk_ops.append(GemmOp(m=new * group, k=d, n=new,
+                         kind="attention_qk", weight_bits=kvq_bits,
+                         count=count, weights_resident=True))
+    softmax = NonlinearOp(op="softmax",
+                          elements=seqs * config.n_heads * new
+                          * (past + new),
+                          rows=seqs * config.n_heads * new)
+    pv_ops = []
+    if past:
+        pv_ops.append(GemmOp(m=new * group, k=past, n=d,
+                             kind="attention_pv", weight_bits=kvq_bits,
+                             count=count))
+    pv_ops.append(GemmOp(m=new * group, k=new, n=d,
+                         kind="attention_pv", weight_bits=kvq_bits,
+                         count=count, weights_resident=True))
+    return qk_ops, softmax, pv_ops
+
+
 def _step_layer_ops(config: ModelConfig, tokens: int, decode_lens,
                     chunks, woq_bits: int, kvq_bits: int,
                     include_aux_ops: bool) -> list:
@@ -246,85 +333,41 @@ def _step_layer_ops(config: ModelConfig, tokens: int, decode_lens,
 
     Every layer of the step is identical, so the step builders repeat
     this list ``n_layers`` times, and the tensor/pipeline partitioner
-    (:mod:`repro.parallel`) shards it per layer.
+    (:mod:`repro.parallel`) shards it per layer.  The individual op
+    constructors are shared with :class:`StepCostSurface`, which prices
+    the same components out of emission order — keep them in sync.
     """
     ops: list = []
     h = config.hidden_dim
     d = config.head_dim
-    group = config.gqa_group
     #: Sequences sharing a context length share one (counted) GEMM.
     decode_groups = sorted(Counter(decode_lens).items())
     chunk_groups = sorted(Counter(chunks).items())
+    attn = [_decode_attention_ops(config, seq_len, seqs, kvq_bits)
+            for seq_len, seqs in decode_groups]
+    chunk_attn = [_chunk_attention_ops(config, past, new, seqs, kvq_bits)
+                  for (past, new), seqs in chunk_groups]
 
     if include_aux_ops:
         ops.append(NonlinearOp(op="layernorm", elements=tokens * h))
-    # QKV projection: fused [h -> h + 2*kv_dim].
-    ops.append(GemmOp(m=tokens, k=h, n=h + 2 * config.kv_dim,
-                      kind="projection", weight_bits=woq_bits))
+    ops.append(_qkv_op(config, tokens, woq_bits))
     if include_aux_ops:
         # RoPE rotates the new Q and K vectors (sin + cos lookups
         # per pair lane; see repro.core.rope).
         rope_elements = tokens * (config.n_heads + config.n_kv_heads) * d
         ops.append(NonlinearOp(op="rope", elements=rope_elements))
-    # Decode attention: each (sequence, KV head) pair has its own KV
-    # cache, so one GEMM instance per pair; the GQA group of Q heads
-    # sharing that cache forms the GEMM batch (m = group — a GEMV
-    # when group == 1, the §2.3.1 utilization problem).  The KV cache
-    # is the quantized "weight" operand streamed from off-chip.
-    for seq_len, seqs in decode_groups:
-        ops.append(GemmOp(m=group, k=d, n=seq_len,
-                          kind="attention_qk", weight_bits=kvq_bits,
-                          count=seqs * config.n_kv_heads))
-    # Chunk attention: the past KV streams from the cache like decode;
-    # the chunk's own self-attention is quadratic over KV tiles just
-    # produced on chip.
-    for (past, new), seqs in chunk_groups:
-        if past:
-            ops.append(GemmOp(m=new * group, k=d, n=past,
-                              kind="attention_qk", weight_bits=kvq_bits,
-                              count=seqs * config.n_kv_heads))
-        ops.append(GemmOp(m=new * group, k=d, n=new,
-                          kind="attention_qk", weight_bits=kvq_bits,
-                          count=seqs * config.n_kv_heads,
-                          weights_resident=True))
-    for seq_len, seqs in decode_groups:
-        ops.append(NonlinearOp(op="softmax",
-                               elements=seqs * config.n_heads * seq_len,
-                               rows=seqs * config.n_heads))
-    for (past, new), seqs in chunk_groups:
-        ops.append(NonlinearOp(
-            op="softmax",
-            elements=seqs * config.n_heads * new * (past + new),
-            rows=seqs * config.n_heads * new))
-    for seq_len, seqs in decode_groups:
-        ops.append(GemmOp(m=group, k=seq_len, n=d,
-                          kind="attention_pv", weight_bits=kvq_bits,
-                          count=seqs * config.n_kv_heads))
-    for (past, new), seqs in chunk_groups:
-        if past:
-            ops.append(GemmOp(m=new * group, k=past, n=d,
-                              kind="attention_pv", weight_bits=kvq_bits,
-                              count=seqs * config.n_kv_heads))
-        ops.append(GemmOp(m=new * group, k=new, n=d,
-                          kind="attention_pv", weight_bits=kvq_bits,
-                          count=seqs * config.n_kv_heads,
-                          weights_resident=True))
-    # Output projection.
-    ops.append(GemmOp(m=tokens, k=h, n=h, kind="projection",
-                      weight_bits=woq_bits))
+    ops.extend(qk for qk, _, _ in attn)
+    for qk_ops, _, _ in chunk_attn:
+        ops.extend(qk_ops)
+    ops.extend(softmax for _, softmax, _ in attn)
+    ops.extend(softmax for _, softmax, _ in chunk_attn)
+    ops.extend(pv for _, _, pv in attn)
+    for _, _, pv_ops in chunk_attn:
+        ops.extend(pv_ops)
+    ops.append(_out_proj_op(config, tokens, woq_bits))
     if include_aux_ops:
         ops.append(NonlinearOp(op="layernorm", elements=tokens * h))
-    # FFN: gated (SwiGLU) or plain.
-    if config.gated_ffn:
-        ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
-                          weight_bits=woq_bits, count=2))
-    else:
-        ops.append(GemmOp(m=tokens, k=h, n=config.ffn_dim, kind="ffn",
-                          weight_bits=woq_bits))
-    ops.append(NonlinearOp(op=config.activation,
-                           elements=tokens * config.ffn_dim))
-    ops.append(GemmOp(m=tokens, k=config.ffn_dim, n=h, kind="ffn",
-                      weight_bits=woq_bits))
+    ops.extend(_ffn_ops(config, tokens, woq_bits))
     return ops
 
 
@@ -410,6 +453,235 @@ def build_prefill_ops(config: ModelConfig, batch: int, seq_len: int,
         ops.append(GemmOp(m=tokens, k=config.ffn_dim, n=h, kind="ffn",
                           weight_bits=woq_bits))
     return ops
+
+
+class StepCostSurface:
+    """Precomputed per-design cost tables for fused serving steps.
+
+    Walking a serving step's full operator list through
+    :func:`repro.arch.simulate_workload` costs ~100 op constructions and
+    cost-model calls per step even when every per-op cost is memoized on
+    the design.  A step's aggregate cost, though, is *additive* over its
+    ops, and a serving step only ever mixes four component families:
+
+    * the token-batched projection/FFN block (keyed by the step's token
+      count),
+    * decode attention groups (keyed by context length × sequences),
+    * chunked-prefill attention groups (keyed by past × new ×
+      sequences),
+    * the LM head (keyed by output tokens).
+
+    This surface prices each distinct component once — with exactly the
+    ops the step builders emit, so every per-op cost is bit-identical to
+    the op-list path — and assembles any bucketed step signature as a
+    table sum.  Versus ``simulate_workload`` over the equivalent op
+    list, results differ only in float-summation *associativity*
+    (components are summed per layer and scaled by ``n_layers`` instead
+    of one long sequential reduction): relative drift is ~1e-14, and MAC
+    counts stay exact integers.
+
+    One surface serves one ``(design, config, woq/kvq bits, lm_head)``
+    combination; :mod:`repro.serve.costs` shares surfaces (and the
+    signature-level result cache built on top) across engines serving
+    identical replicas.  Like the design-level cost memo, a surface
+    assumes the design is immutable once it has priced anything.
+
+    Auxiliary ops (``include_aux_ops``) are not supported — the serving
+    engine never emits them; use the op builders directly for those
+    graphs.
+    """
+
+    #: Accumulator layout: indices 0–3 are per-kind cycles and 4–7
+    #: per-kind dynamic energy (projection, attention, ffn, nonlinear),
+    #: followed by the communication terms a sharded design attaches to
+    #: its ops.
+    _E_COMM, _HBM, _COMM_S = 8, 9, 10
+    _WIDTH = 11
+    #: Component tables are cleared when they outgrow this bound (a
+    #: trace with pathologically varied prefill token counts would
+    #: otherwise grow the dense table without limit); rebuilding a
+    #: component costs a handful of memoized cost-model calls.
+    MAX_COMPONENTS = 32768
+
+    def __init__(self, design, config: ModelConfig, woq_bits: int = 4,
+                 kvq_bits: int = 4, include_lm_head: bool = True,
+                 tech=None):
+        from ..arch.simulator import SimulationResult
+        self._result_cls = SimulationResult
+        self.design = design
+        self.config = config
+        self.woq_bits = woq_bits
+        self.kvq_bits = kvq_bits
+        self.include_lm_head = include_lm_head
+        self.tech = tech if tech is not None \
+            else getattr(design, "tech", None)
+        if self.tech is None:
+            from ..arch.technology import TECH_45NM
+            self.tech = TECH_45NM
+        # Per-design constants the op-list path recomputed every call.
+        self._design_name = getattr(design, "name", type(design).__name__)
+        self._area_mm2 = design.area_mm2
+        self._leakage_w = design.leakage_w()
+        self._comm_overlap = getattr(design, "comm_overlap", 0.0)
+        self._tables: dict[str, dict] = {
+            "dense": {}, "decode": {}, "chunk": {}, "head": {}}
+
+    # -- component pricing ----------------------------------------------
+    def _decode_component(self, seq_len: int, seqs: int) -> tuple:
+        """Decode-attention component of ``seqs`` sequences at one
+        context length."""
+        return self._component(
+            "decode", (seq_len, seqs),
+            lambda: _decode_attention_ops(self.config, seq_len, seqs,
+                                          self.kvq_bits))
+
+    def _accumulate(self, ops) -> tuple:
+        """(vector, macs) of an op sublist — the simulate_workload sums.
+
+        Vectors are plain float lists: they are 11 wide and summed a
+        few dozen at a time per step, where Python-level adds beat
+        numpy's per-array overhead.
+        """
+        vec = [0.0] * self._WIDTH
+        macs = 0
+        design = self.design
+        for op in ops:
+            if isinstance(op, GemmOp):
+                cost = design.gemm_cost(op)
+                macs += op.macs * op.count
+                if op.kind in ("attention_qk", "attention_pv",
+                               "attention"):
+                    kind = 1
+                elif op.kind == "ffn":
+                    kind = 2
+                else:
+                    kind = 0
+            else:
+                cost = design.nonlinear_cost(op)
+                kind = 3
+            count = op.count
+            vec[kind] += cost.cycles * count
+            vec[4 + kind] += cost.energy_pj * count
+            vec[self._E_COMM] += cost.comm_energy_pj * count
+            vec[self._HBM] += cost.hbm_bytes * count
+            vec[self._COMM_S] += cost.comm_seconds * count
+        return vec, macs
+
+    def _component(self, table: str, key, builder) -> tuple:
+        cache = self._tables[table]
+        hit = cache.get(key)
+        if hit is None:
+            if len(cache) >= self.MAX_COMPONENTS:
+                cache.clear()
+            hit = cache[key] = self._accumulate(builder())
+        return hit
+
+    def _dense(self, tokens: int) -> tuple:
+        config = self.config
+        return self._component(
+            "dense", tokens,
+            lambda: [_qkv_op(config, tokens, self.woq_bits),
+                     _out_proj_op(config, tokens, self.woq_bits),
+                     *_ffn_ops(config, tokens, self.woq_bits)])
+
+    def _chunk(self, past: int, new: int, seqs: int) -> tuple:
+        def build():
+            qk_ops, softmax, pv_ops = _chunk_attention_ops(
+                self.config, past, new, seqs, self.kvq_bits)
+            return [*qk_ops, softmax, *pv_ops]
+        return self._component("chunk", (past, new, seqs), build)
+
+    def _head(self, out_tokens: int) -> tuple:
+        return self._component(
+            "head", out_tokens,
+            lambda: [_lm_head_op(self.config, out_tokens, self.woq_bits)])
+
+    # -- signature pricing ----------------------------------------------
+    def price_step(self, prefill_lens, decode_lens, chunk_hist):
+        """Price one engine step signature into a ``SimulationResult``.
+
+        The inputs are the three parts of
+        :meth:`repro.serve.ServingEngine._signature`: bucketed prompt
+        lengths, the sorted multiset of bucketed decode context
+        lengths, and a ``(((past, new, finishes), count), ...)`` chunk
+        histogram.  Whole-prompt prefills fold into ``(0, prompt)``
+        chunks that finish immediately — exactly the mapping the
+        engine's op-list lowering applies — so both scheduler families
+        price through one surface.
+        """
+        n_decode = len(decode_lens)
+        batch = n_decode + len(prefill_lens) \
+            + sum(count for _, count in chunk_hist)
+        if batch == 0:
+            raise ConfigError("step needs at least one active sequence")
+        if chunk_hist or prefill_lens:
+            pairs: Counter = Counter()
+            n_finishing = 0
+            for (past, new, finishes), count in chunk_hist:
+                pairs[(past, new)] += count
+                if finishes:
+                    n_finishing += count
+            for prompt in prefill_lens:
+                pairs[(0, prompt)] += 1
+            n_finishing += len(prefill_lens)
+            out_tokens = n_decode + n_finishing
+            tokens = n_decode + sum(new * count
+                                    for (_, new), count in pairs.items())
+        else:
+            pairs = None
+            out_tokens = tokens = n_decode
+
+        part, macs = self._dense(tokens)
+        parts = [part]
+        # Counter preserves first-occurrence order, and decode_lens is
+        # sorted, so groups accumulate in ascending context order — the
+        # same order a per-group loop would use.
+        for seq_len, seqs in Counter(decode_lens).items():
+            part, part_macs = self._decode_component(seq_len, seqs)
+            parts.append(part)
+            macs += part_macs
+        if pairs is not None:
+            for (past, new), seqs in pairs.items():
+                part, part_macs = self._chunk(past, new, seqs)
+                parts.append(part)
+                macs += part_macs
+        n_layers = self.config.n_layers
+        # C-level column sums; sum() folds left-to-right from 0.0, which
+        # adds exactly like the explicit accumulate-in-order loop.
+        vec = [column_sum * n_layers
+               for column_sum in map(sum, zip(*parts))]
+        macs *= n_layers
+        if self.include_lm_head and out_tokens > 0:
+            part, part_macs = self._head(out_tokens)
+            vec = [v + h for v, h in zip(vec, part)]
+            macs += part_macs
+
+        tech = self.tech
+        total_cycles = vec[0] + vec[1] + vec[2] + vec[3]
+        energy_pj = vec[4] + vec[5] + vec[6] + vec[7] + vec[self._E_COMM]
+        comm_seconds = vec[self._COMM_S]
+        cycles_by_kind = {
+            "projection": vec[0], "attention": vec[1],
+            "ffn": vec[2], "nonlinear": vec[3],
+            "collective": comm_seconds * tech.frequency_hz}
+        energy_by_kind = {
+            "projection": vec[4], "attention": vec[5],
+            "ffn": vec[6], "nonlinear": vec[7],
+            "collective": vec[self._E_COMM]}
+        return self._result_cls(
+            design_name=self._design_name,
+            tokens_per_step=batch,
+            compute_seconds=total_cycles * tech.cycle_seconds,
+            memory_seconds=vec[self._HBM] / tech.hbm_bandwidth_bytes,
+            dynamic_energy_j=energy_pj * 1e-12,
+            area_mm2=self._area_mm2,
+            leakage_w=self._leakage_w,
+            cycles_by_kind=cycles_by_kind,
+            energy_by_kind=energy_by_kind,
+            hbm_bytes=vec[self._HBM],
+            total_macs=macs,
+            comm_seconds=comm_seconds,
+            comm_overlap=self._comm_overlap)
 
 
 def gemm_macs(ops: list) -> int:

@@ -34,6 +34,7 @@ Quick start::
 """
 
 from .cluster import Replica, ServingCluster, make_cluster
+from .costs import StepCostCache, step_cost_store
 from .engine import ServingEngine, simulate_trace
 from .kv_cache import BlockManager, BlockPoolStats
 from .metrics import (
@@ -115,6 +116,7 @@ __all__ = [
     "ServingEngine",
     "ServingReport",
     "StaticBatchScheduler",
+    "StepCostCache",
     "StepPlan",
     "bursty_trace",
     "make_cluster",
@@ -125,4 +127,5 @@ __all__ = [
     "poisson_trace",
     "simulate_trace",
     "steady_trace",
+    "step_cost_store",
 ]

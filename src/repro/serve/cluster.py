@@ -72,18 +72,13 @@ class Replica:
         context, not just its remaining outputs.  Works across both
         scheduler families (peak-reservation ``queue`` of requests vs
         the paged ``waiting``/``running``/``swapped`` state lists).
+
+        Routers read this once or more per arrival, so both scheduler
+        families maintain it incrementally (enqueue / generation /
+        release) instead of walking their queues here; the conservation
+        test suite pins the counter to the walked sum.
         """
-        scheduler = self.engine.scheduler
-        queue = getattr(scheduler, "queue", None)
-        if queue is not None:
-            pending = sum(r.total_tokens for r in queue)
-            states = list(scheduler.running)
-        else:
-            pending = 0
-            states = (scheduler.waiting + scheduler.running
-                      + scheduler.swapped)
-        return pending + sum(
-            max(s.request.total_tokens - s.generated, 0) for s in states)
+        return self.engine.scheduler.outstanding_tokens
 
 
 def _offered_rps(arrivals: list) -> float:
@@ -189,28 +184,50 @@ class ServingCluster:
         return [r for r in self.replicas if r.role == "decode"]
 
     # -- validation ------------------------------------------------------
+    @staticmethod
+    def _distinct_schedulers(replicas: list) -> list:
+        """One scheduler per admission-equivalent class.
+
+        ``admission_error`` is a pure function of the scheduler's
+        construction parameters (model, capacity, quantization, block
+        geometry), so identical replicas — the common case — need only
+        one probe per request instead of N.
+        """
+        probes: dict = {}
+        for rep in replicas:
+            scheduler = rep.engine.scheduler
+            manager = getattr(scheduler, "block_manager", None)
+            key = (type(scheduler), scheduler.config,
+                   scheduler.kv_capacity_bytes, scheduler.kvq_bits,
+                   None if manager is None
+                   else (manager.num_blocks, manager.block_size))
+            probes.setdefault(key, scheduler)
+        return list(probes.values())
+
     def _validate(self, pending: list) -> None:
         """Whole-trace admission check before simulating anything."""
         ids = {r.req_id for r in pending}
         if len(ids) != len(pending):
             raise ConfigError("trace has duplicate req_ids; cluster "
                               "completion merging needs unique ids")
-        decode_targets = self._decode_targets()
+        arrival_probes = self._distinct_schedulers(
+            self._arrival_targets())
+        decode_probes = self._distinct_schedulers(self._decode_targets())
         for request in pending:
             if request.kv_ready:
                 raise ConfigError(
                     f"request {request.req_id} sets kv_ready; that flag "
                     f"is cluster-internal (set on KV migration)")
-            for rep in self._arrival_targets():
-                error = rep.engine.scheduler.admission_error(
-                    request if self.mode == "unified"
-                    else replace(request, output_len=1))
+            probe = request if self.mode == "unified" \
+                else replace(request, output_len=1)
+            for scheduler in arrival_probes:
+                error = scheduler.admission_error(probe)
                 if error:
                     raise ConfigError(f"unservable trace: {error}")
             if self.mode == "disaggregated" and request.output_len > 1:
                 probe = self._decode_request(request, arrival_s=0.0)
-                for rep in decode_targets:
-                    error = rep.engine.scheduler.admission_error(probe)
+                for scheduler in decode_probes:
+                    error = scheduler.admission_error(probe)
                     if error:
                         raise ConfigError(f"unservable trace: {error}")
 
@@ -239,6 +256,25 @@ class ServingCluster:
             + self.interconnect.link_latency_s
         return moved, seconds
 
+    def _leap_horizon(self, rep: Replica, next_event: float) -> float:
+        """How far ``rep``'s step may safely leap.
+
+        Unified and prefill replicas only ever receive trace arrivals,
+        all of which are known, so the next pending event bounds them.
+        A decode replica additionally receives KV migrations that do
+        not exist yet: a prefill completion at time ``f`` enqueues a
+        migration arriving strictly after ``f``, and ``f`` can be no
+        earlier than that replica's current clock — so the earliest
+        busy prefill clock also bounds the horizon.
+        """
+        if rep.role != "decode":
+            return next_event
+        for other in self.replicas:
+            if other.role == "prefill" and other.engine.has_work() and \
+                    other.engine.now < next_event:
+                next_event = other.engine.now
+        return next_event
+
     # -- the cluster event loop ------------------------------------------
     def run(self, trace: list[Request]) -> ClusterReport:
         """Serve a trace across the replicas; merge into one report."""
@@ -254,8 +290,7 @@ class ServingCluster:
             rep.arrivals = []
 
         inf = float("inf")
-        migrations: list = []   # heap of (arrival_s, seq, Request)
-        event_seq = 0
+        migrations: list = []   # heap of (arrival_s, req_id, Request)
         origins: dict[int, Request] = {}
         prefill_half: dict[int, RequestRecord] = {}
         merged: list[RequestRecord] = []
@@ -274,8 +309,7 @@ class ServingCluster:
 
         def drain(rep: Replica) -> None:
             """Fold a replica's new completions into the cluster view."""
-            nonlocal event_seq, n_migrations, transfer_bytes, \
-                transfer_seconds
+            nonlocal n_migrations, transfer_bytes, transfer_seconds
             records = rep.engine.report.records
             fresh = records[seen_records[rep.index]:]
             seen_records[rep.index] = len(records)
@@ -304,26 +338,36 @@ class ServingCluster:
                     transfer_seconds += seconds
                     sub = self._decode_request(
                         origin, arrival_s=record.finish_s + seconds)
+                    # Tie-break by req_id, not push order: leaping can
+                    # reorder which replica drains first, and the heap
+                    # order must not depend on that.
                     heapq.heappush(migrations,
-                                   (sub.arrival_s, event_seq, sub))
-                    event_seq += 1
+                                   (sub.arrival_s, sub.req_id, sub))
                     prefill_half[origin.req_id] = record
 
         idx = 0
+        n_pending = len(pending)
         while True:
-            arrival_t = pending[idx].arrival_s if idx < len(pending) \
+            arrival_t = pending[idx].arrival_s if idx < n_pending \
                 else inf
             migration_t = migrations[0][0] if migrations else inf
-            next_event = min(arrival_t, migration_t)
-            workers = [rep for rep in self.replicas
-                       if rep.engine.has_work()]
-            worker = min(workers,
-                         key=lambda rep: (rep.engine.now, rep.index)) \
-                if workers else None
-            if worker is not None and worker.engine.now < next_event:
+            next_event = arrival_t if arrival_t <= migration_t \
+                else migration_t
+            # Earliest busy replica, ties to the lowest index (inlined
+            # min: this loop runs once per committed step).
+            worker = None
+            worker_now = inf
+            for rep in self.replicas:
+                if rep.engine.has_work() and rep.engine.now < worker_now:
+                    worker = rep
+                    worker_now = rep.engine.now
+            if worker is not None and worker_now < next_event:
                 # Every arrival up to this step's start is routed, so
-                # the step is causally committed.
-                if worker.engine.step():
+                # the step is causally committed — and every leapt step
+                # starts strictly before the horizon, so the same holds
+                # for each step inside the leap.
+                if worker.engine.step(
+                        horizon=self._leap_horizon(worker, next_event)):
                     drain(worker)
                 elif next_event == inf:
                     raise ConfigError(

@@ -7,22 +7,39 @@ The engine advances a clock step by step.  Each step it
    prefill + running sequences to decode; the paged schedulers of
    :mod:`repro.serve.policy` hand back budgeted prefill *chunks* and
    may charge host-link swap time for preempted KV);
-3. lowers that *ragged* active set to one fused operator graph
-   (:func:`repro.llm.workload.build_serving_step_ops`: projections and
-   FFN GEMMs shared by every active token so model weights stream once
-   per step, attention per context length) and prices it with
-   :func:`repro.arch.simulate_workload` on any Table 2 design, NoC
-   system, or tensor/pipeline-sharded deployment
-   (:class:`repro.parallel.ShardedSystem`);
+3. prices that *ragged* active set as one fused step — the graph
+   :func:`repro.llm.workload.build_serving_step_ops` describes:
+   projections and FFN GEMMs shared by every active token so model
+   weights stream once per step, attention per context length — on any
+   Table 2 design, NoC system, or tensor/pipeline-sharded deployment
+   (:class:`repro.parallel.ShardedSystem`), through the per-design cost
+   surface (equivalent to :func:`repro.arch.simulate_workload` over the
+   op list, without rebuilding it);
 4. advances the clock by the step's roofline time — for sharded
    deployments that roofline overlaps compute with the step's exposed
    collective-communication time — and credits one token to every
    active sequence (the prefill step emits the first token).
 
 Steps over near-identical active sets dominate a trace, so the engine
-caches whole-step costs keyed by the active set's length signature
-(optionally bucketing context lengths, which is what lets a 10k-request
-trace finish in seconds on top of the design layer's op-cost memoization).
+prices steps through a shared, LRU-bounded cache keyed by the active
+set's length signature (:mod:`repro.serve.costs` — cluster replicas of
+one design share it), with misses priced by the precomputed per-design
+cost surface (:class:`repro.llm.workload.StepCostSurface`) instead of
+re-walking a full operator list.
+
+On top of that sits **decode leaping**: when a step's active set is
+quiescent — pure decode, no completion, no ``seq_len_bucket`` crossing,
+and no arrival before the caller-provided horizon — :meth:`step` leaps
+the following K steps analytically: the committed step's cost is
+re-applied per leapt step with the exact same sequential float
+arithmetic the stepwise loop would use, KV/block growth lands in bulk
+(:meth:`repro.serve.Scheduler.commit_leap` /
+:meth:`repro.serve.BlockManager.extend_bulk`), and the per-step
+KV-utilization series is reconstructed exactly, so a leaping run's
+:class:`~repro.serve.ServingReport` is bit-identical to step-by-step
+execution.  Leaping needs ``seq_len_bucket > 1`` (exact mode changes
+every step's signature) and falls back to stepwise execution whenever a
+chunked prefill, swap, admission, or completion is in flight.
 
 The engine no longer has to own the event loop: :meth:`ServingEngine.run`
 drives the classic single-engine trace-to-completion loop, but the
@@ -31,18 +48,20 @@ primitives it is built from — :meth:`~ServingEngine.start` /
 :meth:`~ServingEngine.advance_to` / :meth:`~ServingEngine.finish` — are
 public, so an external clock (the multi-replica
 :class:`repro.serve.ServingCluster`) can interleave many engines'
-steps against one global arrival stream.
+steps against one global arrival stream, passing each step the arrival
+horizon up to which leaping is safe.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 
-from ..arch.simulator import SimulationResult, simulate_workload
+from ..arch.simulator import SimulationResult
 from ..arch.technology import TECH_45NM
 from ..errors import ConfigError
 from ..llm.config import ModelConfig
-from ..llm.workload import build_paged_step_ops, build_serving_step_ops
+from .costs import step_cost_store
 from .metrics import RequestRecord, ServingReport
 from .scheduler import Scheduler, StepPlan, make_scheduler
 from .trace import Request, offered_load_rps
@@ -67,12 +86,18 @@ class ServingEngine:
     seq_len_bucket:
         Round context/prompt lengths up to this multiple *for costing
         only* (KV accounting stays exact).  1 keeps costs exact; larger
-        buckets collapse near-identical steps onto cached costs.
+        buckets collapse near-identical steps onto cached costs and
+        enable decode leaping.
+    leap:
+        Enable the decode-leaping fast path (exact; see the module
+        docstring).  Disable to force stepwise execution — the
+        regression tests diff the two.
     """
 
     def __init__(self, design, config: ModelConfig, scheduler: Scheduler,
                  woq_bits: int = 4, kvq_bits: int = 4,
-                 include_lm_head: bool = True, seq_len_bucket: int = 1):
+                 include_lm_head: bool = True, seq_len_bucket: int = 1,
+                 leap: bool = True):
         if seq_len_bucket < 1:
             raise ConfigError("seq_len_bucket must be >= 1")
         if scheduler.config != config:
@@ -93,69 +118,58 @@ class ServingEngine:
         self.kvq_bits = kvq_bits
         self.include_lm_head = include_lm_head
         self.seq_len_bucket = seq_len_bucket
+        self.leap = leap
         self.tech = getattr(design, "tech", TECH_45NM)
-        self._step_cache: dict = {}
+        store = step_cost_store(design, config, woq_bits, kvq_bits,
+                                include_lm_head, tech=self.tech)
+        #: Shared across every engine on this (design, config, bits)
+        #: combination — cluster replicas price each signature once.
+        self._step_cache = store.cache
+        self._surface = store.surface
+        self._cache_hits = 0
+        self._cache_misses = 0
         self._report: ServingReport | None = None
         self._now = 0.0
 
     # -- step lowering --------------------------------------------------
-    def _bucket(self, tokens: int) -> int:
-        b = self.seq_len_bucket
-        return -(-tokens // b) * b
-
     def _signature(self, plan: StepPlan) -> tuple:
-        """Cost-equivalence key of a step's active set."""
-        prefill = tuple(sorted(self._bucket(s.request.prompt_len)
+        """Cost-equivalence key of a step's active set.
+
+        The decode part is the *sorted multiset* of bucketed context
+        lengths (equivalent to a histogram, cheaper to build — this
+        runs every planned step); the cost surface groups it on cache
+        misses only.  The ceil-to-bucket rounding ``-(-x // b) * b`` is
+        inlined here and mirrored by :meth:`_leap_window`'s crossing
+        check — change them together.
+        """
+        b = self.seq_len_bucket
+        prefill = tuple(sorted(-(-s.request.prompt_len // b) * b
                                for s in plan.prefill))
-        decode = tuple(sorted(Counter(
-            self._bucket(s.context_len) for s in plan.decode).items()))
+        decode = tuple(sorted(-(-s.context_len // b) * b
+                              for s in plan.decode))
         # Chunked prefill: past KV is bucketed like decode context; the
         # chunk itself is budget-sized and stays exact.  Whether a chunk
         # finishes matters because only finishing chunks cross the LM
         # head.
-        chunks = tuple(sorted(Counter(
-            (self._bucket(t.past) if t.past else 0, t.new, t.finishes)
+        chunks = () if not plan.chunks else tuple(sorted(Counter(
+            (-(-t.past // b) * b if t.past else 0, t.new, t.finishes)
             for t in plan.chunks).items()))
         return prefill, decode, chunks
-
-    def _step_ops(self, prefill_lens: tuple, decode_hist: tuple,
-                  chunk_hist: tuple) -> list:
-        decode_lens = [length for length, count in decode_hist
-                       for _ in range(count)]
-        if chunk_hist:
-            chunks = [(past, new) for (past, new, _), count in chunk_hist
-                      for _ in range(count)]
-            n_finishing = sum(count for (_, _, fin), count in chunk_hist
-                              if fin)
-            # Whole-prompt prefills (if a plan ever mixes both forms)
-            # are the (0, prompt) chunk that finishes immediately.
-            chunks += [(0, s) for s in prefill_lens]
-            n_finishing += len(prefill_lens)
-            return build_paged_step_ops(
-                self.config, decode_lens=decode_lens, chunks=chunks,
-                n_finishing=n_finishing, woq_bits=self.woq_bits,
-                kvq_bits=self.kvq_bits,
-                include_lm_head=self.include_lm_head)
-        return build_serving_step_ops(
-            self.config, decode_lens=decode_lens,
-            prefill_lens=prefill_lens, woq_bits=self.woq_bits,
-            kvq_bits=self.kvq_bits,
-            include_lm_head=self.include_lm_head)
 
     def _step_cost(self, plan: StepPlan) -> SimulationResult:
         key = self._signature(plan)
         result = self._step_cache.get(key)
-        if result is None:
-            ops = self._step_ops(*key)
-            result = simulate_workload(self.design, ops,
-                                       tokens_per_step=plan.batch,
-                                       tech=self.tech)
-            if self.seq_len_bucket > 1:
-                # In exact mode nearly every step's signature is unique
-                # (contexts grow each step), so caching would only
-                # accumulate memory; the design layer's op-cost cache
-                # still carries the speedup.
-                self._step_cache[key] = result
+        if result is not None:
+            self._cache_hits += 1
+            return result
+        self._cache_misses += 1
+        result = self._surface.price_step(*key)
+        if self.seq_len_bucket > 1:
+            # In exact mode nearly every step's signature is unique
+            # (contexts grow each step), so storing would only churn
+            # the LRU; the surface's component tables still carry the
+            # speedup.
+            self._step_cache.put(key, result)
         return result
 
     # -- externally clocked session --------------------------------------
@@ -188,6 +202,8 @@ class ServingEngine:
             kv_capacity_bytes=self.scheduler.kv_capacity_bytes,
             offered_rps=offered_rps)
         self._now = 0.0
+        self._cache_hits = 0
+        self._cache_misses = 0
         return self._report
 
     def submit(self, request: Request) -> None:
@@ -205,12 +221,23 @@ class ServingEngine:
         if t > self._now:
             self._now = t
 
-    def step(self) -> bool:
+    def step(self, horizon: float | None = None) -> bool:
         """Plan, price, and commit one step at the current clock.
 
         Returns False (and leaves every clock and state untouched) when
         the scheduler plans an empty step; the caller decides whether
         that means idle-until-next-arrival or a stall.
+
+        ``horizon`` is the caller's promise that no request will be
+        submitted before that absolute time.  With a horizon, a
+        committed pure-decode step may *leap*: the engine repeats the
+        step's cost analytically for every following step that starts
+        before the horizon and cannot change the plan — no completion,
+        no ``seq_len_bucket`` crossing, and no scheduler-state event
+        (:meth:`Scheduler.leap_window`) — committing clock, energy,
+        KV growth, and the utilization series exactly as the stepwise
+        loop would.  Without a horizon (the default) every call commits
+        exactly one step.
         """
         report = self._active_report()
         plan = self.scheduler.plan_step(self._now)
@@ -254,18 +281,95 @@ class ServingEngine:
                 state.first_token_s = now
             state.generated += 1
             state.context_len += 1
+        self.scheduler.note_generated(
+            len(plan.prefill) + len(plan.decode) + len(finished_chunks))
+        released = False
         for state in plan.prefill + plan.decode + finished_chunks:
-            if state.done:
+            if state.generated >= state.request.output_len:  # done
+                released = True
                 self.scheduler.release(state)
                 report.records.append(RequestRecord(
                     request=state.request, admitted_s=state.admitted_s,
                     first_token_s=state.first_token_s, finish_s=now))
+
+        if horizon is not None and not released:
+            self._leap(plan, cost, horizon)
         return True
+
+    def _leap_window(self, plan: StepPlan) -> int:
+        """Steps after a committed pure-decode step with the same plan.
+
+        Bounded by the earliest completion (the completing step must
+        replan so releases and records land through the one stepwise
+        code path) and the earliest ``seq_len_bucket`` crossing (the
+        next bucket's signature needs a fresh cost); the scheduler then
+        shrinks the window to its own next state event.
+        """
+        bucket = self.seq_len_bucket
+        if bucket == 1:
+            return 0  # Exact mode: every step's signature is new.
+        window = None
+        for state in plan.decode:
+            remaining = state.request.output_len - state.generated
+            # context_len was just incremented; the committed step
+            # planned at context_len - 1, and leapt step j plans at
+            # context_len + j - 1, which must share its cost bucket.
+            crossing = -(state.context_len - 1) % bucket
+            bound = remaining - 1 if remaining - 1 < crossing else crossing
+            if window is None or bound < window:
+                window = bound
+                if window <= 0:
+                    return 0
+        return window
+
+    def _leap(self, plan: StepPlan, cost: SimulationResult,
+              horizon: float) -> None:
+        """Re-apply a committed pure-decode step analytically.
+
+        Every accumulator advances with the same sequential float
+        additions the stepwise loop performs (float addition does not
+        associate, and the reports must match bit for bit), but the
+        planning, pricing, and per-token KV allocation work is skipped —
+        the leap is what makes 100k-request traces tractable.
+        """
+        if not self.leap or plan.prefill or plan.chunks or \
+                plan.swap_seconds or not plan.decode:
+            return
+        window = self._leap_window(plan)
+        if window > 0:
+            window = self.scheduler.leap_window(plan, window)
+        if window <= 0:
+            return
+        report = self._report
+        duration = cost.step_seconds  # No swap inside a leap.
+        energy = cost.dynamic_energy_j
+        comm = cost.comm_seconds
+        leapt = 0
+        while leapt < window and self._now < horizon:
+            self._now += duration
+            report.energy_j += energy
+            report.comm_seconds += comm
+            report.busy_seconds += duration
+            leapt += 1
+        if leapt == 0:
+            return
+        report.kv_utilization.extend(
+            self.scheduler.commit_leap(plan, leapt))
+        report.peak_kv_bytes = max(report.peak_kv_bytes,
+                                   self.scheduler.reserved_bytes)
+        report.steps += leapt
+        report.leap_steps += leapt
+        for state in plan.decode:
+            state.generated += leapt
+            state.context_len += leapt
+        self.scheduler.note_generated(leapt * len(plan.decode))
 
     def finish(self) -> ServingReport:
         """Close the session: stamp the makespan, fold scheduler stats."""
         report = self._active_report()
         report.makespan_s = self._now
+        report.step_cache_hits = self._cache_hits
+        report.step_cache_misses = self._cache_misses
         for key, value in self.scheduler.runtime_stats().items():
             if not hasattr(report, key):
                 # A typo'd stats key must fail loudly, not create a
@@ -294,7 +398,12 @@ class ServingEngine:
             while idx < len(pending) and pending[idx].arrival_s <= self._now:
                 self.scheduler.enqueue(pending[idx])
                 idx += 1
-            if self.step():
+            # The next un-ingested arrival bounds how far a committed
+            # pure-decode step may leap (a leapt step must start
+            # strictly before it, exactly as this loop would step).
+            horizon = pending[idx].arrival_s if idx < len(pending) \
+                else math.inf
+            if self.step(horizon=horizon):
                 continue
             if idx >= len(pending):
                 # Nothing runnable and nothing left to arrive: a

@@ -238,42 +238,91 @@ class BlockManager:
         and copy-on-writes a shared tail block before the first write
         lands in it.  All-or-nothing: returns False (and changes
         nothing) when the pool cannot supply every needed block.
+
+        This is the hottest block-manager path (once per decoder per
+        engine step), so the bookkeeping is inlined arithmetic: the
+        common in-block single-token extend touches two dict entries
+        and nothing else.
         """
         if n_tokens < 1:
             raise ConfigError("n_tokens must be positive")
         table = self._table[seq_id]
         cur = self._tokens[seq_id]
         target = cur + n_tokens
-        need = max(0, self.blocks_needed(target) - len(table))
-        cow = self._needs_cow(seq_id, cur)
-        if need + (1 if cow else 0) > self.available_blocks:
-            return False
-        if cow:
-            # A private copy for the writer; the shared original keeps
-            # serving its other holders (and the hash map).  Writes
-            # into a *sole-held* hashed block need no copy: hashed
-            # blocks lie wholly inside the shared prefix, so any write
-            # there recomputes prefix content, never diverges from it.
-            write_idx = cur // self.block_size
-            old = table[write_idx]
-            copy = self._take_free()
-            self._ref[old] -= 1
-            self._ref[copy] = 1
-            table[write_idx] = copy
-            self.stats.cow_copies += 1
-        while len(table) < self.blocks_needed(target):
-            block = self._take_free()
-            self._ref[block] = 1
-            table.append(block)
+        size = self.block_size
+        need = (target + size - 1) // size - len(table)
+        write_idx = cur // size
+        # Copy-on-write check: would the first write land in a block
+        # shared with other sequences?
+        cow = write_idx < len(table) and self._ref[table[write_idx]] > 1
+        if need > 0 or cow:
+            want = (need if need > 0 else 0) + (1 if cow else 0)
+            if want > len(self._free) + len(self._cached):
+                return False
+            if cow:
+                # A private copy for the writer; the shared original
+                # keeps serving its other holders (and the hash map).
+                # Writes into a *sole-held* hashed block need no copy:
+                # hashed blocks lie wholly inside the shared prefix, so
+                # any write there recomputes prefix content, never
+                # diverges from it.
+                old = table[write_idx]
+                copy = self._take_free()
+                self._ref[old] -= 1
+                self._ref[copy] = 1
+                table[write_idx] = copy
+                self.stats.cow_copies += 1
+            for _ in range(need):
+                block = self._take_free()
+                self._ref[block] = 1
+                table.append(block)
         self._tokens[seq_id] = target
         group, prefix_len = self._prefix[seq_id]
         if group is not None:
             # Hash prefix blocks only once their KV is fully written —
             # a chunk boundary mid-block must not publish a half-built
             # block for cache hits.
-            for idx in range(cur // self.block_size,
-                             min(target, prefix_len) // self.block_size):
+            for idx in range(write_idx,
+                             min(target, prefix_len) // size):
                 self._register(table[idx], (group, idx))
+        return True
+
+    def extend_bulk(self, grants: list) -> bool:
+        """Extend several sequences at once, all-or-nothing.
+
+        ``grants`` is a list of ``(seq_id, n_tokens)`` pairs.  The
+        decode-leap fast path uses this to apply K steps of KV growth
+        for a whole active set in one call: the pre-check sums every
+        sequence's block need (including a copy-on-write block where
+        the first write would land in a shared block), and only if the
+        pool can supply them all does any sequence grow.  Returns False
+        with nothing changed otherwise.
+
+        Block allocations happen sequence by sequence rather than
+        interleaved step by step, but the observable state — tables,
+        token counts, refcounts, eviction order and counts — is
+        identical to the stepwise schedule: ``_take_free`` drains the
+        free list and then the LRU cached blocks in the same global
+        order no matter which sequence consumes each block, and nothing
+        inside a leap window inserts into or touches either pool.
+        """
+        need = 0
+        for seq_id, n_tokens in grants:
+            if n_tokens < 1:
+                raise ConfigError("n_tokens must be positive")
+            table = self._table[seq_id]
+            cur = self._tokens[seq_id]
+            need += max(0, self.blocks_needed(cur + n_tokens) - len(table))
+            if self._needs_cow(seq_id, cur):
+                need += 1
+        if need > self.available_blocks:
+            return False
+        for seq_id, n_tokens in grants:
+            if not self.extend(seq_id, n_tokens):
+                # The pre-check bounded total demand, so per-sequence
+                # extends cannot fail part-way through.
+                raise ConfigError(
+                    "extend_bulk pre-check missed a block shortfall")
         return True
 
     def _drop_blocks(self, seq_id: int) -> None:

@@ -59,7 +59,10 @@ def percentile(values, q: float) -> float:
     """The ``q``-th percentile (0–100) of a non-empty sequence."""
     if not 0.0 <= q <= 100.0:  # Also rejects NaN.
         raise ConfigError(f"percentile q must be in [0, 100], got {q!r}")
-    arr = np.asarray(list(values), dtype=np.float64)
+    if isinstance(values, np.ndarray):
+        arr = values.astype(np.float64, copy=False)
+    else:
+        arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         raise ConfigError("percentile of empty sequence")
     return float(np.percentile(arr, q))
@@ -72,10 +75,52 @@ class RecordStats:
     :class:`ClusterReport` (merged cluster records): anything with a
     ``records`` list and a ``makespan_s`` gets the full percentile /
     goodput surface.
+
+    Aggregation is vectorized: the per-record timing columns are built
+    once as numpy arrays (rebuilt only when ``records`` changes length)
+    so every percentile/mean/goodput query over a 100k-request run is
+    one array pass instead of a Python loop.
     """
 
     records: list
     makespan_s: float
+
+    def _columns(self) -> dict:
+        """Cached numpy timing columns over ``records``.
+
+        Keyed on the record count — reports only ever append records,
+        and :class:`RequestRecord` is frozen, so a same-length cache can
+        never be stale.
+        """
+        cached = self.__dict__.get("_records_columns")
+        n = len(self.records)
+        if cached is not None and cached["n"] == n:
+            return cached
+        records = self.records
+        arrival = np.fromiter((r.request.arrival_s for r in records),
+                              np.float64, count=n)
+        admitted = np.fromiter((r.admitted_s for r in records),
+                               np.float64, count=n)
+        first = np.fromiter((r.first_token_s for r in records),
+                            np.float64, count=n)
+        finish = np.fromiter((r.finish_s for r in records),
+                             np.float64, count=n)
+        output_len = np.fromiter((r.request.output_len for r in records),
+                                 np.int64, count=n)
+        extra = output_len - 1
+        cached = {
+            "n": n,
+            "latency": finish - arrival,
+            "ttft": first - arrival,
+            "queue_delay": admitted - arrival,
+            # 0 for 1-token outputs, like RequestRecord.tpot_s.
+            "tpot": np.where(extra > 0,
+                             (finish - first) / np.maximum(extra, 1),
+                             0.0),
+            "output_len": output_len,
+        }
+        self.__dict__["_records_columns"] = cached
+        return cached
 
     @property
     def _label(self) -> str:
@@ -87,7 +132,7 @@ class RecordStats:
 
     @property
     def generated_tokens(self) -> int:
-        return sum(r.request.output_len for r in self.records)
+        return int(self._columns()["output_len"].sum())
 
     @property
     def throughput_tokens_s(self) -> float:
@@ -106,10 +151,13 @@ class RecordStats:
         Without SLOs this equals :attr:`request_rate_rps` — every
         completion counts.
         """
-        good = [r for r in self.records
-                if (ttft_slo_s is None or r.ttft_s <= ttft_slo_s)
-                and (tpot_slo_s is None or r.tpot_s <= tpot_slo_s)]
-        return len(good) / max(self.makespan_s, 1e-12)
+        cols = self._columns()
+        good = np.ones(cols["n"], dtype=bool)
+        if ttft_slo_s is not None:
+            good &= cols["ttft"] <= ttft_slo_s
+        if tpot_slo_s is not None:
+            good &= cols["tpot"] <= tpot_slo_s
+        return int(good.sum()) / max(self.makespan_s, 1e-12)
 
     def _require_completions(self) -> None:
         if not self.records:
@@ -120,15 +168,15 @@ class RecordStats:
     # -- latency percentiles -------------------------------------------
     def latency_percentile(self, q: float) -> float:
         self._require_completions()
-        return percentile((r.latency_s for r in self.records), q)
+        return percentile(self._columns()["latency"], q)
 
     def ttft_percentile(self, q: float) -> float:
         self._require_completions()
-        return percentile((r.ttft_s for r in self.records), q)
+        return percentile(self._columns()["ttft"], q)
 
     def tpot_percentile(self, q: float) -> float:
         self._require_completions()
-        return percentile((r.tpot_s for r in self.records), q)
+        return percentile(self._columns()["tpot"], q)
 
     def queue_delay_percentile(self, q: float) -> float:
         """Arrival-to-admission wait percentile.
@@ -138,7 +186,7 @@ class RecordStats:
         starves behind a monster request.
         """
         self._require_completions()
-        return percentile((r.queue_delay_s for r in self.records), q)
+        return percentile(self._columns()["queue_delay"], q)
 
     @property
     def p50_latency_s(self) -> float:
@@ -159,17 +207,17 @@ class RecordStats:
     @property
     def mean_queue_delay_s(self) -> float:
         self._require_completions()
-        return float(np.mean([r.queue_delay_s for r in self.records]))
+        return float(np.mean(self._columns()["queue_delay"]))
 
     @property
     def mean_ttft_s(self) -> float:
         self._require_completions()
-        return float(np.mean([r.ttft_s for r in self.records]))
+        return float(np.mean(self._columns()["ttft"]))
 
     @property
     def mean_tpot_s(self) -> float:
         self._require_completions()
-        return float(np.mean([r.tpot_s for r in self.records]))
+        return float(np.mean(self._columns()["tpot"]))
 
 
 @dataclass
@@ -202,6 +250,15 @@ class ServingReport(RecordStats):
     prefix_query_tokens: int = 0
     swap_bytes: float = 0.0
     swap_seconds: float = 0.0
+    #: Step-cost cache locality of this session (the cache itself may
+    #: be shared across replicas — see :mod:`repro.serve.costs`).  A
+    #: leaping run performs one lookup per *planned* step, so hits +
+    #: misses can undercount ``steps``.
+    step_cache_hits: int = 0
+    step_cache_misses: int = 0
+    #: Steps committed through the decode-leaping fast path (a subset
+    #: of ``steps``; 0 when leaping is disabled or never applicable).
+    leap_steps: int = 0
 
     @property
     def _label(self) -> str:
@@ -234,18 +291,28 @@ class ServingReport(RecordStats):
             return 0.0
         return self.prefix_hit_tokens / self.prefix_query_tokens
 
+    def _kv_utilization_array(self) -> np.ndarray:
+        """Cached array view of the per-step series (length-keyed)."""
+        cached = self.__dict__.get("_kv_columns")
+        n = len(self.kv_utilization)
+        if cached is None or cached[0] != n:
+            cached = (n, np.fromiter(self.kv_utilization, np.float64,
+                                     count=n))
+            self._kv_columns = cached
+        return cached[1]
+
     @property
     def mean_kv_utilization(self) -> float:
         """Average per-step KV-budget occupancy (0 with no steps)."""
         if not self.kv_utilization:
             return 0.0
-        return float(np.mean(self.kv_utilization))
+        return float(np.mean(self._kv_utilization_array()))
 
     @property
     def peak_kv_utilization(self) -> float:
         if not self.kv_utilization:
             return 0.0
-        return float(np.max(self.kv_utilization))
+        return float(np.max(self._kv_utilization_array()))
 
     @property
     def energy_per_token_j(self) -> float:
@@ -336,6 +403,21 @@ class ClusterReport(RecordStats):
     @property
     def preemptions(self) -> int:
         return sum(r.preemptions for r in self.replicas)
+
+    @property
+    def step_cache_hits(self) -> int:
+        """Step-cost cache hits across replicas (one shared cache when
+        the replicas are identical — see :mod:`repro.serve.costs`)."""
+        return sum(r.step_cache_hits for r in self.replicas)
+
+    @property
+    def step_cache_misses(self) -> int:
+        return sum(r.step_cache_misses for r in self.replicas)
+
+    @property
+    def leap_steps(self) -> int:
+        """Steps the replicas committed through the decode-leap path."""
+        return sum(r.leap_steps for r in self.replicas)
 
     @property
     def comm_seconds(self) -> float:

@@ -26,6 +26,9 @@ loop through the same ``plan_step`` protocol, with chunk work carried in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
+
+import numpy as np
 
 from ..errors import ConfigError
 from ..llm.config import ModelConfig
@@ -37,6 +40,9 @@ from .scheduler import (
     context_window_error,
 )
 from .trace import Request
+
+#: C-level sort key over the cached per-state queue tuples.
+_QUEUE_KEY = attrgetter("queue_sort_key")
 
 
 @dataclass
@@ -54,6 +60,10 @@ class PagedSequenceState(SequenceState):
     cached_tokens: int = 0
     preemptions: int = 0
     swapped_tokens: int = 0
+    #: The policy's queue key, computed once at enqueue (keys are pure
+    #: functions of immutable Request fields, and the per-step sorts
+    #: are hot enough that re-deriving tuples dominated planning).
+    queue_sort_key: tuple = ()
 
     @property
     def prefill_done(self) -> bool:
@@ -78,6 +88,11 @@ class SchedulingPolicy:
     ``queue_key`` sorts waiting (and running) sequences — lowest first
     is served first; ``victim_key`` picks preemption victims — the
     *maximum* is evicted; ``outranks`` gates preemptive admission.
+
+    ``queue_key`` must be a pure function of fields that never change
+    over a sequence's lifetime (the shipped policies read only the
+    immutable request): the scheduler computes it once at enqueue and
+    sorts by the cached tuple from then on.
     """
 
     name = "fcfs"
@@ -225,6 +240,22 @@ class PagedScheduler:
         self.running: list[PagedSequenceState] = []
         self.swapped: list[PagedSequenceState] = []
         self.preemption_count = 0
+        #: The waiting queue is kept policy-sorted and only re-sorted
+        #: after an append (queue keys are stable while a sequence
+        #: waits — they derive from immutable Request fields — so
+        #: skipping the per-step re-sort cannot change the order).
+        self._waiting_sorted = True
+        #: Incremental work counter (see Scheduler.outstanding_tokens):
+        #: waiting/running/swapped sequences all count total - generated
+        #: (preemption moves sequences between those sets, changing
+        #: nothing).
+        self.outstanding_tokens = 0
+        #: Whether the most recent plan_step preempted anything.  A
+        #: recompute preemption can hide inside a pure-decode plan (the
+        #: victim vanishes from the active set, blocks free, and the
+        #: same-step readmission guard expires next step), so the leap
+        #: must not extrapolate past such a plan.
+        self._preempted_in_last_plan = False
 
     # -- engine protocol: capacity views ---------------------------------
     @property
@@ -269,9 +300,13 @@ class PagedScheduler:
         error = self.admission_error(request)
         if error:
             raise ConfigError(error)
-        self.waiting.append(PagedSequenceState(
+        state = PagedSequenceState(
             request=request, admitted_s=None,
-            prefill_target=request.prompt_len))
+            prefill_target=request.prompt_len)
+        state.queue_sort_key = self.policy.queue_key(state)
+        self.waiting.append(state)
+        self._waiting_sorted = False
+        self.outstanding_tokens += request.total_tokens
 
     def has_work(self) -> bool:
         return bool(self.waiting or self.running or self.swapped)
@@ -280,6 +315,87 @@ class PagedScheduler:
         """Free a finished sequence's blocks (prefix blocks stay cached)."""
         self.running.remove(state)
         self.block_manager.free_sequence(state.request.req_id)
+        self.outstanding_tokens -= \
+            state.request.total_tokens - state.generated
+
+    def note_generated(self, tokens: int) -> None:
+        """Engine hook: ``tokens`` generated this step (see
+        :meth:`repro.serve.Scheduler.note_generated`)."""
+        self.outstanding_tokens -= tokens
+
+    # -- decode leaping ---------------------------------------------------
+    def leap_window(self, plan: StepPlan, max_steps: int) -> int:
+        """Shrink the engine's leap window to what the pool can supply.
+
+        Beyond the engine's completion/bucket/arrival bounds, two paged
+        concerns cap a leap:
+
+        * **block supply** — every leapt step extends every decoder by
+          one token, and an allocation failure mid-window would trigger
+          a preemption the leap cannot represent, so the window shrinks
+          until the whole leap's block demand fits the pool;
+        * **blocked-head retries** — a waiting (or swapped-out) head is
+          retried every stepwise step.  Those retries are pure
+          round-trips, *except* that an admission attempt touches the
+          prefix-cache LRU order; interleaved cached-block evictions
+          could then pick different victims than the bulk schedule.
+          With waiting or swapped sequences present the window is
+          therefore bounded by the **free** list alone (no evictions
+          can occur), while the heads themselves stay blocked because
+          available blocks only shrink across a pure-decode window.
+        """
+        if self._preempted_in_last_plan:
+            # The committed plan evicted someone: blocks freed and the
+            # victim re-queued, so the next stepwise plan may admit or
+            # re-chunk — state the leap cannot extrapolate.
+            return 0
+        manager = self.block_manager
+        bound = manager.free_blocks if (self.waiting or self.swapped) \
+            else manager.available_blocks
+        size = manager.block_size
+        tokens = [manager.tokens_of(s.request.req_id)
+                  for s in plan.decode]
+
+        def blocks_demanded(steps: int) -> int:
+            return sum((t + steps + size - 1) // size
+                       - (t + size - 1) // size for t in tokens)
+
+        if blocks_demanded(max_steps) <= bound:
+            return max_steps
+        lo, hi = 0, max_steps  # demand(lo) <= bound < demand(hi).
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if blocks_demanded(mid) <= bound:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def commit_leap(self, plan: StepPlan, steps: int) -> list:
+        """Apply ``steps`` decode steps of KV growth in one bulk call.
+
+        Reconstructs the per-step utilization series exactly: each
+        leapt step's live-block count is the anchor count plus every
+        block boundary the active set has crossed by that step — the
+        same integers the stepwise schedule's per-token extends would
+        have produced, divided by the same pool size.
+        """
+        manager = self.block_manager
+        seq_ids = [s.request.req_id for s in plan.decode]
+        tokens = np.asarray([manager.tokens_of(i) for i in seq_ids])
+        live0 = manager.live_blocks
+        size = manager.block_size
+        js = np.arange(1, steps + 1)
+        grown = ((tokens[:, None] + js[None, :] + size - 1) // size
+                 - (tokens[:, None] + size - 1) // size).sum(axis=0)
+        if not manager.extend_bulk([(i, steps) for i in seq_ids]):
+            raise ConfigError("decode leap overran the block pool; "
+                              "leap_window under-counted demand")
+        if manager.live_blocks != live0 + int(grown[-1]):
+            raise ConfigError("leap block accounting diverged from the "
+                              "pool (copy-on-write inside a leap?)")
+        num_blocks = manager.num_blocks
+        return [(live0 + int(g)) / num_blocks for g in grown]
 
     # -- preemption ------------------------------------------------------
     def _pick_victim(self, exclude_ids: set) -> PagedSequenceState | None:
@@ -308,6 +424,7 @@ class PagedScheduler:
             state.prefill_target = state.request.prompt_len + state.generated
             state.context_len = 0
             self.waiting.append(state)
+            self._waiting_sorted = False
 
     def _rollback_admission(self, state: PagedSequenceState,
                             cached: int) -> None:
@@ -326,9 +443,11 @@ class PagedScheduler:
         preempted_now: set[int] = set()
         committed: set[int] = set()  # ids of states planned this step
         headroom_blocks = int(self.admit_headroom * manager.num_blocks)
+        self._preempted_in_last_plan = False
 
         def preempt(state):
             preempted_now.add(id(state))
+            self._preempted_in_last_plan = True
             self._preempt(state, plan)
 
         # 1. Swapped-out sequences come back as soon as space allows —
@@ -336,7 +455,7 @@ class PagedScheduler:
         #    The watermark applies here too, and a swapped-in sequence
         #    counts as committed: paying the host link both ways in one
         #    step (swap in, evicted straight back out) helps nobody.
-        for state in sorted(self.swapped, key=self.policy.queue_key):
+        for state in sorted(self.swapped, key=_QUEUE_KEY):
             if len(self.running) >= self.max_batch:
                 break
             need = manager.blocks_needed(max(state.swapped_tokens, 1))
@@ -355,11 +474,12 @@ class PagedScheduler:
         # 2. Decode: every running sequence past prefill appends one
         #    token; allocation failure preempts a victim (possibly the
         #    sequence itself when it is the lowest-ranked survivor).
-        decoders = sorted(
-            (s for s in self.running if s.prefill_done and not s.done),
-            key=self.policy.queue_key)
+        decoders = sorted(  # prefill_done and not done, inlined.
+            (s for s in self.running if s.prefilled >= s.prefill_target
+             and s.generated < s.request.output_len),
+            key=_QUEUE_KEY)
         for state in decoders:
-            if state not in self.running:
+            if id(state) in preempted_now:
                 continue  # Taken as a victim earlier in this loop.
             while True:
                 if manager.extend(state.request.req_id, 1):
@@ -380,12 +500,12 @@ class PagedScheduler:
         # 3. Chunked prefill: continue partial prefills under the step's
         #    token budget, oldest/highest-priority first.
         budget = self.chunk_tokens
-        prefilling = sorted((s for s in self.running if not s.prefill_done),
-                            key=self.policy.queue_key)
+        prefilling = sorted((s for s in self.running
+                             if not s.prefill_done), key=_QUEUE_KEY)
         for state in prefilling:
             if budget <= 0:
                 break
-            if state not in self.running:
+            if id(state) in preempted_now:
                 continue
             seq_id = state.request.req_id
             while True:
@@ -410,7 +530,9 @@ class PagedScheduler:
         # 4. Admission: reserve only the first chunk's blocks.  The
         #    head of the (policy-ordered) queue blocks the rest — FCFS
         #    stays starvation-free — unless the policy preempts for it.
-        self.waiting.sort(key=self.policy.queue_key)
+        if not self._waiting_sorted:
+            self.waiting.sort(key=_QUEUE_KEY)
+            self._waiting_sorted = True
         while budget > 0 and self.waiting and \
                 len(self.running) < self.max_batch:
             state = self.waiting[0]

@@ -116,6 +116,13 @@ class Scheduler:
         self.queue: deque[Request] = deque()
         self.running: list[SequenceState] = []
         self.reserved_bytes = 0.0
+        #: KV-footprint-weighted work still owed: every queued request
+        #: counts its full ``total_tokens``, every admitted sequence its
+        #: total minus the tokens already generated.  Maintained
+        #: incrementally (enqueue / per-step generation / release) so
+        #: cluster routers read it in O(1) instead of walking the queue
+        #: per arrival.
+        self.outstanding_tokens = 0
 
     # -- KV accounting --------------------------------------------------
     def kv_bytes(self, tokens: int) -> float:
@@ -148,6 +155,7 @@ class Scheduler:
         if error:
             raise ConfigError(error)
         self.queue.append(request)
+        self.outstanding_tokens += request.total_tokens
 
     def _admit_head(self, now: float) -> SequenceState | None:
         """Admit the queue head if slots and KV capacity allow."""
@@ -177,8 +185,15 @@ class Scheduler:
         """Free a finished sequence's slot and KV reservation."""
         self.running.remove(state)
         self.reserved_bytes -= self._footprint(state.request)
+        self.outstanding_tokens -= \
+            state.request.total_tokens - state.generated
         if not self.running:
             self.reserved_bytes = 0.0  # Clear accumulated float dust.
+
+    def note_generated(self, tokens: int) -> None:
+        """Engine hook: ``tokens`` were generated this step, shrinking
+        the outstanding work by that much."""
+        self.outstanding_tokens -= tokens
 
     # -- policy ---------------------------------------------------------
     def has_work(self) -> bool:
@@ -189,6 +204,34 @@ class Scheduler:
         raise NotImplementedError
 
     # -- engine hooks ----------------------------------------------------
+    def leap_window(self, plan: StepPlan, max_steps: int) -> int:
+        """How many further pure-decode steps the engine may leap.
+
+        Called by :meth:`repro.serve.ServingEngine.step` after it has
+        committed a pure-decode step (no prefills, no chunks, no swap
+        time, no completions) and bounded the window by the next
+        completion, ``seq_len_bucket`` crossing, and arrival horizon.
+        The scheduler shrinks the window to the next step at which its
+        *own* state could change the plan.
+
+        Peak-reservation admission depends only on ``reserved_bytes``,
+        the running-slot count, and the static queue head — none of
+        which a pure-decode step changes — so a queue head blocked at
+        the anchor step stays blocked for the whole window: the engine
+        bound stands.
+        """
+        return max_steps
+
+    def commit_leap(self, plan: StepPlan, steps: int) -> list:
+        """Advance KV accounting past ``steps`` leapt decode steps.
+
+        Returns the per-step KV-utilization series the stepwise path
+        would have recorded — constant here, because peak reservations
+        only move at admission and release, neither of which happens
+        inside a leap.
+        """
+        return [self.kv_utilization()] * steps
+
     def kv_utilization(self) -> float:
         """Share of the KV budget held right now (0 when unbounded)."""
         if self.kv_capacity_bytes is None:
@@ -219,7 +262,10 @@ class ContinuousBatchScheduler(Scheduler):
     name = "continuous"
 
     def plan_step(self, now: float) -> StepPlan:
-        decode = [s for s in self.running if not s.done]
+        # `not s.done`, inlined: this comprehension runs per step over
+        # the whole running set.
+        decode = [s for s in self.running
+                  if s.generated < s.request.output_len]
         prefill, ready = split_kv_ready(self._admit_all(now))
         return StepPlan(prefill=prefill, decode=decode + ready)
 
@@ -231,7 +277,8 @@ class StaticBatchScheduler(Scheduler):
 
     def plan_step(self, now: float) -> StepPlan:
         if self.running:
-            return StepPlan(decode=[s for s in self.running if not s.done])
+            return StepPlan(decode=[s for s in self.running
+                                    if s.generated < s.request.output_len])
         prefill, ready = split_kv_ready(self._admit_all(now))
         return StepPlan(prefill=prefill, decode=ready)
 
