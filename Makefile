@@ -2,7 +2,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint demos bench-gate bench-baseline
+.PHONY: test lint demos bench-gate bench-baseline sweep-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -21,5 +21,11 @@ bench-gate:
 	$(PY) benchmarks/gate.py --check
 
 # Intentional perf change? Regenerate the baseline and commit it.
+# Serial by construction: gate.py refuses --jobs > 1 here so baseline
+# wall clocks always come from uncontended runs.
 bench-baseline:
 	$(PY) benchmarks/gate.py --update-baseline
+
+# Two-worker end-to-end smoke of the multiprocess sweep executor.
+sweep-smoke:
+	$(PY) -m repro.serve.sweep --jobs 2 --requests 120

@@ -3,23 +3,21 @@
 Runs the serving-load sweep (Poisson arrivals, ragged lengths, service
 batch 8) for Mugi vs the iso-area systolic/SIMD baselines and the tensor
 core, and times a 10k-request trace to pin down the cost-memoization
-speedup (the acceptance bar: < 30 s).
+speedup (the acceptance bar: < 30 s).  Both ride the sweep executor
+(:mod:`repro.serve.sweep`); run directly with ``--jobs N`` to fan the
+load grid over N worker processes, or with ``--profile`` to print the
+10k-trace wall-clock split by subsystem (op/cost-surface build,
+scheduler logic, engine loop, metrics aggregation)::
 
-Run directly with ``--profile`` to print the 10k-trace wall-clock split
-by subsystem (op/cost-surface build, scheduler logic, engine loop,
-metrics aggregation)::
-
+    PYTHONPATH=src python benchmarks/bench_serving_load.py --jobs 4
     PYTHONPATH=src python benchmarks/bench_serving_load.py --profile
 """
-
-import time
 
 from conftest import once
 
 from repro.analysis.experiments import serving_load_sweep
 from repro.analysis.tables import render_table
-from repro.arch import make_design
-from repro.serve import poisson_trace, simulate_trace
+from repro.serve import SweepPoint, TraceSpec, run_point, run_sweep
 
 
 def test_serving_load_sweep(benchmark, save_result):
@@ -56,20 +54,24 @@ def test_serving_load_sweep(benchmark, save_result):
     assert tensor.area_mm2 > 6 * mugi_pt.area_mm2
 
 
-def test_serving_10k_trace_under_30s(save_result):
-    """Cost memoization lets a 10k-request trace simulate in seconds."""
-    trace = poisson_trace(n_requests=10_000, rate_rps=2.0,
-                          prompt=serving_load_sweep.PROMPT_SPEC,
-                          output=serving_load_sweep.OUTPUT_SPEC, seed=7)
+def _10k_point() -> SweepPoint:
+    """The timed 10k-trace scenario as one sweep grid cell."""
     model = serving_load_sweep.SERVE_MODEL
-    start = time.perf_counter()
-    report = simulate_trace(
-        make_design("mugi", 256), model, trace, policy="continuous",
-        max_batch=8,
+    return SweepPoint(
+        label="serving-10k", design=("mugi", 256), model=model,
+        trace=TraceSpec("poisson", n_requests=10_000, rate_rps=2.0,
+                        prompt=serving_load_sweep.PROMPT_SPEC,
+                        output=serving_load_sweep.OUTPUT_SPEC, seed=7),
+        policy="continuous", max_batch=8,
         kv_capacity_bytes=model.kv_cache_bytes(seq_len=model.max_seq_len,
                                                batch=8),
         seq_len_bucket=32)
-    elapsed = time.perf_counter() - start
+
+
+def test_serving_10k_trace_under_30s(save_result):
+    """Cost memoization lets a 10k-request trace simulate in seconds."""
+    outcome = run_sweep([_10k_point()]).outcomes[0]
+    report, elapsed = outcome.report, outcome.wall_s
 
     assert report.completed == 10_000
     assert elapsed < 30.0
@@ -86,16 +88,7 @@ def test_serving_10k_trace_under_30s(save_result):
 
 def _run_10k():
     """The timed 10k-trace scenario, shared with ``--profile``."""
-    trace = poisson_trace(n_requests=10_000, rate_rps=2.0,
-                          prompt=serving_load_sweep.PROMPT_SPEC,
-                          output=serving_load_sweep.OUTPUT_SPEC, seed=7)
-    model = serving_load_sweep.SERVE_MODEL
-    return simulate_trace(
-        make_design("mugi", 256), model, trace, policy="continuous",
-        max_batch=8,
-        kv_capacity_bytes=model.kv_cache_bytes(seq_len=model.max_seq_len,
-                                               batch=8),
-        seq_len_bucket=32)
+    return run_point(_10k_point())
 
 
 def main(argv=None) -> int:
@@ -105,26 +98,30 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="profile the 10k-request trace and print "
                              "the wall-clock split by subsystem")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the load sweep "
+                             "(1 = inline)")
     args = parser.parse_args(argv)
     if args.profile:
         import gate
 
-        start = time.perf_counter()
-        report = _run_10k()
-        wall = time.perf_counter() - start
-        print(f"10k trace: {wall:.2f} s wall, {report.steps} steps "
-              f"({report.leap_steps} leapt), cache "
+        outcome = run_sweep([_10k_point()]).outcomes[0]
+        report = outcome.report
+        print(f"10k trace: {outcome.wall_s:.2f} s wall, {report.steps} "
+              f"steps ({report.leap_steps} leapt), cache "
               f"{report.step_cache_hits}/{report.step_cache_misses} "
               f"hit/miss")
         total, buckets = gate.profile_split(_run_10k)
         gate.print_split("serving_10k_trace", total, buckets)
         return 0
-    print("run under pytest for the sweep benchmarks, or pass "
-          "--profile for the wall-clock split")
+    points = serving_load_sweep.run(jobs=args.jobs)
+    for p in points:
+        print(f"  {p.design:12s} @ {p.offered_rps:.2f} req/s: goodput "
+              f"{p.goodput_rps:.4f} req/s, p99 {p.p99_latency_s:.1f} s")
     return 0
 
 
 if __name__ == "__main__":
     import sys
 
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

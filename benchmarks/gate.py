@@ -3,30 +3,45 @@
 Runs one small fixed-seed serving trace per scheduler generation —
 ``legacy`` (peak-reservation continuous batching), ``paged``
 (block-granular KV + prefix caching), ``cluster`` (4 prefix-affinity
-replicas) — plus the ``bulk-100k`` scale scenario (a 100 000-request
-trace through the event-compressed decode-leaping engine), and records
-three numbers per scenario: simulated goodput, simulated TTFT p99, and
-host wall-clock.  The gate fails when, versus the checked-in
-``BENCH_serving.json`` baseline,
+replicas) — plus two scale scenarios: ``bulk-100k`` (a 100 000-request
+trace through the event-compressed decode-leaping engine) and
+``bulk-1m`` (a million-request saturating trace through the
+struct-of-arrays core, the regime where admissions, completions, and
+records are committed as whole-cohort array ops).  Three numbers per
+scenario: simulated goodput, simulated TTFT p99, and host wall-clock.
+The gate fails when, versus the checked-in ``BENCH_serving.json``
+baseline,
 
 * goodput drops by more than 5 % (simulated metrics are deterministic
   under the pinned CI dependencies, so any drop is a real behavior
   change), or
-* wall-clock grows by more than 20 % *after machine-speed
+* wall-clock grows by more than 15 % *after machine-speed
   normalization*: both baseline and current runs time a fixed
   calibration workload, and the gate compares
   ``wall_s / calibration_s`` ratios, so a slower CI runner does not
   masquerade as a hot-path regression.
 
-Each scenario's design is built once and reused across its timing runs:
-the step-cost store (:mod:`repro.serve.costs`) is keyed by design
-identity, so the min-over-runs wall-clock measures the warm steady
-state a parameter sweep sees, while the first run still prices every
-signature cold.
+Scenarios run through the sweep executor (:mod:`repro.serve.sweep`):
+each timing run is one :class:`repro.serve.SweepPoint`, wall clocks
+time the *simulator only* (trace synthesis is billed separately by the
+executor), and ``--jobs N`` fans the runs over N worker processes —
+simulated metrics are identical for any ``--jobs``, so a multi-core
+machine can check goodput regressions in a fraction of the serial
+wall time.  Timing comparisons, though, assume uncontended runs:
+``--update-baseline`` therefore refuses ``--jobs > 1``, and a CI
+``--check`` on a busy/oversubscribed runner should stay at the serial
+default.
+
+Within one process, a scenario's design is resolved once and reused
+across its timing runs: the step-cost store (:mod:`repro.serve.costs`)
+is keyed by design identity, so the min-over-runs wall-clock measures
+the warm steady state a parameter sweep sees, while the first run
+still prices every signature cold.
 
 Usage::
 
     python benchmarks/gate.py --check             # CI job (default)
+    python benchmarks/gate.py --check --jobs 4    # parallel fan-out
     python benchmarks/gate.py --update-baseline   # make bench-baseline
     python benchmarks/gate.py --profile           # wall-clock split
 
@@ -52,6 +67,7 @@ import pathlib
 import pstats
 import sys
 import time
+from dataclasses import replace
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 if str(ROOT / "src") not in sys.path:
@@ -60,24 +76,25 @@ if str(ROOT / "src") not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro.analysis.experiments import cluster_serving  # noqa: E402
-from repro.arch import make_design  # noqa: E402
 from repro.serve import (  # noqa: E402
     LengthSpec,
-    make_cluster,
-    poisson_trace,
-    simulate_trace,
+    SweepPoint,
+    TraceSpec,
+    run_point,
+    run_sweep,
 )
 
 BASELINE_PATH = ROOT / "BENCH_serving.json"
 CURRENT_PATH = ROOT / "BENCH_serving.current.json"
 
-#: Default gate thresholds (fractions).  The wall bound tightened from
-#: 25 % to 20 % once the event-compressed engine bought headroom.
+#: Default gate thresholds (fractions).  The wall bound has tightened
+#: as the engine bought headroom: 25 % -> 20 % with the event-compressed
+#: decode leaping, 20 % -> 15 % with the struct-of-arrays core.
 MAX_GOODPUT_DROP = 0.05
-MAX_WALL_GROWTH = 0.20
+MAX_WALL_GROWTH = 0.15
 
 #: Absolute floor on the allowed normalized-wall growth.  The fast
-#: engine shrank some scenarios to tens of milliseconds, where 20 % is
+#: engine shrank some scenarios to tens of milliseconds, where 15 % is
 #: single-digit milliseconds — below scheduler/GC noise on shared CI
 #: runners.  A regression must exceed *both* the relative bound and
 #: this many calibration units (~15 ms at a 0.15 s calibration) to
@@ -92,31 +109,90 @@ N_REQUESTS = 600
 RATE_RPS = 8.0
 SEED = 17
 
-#: The scale scenario: 100k requests with chat-style long decodes, the
-#: regime the decode-leaping fast path compresses.  Saturating load
-#: (far above service capacity) keeps the batch full so the engine
-#: spends the trace in pure-decode leap windows.
+#: The first scale scenario: 100k requests with chat-style long
+#: decodes, the regime the decode-leaping fast path compresses.
+#: Saturating load (far above service capacity) keeps the batch full so
+#: the engine spends the trace in pure-decode leap windows.
 BULK_REQUESTS = 100_000
 BULK_RATE_RPS = 50.0
 BULK_SEED = 23
 BULK_PROMPT = LengthSpec("lognormal", value=256, low=16, high=1024)
 BULK_OUTPUT = LengthSpec("lognormal", value=256, low=32, high=1024)
 
+#: The second scale scenario: a million requests at hard saturation.
+#: Fixed-length outputs make completions arrive in large cohorts and a
+#: cost bucket wider than any context removes bucket crossings, so the
+#: run is dominated by exactly the paths the struct-of-arrays core
+#: vectorizes — bulk admission, whole-cohort completion/release, and
+#: saturation-aware arrival leaping.  Budget: <= 10 s of simulator wall
+#: on one core (trace synthesis excluded — the executor times it
+#: separately).
+BULK_1M_REQUESTS = 1_000_000
+BULK_1M_RATE_RPS = 400.0
+BULK_1M_SEED = 29
+BULK_1M_OUTPUT = LengthSpec("fixed", value=256)
+
 #: Wall-clock is the min over this many runs per scenario (the standard
-#: trick against one-off scheduling hiccups on shared CI runners).  The
-#: sub-100ms scenarios get an extra run — their relative noise is what
-#: the tightened 20 % bound has to clear — while the multi-second bulk
-#: scenario is self-averaging.
+#: trick against one-off scheduling hiccups on shared CI runners).
+#: Shared-runner hosts show ~15-20 % run-to-run spread on the
+#: multi-second bulk scenarios — the same order as the tightened 15 %
+#: bound — so they need three samples for a stable min just as much as
+#: the sub-100ms scenarios do.
 TIMING_RUNS = 3
-BULK_TIMING_RUNS = 2
+BULK_TIMING_RUNS = 3
 
 
 @functools.cache
-def _mugi_256():
-    """The scenarios' shared design instance (see the module docstring):
-    built lazily so importing this module for its profile helpers stays
+def _scenarios() -> dict:
+    """Scenario name -> the :class:`SweepPoint` one timing run executes.
+
+    Built lazily so importing this module for its profile helpers stays
     side-effect free."""
-    return make_design("mugi", 256)
+    model = cluster_serving.SERVE_MODEL
+    capacity = cluster_serving.DEFAULT_CAPACITY_PEAKS \
+        * cluster_serving.peak_footprint_bytes(model)
+    shared_trace = cluster_serving.cluster_trace_spec(N_REQUESTS,
+                                                      RATE_RPS, seed=SEED)
+    paged_kwargs = {"block_size": 16, "chunk_tokens": 768}
+    return {
+        "legacy": SweepPoint(
+            label="legacy", design=("mugi", 256), model=model,
+            trace=shared_trace, policy="continuous", max_batch=24,
+            kv_capacity_bytes=capacity, seq_len_bucket=32),
+        "paged": SweepPoint(
+            label="paged", design=("mugi", 256), model=model,
+            trace=shared_trace, policy="paged", max_batch=24,
+            kv_capacity_bytes=capacity, seq_len_bucket=32,
+            scheduler_kwargs=paged_kwargs),
+        "cluster": SweepPoint(
+            label="cluster", design=("mugi", 256), model=model,
+            trace=shared_trace, policy="paged", max_batch=24,
+            kv_capacity_bytes=capacity, seq_len_bucket=32,
+            scheduler_kwargs=paged_kwargs, router="prefix-affinity",
+            n_replicas=4),
+        # Bucket 256: at 100k-trace scale a coarse cost bucket both
+        # widens leap windows (a decoder crosses a bucket every 256
+        # steps instead of every 32) and densifies the signature space
+        # for the shared step-cost cache; KV accounting stays exact
+        # either way.
+        "bulk-100k": SweepPoint(
+            label="bulk-100k", design=("mugi", 256), model=model,
+            trace=TraceSpec("poisson", n_requests=BULK_REQUESTS,
+                            rate_rps=BULK_RATE_RPS, prompt=BULK_PROMPT,
+                            output=BULK_OUTPUT, seed=BULK_SEED),
+            policy="continuous", max_batch=16, seq_len_bucket=256),
+        "bulk-1m": SweepPoint(
+            label="bulk-1m", design=("mugi", 256), model=model,
+            trace=TraceSpec("poisson", n_requests=BULK_1M_REQUESTS,
+                            rate_rps=BULK_1M_RATE_RPS,
+                            prompt=BULK_PROMPT, output=BULK_1M_OUTPUT,
+                            seed=BULK_1M_SEED),
+            policy="continuous", max_batch=64, seq_len_bucket=2048),
+    }
+
+
+def _timing_runs(name: str) -> int:
+    return BULK_TIMING_RUNS if name.startswith("bulk") else TIMING_RUNS
 
 
 def _calibration_s() -> float:
@@ -139,83 +215,29 @@ def _calibration_s() -> float:
     return time.perf_counter() - start
 
 
-def _trace():
-    return cluster_serving.make_cluster_trace(N_REQUESTS, RATE_RPS,
-                                              seed=SEED)
+def _metrics(name: str, report) -> dict:
+    metrics = {"goodput_rps": report.goodput_rps(),
+               "ttft_p99_s": report.ttft_percentile(99)}
+    if name.startswith("bulk"):
+        metrics["leap_steps"] = report.leap_steps
+        metrics["steps"] = report.steps
+    return metrics
 
 
-def _capacity() -> float:
-    model = cluster_serving.SERVE_MODEL
-    return cluster_serving.DEFAULT_CAPACITY_PEAKS \
-        * cluster_serving.peak_footprint_bytes(model)
-
-
-def _run_legacy() -> dict:
-    report = simulate_trace(
-        _mugi_256(), cluster_serving.SERVE_MODEL, _trace(),
-        policy="continuous", max_batch=24, kv_capacity_bytes=_capacity(),
-        seq_len_bucket=32)
-    return {"goodput_rps": report.goodput_rps(),
-            "ttft_p99_s": report.ttft_percentile(99)}
-
-
-def _run_paged() -> dict:
-    report = simulate_trace(
-        _mugi_256(), cluster_serving.SERVE_MODEL, _trace(),
-        policy="paged", max_batch=24, seq_len_bucket=32,
-        kv_capacity_bytes=_capacity(),
-        scheduler_kwargs={"block_size": 16, "chunk_tokens": 768})
-    return {"goodput_rps": report.goodput_rps(),
-            "ttft_p99_s": report.ttft_percentile(99)}
-
-
-def _run_cluster() -> dict:
-    # cluster_serving._cluster's operating point, on the shared design.
-    cluster = make_cluster(
-        _mugi_256(), cluster_serving.SERVE_MODEL, 4, policy="paged",
-        router="prefix-affinity", max_batch=24,
-        kv_capacity_bytes=_capacity(),
-        scheduler_kwargs={"block_size": 16, "chunk_tokens": 768},
-        seq_len_bucket=32)
-    report = cluster.run(_trace())
-    return {"goodput_rps": report.goodput_rps(),
-            "ttft_p99_s": report.ttft_percentile(99)}
-
-
-def _run_bulk() -> dict:
-    trace = poisson_trace(n_requests=BULK_REQUESTS, rate_rps=BULK_RATE_RPS,
-                          prompt=BULK_PROMPT, output=BULK_OUTPUT,
-                          seed=BULK_SEED)
-    # Bucket 256: at 100k-trace scale a coarse cost bucket both widens
-    # leap windows (a decoder crosses a bucket every 256 steps instead
-    # of every 32) and densifies the signature space for the shared
-    # step-cost cache; KV accounting stays exact either way.
-    report = simulate_trace(
-        _mugi_256(), cluster_serving.SERVE_MODEL, trace,
-        policy="continuous", max_batch=16, seq_len_bucket=256)
-    return {"goodput_rps": report.goodput_rps(),
-            "ttft_p99_s": report.ttft_percentile(99),
-            "leap_steps": report.leap_steps, "steps": report.steps}
-
-
-SCENARIOS = {
-    "legacy": _run_legacy,
-    "paged": _run_paged,
-    "cluster": _run_cluster,
-    "bulk-100k": _run_bulk,
-}
-
-
-def measure() -> dict:
+def measure(jobs: int = 1) -> dict:
+    """Run every scenario ``_timing_runs`` times through the sweep
+    executor; per-scenario wall is the min over its runs."""
     results = {"calibration_s": _calibration_s(), "scenarios": {}}
-    for name, runner in SCENARIOS.items():
-        walls = []
-        runs = BULK_TIMING_RUNS if name == "bulk-100k" else TIMING_RUNS
-        for _ in range(runs):
-            start = time.perf_counter()
-            metrics = runner()
-            walls.append(time.perf_counter() - start)
-        metrics["wall_s"] = min(walls)
+    scenarios = _scenarios()
+    points = [replace(point, label=f"{name}#{i}")
+              for name, point in scenarios.items()
+              for i in range(_timing_runs(name))]
+    sweep = run_sweep(points, jobs=jobs)
+    for name in scenarios:
+        outcomes = [sweep[f"{name}#{i}"]
+                    for i in range(_timing_runs(name))]
+        metrics = _metrics(name, outcomes[0].report)
+        metrics["wall_s"] = min(o.wall_s for o in outcomes)
         results["scenarios"][name] = metrics
         print(f"  {name:9s} goodput={metrics['goodput_rps']:.4f} req/s  "
               f"ttft_p99={metrics['ttft_p99_s']:.2f} s  "
@@ -237,7 +259,8 @@ PROFILE_BUCKETS = (
     ("simulate_workload", ("repro/arch/simulator.py",)),
     ("scheduler logic", ("repro/serve/scheduler.py",
                          "repro/serve/policy.py",
-                         "repro/serve/kv_cache.py")),
+                         "repro/serve/kv_cache.py",
+                         "repro/serve/soa.py")),
     ("engine + event loop", ("repro/serve/engine.py",
                              "repro/serve/cluster.py",
                              "repro/serve/router.py",
@@ -284,8 +307,9 @@ def print_split(name: str, total: float, buckets: dict) -> None:
 
 def profile() -> None:
     """Print each scenario's wall-clock split by subsystem."""
-    for name, runner in SCENARIOS.items():
-        total, buckets = profile_split(runner)
+    for name, point in _scenarios().items():
+        total, buckets = profile_split(functools.partial(run_point,
+                                                         point))
         print_split(name, total, buckets)
 
 
@@ -335,14 +359,26 @@ def main(argv=None) -> int:
     mode.add_argument("--profile", action="store_true",
                       help="print each scenario's wall-clock split by "
                            "subsystem instead of gating")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the scenario sweep "
+                           "(1 = inline; >1 speeds up --check but "
+                           "contends timing runs, so baselines must "
+                           "stay serial)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be positive")
 
     if args.profile:
         profile()
         return 0
 
-    print("benchmark gate: measuring fixed-seed serving scenarios")
-    current = measure()
+    if args.update_baseline and args.jobs != 1:
+        parser.error("--update-baseline requires --jobs 1: baseline "
+                     "wall clocks must come from uncontended runs")
+
+    print(f"benchmark gate: measuring fixed-seed serving scenarios "
+          f"(jobs={args.jobs})")
+    current = measure(jobs=args.jobs)
 
     if args.update_baseline:
         BASELINE_PATH.write_text(json.dumps(current, indent=2,

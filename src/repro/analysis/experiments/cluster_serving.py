@@ -31,8 +31,11 @@ from ...serve import (
     ClusterReport,
     LengthSpec,
     PrefixSpec,
+    SweepPoint,
+    TraceSpec,
     make_cluster,
     poisson_trace,
+    run_sweep,
 )
 from .paged_serving import SERVE_MODEL
 
@@ -88,6 +91,18 @@ def make_cluster_trace(n_requests: int, rate_rps: float,
     return poisson_trace(n_requests=n_requests, rate_rps=rate_rps,
                          prompt=PROMPT_SPEC, output=OUTPUT_SPEC,
                          prefix=prefix, seed=seed)
+
+
+def cluster_trace_spec(n_requests: int, rate_rps: float,
+                       prefix: PrefixSpec | None = DEFAULT_PREFIX,
+                       seed: int = 0,
+                       output: LengthSpec = OUTPUT_SPEC) -> TraceSpec:
+    """The :func:`make_cluster_trace` workload as a declarative
+    :class:`repro.serve.TraceSpec` (bit-identical requests — the empty
+    spawn key reproduces the seeded generator exactly)."""
+    return TraceSpec("poisson", n_requests=n_requests, rate_rps=rate_rps,
+                     prompt=PROMPT_SPEC, output=output, prefix=prefix,
+                     seed=seed)
 
 
 @dataclass(frozen=True)
@@ -150,20 +165,39 @@ def _cluster(model: ModelConfig, n_replicas: int, router: str,
         seq_len_bucket=seq_len_bucket)
 
 
+def _cluster_point(label: str, model: ModelConfig, n_replicas: int,
+                   router: str, trace: TraceSpec,
+                   mode: str = "unified") -> SweepPoint:
+    """:func:`_cluster`'s operating point as a declarative sweep grid
+    cell (same design, budgets, and scheduler knobs)."""
+    return SweepPoint(
+        label=label, design=("mugi", 256), model=model, trace=trace,
+        policy="paged", router=router, mode=mode, n_replicas=n_replicas,
+        max_batch=24,
+        kv_capacity_bytes=DEFAULT_CAPACITY_PEAKS
+        * peak_footprint_bytes(model),
+        scheduler_kwargs={"block_size": 16, "chunk_tokens": 768},
+        seq_len_bucket=32)
+
+
 def run_router_comparison(model: ModelConfig = SERVE_MODEL,
                           n_replicas: int = 4, n_requests: int = 400,
                           rate_per_replica: float =
                           DEFAULT_RATE_PER_REPLICA,
                           routers=ROUTER_POLICIES,
-                          seed: int = 0) -> list[ClusterPoint]:
-    """Every router on the same saturating shared-prefix trace."""
-    trace = make_cluster_trace(n_requests,
+                          seed: int = 0, jobs: int = 1
+                          ) -> list[ClusterPoint]:
+    """Every router on the same saturating shared-prefix trace.
+
+    Runs through :func:`repro.serve.run_sweep`; ``jobs>1`` fans the
+    routers over worker processes with identical results.
+    """
+    trace = cluster_trace_spec(n_requests,
                                rate_per_replica * n_replicas, seed=seed)
-    points = []
-    for router in routers:
-        cluster = _cluster(model, n_replicas, router)
-        points.append(ClusterPoint.of(cluster.run(trace)))
-    return points
+    sweep = run_sweep([_cluster_point(router, model, n_replicas, router,
+                                      trace)
+                       for router in routers], jobs=jobs)
+    return [ClusterPoint.of(outcome.report) for outcome in sweep]
 
 
 def run_replica_scaling(model: ModelConfig = SERVE_MODEL,
@@ -171,21 +205,23 @@ def run_replica_scaling(model: ModelConfig = SERVE_MODEL,
                         n_requests: int = 320,
                         rate_per_replica: float = DEFAULT_RATE_PER_REPLICA,
                         router: str = "prefix-affinity",
-                        seed: int = 0) -> list[ClusterPoint]:
+                        seed: int = 0, jobs: int = 1
+                        ) -> list[ClusterPoint]:
     """Goodput vs replica count at a fixed per-replica offered load."""
-    points = []
-    for n in replica_counts:
-        trace = make_cluster_trace(n_requests, rate_per_replica * n,
-                                   seed=seed)
-        cluster = _cluster(model, n, router)
-        points.append(ClusterPoint.of(cluster.run(trace)))
-    return points
+    sweep = run_sweep(
+        [_cluster_point(f"x{n}", model, n, router,
+                        cluster_trace_spec(n_requests,
+                                           rate_per_replica * n,
+                                           seed=seed))
+         for n in replica_counts], jobs=jobs)
+    return [ClusterPoint.of(outcome.report) for outcome in sweep]
 
 
 def run_disaggregation(model: ModelConfig = SERVE_MODEL,
                        n_replicas: int = 4, n_requests: int = 300,
                        rate_per_replica: float = 0.5,
-                       seed: int = 0) -> list[ClusterPoint]:
+                       seed: int = 0, jobs: int = 1
+                       ) -> list[ClusterPoint]:
     """Unified vs disaggregated pools at equal total replicas.
 
     A chat trace (long decodes, :data:`DISAGG_OUTPUT_SPEC`): the
@@ -198,21 +234,22 @@ def run_disaggregation(model: ModelConfig = SERVE_MODEL,
     bottleneck — but under the :data:`TPOT_SLO_S` interactivity SLO the
     ranking flips, which is exactly the DistServe tradeoff.
     """
-    trace = poisson_trace(n_requests=n_requests,
-                          rate_rps=rate_per_replica * n_replicas,
-                          prompt=PROMPT_SPEC, output=DISAGG_OUTPUT_SPEC,
-                          prefix=DEFAULT_PREFIX, seed=seed)
-    unified = _cluster(model, n_replicas, "least-outstanding")
-    disagg = _cluster(model, n_replicas, "least-outstanding",
-                      mode="disaggregated")
-    return [ClusterPoint.of(unified.run(trace), tpot_slo_s=TPOT_SLO_S),
-            ClusterPoint.of(disagg.run(trace), tpot_slo_s=TPOT_SLO_S)]
+    trace = cluster_trace_spec(n_requests, rate_per_replica * n_replicas,
+                               seed=seed, output=DISAGG_OUTPUT_SPEC)
+    sweep = run_sweep(
+        [_cluster_point("unified", model, n_replicas,
+                        "least-outstanding", trace),
+         _cluster_point("disaggregated", model, n_replicas,
+                        "least-outstanding", trace,
+                        mode="disaggregated")], jobs=jobs)
+    return [ClusterPoint.of(outcome.report, tpot_slo_s=TPOT_SLO_S)
+            for outcome in sweep]
 
 
 def run_headline(model: ModelConfig = SERVE_MODEL, n_replicas: int = 4,
                  n_requests: int = 600,
                  rate_per_replica: float = DEFAULT_RATE_PER_REPLICA,
-                 seed: int = 7) -> dict:
+                 seed: int = 7, jobs: int = 1) -> dict:
     """Acceptance headline: prefix-affinity vs round-robin goodput.
 
     Equal silicon (same replicas, same per-replica KV budget), same
@@ -221,17 +258,17 @@ def run_headline(model: ModelConfig = SERVE_MODEL, n_replicas: int = 4,
     one replica, so the cluster-wide hit rate — and with it the prefill
     work and the work-limited makespan — improves >= 1.15x in goodput.
     """
-    trace = make_cluster_trace(n_requests,
-                               rate_per_replica * n_replicas, seed=seed)
-    shared = sum(r.prefix_group is not None for r in trace)
-    reports = {}
-    for router in ("round-robin", "prefix-affinity"):
-        cluster = _cluster(model, n_replicas, router)
-        reports[router] = cluster.run(trace)
+    spec = cluster_trace_spec(n_requests, rate_per_replica * n_replicas,
+                              seed=seed)
+    shared = sum(r.prefix_group is not None for r in spec.realize())
+    sweep = run_sweep(
+        [_cluster_point(router, model, n_replicas, router, spec)
+         for router in ("round-robin", "prefix-affinity")], jobs=jobs)
+    reports = {outcome.label: outcome.report for outcome in sweep}
     return {
         "n_requests": n_requests,
         "n_replicas": n_replicas,
-        "shared_prefix_share": shared / len(trace),
+        "shared_prefix_share": shared / n_requests,
         "round_robin": reports["round-robin"],
         "prefix_affinity": reports["prefix-affinity"],
         "goodput_ratio": reports["prefix-affinity"].goodput_rps()

@@ -20,7 +20,7 @@ from dataclasses import dataclass, replace
 
 from ...arch import make_design
 from ...llm.config import LLAMA2_70B_GQA, ModelConfig
-from ...serve import LengthSpec, poisson_trace, simulate_trace
+from ...serve import LengthSpec, SweepPoint, TraceSpec, run_sweep
 
 #: The sweep's design list: (kind, size).  Mugi vs systolic at equal
 #: area, plus the scaled-up tensor core for the area-vs-goodput contrast.
@@ -59,39 +59,56 @@ class LoadPoint:
 def run(loads=DEFAULT_LOADS, designs=SERVE_DESIGNS,
         model: ModelConfig = SERVE_MODEL, n_requests: int = 150,
         max_batch: int = 8, policy: str = "continuous",
-        seq_len_bucket: int = 32, seed: int = 0) -> list[LoadPoint]:
+        seq_len_bucket: int = 32, seed: int = 0,
+        jobs: int = 1) -> list[LoadPoint]:
     """Sweep offered load per design; one trace per load (shared across
     designs so curves differ only by hardware).
 
     ``max_batch`` defaults to the paper's service batch of 8 — the
     small-batch regime where decode tokens fill Mugi's 8 columns but
     leave a 16-wide systolic array half idle.
+
+    The grid runs through :func:`repro.serve.run_sweep`: ``jobs=1``
+    executes inline exactly as the old sequential loop did, ``jobs>1``
+    fans the (design x load) points over worker processes.  Points are
+    pure functions of their spec, so the returned curve is identical
+    for any ``jobs``.
     """
-    points = []
     kv_capacity = model.kv_cache_bytes(seq_len=model.max_seq_len,
                                        batch=max_batch)
-    traces = {rate: poisson_trace(n_requests=n_requests, rate_rps=rate,
-                                  prompt=PROMPT_SPEC, output=OUTPUT_SPEC,
-                                  seed=seed)
-              for rate in loads}
+    points = []
     for kind, size in designs:
-        design = make_design(kind, size)
+        name = kind if size is None else f"{kind}-{size}"
         for rate in loads:
-            trace = traces[rate]
-            report = simulate_trace(design, model, trace, policy=policy,
-                                    max_batch=max_batch,
-                                    kv_capacity_bytes=kv_capacity,
-                                    seq_len_bucket=seq_len_bucket)
-            points.append(LoadPoint(
-                design=design.label(), area_mm2=design.area_mm2,
-                offered_rps=rate, goodput_rps=report.goodput_rps(),
-                throughput_tokens_s=report.throughput_tokens_s,
-                p50_latency_s=report.p50_latency_s,
-                p99_latency_s=report.p99_latency_s,
-                mean_ttft_s=report.mean_ttft_s,
-                mean_tpot_s=report.mean_tpot_s,
-                energy_per_token_j=report.energy_per_token_j))
-    return points
+            points.append(SweepPoint(
+                label=f"{name}@{rate:g}rps", design=(kind, size),
+                model=model,
+                trace=TraceSpec("poisson", n_requests=n_requests,
+                                rate_rps=rate, prompt=PROMPT_SPEC,
+                                output=OUTPUT_SPEC, seed=seed),
+                policy=policy, max_batch=max_batch,
+                kv_capacity_bytes=kv_capacity,
+                seq_len_bucket=seq_len_bucket))
+    sweep = run_sweep(points, jobs=jobs)
+    # Labels/areas come from a throwaway instance per design kind; the
+    # executor resolves its own (memoized) instances for the runs.
+    cards = {spec: make_design(*spec) for spec in
+             {p.design for p in points}}
+    results = []
+    for point, outcome in zip(points, sweep):
+        design = cards[point.design]
+        report = outcome.report
+        rate = point.trace.rate_rps
+        results.append(LoadPoint(
+            design=design.label(), area_mm2=design.area_mm2,
+            offered_rps=rate, goodput_rps=report.goodput_rps(),
+            throughput_tokens_s=report.throughput_tokens_s,
+            p50_latency_s=report.p50_latency_s,
+            p99_latency_s=report.p99_latency_s,
+            mean_ttft_s=report.mean_ttft_s,
+            mean_tpot_s=report.mean_tpot_s,
+            energy_per_token_j=report.energy_per_token_j))
+    return results
 
 
 def curve(points: list[LoadPoint], design: str) -> list[LoadPoint]:

@@ -34,7 +34,7 @@ Quick start::
 """
 
 from .cluster import Replica, ServingCluster, make_cluster
-from .costs import StepCostCache, step_cost_store
+from .costs import StepCostCache, aggregate_cache_stats, step_cost_store
 from .engine import ServingEngine, simulate_trace
 from .kv_cache import BlockManager, BlockPoolStats
 from .metrics import (
@@ -73,6 +73,21 @@ from .scheduler import (
     StepPlan,
     make_scheduler,
 )
+from .soa import (
+    PHASE_FREE,
+    PHASE_RUNNING,
+    PHASE_SWAPPED,
+    PHASE_WAITING,
+    SequenceTable,
+)
+from .sweep import (
+    SweepOutcome,
+    SweepPoint,
+    SweepReport,
+    TraceSpec,
+    run_point,
+    run_sweep,
+)
 from .trace import (
     LengthSpec,
     PrefixSpec,
@@ -80,10 +95,15 @@ from .trace import (
     bursty_trace,
     offered_load_rps,
     poisson_trace,
+    spawn_rng,
     steady_trace,
 )
 
 __all__ = [
+    "PHASE_FREE",
+    "PHASE_RUNNING",
+    "PHASE_SWAPPED",
+    "PHASE_WAITING",
     "POLICIES",
     "ROUTERS",
     "SCHEDULERS",
@@ -112,12 +132,18 @@ __all__ = [
     "Scheduler",
     "SchedulingPolicy",
     "SequenceState",
+    "SequenceTable",
     "ServingCluster",
     "ServingEngine",
     "ServingReport",
     "StaticBatchScheduler",
     "StepCostCache",
     "StepPlan",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepReport",
+    "TraceSpec",
+    "aggregate_cache_stats",
     "bursty_trace",
     "make_cluster",
     "make_router",
@@ -125,7 +151,10 @@ __all__ = [
     "offered_load_rps",
     "percentile",
     "poisson_trace",
+    "run_point",
+    "run_sweep",
     "simulate_trace",
+    "spawn_rng",
     "steady_trace",
     "step_cost_store",
 ]

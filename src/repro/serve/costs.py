@@ -34,7 +34,8 @@ from ..arch.technology import TECH_45NM
 from ..errors import ConfigError
 from ..llm.workload import StepCostSurface
 
-__all__ = ["StepCostCache", "StepCostStore", "step_cost_store"]
+__all__ = ["StepCostCache", "StepCostStore", "aggregate_cache_stats",
+           "step_cost_store"]
 
 #: Default LRU capacity.  A signature entry is one small dataclass plus
 #: a tuple key (~1 KB); the default bounds the cache near 64 MB while
@@ -49,13 +50,18 @@ class StepCostCache:
     One instance may be shared by many engines (cluster replicas); the
     engines keep their own hit/miss counters so each
     :class:`repro.serve.ServingReport` shows its session's locality,
-    while the cache itself only bounds memory.
+    while the cache's own ``hits`` / ``misses`` count every probe it
+    has ever served — the store-level view a sweep worker snapshots
+    (:func:`aggregate_cache_stats`) so fan-out runs can merge each
+    process's cache traffic back into the parent's report.
     """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
         if max_entries < 1:
             raise ConfigError("max_entries must be positive")
         self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
         self._data: OrderedDict = OrderedDict()
 
     def __len__(self) -> int:
@@ -67,6 +73,9 @@ class StepCostCache:
         hit = self._data.get(key)
         if hit is not None:
             self._data.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
         return hit
 
     def put(self, key, value) -> None:
@@ -135,3 +144,22 @@ def step_cost_store(design, config, woq_bits: int, kvq_bits: int,
             "under a different TechnologyModel; build a fresh design "
             "for a different tech instead of overriding it")
     return store
+
+
+def aggregate_cache_stats() -> dict:
+    """Totals over every live step-cost cache **in this process**.
+
+    The store registry is per-process state: under the multiprocess
+    sweep executor (:mod:`repro.serve.sweep`) each worker accumulates
+    its own counters, and the parent cannot see them through its own
+    registry.  Workers therefore snapshot this before and after each
+    grid point and ship the deltas home with the result, where
+    :class:`repro.serve.SweepReport` merges them.
+    """
+    hits = misses = entries = 0
+    for per_design in _STORES.values():
+        for store in per_design.values():
+            hits += store.cache.hits
+            misses += store.cache.misses
+            entries += len(store.cache)
+    return {"hits": hits, "misses": misses, "entries": entries}

@@ -56,6 +56,9 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from operator import attrgetter
+
+import numpy as np
 
 from ..arch.simulator import SimulationResult
 from ..arch.technology import TECH_45NM
@@ -132,7 +135,8 @@ class ServingEngine:
         self._now = 0.0
 
     # -- step lowering --------------------------------------------------
-    def _signature(self, plan: StepPlan) -> tuple:
+    def _signature(self, plan: StepPlan,
+                   ctx: np.ndarray | None = None) -> tuple:
         """Cost-equivalence key of a step's active set.
 
         The decode part is the *sorted multiset* of bucketed context
@@ -141,12 +145,28 @@ class ServingEngine:
         misses only.  The ceil-to-bucket rounding ``-(-x // b) * b`` is
         inlined here and mirrored by :meth:`_leap_window`'s crossing
         check — change them together.
+
+        ``ctx`` is the slot plan's pre-gathered context column
+        (:meth:`step` reuses one gather across signature, commit, and
+        leap window — batches are small, so per-call numpy overhead,
+        not arithmetic, dominates the planned-step budget).
         """
         b = self.seq_len_bucket
-        prefill = tuple(sorted(-(-s.request.prompt_len // b) * b
-                               for s in plan.prefill))
-        decode = tuple(sorted(-(-s.context_len // b) * b
-                              for s in plan.decode))
+        prefill = () if not plan.prefill else tuple(
+            sorted(-(-s.request.prompt_len // b) * b
+                   for s in plan.prefill))
+        slots = plan.decode_slots
+        if slots is not None:
+            # Slot plan: bucket the whole context column in one shot.
+            # tolist() converts to Python ints so the cache key matches
+            # the object path's keys exactly; Python's sort beats
+            # np.sort at these batch sizes.
+            if ctx is None:
+                ctx = plan.table.context_len[slots]
+            decode = tuple(sorted((-(-ctx // b) * b).tolist()))
+        else:
+            decode = tuple(sorted(-(-s.context_len // b) * b
+                                  for s in plan.decode))
         # Chunked prefill: past KV is bucketed like decode context; the
         # chunk itself is budget-sized and stays exact.  Whether a chunk
         # finishes matters because only finishing chunks cross the LM
@@ -156,8 +176,9 @@ class ServingEngine:
             for t in plan.chunks).items()))
         return prefill, decode, chunks
 
-    def _step_cost(self, plan: StepPlan) -> SimulationResult:
-        key = self._signature(plan)
+    def _step_cost(self, plan: StepPlan,
+                   ctx: np.ndarray | None = None) -> SimulationResult:
+        key = self._signature(plan, ctx)
         result = self._step_cache.get(key)
         if result is not None:
             self._cache_hits += 1
@@ -246,7 +267,13 @@ class ServingEngine:
         report.peak_kv_bytes = max(report.peak_kv_bytes,
                                    self.scheduler.reserved_bytes)
         report.kv_utilization.append(self.scheduler.kv_utilization())
-        cost = self._step_cost(plan)
+        slots = plan.decode_slots
+        ctx0 = None
+        if slots is not None and slots.size:
+            # One context gather feeds the signature, the commit, and
+            # the leap-window crossing check below.
+            ctx0 = plan.table.context_len[slots]
+        cost = self._step_cost(plan, ctx0)
         duration = cost.step_seconds + plan.swap_seconds
         self._now += duration
         now = self._now
@@ -256,10 +283,21 @@ class ServingEngine:
         report.busy_seconds += duration
         report.steps += 1
 
-        for state in plan.prefill:
-            state.first_token_s = now
-            state.generated = 1
-            state.context_len = state.request.prompt_len + 1
+        prefill = plan.prefill
+        if len(prefill) > 2:
+            # Admission cohorts commit with column writes (one engine
+            # serves one scheduler, so every state shares one table).
+            tab = prefill[0].table
+            pslots = np.fromiter((s.slot for s in prefill),
+                                 dtype=np.int64, count=len(prefill))
+            tab.first_token_s[pslots] = now
+            tab.generated[pslots] = 1
+            tab.context_len[pslots] = tab.prompt_len[pslots] + 1
+        else:
+            for state in prefill:
+                state.first_token_s = now
+                state.generated = 1
+                state.context_len = state.request.prompt_len + 1
         finished_chunks = []
         for task in plan.chunks:
             if not task.finishes:
@@ -273,30 +311,97 @@ class ServingEngine:
             state.generated += 1
             state.context_len = state.prefill_target + 1
             finished_chunks.append(state)
-        for state in plan.decode:
-            if state.first_token_s is None:
-                # KV-ready admissions (cluster disaggregation: the KV
-                # arrived over the interconnect) emit their first local
-                # token from a decode step, never a prefill.
-                state.first_token_s = now
-            state.generated += 1
-            state.context_len += 1
+        remaining = ctx1 = None
+        if slots is not None:
+            table = plan.table
+            if slots.size:
+                # Slot plan: commit every decoder's token with column
+                # ops — set first-token clocks where still NaN, then
+                # bump the counters.  ``remaining``/``ctx1`` feed the
+                # completion scan and the leap window without
+                # re-gathering.
+                first = table.first_token_s
+                unset = np.isnan(first[slots])
+                if unset.any():
+                    first[slots[unset]] = now
+                gen = table.generated[slots] + 1
+                table.generated[slots] = gen
+                ctx1 = ctx0 + 1
+                table.context_len[slots] = ctx1
+                remaining = table.output_len[slots] - gen
+            n_decode = int(slots.size)
+        else:
+            for state in plan.decode:
+                if state.first_token_s is None:
+                    # KV-ready admissions (cluster disaggregation: the
+                    # KV arrived over the interconnect) emit their first
+                    # local token from a decode step, never a prefill.
+                    state.first_token_s = now
+                state.generated += 1
+                state.context_len += 1
+            n_decode = len(plan.decode)
         self.scheduler.note_generated(
-            len(plan.prefill) + len(plan.decode) + len(finished_chunks))
-        released = False
-        for state in plan.prefill + plan.decode + finished_chunks:
-            if state.generated >= state.request.output_len:  # done
-                released = True
-                self.scheduler.release(state)
-                report.records.append(RequestRecord(
-                    request=state.request, admitted_s=state.admitted_s,
-                    first_token_s=state.first_token_s, finish_s=now))
+            len(plan.prefill) + n_decode + len(finished_chunks))
+        # Completion scan, in the stepwise order (prefills, decoders in
+        # running order, finished chunks).  Finishers are collected
+        # before any release: releasing mutates scheduler.running, which
+        # plan.decode_index indexes into.
+        # A prefill finisher emitted its whole output in the prefill
+        # step: generated is exactly 1 after the commit above, so the
+        # check reduces to a plain attribute read.
+        finishers = [s for s in plan.prefill if s.request.output_len <= 1]
+        if slots is not None:
+            if slots.size and remaining.min() <= 0:
+                index = plan.decode_index
+                done = np.flatnonzero(remaining <= 0)
+                if index is not None:
+                    done = index[done]
+                running = self.scheduler.running
+                finishers.extend(running[i] for i in done.tolist())
+        else:
+            finishers.extend(s for s in plan.decode
+                             if s.generated >= s.request.output_len)
+        finishers.extend(s for s in finished_chunks
+                         if s.generated >= s.request.output_len)
+        released = bool(finishers)
+        if finishers:
+            # Records first (they only read state), then one cohort
+            # release — the record order and every release side effect
+            # match the interleaved per-state sequence.
+            records = report.records
+            if len(finishers) > 2:
+                # Gather the clock columns once instead of two property
+                # reads per finisher (every state shares one table).
+                tab = finishers[0].table
+                fslots = np.fromiter((s.slot for s in finishers),
+                                     dtype=np.int64, count=len(finishers))
+                admitted = tab.admitted_s[fslots].tolist()
+                firsts = tab.first_token_s[fslots].tolist()
+                for state, adm, first in zip(finishers, admitted, firsts):
+                    records.append(RequestRecord(
+                        request=state.request,
+                        admitted_s=None if adm != adm else adm,
+                        first_token_s=None if first != first else first,
+                        finish_s=now))
+            else:
+                for state in finishers:
+                    records.append(RequestRecord(
+                        request=state.request,
+                        admitted_s=state.admitted_s,
+                        first_token_s=state.first_token_s,
+                        finish_s=now))
+            self.scheduler.release_many(finishers)
 
         if horizon is not None and not released:
-            self._leap(plan, cost, horizon)
+            if plan.chunks:
+                self._chunk_leap(plan, horizon)
+            else:
+                self._leap(plan, cost, horizon, remaining, ctx1)
         return True
 
-    def _leap_window(self, plan: StepPlan) -> int:
+    def _leap_window(self, plan: StepPlan,
+                     remaining: np.ndarray | None,
+                     ctx: np.ndarray | None) -> int:
         """Steps after a committed pure-decode step with the same plan.
 
         Bounded by the earliest completion (the completing step must
@@ -308,12 +413,17 @@ class ServingEngine:
         bucket = self.seq_len_bucket
         if bucket == 1:
             return 0  # Exact mode: every step's signature is new.
+        if remaining is not None:
+            # Slot plan: :meth:`step` hands over the already-gathered
+            # post-commit remaining-token and context columns.  The
+            # committed step planned at context - 1, and leapt step j
+            # plans at context + j - 1, which must share its cost
+            # bucket.
+            crossing = (1 - ctx) % bucket
+            return int(np.minimum(remaining - 1, crossing).min())
         window = None
         for state in plan.decode:
             remaining = state.request.output_len - state.generated
-            # context_len was just incremented; the committed step
-            # planned at context_len - 1, and leapt step j plans at
-            # context_len + j - 1, which must share its cost bucket.
             crossing = -(state.context_len - 1) % bucket
             bound = remaining - 1 if remaining - 1 < crossing else crossing
             if window is None or bound < window:
@@ -323,7 +433,8 @@ class ServingEngine:
         return window
 
     def _leap(self, plan: StepPlan, cost: SimulationResult,
-              horizon: float) -> None:
+              horizon: float, remaining: np.ndarray | None = None,
+              ctx: np.ndarray | None = None) -> None:
         """Re-apply a committed pure-decode step analytically.
 
         Every accumulator advances with the same sequential float
@@ -332,37 +443,141 @@ class ServingEngine:
         planning, pricing, and per-token KV allocation work is skipped —
         the leap is what makes 100k-request traces tractable.
         """
+        slots = plan.decode_slots
+        n_decode = int(slots.size) if slots is not None else len(plan.decode)
         if not self.leap or plan.prefill or plan.chunks or \
-                plan.swap_seconds or not plan.decode:
+                plan.swap_seconds or not n_decode:
             return
-        window = self._leap_window(plan)
+        window = self._leap_window(plan, remaining, ctx)
         if window > 0:
             window = self.scheduler.leap_window(plan, window)
         if window <= 0:
             return
-        report = self._report
-        duration = cost.step_seconds  # No swap inside a leap.
-        energy = cost.dynamic_energy_j
-        comm = cost.comm_seconds
-        leapt = 0
-        while leapt < window and self._now < horizon:
-            self._now += duration
-            report.energy_j += energy
-            report.comm_seconds += comm
-            report.busy_seconds += duration
-            leapt += 1
+        leapt = self._advance(cost.step_seconds,  # No swap inside a leap.
+                              cost.dynamic_energy_j, cost.comm_seconds,
+                              window, horizon)
         if leapt == 0:
             return
+        report = self._report
         report.kv_utilization.extend(
             self.scheduler.commit_leap(plan, leapt))
         report.peak_kv_bytes = max(report.peak_kv_bytes,
                                    self.scheduler.reserved_bytes)
         report.steps += leapt
         report.leap_steps += leapt
-        for state in plan.decode:
-            state.generated += leapt
-            state.context_len += leapt
-        self.scheduler.note_generated(leapt * len(plan.decode))
+        if slots is not None:
+            table = plan.table
+            table.generated[slots] += leapt
+            table.context_len[slots] += leapt
+        else:
+            for state in plan.decode:
+                state.generated += leapt
+                state.context_len += leapt
+        self.scheduler.note_generated(leapt * n_decode)
+
+    def _advance(self, duration: float, energy: float, comm: float,
+                 window: int, horizon: float) -> int:
+        """Commit up to ``window`` repeats of one step's cost; return how
+        many started strictly before ``horizon``.
+
+        The four running sums (clock, energy, communication, busy time)
+        must advance with the *same sequential float additions* the
+        stepwise loop performs — float addition does not associate, and
+        the reports must match bit for bit.  ``np.cumsum`` accumulates
+        left to right with exactly those semantics, so for long windows
+        the whole chain is built as a ``(4, window+1)`` prefix-sum array
+        — column 0 the current accumulators, the rest the per-step
+        deltas — and ``searchsorted`` finds how many steps fit under the
+        horizon (the clock column is non-decreasing; ``side="left"``
+        mirrors the loop's strict ``now < horizon`` test).
+        """
+        if window < 8:  # The array setup only pays off past a few steps.
+            report = self._report
+            leapt = 0
+            while leapt < window and self._now < horizon:
+                self._now += duration
+                report.energy_j += energy
+                report.comm_seconds += comm
+                report.busy_seconds += duration
+                leapt += 1
+            return leapt
+        report = self._report
+        series = np.empty((4, window + 1))
+        series[:, 0] = (self._now, report.energy_j, report.comm_seconds,
+                        report.busy_seconds)
+        series[0, 1:] = duration
+        series[1, 1:] = energy
+        series[2, 1:] = comm
+        series[3, 1:] = duration
+        acc = np.cumsum(series, axis=1)
+        leapt = int(np.searchsorted(acc[0, :window], horizon, side="left"))
+        if leapt:
+            self._now = float(acc[0, leapt])
+            report.energy_j = float(acc[1, leapt])
+            report.comm_seconds = float(acc[2, leapt])
+            report.busy_seconds = float(acc[3, leapt])
+        return leapt
+
+    def _chunk_leap(self, plan: StepPlan, horizon: float) -> None:
+        """Leap a lone mid-prompt prefill chunk's successor chunks.
+
+        A long prompt prefilling alone produces a run of steps that are
+        the same plan with ``past`` advanced by ``chunk_tokens`` — no
+        admission, eviction, or decode event between them (the chunk
+        consumes the whole step budget, so the scheduler's admission
+        loop never runs; :meth:`PagedScheduler.chunk_leap_window` checks
+        the rest).  Unlike a decode leap the cost *changes* every step
+        (``past`` grows), so each leapt step is priced individually
+        through the shared step cache — identical get/put traffic to
+        the stepwise path — while planning and per-chunk block
+        allocation collapse into one bulk commit mirroring
+        :meth:`PagedScheduler.commit_leap`'s exact utilization-series
+        reconstruction.
+        """
+        if not self.leap or self.seq_len_bucket == 1:
+            return
+        if plan.prefill or plan.decode or plan.swap_seconds or \
+                len(plan.chunks) != 1:
+            return
+        task = plan.chunks[0]
+        if task.finishes:
+            return
+        windower = getattr(self.scheduler, "chunk_leap_window", None)
+        if windower is None:
+            return
+        window = windower(task)
+        if window <= 0:
+            return
+        report = self._report
+        state = task.state
+        past0 = state.prefilled  # Already advanced past the anchor chunk.
+        chunk = task.new
+        b = self.seq_len_bucket
+        leapt = 0
+        while leapt < window and self._now < horizon:
+            past = past0 + leapt * chunk
+            key = ((), (), (((-(-past // b) * b, chunk, False), 1),))
+            cost = self._step_cache.get(key)
+            if cost is not None:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+                cost = self._surface.price_step(*key)
+                self._step_cache.put(key, cost)
+            duration = cost.step_seconds
+            self._now += duration
+            report.energy_j += cost.dynamic_energy_j
+            report.comm_seconds += cost.comm_seconds
+            report.busy_seconds += duration
+            leapt += 1
+        if leapt == 0:
+            return
+        report.kv_utilization.extend(
+            self.scheduler.commit_chunk_leap(task, leapt))
+        report.peak_kv_bytes = max(report.peak_kv_bytes,
+                                   self.scheduler.reserved_bytes)
+        report.steps += leapt
+        report.leap_steps += leapt
 
     def finish(self) -> ServingReport:
         """Close the session: stamp the makespan, fold scheduler stats."""
@@ -386,33 +601,47 @@ class ServingEngine:
         """Serve a trace to completion and return the aggregate report."""
         if not trace:
             raise ConfigError("empty trace")
-        pending = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
-        for request in pending:
-            # Fail before simulating anything, not mid-run at enqueue.
-            error = self.scheduler.admission_error(request)
-            if error:
-                raise ConfigError(f"unservable trace: {error}")
+        pending = sorted(trace, key=attrgetter("arrival_s", "req_id"))
+        # Fail before simulating anything, not mid-run at enqueue.
+        error = self.scheduler.trace_error(pending)
+        if error:
+            raise ConfigError(f"unservable trace: {error}")
         self.start(offered_rps=offered_load_rps(trace))
-        idx = 0
-        while idx < len(pending) or self.scheduler.has_work():
-            while idx < len(pending) and pending[idx].arrival_s <= self._now:
-                self.scheduler.enqueue(pending[idx])
-                idx += 1
+        arrivals = np.fromiter((r.arrival_s for r in pending),
+                               dtype=np.float64, count=len(pending))
+        idx, n = 0, len(pending)
+        while idx < n or self.scheduler.has_work():
+            if idx < n and arrivals[idx] <= self._now:
+                # Ingest every request that has arrived by the clock in
+                # one slice (arrivals is sorted).
+                upto = int(np.searchsorted(arrivals, self._now,
+                                           side="right"))
+                self.scheduler.enqueue_many(pending[idx:upto])
+                idx = upto
             # The next un-ingested arrival bounds how far a committed
             # pure-decode step may leap (a leapt step must start
-            # strictly before it, exactly as this loop would step).
-            horizon = pending[idx].arrival_s if idx < len(pending) \
-                else math.inf
+            # strictly before it, exactly as this loop would step) —
+            # unless the scheduler is saturated, in which case the
+            # arrival could only queue up and the leap sails through it
+            # (:meth:`Scheduler.arrivals_inert`); the queue refills in
+            # bulk at the next planned step.  Overloaded traces spend
+            # most of their life saturated, so this collapses the
+            # planned-step count from one-per-arrival to
+            # one-per-completion-or-bucket-crossing.
+            if idx < n and not self.scheduler.arrivals_inert():
+                horizon = float(arrivals[idx])
+            else:
+                horizon = math.inf
             if self.step(horizon=horizon):
                 continue
-            if idx >= len(pending):
+            if idx >= n:
                 # Nothing runnable and nothing left to arrive: a
                 # scheduler bug, not a state the loop can leave.
                 raise ConfigError(
                     f"scheduler {self.scheduler.name} stalled with "
                     f"work queued but nothing planned")
             # Idle: jump to the next arrival.
-            self.advance_to(pending[idx].arrival_s)
+            self.advance_to(float(arrivals[idx]))
         return self.finish()
 
 

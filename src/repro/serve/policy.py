@@ -39,35 +39,114 @@ from .scheduler import (
     StepPlan,
     context_window_error,
 )
+from .soa import (
+    PHASE_RUNNING,
+    PHASE_SWAPPED,
+    PHASE_WAITING,
+    SequenceTable,
+)
 from .trace import Request
 
 #: C-level sort key over the cached per-state queue tuples.
 _QUEUE_KEY = attrgetter("queue_sort_key")
 
 
-@dataclass
 class PagedSequenceState(SequenceState):
     """Serving state of one request under the paged schedulers.
 
     ``prefilled`` counts prompt tokens whose KV is materialized
     (prefix-cache hits included); ``prefill_target`` is where prefill
     ends — ``prompt_len`` normally, ``prompt_len + generated`` while
-    rebuilding after a recompute preemption.
+    rebuilding after a recompute preemption.  ``kv_tokens`` mirrors the
+    block manager's device-resident token count for this sequence (0
+    while waiting or swapped out), so table-level scans can reason
+    about KV residency without a dict probe per sequence.
+
+    Like the base class this is a view over a shared
+    :class:`~repro.serve.soa.SequenceTable` row.
     """
 
-    prefilled: int = 0
-    prefill_target: int = 0
-    cached_tokens: int = 0
-    preemptions: int = 0
-    swapped_tokens: int = 0
-    #: The policy's queue key, computed once at enqueue (keys are pure
-    #: functions of immutable Request fields, and the per-step sorts
-    #: are hot enough that re-deriving tuples dominated planning).
-    queue_sort_key: tuple = ()
+    __slots__ = ("queue_sort_key",)
+
+    def __init__(self, request: Request, admitted_s: float | None,
+                 context_len: int = 0, generated: int = 0,
+                 first_token_s: float | None = None, prefilled: int = 0,
+                 prefill_target: int = 0, cached_tokens: int = 0,
+                 preemptions: int = 0, swapped_tokens: int = 0,
+                 queue_sort_key: tuple = (), *,
+                 table: SequenceTable | None = None):
+        super().__init__(request, admitted_s, context_len, generated,
+                         first_token_s, table=table)
+        i = self.slot
+        tab = self.table
+        tab.prefilled[i] = prefilled
+        tab.prefill_target[i] = prefill_target
+        tab.cached_tokens[i] = cached_tokens
+        tab.preemptions[i] = preemptions
+        tab.swapped_tokens[i] = swapped_tokens
+        tab.kv_tokens[i] = 0
+        # Paged sequences are born into the waiting queue (admission
+        # happens later, in plan_step); the base class assumes
+        # admission-time construction and flags RUNNING.
+        tab.phase[i] = PHASE_WAITING
+        #: The policy's queue key, computed once at enqueue (keys are
+        #: pure functions of immutable Request fields, and the per-step
+        #: sorts are hot enough that re-deriving tuples dominated
+        #: planning).
+        self.queue_sort_key = queue_sort_key
+
+    @property
+    def prefilled(self) -> int:
+        return int(self.table.prefilled[self.slot])
+
+    @prefilled.setter
+    def prefilled(self, value: int) -> None:
+        self.table.prefilled[self.slot] = value
+
+    @property
+    def prefill_target(self) -> int:
+        return int(self.table.prefill_target[self.slot])
+
+    @prefill_target.setter
+    def prefill_target(self, value: int) -> None:
+        self.table.prefill_target[self.slot] = value
+
+    @property
+    def cached_tokens(self) -> int:
+        return int(self.table.cached_tokens[self.slot])
+
+    @cached_tokens.setter
+    def cached_tokens(self, value: int) -> None:
+        self.table.cached_tokens[self.slot] = value
+
+    @property
+    def preemptions(self) -> int:
+        return int(self.table.preemptions[self.slot])
+
+    @preemptions.setter
+    def preemptions(self, value: int) -> None:
+        self.table.preemptions[self.slot] = value
+
+    @property
+    def swapped_tokens(self) -> int:
+        return int(self.table.swapped_tokens[self.slot])
+
+    @swapped_tokens.setter
+    def swapped_tokens(self, value: int) -> None:
+        self.table.swapped_tokens[self.slot] = value
+
+    @property
+    def kv_tokens(self) -> int:
+        return int(self.table.kv_tokens[self.slot])
+
+    @kv_tokens.setter
+    def kv_tokens(self, value: int) -> None:
+        self.table.kv_tokens[self.slot] = value
 
     @property
     def prefill_done(self) -> bool:
-        return self.prefilled >= self.prefill_target
+        i = self.slot
+        return bool(self.table.prefilled[i] >= self.table.prefill_target[i])
 
 
 @dataclass(frozen=True)
@@ -236,6 +315,7 @@ class PagedScheduler:
             self.block_manager = BlockManager(
                 config, kv_capacity_bytes, block_size=block_size,
                 kvq_bits=kvq_bits)
+        self.table = SequenceTable(capacity=max(2 * max_batch, 16))
         self.waiting: list[PagedSequenceState] = []
         self.running: list[PagedSequenceState] = []
         self.swapped: list[PagedSequenceState] = []
@@ -296,27 +376,85 @@ class PagedScheduler:
                     f"({manager.capacity_bytes:.3g} bytes)")
         return None
 
-    def enqueue(self, request: Request) -> None:
-        error = self.admission_error(request)
-        if error:
-            raise ConfigError(error)
+    def trace_error(self, requests: list[Request]) -> str | None:
+        """First reason any of ``requests`` can never be served, or None.
+
+        Vectorized equivalent of per-request :meth:`admission_error`:
+        the context-window and peak-block checks are both plain
+        threshold compares on total tokens
+        (``blocks_needed(t) > num_blocks`` iff
+        ``t > num_blocks * block_size``), and ``kv_ready`` is a flag
+        scan.  The first offender is re-diagnosed object-wise so the
+        message (and check precedence) match exactly.
+        """
+        if not requests:
+            return None
+        n = len(requests)
+        totals = np.fromiter((r.prompt_len + r.output_len
+                              for r in requests), dtype=np.int64, count=n)
+        manager = self.block_manager
+        bad = (totals > self.config.max_seq_len) \
+            | (totals > manager.num_blocks * manager.block_size)
+        if not bad.all():
+            bad |= np.fromiter((r.kv_ready for r in requests),
+                               dtype=bool, count=n)
+        if bad.any():
+            return self.admission_error(requests[int(bad.argmax())])
+        return None
+
+    def _enqueue_validated(self, request: Request) -> None:
         state = PagedSequenceState(
             request=request, admitted_s=None,
-            prefill_target=request.prompt_len)
+            prefill_target=request.prompt_len, table=self.table)
         state.queue_sort_key = self.policy.queue_key(state)
         self.waiting.append(state)
         self._waiting_sorted = False
         self.outstanding_tokens += request.total_tokens
 
+    def enqueue(self, request: Request) -> None:
+        error = self.admission_error(request)
+        if error:
+            raise ConfigError(error)
+        self._enqueue_validated(request)
+
+    def enqueue_many(self, requests: list[Request]) -> None:
+        """Bulk :meth:`enqueue`: one vectorized validation pass, then
+        the usual per-request waiting-queue inserts."""
+        error = self.trace_error(requests)
+        if error:
+            raise ConfigError(error)
+        for request in requests:
+            self._enqueue_validated(request)
+
     def has_work(self) -> bool:
         return bool(self.waiting or self.running or self.swapped)
+
+    def arrivals_inert(self) -> bool:
+        """True when a newly arrived request cannot change the plan.
+
+        Admission (plan part 4) runs only while
+        ``len(running) < max_batch`` — a full batch never examines the
+        waiting head at all, so there is no admission attempt and *no
+        prefix-cache LRU touch* a leap would have to replay (see
+        :meth:`repro.serve.Scheduler.arrivals_inert`).  Swap-ins come
+        from ``swapped``, chunk scheduling from ``running``; neither
+        looks at arrivals either.
+        """
+        return len(self.running) >= self.max_batch
 
     def release(self, state: PagedSequenceState) -> None:
         """Free a finished sequence's blocks (prefix blocks stay cached)."""
         self.running.remove(state)
+        self.table.free(state.slot)
         self.block_manager.free_sequence(state.request.req_id)
         self.outstanding_tokens -= \
             state.request.total_tokens - state.generated
+
+    def release_many(self, states: list[PagedSequenceState]) -> None:
+        """Free a completion cohort (block frees must stay per-sequence
+        and in order — the free-list sequence feeds prefix caching)."""
+        for state in states:
+            self.release(state)
 
     def note_generated(self, tokens: int) -> None:
         """Engine hook: ``tokens`` generated this step (see
@@ -394,6 +532,87 @@ class PagedScheduler:
         if manager.live_blocks != live0 + int(grown[-1]):
             raise ConfigError("leap block accounting diverged from the "
                               "pool (copy-on-write inside a leap?)")
+        for state in plan.decode:
+            state.kv_tokens += steps
+        num_blocks = manager.num_blocks
+        return [(live0 + int(g)) / num_blocks for g in grown]
+
+    # -- chunked-prefill leaping ------------------------------------------
+    def chunk_leap_window(self, task: ChunkTask) -> int:
+        """How many further identical prefill chunks the engine may leap.
+
+        The engine only asks when the anchor plan held exactly one
+        non-finishing chunk and nothing else — every step of the window
+        repeats that plan with ``past`` advanced by one chunk, because
+        the step's whole token budget went to this sequence, so the
+        part-4 admission loop (gated on ``budget > 0``) never ran and
+        the prefix-cache LRU is untouched for the entire window.  The
+        window shrinks to 0 when the extrapolation could diverge from
+        the stepwise schedule:
+
+        * something was preempted in the anchor plan, or swapped-out
+          sequences exist (their swap-in probes run before the budget
+          gate and can move blocks);
+        * the anchor chunk was short of ``chunk_tokens`` (the repeat
+          would not be identical);
+        * the sequence's block table has slack beyond ``tokens_of`` or
+          its next write needs a copy-on-write — either breaks the pure
+          ``blocks_needed`` growth the bulk commit reconstructs;
+
+        and is otherwise bounded by the remaining *full* chunks before
+        the finishing one and by the pool's block supply.
+        """
+        if self._preempted_in_last_plan or self.swapped:
+            return 0
+        if task.new != self.chunk_tokens:
+            return 0
+        state = task.state
+        window = (state.prefill_target - state.prefilled - 1) \
+            // self.chunk_tokens
+        if window <= 0:
+            return 0
+        manager = self.block_manager
+        seq_id = state.request.req_id
+        tokens = manager.tokens_of(seq_id)
+        if manager.blocks_of(seq_id) != manager.blocks_needed(tokens):
+            return 0
+        if manager.write_needs_cow(seq_id):
+            return 0
+        # blocks_needed(tokens + j*chunk) <= available + blocks_needed(
+        # tokens) iff tokens + j*chunk <= that bound times block_size:
+        # the whole window's growth must fit free + evictable blocks.
+        supply_tokens = (manager.available_blocks
+                         + manager.blocks_needed(tokens)) \
+            * manager.block_size - tokens
+        return min(window, supply_tokens // self.chunk_tokens)
+
+    def commit_chunk_leap(self, task: ChunkTask, steps: int) -> list:
+        """Apply ``steps`` leapt prefill chunks of KV growth in one call.
+
+        The exact analogue of :meth:`commit_leap` for a lone chunked
+        prefill: reconstructs the per-step utilization series from
+        block-boundary crossings, grows the block table through one
+        bulk extend, and verifies the pool agrees with the
+        reconstruction.
+        """
+        manager = self.block_manager
+        state = task.state
+        seq_id = state.request.req_id
+        chunk = task.new
+        tokens = manager.tokens_of(seq_id)
+        live0 = manager.live_blocks
+        size = manager.block_size
+        js = np.arange(1, steps + 1, dtype=np.int64)
+        grown = ((tokens + js * chunk + size - 1) // size
+                 - (tokens + size - 1) // size)
+        if not manager.extend_bulk([(seq_id, steps * chunk)]):
+            raise ConfigError("chunk leap overran the block pool; "
+                              "chunk_leap_window under-counted demand")
+        if manager.live_blocks != live0 + int(grown[-1]):
+            raise ConfigError("chunk-leap block accounting diverged from "
+                              "the pool")
+        state.prefilled += steps * chunk
+        state.kv_tokens = manager.tokens_of(seq_id)
         num_blocks = manager.num_blocks
         return [(live0 + int(g)) / num_blocks for g in grown]
 
@@ -414,6 +633,8 @@ class PagedScheduler:
             state.swapped_tokens = manager.tokens_of(seq_id)
             moved = manager.swap_out(seq_id)
             plan.swap_seconds += moved / self.host_link_bytes_s
+            state.kv_tokens = 0
+            state.phase = PHASE_SWAPPED
             self.swapped.append(state)
         else:
             # Recompute: drop the KV; the sequence re-prefills its
@@ -423,6 +644,8 @@ class PagedScheduler:
             state.prefilled = 0
             state.prefill_target = state.request.prompt_len + state.generated
             state.context_len = 0
+            state.kv_tokens = 0
+            state.phase = PHASE_WAITING
             self.waiting.append(state)
             self._waiting_sorted = False
 
@@ -433,6 +656,29 @@ class PagedScheduler:
         stats.prefix_query_tokens -= state.request.prompt_len
         stats.prefix_hit_tokens -= cached
         self.block_manager.free_sequence(state.request.req_id)
+
+    def _partition_running(self) -> tuple[list, list]:
+        """(decoders, prefilling) of the running set, policy-sorted.
+
+        One gather over the table's ``prefilled`` / ``prefill_target`` /
+        ``generated`` / ``output_len`` columns replaces the old
+        per-state attribute walk.
+        """
+        if not self.running:
+            return [], []
+        running = self.running
+        slots = np.fromiter((s.slot for s in running), dtype=np.int64,
+                            count=len(running))
+        tab = self.table
+        fill_done = tab.prefilled[slots] >= tab.prefill_target[slots]
+        live = tab.generated[slots] < tab.output_len[slots]
+        decoders = sorted((running[i] for i in
+                           np.flatnonzero(fill_done & live).tolist()),
+                          key=_QUEUE_KEY)
+        prefilling = sorted((running[i] for i in
+                             np.flatnonzero(~fill_done).tolist()),
+                            key=_QUEUE_KEY)
+        return decoders, prefilling
 
     # -- the step planner ------------------------------------------------
     def plan_step(self, now: float) -> StepPlan:
@@ -468,21 +714,25 @@ class PagedScheduler:
                 break
             plan.swap_seconds += moved / self.host_link_bytes_s
             self.swapped.remove(state)
+            state.kv_tokens = state.swapped_tokens
+            state.phase = PHASE_RUNNING
             self.running.append(state)
             committed.add(id(state))
 
         # 2. Decode: every running sequence past prefill appends one
         #    token; allocation failure preempts a victim (possibly the
         #    sequence itself when it is the lowest-ranked survivor).
-        decoders = sorted(  # prefill_done and not done, inlined.
-            (s for s in self.running if s.prefilled >= s.prefill_target
-             and s.generated < s.request.output_len),
-            key=_QUEUE_KEY)
+        #    The prefill_done / done split is a pair of column compares
+        #    over the running set's table rows; prefilling sequences
+        #    preempted before part 3 reaches them are skipped there via
+        #    ``preempted_now``, exactly as stepwise victims always were.
+        decoders, prefilling = self._partition_running()
         for state in decoders:
             if id(state) in preempted_now:
                 continue  # Taken as a victim earlier in this loop.
             while True:
                 if manager.extend(state.request.req_id, 1):
+                    state.kv_tokens += 1
                     plan.decode.append(state)
                     committed.add(id(state))
                     break
@@ -500,8 +750,6 @@ class PagedScheduler:
         # 3. Chunked prefill: continue partial prefills under the step's
         #    token budget, oldest/highest-priority first.
         budget = self.chunk_tokens
-        prefilling = sorted((s for s in self.running
-                             if not s.prefill_done), key=_QUEUE_KEY)
         for state in prefilling:
             if budget <= 0:
                 break
@@ -513,6 +761,7 @@ class PagedScheduler:
                            manager.max_extend(seq_id))
                 if take > 0:
                     manager.extend(seq_id, take)
+                    state.kv_tokens += take
                     plan.chunks.append(ChunkTask(
                         state=state, past=state.prefilled, new=take,
                         finishes=state.prefilled + take
@@ -565,8 +814,10 @@ class PagedScheduler:
             manager.extend(seq_id, take)
             state.cached_tokens += cached
             state.prefilled = cached + take
+            state.kv_tokens = cached + take
             if state.admitted_s is None:
                 state.admitted_s = now
+            state.phase = PHASE_RUNNING
             self.running.append(state)
             plan.chunks.append(ChunkTask(
                 state=state, past=cached, new=take,

@@ -1,0 +1,129 @@
+"""Property test: the SoA table always mirrors the scheduler's lists.
+
+The struct-of-arrays refactor keeps per-sequence state in
+:class:`repro.serve.SequenceTable` columns behind thin view objects,
+with slots recycled LIFO and *never cleared* on free.  The failure
+mode that invites is aliasing: a stale slot index, a missed column
+write on a lifecycle transition, or a phase flag out of sync with the
+scheduler's waiting/running/swapped lists would silently serve one
+request's tokens under another's identity.
+
+Hypothesis drives random traces (ragged lengths, shared prefixes,
+priority mixes) through the *real* engine under every paged scheduler
+flavor plus the peak-reservation families, with tight KV budgets and
+batch sizes chosen to force admission churn, chunked prefill, and both
+preemption modes.  After every engine step a shadow model — the
+immutable ``Request`` objects plus the scheduler's own membership
+lists — is checked field-by-field against the table columns.
+"""
+
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import make_design
+from repro.llm import ModelConfig
+from repro.serve import (
+    LengthSpec,
+    PrefixSpec,
+    ServingEngine,
+    make_scheduler,
+    poisson_trace,
+)
+from repro.serve.soa import (
+    PHASE_RUNNING,
+    PHASE_SWAPPED,
+    PHASE_WAITING,
+)
+
+TINY = ModelConfig(name="Tiny-GQA", family="llama2", n_layers=2,
+                   n_heads=16, n_kv_heads=2, hidden_dim=512,
+                   ffn_dim=1024, max_seq_len=2048, vocab_size=1000)
+SHORT = LengthSpec("uniform", low=2, high=24)
+PREFIX = PrefixSpec(share=0.4, n_groups=3,
+                    length=LengthSpec("fixed", value=8), dup_share=0.3)
+
+
+@functools.cache
+def _design():
+    """One design for every example: op costs memoize on the instance,
+    so examples after the first only pay scheduler/engine work."""
+    return make_design("mugi", 64)
+
+
+def _audit(scheduler) -> None:
+    """Every tracked sequence's table row matches its shadow (the
+    request it was admitted for), phases match list membership, and
+    live slots are exactly the tracked ones."""
+    table = scheduler.table
+    if hasattr(scheduler, "waiting"):  # Paged family.
+        groups = (("waiting", PHASE_WAITING), ("running", PHASE_RUNNING),
+                  ("swapped", PHASE_SWAPPED))
+    else:  # Peak-reservation family: queue holds raw Requests.
+        groups = (("running", PHASE_RUNNING),)
+    seen = set()
+    for name, phase in groups:
+        for state in getattr(scheduler, name):
+            slot = state.slot
+            assert slot not in seen, "slot tracked twice"
+            seen.add(slot)
+            request = state.request
+            assert int(table.req_id[slot]) == request.req_id
+            assert int(table.prompt_len[slot]) == request.prompt_len
+            assert int(table.output_len[slot]) == request.output_len
+            assert float(table.arrival_s[slot]) == request.arrival_s
+            assert int(table.phase[slot]) == phase, \
+                f"{name} sequence carries phase {int(table.phase[slot])}"
+            assert 0 <= state.generated <= request.output_len
+            assert state.context_len \
+                <= request.prompt_len + request.output_len
+    assert len(seen) == len(table), "live slots != tracked sequences"
+    assert set(table.live_slots().tolist()) == seen
+
+
+class _AuditingEngine(ServingEngine):
+    """Checks scheduler/table consistency after every committed step."""
+
+    def step(self, horizon=None) -> bool:
+        stepped = super().step(horizon)
+        _audit(self.scheduler)
+        return stepped
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_random_traces_keep_table_and_shadow_identical(data):
+    policy = data.draw(st.sampled_from(
+        ("continuous", "static", "paged", "paged-priority",
+         "paged-preemptive")), label="policy")
+    seed = data.draw(st.integers(0, 2**20), label="seed")
+    n = data.draw(st.integers(1, 12), label="n_requests")
+    max_batch = data.draw(st.integers(1, 4), label="max_batch")
+    rate = data.draw(st.sampled_from((0.5, 4.0, 32.0)), label="rate")
+
+    trace = poisson_trace(n_requests=n, rate_rps=rate, prompt=SHORT,
+                          output=SHORT, prefix=PREFIX, seed=seed,
+                          priorities=(0, 1, 2))
+    kwargs = {}
+    if policy.startswith("paged"):
+        # A pool of a few requests' worth of blocks with tiny chunks:
+        # admission churn, chunked prefill, and real preemptions.
+        peak = TINY.kv_cache_bytes(seq_len=PREFIX.length.value + 48,
+                                   batch=1, bits=4)
+        budget = data.draw(st.sampled_from((2.0, 4.0)), label="budget")
+        kwargs = {"block_size": 4, "chunk_tokens": 16,
+                  "kv_capacity_bytes": budget * peak,
+                  "preemption": data.draw(
+                      st.sampled_from(("recompute", "swap")),
+                      label="preemption")}
+    scheduler = make_scheduler(policy, TINY, max_batch=max_batch,
+                               **kwargs)
+    engine = _AuditingEngine(_design(), TINY, scheduler,
+                             seq_len_bucket=4)
+    report = engine.run(trace)
+
+    # Termination shadow: every request completed, every slot freed.
+    assert report.completed == n
+    assert len(scheduler.table) == 0
+    assert scheduler.table.live_slots().size == 0
