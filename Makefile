@@ -15,6 +15,7 @@ demos:
 	$(PY) examples/parallel_serving_demo.py
 	$(PY) examples/paged_serving_demo.py
 	$(PY) examples/cluster_serving_demo.py
+	$(PY) examples/autoscaling_serving_demo.py
 
 # Compare fixed-seed serving benchmarks against BENCH_serving.json.
 bench-gate:

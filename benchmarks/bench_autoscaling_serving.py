@@ -1,0 +1,110 @@
+"""Fleet autoscaling — multi-tenant SLOs, elastic replicas, cost.
+
+The acceptance headline plays one compressed diurnal day (an
+interactive tenant on a cosine load wave plus a bursty batch tenant,
+SFQ fair-share admission) against a static peak-provisioned fleet and
+the reactive/predictive autoscalers at the same 4-replica ceiling, and
+requires the SLO-aware scaler to keep every SLO-good completion static
+keeps while billing strictly fewer replica-seconds — equal goodput at
+strictly lower carbon per good request.
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import autoscaling_serving
+from repro.analysis.tables import render_table
+
+
+def _rows(points):
+    return [[p.autoscaler, f"{p.good_completions}",
+             f"{p.goodput_rps:.4f}",
+             f"{p.cost_per_good_request_kg * 1e6:.3f}",
+             f"{p.mean_replicas:.2f}", f"{p.peak_replicas}",
+             f"{p.cold_starts}", f"{p.replica_seconds:.0f}",
+             f"{p.p99_ttft_s:.1f}"]
+            for p in points]
+
+
+HEADERS = ["Scaler", "SLO-good", "Goodput req/s",
+           "kgCO2e/good (x1e-6)", "Mean repl.", "Peak", "Cold starts",
+           "Replica-s", "p99 TTFT (s)"]
+
+
+def test_headline_autoscaler_vs_static(save_result):
+    res = autoscaling_serving.run_headline()
+    points = res["points"]
+    static, reactive = points["static"], points["reactive"]
+
+    # Every fleet serves the whole day (conservation, not SLO drops)...
+    assert all(res["reports"][name].completed == res["n_requests"]
+               for name in points)
+    # ...the acceptance bar: equal-or-better goodput than static
+    # provisioning at strictly lower cost per SLO-good request.
+    assert res["goodput_ratio"] >= 1.0
+    assert res["cost_ratio"] < 1.0
+    # The saving comes from the trough: fewer replica-seconds billed,
+    # never a smaller peak (the wave still needs the full fleet).
+    assert reactive.replica_seconds < static.replica_seconds
+    assert reactive.peak_replicas == static.peak_replicas
+    # Elasticity is real scaling, not a static undersized fleet.
+    assert reactive.cold_starts > 0
+    assert len(res["reports"]["reactive"].scale_events) > 4
+
+    table = render_table(
+        HEADERS, _rows(points.values()),
+        title=f"Autoscalers vs static provisioning, "
+              f"{res['n_requests']} requests over one diurnal "
+              f"2-tenant day, <= {autoscaling_serving.N_REPLICAS} "
+              f"Mugi (256) fair-share replicas")
+    save_result("autoscaling_serving", "\n".join([
+        table, "",
+        f"cost per SLO-good request (reactive / static): "
+        f"{res['cost_ratio']:.3f}x  (acceptance bar: < 1.0 at goodput "
+        f"ratio >= 1.0; measured goodput ratio "
+        f"{res['goodput_ratio']:.3f})"]))
+
+
+def test_scaler_comparison(benchmark, save_result):
+    points = once(benchmark, autoscaling_serving.run_scaler_comparison)
+
+    table = render_table(
+        HEADERS, _rows(points),
+        title="Scaler comparison on the diurnal multi-tenant day")
+    save_result("autoscaling_serving_scalers", table)
+
+    by_name = {p.autoscaler: p for p in points}
+    static = by_name["static"]
+    # Both SLO-aware scalers run a smaller mean fleet than static's
+    # fixed peak and pay for it in cold starts, not goodput.
+    for name in ("reactive", "predictive"):
+        assert by_name[name].mean_replicas < static.mean_replicas
+        assert by_name[name].good_completions >= static.good_completions
+        assert by_name[name].cost_kg < static.cost_kg
+    # Static never scales, so it never cold-starts.
+    assert static.cold_starts == 0
+
+
+def test_per_tenant_slo_attainment(save_result):
+    """Fair share holds each tenant to its own deadline."""
+    from repro.serve import run_point
+    point = autoscaling_serving.fleet_point(
+        "reactive", "reactive", autoscaling_serving.diurnal_trace_spec())
+    report = run_point(point)
+    summary = report.per_tenant_summary(slos=autoscaling_serving.SLOS)
+
+    assert sorted(summary) == [0, 1]
+    slos = {s.tenant: s for s in autoscaling_serving.SLOS}
+    rows = []
+    for tenant, stats in sorted(summary.items()):
+        # >= 99% of each tenant's completions meet that tenant's SLO.
+        assert stats["good_completions"] >= 0.99 * stats["completed"]
+        assert stats["p99_ttft_s"] <= slos[tenant].ttft_slo_s
+        rows.append([f"{tenant}", f"{slos[tenant].ttft_slo_s:g}",
+                     f"{stats['completed']}",
+                     f"{stats['good_completions']}",
+                     f"{stats['mean_ttft_s']:.1f}",
+                     f"{stats['p99_ttft_s']:.1f}"])
+    save_result("autoscaling_serving_tenants", render_table(
+        ["Tenant", "TTFT SLO (s)", "Completed", "SLO-good",
+         "Mean TTFT (s)", "p99 TTFT (s)"],
+        rows, title="Per-tenant SLO attainment on the reactive fleet"))

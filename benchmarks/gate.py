@@ -7,8 +7,11 @@ replicas) — plus two scale scenarios: ``bulk-100k`` (a 100 000-request
 trace through the event-compressed decode-leaping engine) and
 ``bulk-1m`` (a million-request saturating trace through the
 struct-of-arrays core, the regime where admissions, completions, and
-records are committed as whole-cohort array ops).  Three numbers per
-scenario: simulated goodput, simulated TTFT p99, and host wall-clock.
+records are committed as whole-cohort array ops), and ``elastic`` (a
+reactive autoscaling fleet on a one-hour diurnal multi-tenant trace
+under SFQ fair share, gating the SLO-good count and the carbon cost
+per good request as well).  Three numbers per scenario: simulated
+goodput, simulated TTFT p99, and host wall-clock.
 The gate fails when, versus the checked-in ``BENCH_serving.json``
 baseline,
 
@@ -75,7 +78,10 @@ if str(ROOT / "src") not in sys.path:
 
 import numpy as np  # noqa: E402
 
-from repro.analysis.experiments import cluster_serving  # noqa: E402
+from repro.analysis.experiments import (  # noqa: E402
+    autoscaling_serving,
+    cluster_serving,
+)
 from repro.serve import (  # noqa: E402
     LengthSpec,
     SweepPoint,
@@ -131,6 +137,11 @@ BULK_1M_REQUESTS = 1_000_000
 BULK_1M_RATE_RPS = 400.0
 BULK_1M_SEED = 29
 BULK_1M_OUTPUT = LengthSpec("fixed", value=256)
+
+#: The autoscaling scenario compresses the experiment's diurnal day to
+#: one simulated hour: still a full cosine wave (trough + peak + scale
+#: events) but gate-sized wall time.
+ELASTIC_DURATION_S = 3600.0
 
 #: Wall-clock is the min over this many runs per scenario (the standard
 #: trick against one-off scheduling hiccups on shared CI runners).
@@ -188,6 +199,14 @@ def _scenarios() -> dict:
                             prompt=BULK_PROMPT, output=BULK_1M_OUTPUT,
                             seed=BULK_1M_SEED),
             policy="continuous", max_batch=64, seq_len_bucket=2048),
+        # The elastic fleet on a one-hour slice of the diurnal
+        # multi-tenant day: reactive scaling, SFQ fair share, and the
+        # carbon bill all sit on this scenario's goodput/cost numbers.
+        "elastic": autoscaling_serving.fleet_point(
+            "elastic", "reactive",
+            autoscaling_serving.diurnal_trace_spec(
+                seed=SEED, duration_s=ELASTIC_DURATION_S,
+                day_s=ELASTIC_DURATION_S)),
     }
 
 
@@ -221,6 +240,12 @@ def _metrics(name: str, report) -> dict:
     if name.startswith("bulk"):
         metrics["leap_steps"] = report.leap_steps
         metrics["steps"] = report.steps
+    if name == "elastic":
+        slos = autoscaling_serving.SLOS
+        metrics["slo_good"] = report.good_completions(slos=slos)
+        metrics["cost_per_good_kg"] = \
+            report.cost_per_good_request_kg(slos=slos)
+        metrics["mean_replicas"] = report.mean_replicas
     return metrics
 
 
@@ -263,6 +288,7 @@ PROFILE_BUCKETS = (
                          "repro/serve/soa.py")),
     ("engine + event loop", ("repro/serve/engine.py",
                              "repro/serve/cluster.py",
+                             "repro/serve/autoscale.py",
                              "repro/serve/router.py",
                              "repro/serve/costs.py")),
     ("metrics aggregation", ("repro/serve/metrics.py",)),
@@ -334,6 +360,16 @@ def check(current: dict, baseline: dict) -> list[str]:
                 f"{name}: goodput {now['goodput_rps']:.4f} req/s fell "
                 f">{goodput_drop:.0%} below baseline "
                 f"{base['goodput_rps']:.4f}")
+        if "cost_per_good_kg" in base and "cost_per_good_kg" in now:
+            # Deterministic like goodput: any growth beyond the shared
+            # tolerance is a real cost-model or fleet-behavior change.
+            ceiling = base["cost_per_good_kg"] * (1.0 + goodput_drop)
+            if now["cost_per_good_kg"] > ceiling:
+                failures.append(
+                    f"{name}: cost per SLO-good request "
+                    f"{now['cost_per_good_kg']:.3e} kg grew "
+                    f">{goodput_drop:.0%} over baseline "
+                    f"{base['cost_per_good_kg']:.3e}")
         base_norm = base["wall_s"] / baseline["calibration_s"]
         now_norm = now["wall_s"] / current["calibration_s"]
         limit = max(base_norm * (1.0 + wall_growth),

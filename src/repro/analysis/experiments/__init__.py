@@ -21,11 +21,13 @@ Fig. 17   ``noc_scaling``                 NoC-level comparisons
 (serving) ``parallel_scaling``            TP×PP sharded-pod scaling
 (serving) ``paged_serving``               paged-KV goodput sweeps
 (serving) ``cluster_serving``             multi-replica router sweeps
+(serving) ``autoscaling_serving``         elastic-fleet SLO/cost sweeps
 ========  ==============================  ================================
 """
 
 from . import (  # noqa: F401
     accuracy_sweep,
+    autoscaling_serving,
     batch_sweep,
     breakdown,
     carbon_footprint,
@@ -45,6 +47,7 @@ from . import (  # noqa: F401
 
 __all__ = [
     "accuracy_sweep",
+    "autoscaling_serving",
     "batch_sweep",
     "breakdown",
     "carbon_footprint",

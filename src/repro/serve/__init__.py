@@ -33,12 +33,27 @@ Quick start::
     print(cluster.run(trace).summary())
 """
 
+from .autoscale import (
+    AUTOSCALERS,
+    Autoscaler,
+    AutoscalingCluster,
+    ColdStartConfig,
+    DEFAULT_COLD_START,
+    FleetReplica,
+    FleetSnapshot,
+    PredictiveAutoscaler,
+    ReactiveAutoscaler,
+    StaticAutoscaler,
+    make_autoscaler,
+    make_autoscaling_cluster,
+)
 from .cluster import Replica, ServingCluster, make_cluster
 from .costs import StepCostCache, aggregate_cache_stats, step_cost_store
 from .engine import ServingEngine, simulate_trace
 from .kv_cache import BlockManager, BlockPoolStats
 from .metrics import (
     ClusterReport,
+    FleetReport,
     RequestRecord,
     ServingReport,
     percentile,
@@ -56,13 +71,19 @@ from .policy import (
     POLICIES,
     ChunkTask,
     FCFSPolicy,
+    FairSharePolicy,
+    PagedFairShareScheduler,
     PagedPreemptiveScheduler,
     PagedPriorityScheduler,
     PagedScheduler,
     PagedSequenceState,
+    PagedTenantPriorityScheduler,
     PreemptivePriorityPolicy,
     PriorityPolicy,
     SchedulingPolicy,
+    TenantPriorityPolicy,
+    TenantSLO,
+    tenant_slo_map,
 )
 from .scheduler import (
     SCHEDULERS,
@@ -92,7 +113,9 @@ from .trace import (
     LengthSpec,
     PrefixSpec,
     Request,
+    TenantSpec,
     bursty_trace,
+    multi_tenant_trace,
     offered_load_rps,
     poisson_trace,
     spawn_rng,
@@ -100,6 +123,8 @@ from .trace import (
 )
 
 __all__ = [
+    "AUTOSCALERS",
+    "DEFAULT_COLD_START",
     "PHASE_FREE",
     "PHASE_RUNNING",
     "PHASE_SWAPPED",
@@ -107,23 +132,34 @@ __all__ = [
     "POLICIES",
     "ROUTERS",
     "SCHEDULERS",
+    "Autoscaler",
+    "AutoscalingCluster",
     "BlockManager",
     "BlockPoolStats",
     "ChunkTask",
     "ClusterReport",
+    "ColdStartConfig",
     "ContinuousBatchScheduler",
     "FCFSPolicy",
+    "FairSharePolicy",
+    "FleetReplica",
+    "FleetReport",
+    "FleetSnapshot",
     "LeastOutstandingRouter",
     "LengthSpec",
+    "PagedFairShareScheduler",
     "PagedPreemptiveScheduler",
     "PagedPriorityScheduler",
     "PagedScheduler",
     "PagedSequenceState",
+    "PagedTenantPriorityScheduler",
     "PowerOfTwoRouter",
+    "PredictiveAutoscaler",
     "PreemptivePriorityPolicy",
     "PrefixAffinityRouter",
     "PrefixSpec",
     "PriorityPolicy",
+    "ReactiveAutoscaler",
     "Replica",
     "Request",
     "RequestRecord",
@@ -136,18 +172,25 @@ __all__ = [
     "ServingCluster",
     "ServingEngine",
     "ServingReport",
+    "StaticAutoscaler",
     "StaticBatchScheduler",
     "StepCostCache",
     "StepPlan",
     "SweepOutcome",
     "SweepPoint",
     "SweepReport",
+    "TenantPriorityPolicy",
+    "TenantSLO",
+    "TenantSpec",
     "TraceSpec",
     "aggregate_cache_stats",
     "bursty_trace",
+    "make_autoscaler",
+    "make_autoscaling_cluster",
     "make_cluster",
     "make_router",
     "make_scheduler",
+    "multi_tenant_trace",
     "offered_load_rps",
     "percentile",
     "poisson_trace",
@@ -157,4 +200,5 @@ __all__ = [
     "spawn_rng",
     "steady_trace",
     "step_cost_store",
+    "tenant_slo_map",
 ]

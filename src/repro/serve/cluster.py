@@ -81,13 +81,26 @@ class Replica:
         return self.engine.scheduler.outstanding_tokens
 
 
+#: Minimum arrival span a per-replica rate is computed over.  A
+#: sub-stream whose arrivals all share one timestamp (a single burst
+#: routed to one replica) has no usable span; flooring it keeps the
+#: stat finite instead of the inf that used to poison ClusterReport
+#: balance rollups.
+_MIN_SPAN_S = 1e-9
+
+
 def _offered_rps(arrivals: list) -> float:
-    """Offered rate of one replica's routed sub-stream (0 if < 2)."""
+    """Offered rate of one replica's routed sub-stream (0 if < 2).
+
+    Degenerate same-instant streams report ``len(arrivals)`` over the
+    :data:`_MIN_SPAN_S` floor — enormous, as an instantaneous burst
+    deserves, but finite.  Streams with a real span are unchanged.
+    """
     if len(arrivals) < 2:
         return 0.0
     span = max(arrivals) - min(arrivals)
-    if span == 0:
-        return float("inf")
+    if span < _MIN_SPAN_S:
+        return len(arrivals) / _MIN_SPAN_S
     return (len(arrivals) - 1) / span
 
 

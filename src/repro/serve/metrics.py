@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..carbon.intensity import DEFAULT_CARBON, CarbonConstants
+from ..carbon.model import embodied_carbon_kg, operational_carbon_kg
 from ..errors import ConfigError
 from .trace import Request
 
@@ -107,6 +109,8 @@ class RecordStats:
                              np.float64, count=n)
         output_len = np.fromiter((r.request.output_len for r in records),
                                  np.int64, count=n)
+        tenant = np.fromiter((r.request.tenant for r in records),
+                             np.int64, count=n)
         extra = output_len - 1
         cached = {
             "n": n,
@@ -118,6 +122,7 @@ class RecordStats:
                              (finish - first) / np.maximum(extra, 1),
                              0.0),
             "output_len": output_len,
+            "tenant": tenant,
         }
         self.__dict__["_records_columns"] = cached
         return cached
@@ -144,20 +149,72 @@ class RecordStats:
         """Completed requests per second over the whole run."""
         return self.completed / max(self.makespan_s, 1e-12)
 
+    def _good_mask(self, ttft_slo_s: float | None = None,
+                   tpot_slo_s: float | None = None,
+                   slos=None) -> np.ndarray:
+        """Boolean mask of records meeting their latency SLOs.
+
+        Boundary semantics are **inclusive**: a request exactly at the
+        SLO (``ttft == ttft_slo_s``) counts as good — an SLO names the
+        worst acceptable value, not the first bad one.  NaN TTFT/TPOT
+        entries (possible for zero-token generations) are excluded
+        explicitly: a request whose statistic is undefined never
+        satisfies an SLO on that statistic, rather than falling out of
+        a silent NaN comparison.
+
+        ``slos`` is a sequence of :class:`repro.serve.TenantSLO` specs
+        (or a prebuilt tenant → spec mapping; anything with
+        ``ttft_slo_s`` / ``tpot_slo_s`` attributes works).  A tenant
+        present in the map is judged solely by its own spec; absent
+        tenants fall back to the global ``ttft_slo_s`` /
+        ``tpot_slo_s`` arguments.
+        """
+        cols = self._columns()
+        n = cols["n"]
+        ttft_lim = np.full(n, np.inf if ttft_slo_s is None
+                           else float(ttft_slo_s))
+        tpot_lim = np.full(n, np.inf if tpot_slo_s is None
+                           else float(tpot_slo_s))
+        if slos:
+            if not hasattr(slos, "items"):
+                from .policy import tenant_slo_map
+                slos = tenant_slo_map(slos)
+            tenant = cols["tenant"]
+            for tid, spec in slos.items():
+                mine = tenant == tid
+                t = getattr(spec, "ttft_slo_s", None)
+                p = getattr(spec, "tpot_slo_s", None)
+                ttft_lim[mine] = np.inf if t is None else t
+                tpot_lim[mine] = np.inf if p is None else p
+        good = np.ones(n, dtype=bool)
+        for col, lim in ((cols["ttft"], ttft_lim),
+                         (cols["tpot"], tpot_lim)):
+            bounded = np.isfinite(lim)
+            good &= ~bounded | (~np.isnan(col) & (col <= lim))
+        return good
+
+    def good_completions(self, ttft_slo_s: float | None = None,
+                         tpot_slo_s: float | None = None,
+                         slos=None) -> int:
+        """Completed requests meeting the latency SLOs (a run total,
+        robust to makespan differences between compared runs — see
+        :meth:`_good_mask` for boundary, NaN, and per-tenant
+        semantics)."""
+        return int(self._good_mask(ttft_slo_s, tpot_slo_s, slos).sum())
+
     def goodput_rps(self, ttft_slo_s: float | None = None,
-                    tpot_slo_s: float | None = None) -> float:
+                    tpot_slo_s: float | None = None,
+                    slos=None) -> float:
         """Completed requests per second meeting the latency SLOs.
 
         Without SLOs this equals :attr:`request_rate_rps` — every
-        completion counts.
+        completion counts.  The SLO boundary is inclusive (``ttft ==
+        ttft_slo_s`` is good) and NaN TTFT/TPOT records are excluded
+        from the good set rather than silently compared; ``slos`` adds
+        per-tenant SLOs (see :meth:`_good_mask`).
         """
-        cols = self._columns()
-        good = np.ones(cols["n"], dtype=bool)
-        if ttft_slo_s is not None:
-            good &= cols["ttft"] <= ttft_slo_s
-        if tpot_slo_s is not None:
-            good &= cols["tpot"] <= tpot_slo_s
-        return int(good.sum()) / max(self.makespan_s, 1e-12)
+        return self.good_completions(ttft_slo_s, tpot_slo_s, slos) \
+            / max(self.makespan_s, 1e-12)
 
     def _require_completions(self) -> None:
         if not self.records:
@@ -279,10 +336,17 @@ class ServingReport(RecordStats):
 
     @property
     def busy_fraction(self) -> float:
-        """Share of the makespan spent stepping (0 with no makespan)."""
-        if self.makespan_s == 0:
-            return 0.0
-        return self.busy_seconds / self.makespan_s
+        """Share of the makespan spent stepping (0 with no makespan).
+
+        Guarded with the same epsilon floor as the sibling rate
+        properties, so an empty/zero-completion report reads 0 instead
+        of dividing by zero.
+        """
+        return self.busy_seconds / max(self.makespan_s, 1e-12)
+
+    #: ``utilization`` is the name the cluster/autoscaling layer uses
+    #: for the same stat (cf. ClusterReport.utilization_per_replica).
+    utilization = busy_fraction
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -444,9 +508,8 @@ class ClusterReport(RecordStats):
     @property
     def utilization_per_replica(self) -> list:
         """Per-replica busy share of the *cluster* makespan."""
-        if self.makespan_s == 0:
-            return [0.0 for _ in self.replicas]
-        return [r.busy_seconds / self.makespan_s for r in self.replicas]
+        span = max(self.makespan_s, 1e-12)
+        return [r.busy_seconds / span for r in self.replicas]
 
     @property
     def token_balance(self) -> float:
@@ -457,6 +520,43 @@ class ClusterReport(RecordStats):
         if not tokens or sum(tokens) == 0:
             return 1.0
         return max(tokens) / (sum(tokens) / len(tokens))
+
+    # -- per-tenant breakdown -------------------------------------------
+    @property
+    def tenants(self) -> list:
+        """Sorted distinct tenant ids across completed requests."""
+        if not self.records:
+            return []
+        return [int(t) for t in np.unique(self._columns()["tenant"])]
+
+    def per_tenant_summary(self, slos=None) -> dict:
+        """Tenant id → completion/latency/goodput breakdown.
+
+        ``slos`` follows :meth:`RecordStats.good_completions`: a tenant
+        present in the map is judged by its own SLO spec; absent
+        tenants count every completion as good.
+        """
+        cols = self._columns()
+        good = self._good_mask(slos=slos)
+        span = max(self.makespan_s, 1e-12)
+        out = {}
+        for tid in self.tenants:
+            mask = cols["tenant"] == tid
+            ttft = cols["ttft"][mask]
+            tpot = cols["tpot"][mask]
+            n_good = int((good & mask).sum())
+            out[tid] = {
+                "completed": int(mask.sum()),
+                "generated_tokens": int(cols["output_len"][mask].sum()),
+                "good_completions": n_good,
+                "goodput_rps": n_good / span,
+                "mean_ttft_s": float(np.nanmean(ttft)),
+                "p99_ttft_s": float(np.nanpercentile(ttft, 99)),
+                "mean_tpot_s": float(np.nanmean(tpot)),
+                "p99_latency_s": float(
+                    np.percentile(cols["latency"][mask], 99)),
+            }
+        return out
 
     def summary(self) -> dict:
         """Flat dict of the headline numbers (for tables/plots)."""
@@ -492,3 +592,93 @@ class ClusterReport(RecordStats):
             "kv_transfer_bytes": self.kv_transfer_bytes,
             "kv_transfer_seconds": self.kv_transfer_seconds,
         }
+
+
+@dataclass
+class FleetReport(ClusterReport):
+    """A :class:`ClusterReport` over an *elastic* replica fleet.
+
+    Produced by :class:`repro.serve.AutoscalingCluster`: ``replicas``
+    holds one :class:`ServingReport` per replica **activation** (a slot
+    retired and later relaunched contributes two entries), so the
+    per-replica rollups stay exact across scale events.  On top of the
+    cluster view it carries the scaling timeline and the silicon+energy
+    cost the autoscaler trades against SLO attainment, priced through
+    the :mod:`repro.carbon` model.
+    """
+
+    autoscaler: str = "static"
+    #: ``(time_s, active_replicas)`` after every fleet-size change,
+    #: starting with the initial ramp at t=0.
+    scale_events: list = field(default_factory=list)
+    cold_starts: int = 0
+    #: Provisioning time summed over cold starts.  Already inside
+    #: ``replica_seconds`` — silicon is paid for while it boots.
+    cold_start_seconds: float = 0.0
+    #: Replica-on time integral: Σ over activations of
+    #: (retire − spin-up), provisioning included.
+    replica_seconds: float = 0.0
+    #: Per-replica silicon parameters (fleet replicas share one design).
+    leakage_w: float = 0.0
+    area_mm2: float = 0.0
+
+    @property
+    def peak_replicas(self) -> int:
+        return max((n for _, n in self.scale_events),
+                   default=self.n_replicas)
+
+    @property
+    def mean_replicas(self) -> float:
+        """Time-averaged fleet size over the makespan."""
+        return self.replica_seconds / max(self.makespan_s, 1e-12)
+
+    @property
+    def operational_energy_j(self) -> float:
+        """Dynamic step energy plus leakage over every replica-on
+        second — idle provisioned silicon leaks, which is exactly what
+        scaling down saves."""
+        return self.energy_j + self.leakage_w * self.replica_seconds
+
+    def cost_kg(self,
+                constants: CarbonConstants = DEFAULT_CARBON) -> float:
+        """Carbon cost of the run: operational + amortized embodied.
+
+        Embodied carbon is charged per replica-second against the
+        constants' amortization lifetime, so holding silicon the load
+        does not need costs even when it sits idle.
+        """
+        operational = operational_carbon_kg(self.operational_energy_j,
+                                            constants)
+        embodied = embodied_carbon_kg(self.area_mm2, constants) * (
+            self.replica_seconds / constants.lifetime_seconds)
+        return operational + embodied
+
+    def cost_per_good_request_kg(
+            self, ttft_slo_s: float | None = None,
+            tpot_slo_s: float | None = None, slos=None,
+            constants: CarbonConstants = DEFAULT_CARBON) -> float:
+        """Cost-per-goodput: kg CO₂e per SLO-good completion.
+
+        The headline autoscaling metric.  Both numerator and
+        denominator are run totals, so it stays comparable between
+        fleets whose makespans differ slightly (unlike a ratio of two
+        rates).  ``inf`` when nothing met its SLO.
+        """
+        good = self.good_completions(ttft_slo_s, tpot_slo_s, slos)
+        if good == 0:
+            return float("inf")
+        return self.cost_kg(constants) / good
+
+    def summary(self) -> dict:
+        base = super().summary()
+        base.update({
+            "autoscaler": self.autoscaler,
+            "peak_replicas": self.peak_replicas,
+            "mean_replicas": self.mean_replicas,
+            "cold_starts": self.cold_starts,
+            "cold_start_seconds": self.cold_start_seconds,
+            "replica_seconds": self.replica_seconds,
+            "operational_energy_j": self.operational_energy_j,
+            "cost_kg": self.cost_kg(),
+        })
+        return base

@@ -161,6 +161,47 @@ class ChunkTask:
     finishes: bool
 
 
+@dataclass(frozen=True)
+class TenantSLO:
+    """Per-tenant service terms: latency SLOs plus scheduling share.
+
+    ``ttft_slo_s`` / ``tpot_slo_s`` feed the metrics layer
+    (:meth:`repro.serve.metrics.RecordStats.good_completions` judges a
+    tenant's completions against its own spec, boundary-inclusive);
+    ``weight`` is the fair-share admission weight
+    (:class:`FairSharePolicy`); ``priority`` the tenant rank
+    (:class:`TenantPriorityPolicy`).  ``None`` SLO fields mean
+    unconstrained.
+    """
+
+    tenant: int
+    ttft_slo_s: float | None = None
+    tpot_slo_s: float | None = None
+    weight: float = 1.0
+    priority: int = 0
+
+    def __post_init__(self):
+        if self.tenant < 0:
+            raise ConfigError("tenant id must be non-negative")
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise ConfigError("ttft_slo_s must be positive")
+        if self.tpot_slo_s is not None and self.tpot_slo_s <= 0:
+            raise ConfigError("tpot_slo_s must be positive")
+        if self.weight <= 0:
+            raise ConfigError("fair-share weight must be positive")
+
+
+def tenant_slo_map(slos) -> dict:
+    """Tenant id → :class:`TenantSLO`, rejecting duplicate tenants."""
+    mapping: dict = {}
+    for slo in slos:
+        if slo.tenant in mapping:
+            raise ConfigError(
+                f"duplicate TenantSLO for tenant {slo.tenant}")
+        mapping[slo.tenant] = slo
+    return mapping
+
+
 class SchedulingPolicy:
     """Ordering rules shared by every paged scheduler.
 
@@ -168,14 +209,24 @@ class SchedulingPolicy:
     is served first; ``victim_key`` picks preemption victims — the
     *maximum* is evicted; ``outranks`` gates preemptive admission.
 
-    ``queue_key`` must be a pure function of fields that never change
-    over a sequence's lifetime (the shipped policies read only the
-    immutable request): the scheduler computes it once at enqueue and
-    sorts by the cached tuple from then on.
+    ``queue_key`` is computed once at enqueue and sorted by the cached
+    tuple from then on, so it must be stable for the sequence's
+    lifetime — either a pure function of immutable request fields (the
+    classic policies) or policy-internal state advanced only at
+    enqueue (the fair-share virtual clocks).  Stateful policies must
+    not be shared between schedulers: every replica owns its instance.
+
+    ``slos`` hands every policy the tenant terms
+    (:func:`tenant_slo_map` applied); the tenant-agnostic policies
+    simply ignore them.
     """
 
     name = "fcfs"
     preemptive_admission = False
+
+    def __init__(self, slos=()):
+        #: Tenant id → :class:`TenantSLO` (empty when single-tenant).
+        self.slos = tenant_slo_map(slos)
 
     def queue_key(self, state: PagedSequenceState) -> tuple:
         return (state.request.arrival_s, state.request.req_id)
@@ -216,12 +267,87 @@ class PreemptivePriorityPolicy(PriorityPolicy):
     preemptive_admission = True
 
 
+class FairSharePolicy(SchedulingPolicy):
+    """Weighted fair queuing across tenants (start-time fair queuing).
+
+    Each tenant owns a virtual-time tag advancing by ``total_tokens /
+    weight`` per enqueued request; a request's queue key is its
+    tenant's tag at enqueue, floored at the fleet-wide minimum tag so a
+    tenant idle for a while re-enters at the current service level
+    instead of cashing unbounded saved credit in one burst.  A heavy
+    tenant's requests sort progressively later while light tenants keep
+    short queues — token-weighted max-min shares in expectation, the
+    classic SFQ approximation.
+
+    Tags are per-instance mutable state (advanced exactly once per
+    request, at enqueue), so replicas must not share an instance —
+    :class:`PagedScheduler` builds one per scheduler from the
+    ``policy``/``slos`` names.
+    """
+
+    name = "fair-share"
+
+    def __init__(self, slos=(), default_weight: float = 1.0):
+        super().__init__(slos)
+        if default_weight <= 0:
+            raise ConfigError("default_weight must be positive")
+        self.default_weight = default_weight
+        self._tags: dict[int, float] = {}
+
+    def _weight(self, request: Request) -> float:
+        slo = self.slos.get(request.tenant)
+        return self.default_weight if slo is None else slo.weight
+
+    def queue_key(self, state: PagedSequenceState) -> tuple:
+        request = state.request
+        floor = min(self._tags.values(), default=0.0)
+        start = max(self._tags.get(request.tenant, 0.0), floor)
+        self._tags[request.tenant] = \
+            start + request.total_tokens / self._weight(request)
+        return (start, request.arrival_s, request.req_id)
+
+    def victim_key(self, state: PagedSequenceState) -> tuple:
+        # Evict the lightest-share tenant's youngest sequence first.
+        return (-self._weight(state.request), state.admitted_s or 0.0,
+                state.request.req_id)
+
+
+class TenantPriorityPolicy(PriorityPolicy):
+    """Tenant rank first (:attr:`TenantSLO.priority`, higher served
+    first), then the request-level priority ordering within a rank."""
+
+    name = "tenant-priority"
+
+    def _rank(self, request: Request) -> int:
+        slo = self.slos.get(request.tenant)
+        return 0 if slo is None else slo.priority
+
+    def queue_key(self, state: PagedSequenceState) -> tuple:
+        request = state.request
+        return (-self._rank(request), -request.priority,
+                request.arrival_s, request.req_id)
+
+    def victim_key(self, state: PagedSequenceState) -> tuple:
+        request = state.request
+        return (-self._rank(request), -request.priority,
+                state.admitted_s or 0.0, request.req_id)
+
+    def outranks(self, state: PagedSequenceState,
+                 victim: PagedSequenceState) -> bool:
+        mine, theirs = self._rank(state.request), \
+            self._rank(victim.request)
+        if mine != theirs:
+            return mine > theirs
+        return state.request.priority > victim.request.priority
+
+
 #: The base policy *is* FCFS; the alias names that explicitly.
 FCFSPolicy = SchedulingPolicy
 
 #: Policy registry for string-based construction.
 POLICIES = {cls.name: cls for cls in (
-    SchedulingPolicy, PriorityPolicy, PreemptivePriorityPolicy)}
+    SchedulingPolicy, PriorityPolicy, PreemptivePriorityPolicy,
+    FairSharePolicy, TenantPriorityPolicy)}
 
 
 class PagedScheduler:
@@ -259,6 +385,11 @@ class PagedScheduler:
     policy:
         A :class:`SchedulingPolicy` name or instance; ``None`` uses the
         class default (:attr:`policy_cls`).
+    slos:
+        :class:`TenantSLO` specs handed to the policy constructor (so
+        ``policy="fair-share", slos=(...)`` builds a per-replica
+        stateful policy without sharing instances).  Only valid with a
+        policy *name* — an instance already carries its own.
     block_manager:
         Pre-built pool (e.g. :meth:`BlockManager.for_design` for a
         sharded deployment); overrides ``kv_capacity_bytes``.
@@ -279,6 +410,7 @@ class PagedScheduler:
                  host_link_bytes_s: float = 64e9,
                  admit_headroom: float = 0.1,
                  policy: SchedulingPolicy | str | None = None,
+                 slos: tuple = (),
                  block_manager: BlockManager | None = None):
         if max_batch < 1:
             raise ConfigError("max_batch must be positive")
@@ -300,12 +432,16 @@ class PagedScheduler:
         self.admit_headroom = admit_headroom
         if isinstance(policy, str):
             try:
-                policy = POLICIES[policy]()
+                policy = POLICIES[policy](slos=tuple(slos))
             except KeyError:
                 raise ConfigError(
                     f"unknown scheduling policy {policy!r}; "
                     f"choose from {sorted(POLICIES)}") from None
-        self.policy = policy if policy is not None else self.policy_cls()
+        elif policy is not None and slos:
+            raise ConfigError(
+                "pass slos to the policy instance, not alongside it")
+        self.policy = policy if policy is not None \
+            else self.policy_cls(slos=tuple(slos))
         if block_manager is not None:
             self.block_manager = block_manager
         else:
@@ -842,5 +978,22 @@ class PagedPreemptiveScheduler(PagedScheduler):
     policy_cls = PreemptivePriorityPolicy
 
 
+class PagedFairShareScheduler(PagedScheduler):
+    """Paged scheduling under SFQ weighted fair sharing across tenants
+    (pass per-tenant weights via ``slos``)."""
+
+    name = "paged-fair-share"
+    policy_cls = FairSharePolicy
+
+
+class PagedTenantPriorityScheduler(PagedScheduler):
+    """Paged scheduling ranked by per-tenant SLO priority, request
+    priority breaking ties within a tenant class."""
+
+    name = "paged-tenant-priority"
+    policy_cls = TenantPriorityPolicy
+
+
 SCHEDULERS.update({cls.name: cls for cls in (
-    PagedScheduler, PagedPriorityScheduler, PagedPreemptiveScheduler)})
+    PagedScheduler, PagedPriorityScheduler, PagedPreemptiveScheduler,
+    PagedFairShareScheduler, PagedTenantPriorityScheduler)})

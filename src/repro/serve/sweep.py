@@ -41,6 +41,7 @@ from functools import lru_cache
 from ..arch import make_design
 from ..errors import ConfigError
 from ..llm.config import ModelConfig
+from .autoscale import make_autoscaling_cluster
 from .cluster import make_cluster
 from .costs import aggregate_cache_stats
 from .engine import simulate_trace
@@ -49,6 +50,7 @@ from .trace import (
     PrefixSpec,
     Request,
     bursty_trace,
+    multi_tenant_trace,
     poisson_trace,
     spawn_rng,
     steady_trace,
@@ -64,7 +66,7 @@ __all__ = [
 ]
 
 #: Trace builders a :class:`TraceSpec` can name.
-TRACE_KINDS = ("poisson", "steady", "bursty")
+TRACE_KINDS = ("poisson", "steady", "bursty", "multi-tenant")
 
 
 @dataclass(frozen=True)
@@ -92,6 +94,12 @@ class TraceSpec:
     burst_size: int = 8
     burst_period_s: float = 1.0
     jitter_s: float = 0.0
+    #: Multi-tenant-only shape: TenantSpec tuple plus the simulated
+    #: span and diurnal period (requests come from the tenants' rates,
+    #: not ``n_requests``).
+    tenants: tuple = ()
+    duration_s: float = 0.0
+    day_s: float = 86400.0
     seed: int = 0
     spawn_key: tuple = ()
 
@@ -102,11 +110,26 @@ class TraceSpec:
         if self.priorities is not None:
             object.__setattr__(self, "priorities",
                                tuple(int(p) for p in self.priorities))
+        object.__setattr__(self, "tenants", tuple(self.tenants))
         object.__setattr__(self, "spawn_key", tuple(self.spawn_key))
+        if self.kind == "multi-tenant":
+            if not self.tenants:
+                raise ConfigError(
+                    "multi-tenant trace needs a TenantSpec tuple")
+            if self.duration_s <= 0:
+                raise ConfigError(
+                    "multi-tenant trace needs a positive duration_s")
+        elif self.tenants:
+            raise ConfigError(
+                f"tenants only apply to kind='multi-tenant', "
+                f"not {self.kind!r}")
 
     def realize(self) -> list[Request]:
         """Materialize the request list this spec describes."""
         rng = spawn_rng(self.seed, self.spawn_key)
+        if self.kind == "multi-tenant":
+            return multi_tenant_trace(self.tenants, self.duration_s,
+                                      day_s=self.day_s, rng=rng)
         common = {"n_requests": self.n_requests, "prompt": self.prompt,
                   "output": self.output, "prefix": self.prefix,
                   "priorities": self.priorities, "rng": rng}
@@ -132,8 +155,15 @@ class SweepPoint:
     ``n_replicas``-wide :func:`repro.serve.make_cluster` cluster
     (``mode="disaggregated"`` for split prefill/decode pools).
 
-    ``scheduler_kwargs`` is a tuple of ``(name, value)`` pairs so the
-    point stays hashable/frozen; a dict is accepted and normalized.
+    ``scheduler_kwargs`` / ``autoscaler_kwargs`` are tuples of
+    ``(name, value)`` pairs so the point stays hashable/frozen; dicts
+    are accepted and normalized.
+
+    Naming an ``autoscaler`` runs an elastic
+    :func:`repro.serve.make_autoscaling_cluster` fleet instead of a
+    fixed cluster: ``n_replicas`` becomes the fleet ceiling, ``slos``
+    carries the per-tenant terms into the scheduler policy, and the
+    point yields a :class:`repro.serve.FleetReport`.
     """
 
     label: str
@@ -149,21 +179,37 @@ class SweepPoint:
     router: str | None = None
     n_replicas: int = 1
     mode: str = "unified"
+    autoscaler: str | None = None
+    autoscaler_kwargs: tuple = ()
+    tick_s: float = 60.0
+    slos: tuple = ()
 
     def __post_init__(self):
         kind, size = self.design
         object.__setattr__(self, "design",
                            (str(kind), None if size is None else int(size)))
-        if isinstance(self.scheduler_kwargs, dict):
-            object.__setattr__(
-                self, "scheduler_kwargs",
-                tuple(sorted(self.scheduler_kwargs.items())))
-        else:
-            object.__setattr__(self, "scheduler_kwargs",
-                               tuple(self.scheduler_kwargs))
-        if self.router is None and self.n_replicas != 1:
-            raise ConfigError("n_replicas > 1 needs a router; pass "
-                              "router='round-robin' for the default")
+        for name in ("scheduler_kwargs", "autoscaler_kwargs"):
+            value = getattr(self, name)
+            if isinstance(value, dict):
+                object.__setattr__(self, name,
+                                   tuple(sorted(value.items())))
+            else:
+                object.__setattr__(self, name, tuple(value))
+        object.__setattr__(self, "slos", tuple(self.slos))
+        if self.autoscaler is None:
+            if self.autoscaler_kwargs:
+                raise ConfigError(
+                    "autoscaler_kwargs without an autoscaler")
+            if self.slos:
+                raise ConfigError(
+                    "tenant slos currently ride the autoscaling fleet; "
+                    "name an autoscaler (static reproduces a fixed "
+                    "cluster)")
+            if self.router is None and self.n_replicas != 1:
+                raise ConfigError("n_replicas > 1 needs a router; pass "
+                                  "router='round-robin' for the default")
+        elif self.mode != "unified":
+            raise ConfigError("autoscaling fleets are unified-mode only")
         if self.n_replicas < 1:
             raise ConfigError("n_replicas must be positive")
 
@@ -194,6 +240,20 @@ def _serve(point: SweepPoint, design, trace):
     """The engine/cluster run of :func:`run_point`, with trace
     synthesis already done — the part a sweep's wall clocks time."""
     scheduler_kwargs = dict(point.scheduler_kwargs) or None
+    if point.autoscaler is not None:
+        router = point.router if point.router is not None \
+            else "least-outstanding"
+        cluster = make_autoscaling_cluster(
+            design, point.model, n_replicas=point.n_replicas,
+            autoscaler=point.autoscaler,
+            autoscaler_kwargs=dict(point.autoscaler_kwargs),
+            router=router, policy=point.policy,
+            max_batch=point.max_batch,
+            kv_capacity_bytes=point.kv_capacity_bytes,
+            kvq_bits=point.kvq_bits, scheduler_kwargs=scheduler_kwargs,
+            seq_len_bucket=point.seq_len_bucket, slos=point.slos,
+            tick_s=point.tick_s)
+        return cluster.run(trace)
     if point.router is None:
         return simulate_trace(
             design, point.model, trace, policy=point.policy,

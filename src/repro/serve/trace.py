@@ -59,6 +59,14 @@ class Request:
         sequence skips prefill compute and decodes immediately.  Trace
         generators never set this; :class:`repro.serve.ServingCluster`
         does when a request migrates from a prefill to a decode replica.
+    tenant:
+        Which tenant (customer / workload class) issued the request.
+        Single-tenant generators leave it at 0;
+        :func:`multi_tenant_trace` tags each request with its
+        :class:`TenantSpec`'s id so per-tenant SLO accounting
+        (:meth:`repro.serve.metrics.RecordStats.goodput_rps` with
+        ``slos=``) and fair-share admission
+        (:class:`repro.serve.FairSharePolicy`) can tell tenants apart.
     """
 
     req_id: int
@@ -69,10 +77,13 @@ class Request:
     prefix_group: int | None = None
     prefix_len: int = 0
     kv_ready: bool = False
+    tenant: int = 0
 
     def __post_init__(self):
         if self.arrival_s < 0:
             raise ConfigError("arrival_s must be non-negative")
+        if self.tenant < 0:
+            raise ConfigError("tenant id must be non-negative")
         if self.prompt_len < 1 or self.output_len < 1:
             raise ConfigError("prompt_len and output_len must be positive")
         if self.prefix_group is None:
@@ -216,7 +227,7 @@ def _make_requests(arrivals: np.ndarray, prompt: LengthSpec,
 
 
 def _build_requests(arrivals, prompts, outputs, levels, groups,
-                    prefix_lens) -> list[Request]:
+                    prefix_lens, tenants=None) -> list[Request]:
     """Bulk-construct validated Requests from parallel arrays.
 
     The per-request dataclass constructor (keyword dispatch +
@@ -236,20 +247,26 @@ def _build_requests(arrivals, prompts, outputs, levels, groups,
                        prefix_lens != 0)
     if bad_len.any():
         raise ConfigError("need 1 <= prefix_len <= prompt_len")
+    if tenants is None:
+        tenants = np.zeros(arrivals.size, dtype=np.int64)
+    elif (np.asarray(tenants) < 0).any():
+        raise ConfigError("tenant id must be non-negative")
     new = object.__new__
     set_dict = object.__setattr__  # Frozen blocks plain __dict__ assigns.
     requests = []
     append = requests.append
-    for req_id, (arrival, plen, olen, level, group, pfx) in enumerate(
+    for req_id, (arrival, plen, olen, level, group, pfx, ten) in enumerate(
             zip(arrivals.tolist(), prompts.tolist(), outputs.tolist(),
-                levels.tolist(), groups.tolist(), prefix_lens.tolist())):
+                levels.tolist(), groups.tolist(), prefix_lens.tolist(),
+                np.asarray(tenants).tolist())):
         r = new(Request)
         set_dict(r, "__dict__",
                  {"req_id": req_id, "arrival_s": arrival,
                   "prompt_len": plen, "output_len": olen,
                   "priority": level,
                   "prefix_group": group if group >= 0 else None,
-                  "prefix_len": pfx, "kv_ready": False})
+                  "prefix_len": pfx, "kv_ready": False,
+                  "tenant": ten})
         append(r)
     return requests
 
@@ -317,6 +334,173 @@ def bursty_trace(n_requests: int, burst_size: int, burst_period_s: float,
         arrivals = arrivals + rng.uniform(0.0, jitter_s, size=n_requests)
     return _make_requests(arrivals, prompt, output, rng, prefix,
                           priorities)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's workload share of a multi-tenant trace.
+
+    Attributes
+    ----------
+    tenant:
+        Tenant id stamped on every generated :class:`Request`.
+    rate_rps:
+        Mean *request* rate over a full diurnal period (burst members
+        count individually, so burst tenants fire arrival events at
+        ``rate_rps / burst_size``).
+    prompt / output:
+        Length distributions of this tenant's traffic.
+    diurnal_amplitude:
+        Peak-to-mean swing of the arrival rate in ``[0, 1)``: the
+        instantaneous rate is ``rate · (1 + a·cos(2π(t − peak_s)/day))``
+        — 0 is a flat (time-homogeneous) tenant, 0.85 a strongly
+        day-night workload whose trough runs at 15 % of the mean.
+    peak_s:
+        Time of day (seconds into the diurnal period) of peak load.
+    burst_size / burst_jitter_s:
+        ``burst_size > 1`` clusters arrivals: each arrival event spawns
+        that many requests spread uniformly over ``burst_jitter_s``
+        seconds (agentic fan-out / retry storms).
+    priority:
+        :attr:`Request.priority` stamped on this tenant's requests.
+    prefix:
+        Optional shared-prefix structure; group ids are offset per
+        tenant so tenants never alias each other's system prompts.
+    """
+
+    tenant: int
+    rate_rps: float
+    prompt: LengthSpec = LengthSpec("lognormal", value=256,
+                                    low=16, high=2048)
+    output: LengthSpec = LengthSpec("lognormal", value=64,
+                                    low=4, high=512)
+    diurnal_amplitude: float = 0.0
+    peak_s: float = 0.0
+    burst_size: int = 1
+    burst_jitter_s: float = 1.0
+    priority: int = 0
+    prefix: PrefixSpec | None = None
+
+    def __post_init__(self):
+        if self.tenant < 0:
+            raise ConfigError("tenant id must be non-negative")
+        if self.rate_rps <= 0:
+            raise ConfigError("rate_rps must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigError("diurnal_amplitude must be in [0, 1)")
+        if self.peak_s < 0:
+            raise ConfigError("peak_s must be non-negative")
+        if self.burst_size < 1:
+            raise ConfigError("burst_size must be positive")
+        if self.burst_jitter_s < 0:
+            raise ConfigError("burst_jitter_s must be non-negative")
+
+
+def _thinned_arrivals(event_rate: float, amplitude: float, peak_s: float,
+                      duration_s: float, day_s: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Non-homogeneous Poisson arrivals over ``[0, duration_s)``.
+
+    Standard thinning: draw a homogeneous stream at the peak rate
+    ``λmax = rate · (1 + a)``, then keep each candidate at time ``t``
+    with probability ``λ(t) / λmax`` where ``λ(t)`` follows the diurnal
+    cosine profile.  The profile repeats every ``day_s``, so a
+    ``duration_s`` of several days yields a multi-day trace.
+    """
+    lam_max = event_rate * (1.0 + amplitude)
+    chunks = []
+    last = 0.0
+    while last < duration_s:
+        expected = int(lam_max * (duration_s - last)) + 16
+        gaps = rng.exponential(1.0 / lam_max, size=expected)
+        chunk = last + np.cumsum(gaps)
+        chunks.append(chunk)
+        last = float(chunk[-1])
+    times = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+    times = times[times < duration_s]
+    if amplitude == 0.0 or times.size == 0:
+        return times
+    lam = event_rate * (1.0 + amplitude * np.cos(
+        2.0 * np.pi * (times - peak_s) / day_s))
+    return times[rng.random(times.size) * lam_max < lam]
+
+
+def multi_tenant_trace(tenants, duration_s: float, day_s: float = 86400.0,
+                       seed: int = 0,
+                       rng: np.random.Generator | None = None
+                       ) -> list[Request]:
+    """Multi-day diurnal/bursty arrivals across SLO-differentiated
+    tenants.
+
+    Each :class:`TenantSpec` contributes an independent arrival stream
+    — a non-homogeneous Poisson process following its diurnal profile,
+    optionally clustered into bursts — with its own length
+    distributions, priority, and (group-id-offset) prefix structure.
+    Streams are merged by arrival time and requests are numbered in
+    arrival order, so the result is a normal trace every engine,
+    cluster, and autoscaling fleet accepts; :attr:`Request.tenant`
+    carries the attribution for per-tenant metrics and fair-share
+    admission.
+
+    Tenants are sampled in input order from one generator stream, so
+    the trace is a pure function of ``(tenants, duration_s, day_s,
+    seed)`` — sweep workers regenerate it bit-identically.
+    """
+    tenants = tuple(tenants)
+    if not tenants:
+        raise ConfigError("need at least one TenantSpec")
+    ids = [spec.tenant for spec in tenants]
+    if len(set(ids)) != len(ids):
+        raise ConfigError("duplicate tenant ids in multi-tenant trace")
+    if duration_s <= 0 or day_s <= 0:
+        raise ConfigError("duration_s and day_s must be positive")
+    rng = _resolve_rng(seed, rng)
+    columns = []
+    group_base = 0
+    for spec in tenants:
+        events = _thinned_arrivals(spec.rate_rps / spec.burst_size,
+                                   spec.diurnal_amplitude, spec.peak_s,
+                                   duration_s, day_s, rng)
+        if spec.burst_size > 1 and events.size:
+            events = np.repeat(events, spec.burst_size)
+            if spec.burst_jitter_s > 0:
+                events = events + rng.uniform(0.0, spec.burst_jitter_s,
+                                              size=events.size)
+        n = events.size
+        if n == 0:
+            continue
+        prompts = spec.prompt.sample(rng, n)
+        outputs = spec.output.sample(rng, n)
+        levels = np.full(n, spec.priority, dtype=np.int64)
+        groups = np.full(n, -1)
+        prefix_lens = np.zeros(n, dtype=np.int64)
+        prefix = spec.prefix
+        if prefix is not None and prefix.share > 0:
+            group_lens = prefix.length.sample(rng, prefix.n_groups)
+            shared = rng.random(n) < prefix.share
+            groups = np.where(
+                shared,
+                rng.integers(0, prefix.n_groups, size=n) + group_base, -1)
+            dup = shared & (rng.random(n) < prefix.dup_share)
+            idx = np.flatnonzero(shared)
+            plens = group_lens[groups[idx] - group_base]
+            prefix_lens[idx] = plens
+            prompts[idx] = np.where(dup[idx], plens, plens + prompts[idx])
+            group_base += prefix.n_groups
+        columns.append((events, prompts, outputs, levels, groups,
+                        prefix_lens, np.full(n, spec.tenant,
+                                             dtype=np.int64)))
+    if not columns:
+        raise ConfigError("no arrivals generated; rates are too low for "
+                          "the requested duration")
+    merged = [np.concatenate(parts) for parts in zip(*columns)]
+    # Stable sort: equal-instant arrivals keep tenant input order, so
+    # req_id assignment is deterministic.
+    order = np.argsort(merged[0], kind="stable")
+    arrivals, prompts, outputs, levels, groups, prefix_lens, owners = \
+        (column[order] for column in merged)
+    return _build_requests(arrivals, prompts, outputs, levels, groups,
+                           prefix_lens, tenants=owners)
 
 
 def offered_load_rps(trace: list[Request]) -> float:

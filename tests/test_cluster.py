@@ -445,3 +445,138 @@ class TestDisaggregation:
         # One admitted (1 of its 20 footprint tokens generated), one
         # still queued at its full footprint.
         assert replica.outstanding_tokens == 20 + 19
+
+
+class TestOfferedRpsSpanFloor:
+    """ISSUE satellite: degenerate arrival spans must stay finite."""
+
+    def test_same_instant_burst_is_finite_not_inf(self):
+        from repro.serve.cluster import _MIN_SPAN_S, _offered_rps
+        rate = _offered_rps([2.0, 2.0, 2.0])
+        assert rate == 3 / _MIN_SPAN_S
+        assert rate != float("inf")
+
+    def test_short_streams_report_zero(self):
+        from repro.serve.cluster import _offered_rps
+        assert _offered_rps([]) == 0.0
+        assert _offered_rps([5.0]) == 0.0
+
+    def test_real_spans_unchanged(self):
+        from repro.serve.cluster import _offered_rps
+        assert _offered_rps([0.0, 5.0, 10.0]) == pytest.approx(0.2)
+
+    def test_cluster_balance_survives_instant_burst(self):
+        # Two same-instant requests pinned to one replica used to push
+        # offered_rps to inf and poison the report rollup.
+        import math
+        trace = [_request(req_id=0), _request(req_id=1)]
+        report = tiny_cluster(2, router="round-robin").run(trace)
+        assert all(math.isfinite(rep.offered_rps)
+                   for rep in report.replicas)
+
+
+class _ScriptedScaler:
+    """Deterministic desired-size schedule, one entry per decision
+    (the warm initial ramp consumes the first entry)."""
+
+    def __init__(self, schedule, min_replicas=1, max_replicas=3):
+        from repro.serve import Autoscaler
+
+        class _Impl(Autoscaler):
+            name = "scripted"
+
+            def desired(inner, snapshot):
+                i = min(self._calls, len(schedule) - 1)
+                self._calls += 1
+                return schedule[i]
+
+        self._calls = 0
+        self.scaler = _Impl(min_replicas=min_replicas,
+                            max_replicas=max_replicas)
+
+
+def _lifecycle_trace(trickle_start=0.15, trickle_step=0.05, n_trickle=8):
+    """A front-loaded burst (~0.24s of queued decode work, longer than
+    the 0.1s decision tick), then a trickle that keeps arriving after
+    the fleet has started draining."""
+    burst = [Request(req_id=i, arrival_s=0.001 * i, prompt_len=24,
+                     output_len=64, prefix_group=i % 2, prefix_len=8)
+             for i in range(30)]
+    trickle = [Request(req_id=100 + i,
+                       arrival_s=trickle_start + trickle_step * i,
+                       prompt_len=24, output_len=8,
+                       prefix_group=i % 2, prefix_len=8)
+               for i in range(n_trickle)]
+    return burst + trickle
+
+
+class TestElasticRoutingIsolation:
+    """ISSUE satellite: draining/retired replicas take no new work."""
+
+    @pytest.mark.parametrize("router", ["prefix-affinity",
+                                        "power-of-two"])
+    def test_router_never_offered_non_active_replicas(self, router):
+        from repro.serve import ColdStartConfig, make_autoscaling_cluster
+        # Warm-start 1, boot 2 more at t=0.1 (ready ~t=0.2), drain back
+        # to 1 at t=0.4: trickle arrivals run past t=1, so requests are
+        # routed while the fleet holds provisioning AND drained
+        # replicas.
+        scripted = _ScriptedScaler([1, 3, 3, 3, 1, 1])
+        fleet = make_autoscaling_cluster(
+            tiny_design(), TINY_GQA, 3, autoscaler=scripted.scaler,
+            router=router, policy="paged", tick_s=0.1,
+            cold_start=ColdStartConfig(provision_s=0.1))
+        trace = _lifecycle_trace(trickle_start=0.05, trickle_step=0.05,
+                                 n_trickle=20)
+
+        inner = fleet.router.select
+        candidate_states = []
+        fleet_states = []
+
+        def spying_select(request, replicas):
+            candidate_states.extend(rep.state for rep in replicas)
+            fleet_states.append(
+                frozenset(rep.state for rep in fleet.fleet))
+            return inner(request, replicas)
+
+        fleet.router.select = spying_select
+        report = fleet.run(trace)
+
+        # Every candidate ever offered to the router was routable.
+        assert candidate_states and set(candidate_states) == {"active"}
+        # ...and the guard was exercised: routing decisions were made
+        # while the fleet actually held booting or draining replicas.
+        seen = set().union(*fleet_states)
+        assert "provisioning" in seen
+        assert seen & {"draining", "retired"}
+        assert report.completed == len(trace)
+
+    def test_draining_replica_finishes_inflight_work(self):
+        from repro.serve import make_autoscaling_cluster
+        # Warm-start 3, drain to 1 at t=0.1 while every replica still
+        # holds queued decode work (the burst batch runs to ~0.24s).
+        scripted = _ScriptedScaler([3, 1, 1])
+        fleet = make_autoscaling_cluster(
+            tiny_design(), TINY_GQA, 3, autoscaler=scripted.scaler,
+            router="least-outstanding", policy="paged", tick_s=0.1)
+        trace = _lifecycle_trace()
+        report = fleet.run(trace)
+
+        # The fleet really shrank mid-run, not only at wind-down.
+        drains = [(t, n) for t, n in report.scale_events
+                  if 0.0 < t < max(r.arrival_s for r in trace)]
+        assert any(n == 1 for _, n in drains)
+        # The drained replicas retired *after* finishing their queues:
+        # the first two reports closed are the mid-run retirees, and
+        # each kept completing work past the t=0.1 drain decision.
+        for retiree in report.replicas[:2]:
+            assert retiree.completed > 0
+            assert max(r.finish_s for r in retiree.records) > 0.1
+        # Conservation through drains: every request completes exactly
+        # once, across all replicas the fleet ever ran.
+        assert report.completed == len(trace)
+        assert sum(report.routed) == len(trace)
+        assert sum(rep.completed for rep in report.replicas) \
+            == len(trace)
+        assert sorted(r.request.req_id for r in report.records) \
+            == sorted(r.req_id for r in trace)

@@ -594,3 +594,72 @@ class TestServeModelSlice:
 
     def test_tiny_model_is_gqa8(self):
         assert TINY_GQA.gqa_group == 8
+
+
+class TestGoodputBoundarySemantics:
+    """ISSUE satellite: the SLO boundary is inclusive, and undefined
+    (NaN) latency statistics never satisfy a bounded SLO."""
+
+    @staticmethod
+    def _report(records):
+        from repro.serve import ServingReport
+        return ServingReport(design="Mugi", scheduler="paged",
+                             records=list(records), makespan_s=10.0)
+
+    @staticmethod
+    def _record(req_id, ttft, tpot=0.1, tenant=0, output_len=5):
+        from repro.serve import Request, RequestRecord
+        request = Request(req_id=req_id, arrival_s=0.0, prompt_len=16,
+                          output_len=output_len, tenant=tenant)
+        return RequestRecord(request=request, admitted_s=0.0,
+                             first_token_s=ttft,
+                             finish_s=ttft + tpot * (output_len - 1))
+
+    def test_slo_boundary_is_inclusive(self):
+        # A request *exactly at* the SLO counts as good: the SLO names
+        # the worst acceptable value, not the first bad one.
+        report = self._report([self._record(0, ttft=2.0, tpot=0.5)])
+        assert report.good_completions(ttft_slo_s=2.0) == 1
+        assert report.good_completions(ttft_slo_s=1.9999) == 0
+        assert report.good_completions(tpot_slo_s=0.5) == 1
+        assert report.good_completions(tpot_slo_s=0.4999) == 0
+        assert report.goodput_rps(ttft_slo_s=2.0, tpot_slo_s=0.5) \
+            == pytest.approx(0.1)
+
+    def test_nan_stat_never_meets_a_bounded_slo(self):
+        nan = float("nan")
+        report = self._report([self._record(0, ttft=nan),
+                               self._record(1, ttft=1.0)])
+        # Unbounded: every completion counts, NaN or not.
+        assert report.good_completions() == 2
+        # Bounded: the NaN-TTFT record is excluded explicitly, however
+        # loose the limit — not dropped by a silent NaN comparison.
+        assert report.good_completions(ttft_slo_s=1e18) == 1
+        assert report.good_completions(ttft_slo_s=1.0) == 1
+
+    def test_tenant_slo_overrides_global_args(self):
+        from repro.serve import TenantSLO
+        report = self._report([self._record(0, ttft=5.0, tenant=0),
+                               self._record(1, ttft=5.0, tenant=1)])
+        slos = (TenantSLO(tenant=0, ttft_slo_s=10.0),)
+        # Tenant 0 is judged solely by its own (looser) spec; tenant 1
+        # falls back to the global limit and misses it.
+        assert report.good_completions(ttft_slo_s=1.0, slos=slos) == 1
+        # A spec with no TTFT term lifts the bound for its tenant.
+        open_slos = (TenantSLO(tenant=1, tpot_slo_s=1.0),)
+        assert report.good_completions(ttft_slo_s=1.0,
+                                       slos=open_slos) == 1
+
+    def test_utilization_alias_and_empty_report_guard(self):
+        from repro.serve import ServingReport
+        empty = ServingReport(design="Mugi", scheduler="continuous")
+        # ISSUE satellite: zero-makespan reports read 0, not a
+        # ZeroDivisionError (and never inf).
+        assert empty.makespan_s == 0.0
+        assert empty.busy_fraction == 0.0
+        assert empty.utilization == 0.0
+        busy = ServingReport(design="Mugi", scheduler="continuous",
+                             makespan_s=8.0, busy_seconds=2.0)
+        assert busy.busy_fraction == pytest.approx(0.25)
+        # ``utilization`` is the cluster layer's name for the same stat.
+        assert busy.utilization == busy.busy_fraction
