@@ -3,11 +3,14 @@
 Runs one small fixed-seed serving trace per scheduler generation —
 ``legacy`` (peak-reservation continuous batching), ``paged``
 (block-granular KV + prefix caching), ``cluster`` (4 prefix-affinity
-replicas) — plus two scale scenarios: ``bulk-100k`` (a 100 000-request
-trace through the event-compressed decode-leaping engine) and
-``bulk-1m`` (a million-request saturating trace through the
-struct-of-arrays core, the regime where admissions, completions, and
-records are committed as whole-cohort array ops), and ``elastic`` (a
+replicas) — plus three scale scenarios: ``bulk-100k`` (a
+100 000-request trace through the event-compressed decode-leaping
+engine), ``cluster-bulk-100k`` (the same bulk regime through a
+4-replica cluster, gating the heap-scheduled fleet clock and batched
+cohort routing), and ``bulk-1m`` (a million-request saturating trace
+through the struct-of-arrays core, the regime where admissions,
+completions, and records are committed as whole-cohort array ops), and
+``elastic`` (a
 reactive autoscaling fleet on a one-hour diurnal multi-tenant trace
 under SFQ fair share, gating the SLO-good count and the carbon cost
 per good request as well).  Three numbers per scenario: simulated
@@ -99,6 +102,17 @@ CURRENT_PATH = ROOT / "BENCH_serving.current.json"
 MAX_GOODPUT_DROP = 0.05
 MAX_WALL_GROWTH = 0.15
 
+#: Per-scenario wall-growth overrides.  The heap-scheduled cluster
+#: clock bought the fleet scenarios extra headroom over their
+#: baselines, so a tighter bound pins it: sliding back to the
+#: O(replicas)-per-event scan loop must fail the gate even where the
+#: default 15 % would still absorb it.  The ``BENCH_GATE_WALL_GROWTH``
+#: environment override, when set, applies to every scenario.
+SCENARIO_WALL_GROWTH = {
+    "cluster": 0.10,
+    "cluster-bulk-100k": 0.10,
+}
+
 #: Absolute floor on the allowed normalized-wall growth.  The fast
 #: engine shrank some scenarios to tens of milliseconds, where 15 % is
 #: single-digit milliseconds — below scheduler/GC noise on shared CI
@@ -124,6 +138,14 @@ BULK_RATE_RPS = 50.0
 BULK_SEED = 23
 BULK_PROMPT = LengthSpec("lognormal", value=256, low=16, high=1024)
 BULK_OUTPUT = LengthSpec("lognormal", value=256, low=32, high=1024)
+
+#: The fleet-scale scenario: the 100k-request bulk trace through a
+#: 4-replica cluster, gating the heap-scheduled cluster clock, batched
+#: cohort routing, and cross-replica quiescence leaping at scale.
+#: Fixed-length outputs keep completions cohort-shaped (the regime the
+#: compressed drive loop leaps across) and the saturating rate keeps
+#: every replica busy so the lazy heap, not idle time, carries the run.
+CLUSTER_BULK_RATE_RPS = 200.0
 
 #: The second scale scenario: a million requests at hard saturation.
 #: Fixed-length outputs make completions arrive in large cohorts and a
@@ -192,6 +214,14 @@ def _scenarios() -> dict:
                             rate_rps=BULK_RATE_RPS, prompt=BULK_PROMPT,
                             output=BULK_OUTPUT, seed=BULK_SEED),
             policy="continuous", max_batch=16, seq_len_bucket=256),
+        "cluster-bulk-100k": SweepPoint(
+            label="cluster-bulk-100k", design=("mugi", 256), model=model,
+            trace=TraceSpec("poisson", n_requests=BULK_REQUESTS,
+                            rate_rps=CLUSTER_BULK_RATE_RPS,
+                            prompt=BULK_PROMPT, output=BULK_1M_OUTPUT,
+                            seed=BULK_SEED),
+            policy="continuous", max_batch=64, seq_len_bucket=2048,
+            router="least-outstanding", n_replicas=4),
         "bulk-1m": SweepPoint(
             label="bulk-1m", design=("mugi", 256), model=model,
             trace=TraceSpec("poisson", n_requests=BULK_1M_REQUESTS,
@@ -211,7 +241,7 @@ def _scenarios() -> dict:
 
 
 def _timing_runs(name: str) -> int:
-    return BULK_TIMING_RUNS if name.startswith("bulk") else TIMING_RUNS
+    return BULK_TIMING_RUNS if "bulk" in name else TIMING_RUNS
 
 
 def _calibration_s() -> float:
@@ -237,7 +267,7 @@ def _calibration_s() -> float:
 def _metrics(name: str, report) -> dict:
     metrics = {"goodput_rps": report.goodput_rps(),
                "ttft_p99_s": report.ttft_percentile(99)}
-    if name.startswith("bulk"):
+    if "bulk" in name:
         metrics["leap_steps"] = report.leap_steps
         metrics["steps"] = report.steps
     if name == "elastic":
@@ -296,18 +326,15 @@ PROFILE_BUCKETS = (
 )
 
 
-def profile_split(runner) -> tuple[float, dict]:
-    """(total seconds, per-bucket seconds) of one profiled run.
-
-    Shared with ``bench_serving_load --profile``: attributes each
-    source file's cProfile self-time to a :data:`PROFILE_BUCKETS`
-    subsystem.
-    """
+def _profile_stats(runner) -> pstats.Stats:
     profiler = cProfile.Profile()
     profiler.enable()
     runner()
     profiler.disable()
-    stats = pstats.Stats(profiler)
+    return pstats.Stats(profiler)
+
+
+def _bucket_split(stats: pstats.Stats) -> tuple[float, dict]:
     buckets = {label: 0.0 for label, _ in PROFILE_BUCKETS}
     buckets["other"] = 0.0
     total = 0.0
@@ -324,6 +351,49 @@ def profile_split(runner) -> tuple[float, dict]:
     return total, buckets
 
 
+def profile_split(runner) -> tuple[float, dict]:
+    """(total seconds, per-bucket seconds) of one profiled run.
+
+    Shared with ``bench_serving_load --profile``: attributes each
+    source file's cProfile self-time to a :data:`PROFILE_BUCKETS`
+    subsystem.
+    """
+    return _bucket_split(_profile_stats(runner))
+
+
+def _phase_split(stats: pstats.Stats) -> dict:
+    """Event-loop phase seconds: route / step / drain / tick.
+
+    Cumulative (not self) time of the drive loops' phase entry points —
+    router dispatch, engine stepping, record draining, autoscaler
+    ticks.  None of these nest inside one another, so the numbers
+    partition the event loop's wall honestly; routing counts a nested
+    ``select`` (a batched router's fallback probe) only once, through
+    its outermost routing call.
+    """
+    phases = dict.fromkeys(("route", "step", "drain", "tick"), 0.0)
+    route_keys = {
+        key for key in stats.stats
+        if key[0].replace(os.sep, "/").endswith("repro/serve/router.py")
+        and key[2] in ("select", "select_batch")}
+    for key, (_cc, _nc, _tt, ct, callers) in stats.stats.items():
+        path = key[0].replace(os.sep, "/")
+        func = key[2]
+        if key in route_keys:
+            nested = sum(sub[3] for caller, sub in callers.items()
+                         if caller in route_keys)
+            phases["route"] += ct - nested
+        elif path.endswith("repro/serve/engine.py") and func == "step":
+            phases["step"] += ct
+        elif path.endswith("repro/serve/cluster.py") and \
+                func == "_drain":
+            phases["drain"] += ct
+        elif path.endswith("repro/serve/autoscale.py") and \
+                func == "_decide":
+            phases["tick"] += ct
+    return phases
+
+
 def print_split(name: str, total: float, buckets: dict) -> None:
     print(f"{name}: {total:.3f} s total")
     for label, seconds in sorted(buckets.items(), key=lambda kv: -kv[1]):
@@ -332,19 +402,38 @@ def print_split(name: str, total: float, buckets: dict) -> None:
 
 
 def profile() -> None:
-    """Print each scenario's wall-clock split by subsystem."""
+    """Print each scenario's wall-clock split by subsystem, the
+    event-loop phase split, and (for fleet scenarios) the per-replica
+    leap / step-cost-cache diagnostics."""
     for name, point in _scenarios().items():
-        total, buckets = profile_split(functools.partial(run_point,
-                                                         point))
+        box = {}
+
+        def runner(point=point, box=box):
+            box["report"] = run_point(point)
+
+        stats = _profile_stats(runner)
+        total, buckets = _bucket_split(stats)
         print_split(name, total, buckets)
+        phases = _phase_split(stats)
+        if any(phases.values()):
+            loop = " ".join(f"{label}={seconds:.3f}s"
+                            for label, seconds in phases.items()
+                            if seconds)
+            print(f"  event-loop phases: {loop}")
+        report = box["report"]
+        if hasattr(report, "leap_steps_per_replica"):
+            print(f"  per-replica leap_steps="
+                  f"{report.leap_steps_per_replica} "
+                  f"cache_hits={report.step_cache_hits_per_replica} "
+                  f"cache_misses={report.step_cache_misses_per_replica}")
 
 
 def check(current: dict, baseline: dict) -> list[str]:
     """Every gate violation as a human-readable line (empty = pass)."""
     goodput_drop = float(os.environ.get("BENCH_GATE_GOODPUT_DROP",
                                         MAX_GOODPUT_DROP))
-    wall_growth = float(os.environ.get("BENCH_GATE_WALL_GROWTH",
-                                       MAX_WALL_GROWTH))
+    wall_env = os.environ.get("BENCH_GATE_WALL_GROWTH")
+    wall_growth = float(wall_env) if wall_env else MAX_WALL_GROWTH
     failures = []
     missing = set(baseline["scenarios"]) - set(current["scenarios"])
     if missing:
@@ -370,16 +459,18 @@ def check(current: dict, baseline: dict) -> list[str]:
                     f"{now['cost_per_good_kg']:.3e} kg grew "
                     f">{goodput_drop:.0%} over baseline "
                     f"{base['cost_per_good_kg']:.3e}")
+        growth = wall_growth if wall_env \
+            else SCENARIO_WALL_GROWTH.get(name, wall_growth)
         base_norm = base["wall_s"] / baseline["calibration_s"]
         now_norm = now["wall_s"] / current["calibration_s"]
-        limit = max(base_norm * (1.0 + wall_growth),
+        limit = max(base_norm * (1.0 + growth),
                     base_norm + MIN_NORM_SLACK)
         if now_norm > limit:
             failures.append(
                 f"{name}: normalized wall-clock {now_norm:.2f} "
                 f"(={now['wall_s']:.2f}s / cal "
                 f"{current['calibration_s']:.2f}s) grew "
-                f">{wall_growth:.0%} over baseline {base_norm:.2f}")
+                f">{growth:.0%} over baseline {base_norm:.2f}")
     return failures
 
 

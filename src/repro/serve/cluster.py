@@ -38,7 +38,10 @@ replicas fed from the same trace can never alias per-request state.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from ..errors import ConfigError
 from ..parallel.collective import DEFAULT_INTERCONNECT, InterconnectConfig
@@ -279,95 +282,102 @@ class ServingCluster:
         migration arriving strictly after ``f``, and ``f`` can be no
         earlier than that replica's current clock — so the earliest
         busy prefill clock also bounds the horizon.
+
+        The prefill-clock minimum is cached per drain epoch
+        (``_prefill_min``, invalidated whenever a prefill replica
+        steps, advances, or takes a route) instead of rescanning the
+        fleet for every decode step.
         """
         if rep.role != "decode":
             return next_event
-        for other in self.replicas:
-            if other.role == "prefill" and other.engine.has_work() and \
-                    other.engine.now < next_event:
-                next_event = other.engine.now
-        return next_event
+        bound = self._prefill_min
+        if bound is None:
+            bound = math.inf
+            for other in self.replicas:
+                if other.role == "prefill" and other.engine.has_work() \
+                        and other.engine.now < bound:
+                    bound = other.engine.now
+            self._prefill_min = bound
+        return bound if bound < next_event else next_event
 
     # -- the cluster event loop ------------------------------------------
-    def run(self, trace: list[Request]) -> ClusterReport:
-        """Serve a trace across the replicas; merge into one report."""
-        if not trace:
-            raise ConfigError("empty trace")
-        pending = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
-        self._validate(pending)
-        self.router.reset()
-        self.decode_router.reset()
-        for rep in self.replicas:
-            rep.engine.start()
-            rep.routed = 0
-            rep.arrivals = []
+    @staticmethod
+    def _record_key(record: RequestRecord) -> tuple:
+        return (record.finish_s, record.request.req_id)
 
-        inf = float("inf")
-        migrations: list = []   # heap of (arrival_s, req_id, Request)
-        origins: dict[int, Request] = {}
-        prefill_half: dict[int, RequestRecord] = {}
-        merged: list[RequestRecord] = []
-        seen_records = [0] * self.n_replicas
-        n_migrations = 0
-        transfer_bytes = 0.0
-        transfer_seconds = 0.0
-
-        def route(request: Request, targets: list, chooser: Router,
+    def _route_to(self, rep: Replica, request: Request,
                   now: float) -> None:
-            rep = chooser.select(request, targets)
-            rep.engine.advance_to(now)
-            rep.engine.submit(request)
-            rep.routed += 1
-            rep.arrivals.append(now)
+        """Commit one routing decision (the router already chose)."""
+        rep.engine.advance_to(now)
+        rep.engine.submit(request)
+        rep.routed += 1
+        rep.arrivals.append(now)
+        if rep.role == "prefill":
+            self._prefill_min = None
 
-        def drain(rep: Replica) -> None:
-            """Fold a replica's new completions into the cluster view."""
-            nonlocal n_migrations, transfer_bytes, transfer_seconds
-            records = rep.engine.report.records
-            fresh = records[seen_records[rep.index]:]
-            seen_records[rep.index] = len(records)
-            for record in fresh:
-                if self.mode == "unified":
-                    merged.append(record)
-                    continue
-                origin = origins[record.request.req_id]
-                if rep.role == "decode":
-                    first = prefill_half.pop(origin.req_id)
-                    merged.append(RequestRecord(
-                        request=origin, admitted_s=first.admitted_s,
-                        first_token_s=first.first_token_s,
-                        finish_s=record.finish_s))
-                elif origin.output_len == 1:
-                    # Nothing left to decode: done at the prefill side.
-                    merged.append(RequestRecord(
-                        request=origin, admitted_s=record.admitted_s,
-                        first_token_s=record.first_token_s,
-                        finish_s=record.finish_s))
-                else:
-                    moved, seconds = self._transfer(origin,
-                                                    rep.engine.kvq_bits)
-                    n_migrations += 1
-                    transfer_bytes += moved
-                    transfer_seconds += seconds
-                    sub = self._decode_request(
-                        origin, arrival_s=record.finish_s + seconds)
-                    # Tie-break by req_id, not push order: leaping can
-                    # reorder which replica drains first, and the heap
-                    # order must not depend on that.
-                    heapq.heappush(migrations,
-                                   (sub.arrival_s, sub.req_id, sub))
-                    prefill_half[origin.req_id] = record
+    def _drain(self, rep: Replica) -> None:
+        """Fold a replica's new completions into the cluster view.
 
+        Unified replicas need no per-step drain at all (their records
+        are collected wholesale at teardown); this runs for the
+        disaggregated modes, where a prefill completion must spawn its
+        KV migration before the event loop continues.
+        """
+        records = rep.engine.report.records
+        fresh = records[self._seen[rep.index]:]
+        self._seen[rep.index] = len(records)
+        finals = self._finals[rep.index]
+        for record in fresh:
+            # Entries live from routing until the prefill half drains —
+            # popping here (rather than never) is what keeps a
+            # million-request disaggregated run's memory flat.
+            if rep.role == "decode":
+                origin, first = self._prefill_half.pop(
+                    record.request.req_id)
+                finals.append(RequestRecord(
+                    request=origin, admitted_s=first.admitted_s,
+                    first_token_s=first.first_token_s,
+                    finish_s=record.finish_s))
+                continue
+            origin = self._origins.pop(record.request.req_id)
+            if origin.output_len == 1:
+                # Nothing left to decode: done at the prefill side.
+                finals.append(RequestRecord(
+                    request=origin, admitted_s=record.admitted_s,
+                    first_token_s=record.first_token_s,
+                    finish_s=record.finish_s))
+            else:
+                moved, seconds = self._transfer(origin,
+                                                rep.engine.kvq_bits)
+                self._n_migrations += 1
+                self._transfer_bytes += moved
+                self._transfer_seconds += seconds
+                sub = self._decode_request(
+                    origin, arrival_s=record.finish_s + seconds)
+                # Tie-break by req_id, not push order: leaping can
+                # reorder which replica drains first, and the heap
+                # order must not depend on that.
+                heapq.heappush(self._migrations,
+                               (sub.arrival_s, sub.req_id, sub))
+                self._prefill_half[origin.req_id] = (origin, record)
+
+    def _drive_legacy(self, pending: list) -> None:
+        """The pre-heap reference loop: one O(replicas) scan and one
+        ``step`` per iteration, one routed arrival per dispatch.
+
+        Kept verbatim as the ground truth the identity tests diff the
+        compressed loops against."""
+        inf = math.inf
         idx = 0
         n_pending = len(pending)
+        unified = self.mode == "unified"
         while True:
             arrival_t = pending[idx].arrival_s if idx < n_pending \
                 else inf
-            migration_t = migrations[0][0] if migrations else inf
+            migration_t = self._migrations[0][0] if self._migrations \
+                else inf
             next_event = arrival_t if arrival_t <= migration_t \
                 else migration_t
-            # Earliest busy replica, ties to the lowest index (inlined
-            # min: this loop runs once per committed step).
             worker = None
             worker_now = inf
             for rep in self.replicas:
@@ -379,9 +389,12 @@ class ServingCluster:
                 # the step is causally committed — and every leapt step
                 # starts strictly before the horizon, so the same holds
                 # for each step inside the leap.
+                if worker.role == "prefill":
+                    self._prefill_min = None
                 if worker.engine.step(
                         horizon=self._leap_horizon(worker, next_event)):
-                    drain(worker)
+                    if not unified:
+                        self._drain(worker)
                 elif next_event == inf:
                     raise ConfigError(
                         f"replica {worker.index} "
@@ -395,41 +408,240 @@ class ServingCluster:
             if arrival_t <= migration_t:
                 request = pending[idx]
                 idx += 1
-                if self.mode == "unified":
+                if unified:
                     # Re-instantiated per replica: engines fed from one
                     # trace must never share request objects.
                     sub = replace(request)
                 else:
-                    origins[request.req_id] = request
+                    self._origins[request.req_id] = request
                     sub = replace(request, output_len=1)
-                route(sub, self._arrival_targets(), self.router,
-                      request.arrival_s)
+                targets = self._arrival_targets()
+                self._route_to(self.router.select(sub, targets), sub,
+                               request.arrival_s)
             else:
-                when, _, sub = heapq.heappop(migrations)
-                route(sub, self._decode_targets(), self.decode_router,
-                      when)
+                when, _, sub = heapq.heappop(self._migrations)
+                targets = self._decode_targets()
+                self._route_to(self.decode_router.select(sub, targets),
+                               sub, when)
 
-        if prefill_half:
-            raise ConfigError(f"{len(prefill_half)} migrated requests "
-                              f"never completed decode; cluster "
-                              f"bookkeeping is broken")
-        if len(merged) != len(pending):
-            raise ConfigError(
-                f"cluster completed {len(merged)} of {len(pending)} "
-                f"requests; completion merging lost records")
+    def _drive_unified(self, pending: list, times: np.ndarray) -> None:
+        """Unified-mode compressed loop: span advance + cohort routing.
+
+        Between two external events, unified replicas are completely
+        independent — the only cross-replica coupling is the router
+        reading ``outstanding_tokens`` at dispatch instants, and the
+        set of steps committed by then (every step starting strictly
+        before the event) is the same whether replicas interleave step
+        by step or advance one after the other.  So each busy replica
+        is driven straight to the next arrival in one inner loop: the
+        global quiescence leap falls out for free, because a replica
+        whose plan is pure decode crosses the whole span in one
+        (possibly resumed) leap, and no per-step earliest-replica
+        selection exists at all.
+        """
+        replicas = self.replicas
+        inf = math.inf
+        idx = 0
+        n_pending = len(pending)
+        targets = self._arrival_targets()
+        while True:
+            arrival_t = float(times[idx]) if idx < n_pending else inf
+            busy_min = inf
+            for rep in replicas:
+                engine = rep.engine
+                while engine.has_work() and engine.now < arrival_t:
+                    if not engine.step(horizon=arrival_t):
+                        if arrival_t == inf:
+                            raise ConfigError(
+                                f"replica {rep.index} "
+                                f"({engine.scheduler.name}) stalled "
+                                f"with work queued but nothing planned")
+                        engine.advance_to(arrival_t)
+                        break
+                if engine.has_work() and engine.now < busy_min:
+                    busy_min = engine.now
+            if idx >= n_pending:
+                break
+            # Cohort dispatch: every arrival that precedes the earliest
+            # busy clock routes back-to-back — no replica has a step to
+            # commit between them.  Routing can wake an idle replica
+            # whose clock lands below a later arrival; the commit
+            # callback shrinks the bound, ending the cohort exactly
+            # where the stepwise loop would have stepped first.
+            upto = n_pending if busy_min == inf else \
+                int(np.searchsorted(times, busy_min, side="right"))
+
+            def commit(request: Request, rep: Replica) -> bool:
+                nonlocal idx, busy_min
+                self._route_to(rep, replace(request), request.arrival_s)
+                idx += 1
+                now = rep.engine.now
+                if now < busy_min:
+                    busy_min = now
+                return idx < n_pending and times[idx] <= busy_min
+
+            self.router.select_batch(pending[idx:upto], targets, commit)
+
+    def _drive_disaggregated(self, pending: list,
+                             times: np.ndarray) -> None:
+        """Disaggregated compressed loop: lazy min-heap replica clock.
+
+        Migration interleaving couples the replicas (a prefill
+        completion spawns a decode-side arrival, and decode horizons
+        read prefill clocks), so the legacy loop's exact step order is
+        reproduced: a ``(clock, index)`` heap with lazy invalidation
+        picks each earliest busy replica in O(log replicas), matching
+        the linear scan's strict-``<`` lowest-index tie-break.
+        """
+        replicas = self.replicas
+        inf = math.inf
+        heap: list = []
+        idx = 0
+        n_pending = len(pending)
+        targets = self._arrival_targets()
+        decode_targets = self._decode_targets()
+        while True:
+            arrival_t = float(times[idx]) if idx < n_pending else inf
+            migration_t = self._migrations[0][0] if self._migrations \
+                else inf
+            next_event = arrival_t if arrival_t <= migration_t \
+                else migration_t
+            worker = None
+            worker_now = inf
+            while heap:
+                clock, i = heap[0]
+                rep = replicas[i]
+                if rep.engine.now != clock or not rep.engine.has_work():
+                    heapq.heappop(heap)  # Stale entry.
+                    continue
+                worker = rep
+                worker_now = clock
+                break
+            if worker is not None and worker_now < next_event:
+                heapq.heappop(heap)
+                engine = worker.engine
+                if worker.role == "prefill":
+                    self._prefill_min = None
+                if engine.step(
+                        horizon=self._leap_horizon(worker, next_event)):
+                    self._drain(worker)
+                    if engine.has_work():
+                        heapq.heappush(heap, (engine.now, worker.index))
+                elif next_event == inf:
+                    raise ConfigError(
+                        f"replica {worker.index} "
+                        f"({engine.scheduler.name}) stalled with "
+                        f"work queued but nothing planned")
+                else:
+                    engine.advance_to(next_event)
+                    heapq.heappush(heap, (engine.now, worker.index))
+                continue
+            if next_event == inf:
+                break
+            if arrival_t <= migration_t:
+                # Arrival cohort to the prefill pool, bounded by the
+                # earliest busy clock and the next migration (which
+                # only steps can spawn — none happen inside a cohort).
+                bound = worker_now if worker_now < migration_t \
+                    else migration_t
+                upto = n_pending if bound == inf else \
+                    int(np.searchsorted(times, bound, side="right"))
+
+                def commit(request: Request, rep: Replica) -> bool:
+                    nonlocal idx, bound
+                    self._origins[request.req_id] = request
+                    sub = replace(request, output_len=1)
+                    self._route_to(rep, sub, request.arrival_s)
+                    heapq.heappush(heap, (rep.engine.now, rep.index))
+                    idx += 1
+                    now = rep.engine.now
+                    if now < bound:
+                        bound = now
+                    return idx < n_pending and times[idx] <= bound
+
+                self.router.select_batch(pending[idx:upto], targets,
+                                         commit)
+            else:
+                when, _, sub = heapq.heappop(self._migrations)
+                rep = self.decode_router.select(sub, decode_targets)
+                self._route_to(rep, sub, when)
+                heapq.heappush(heap, (rep.engine.now, rep.index))
+
+    def run(self, trace: list[Request],
+            legacy: bool = False) -> ClusterReport:
+        """Serve a trace across the replicas; merge into one report.
+
+        ``legacy=True`` drives the pre-heap reference event loop; the
+        report is field-for-field identical either way (the identity
+        test suite enforces it), only wall-clock differs.
+        """
+        if not trace:
+            raise ConfigError("empty trace")
+        pending = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
+        self._validate(pending)
+        self.router.reset()
+        self.decode_router.reset()
+        for rep in self.replicas:
+            rep.engine.start()
+            rep.routed = 0
+            rep.arrivals = []
+        #: Migration heap of (arrival_s, req_id, Request).
+        self._migrations: list = []
+        self._origins: dict[int, Request] = {}
+        #: req_id -> (origin, prefill-half record), decode in flight.
+        self._prefill_half: dict[int, tuple] = {}
+        self._finals: list[list] = [[] for _ in self.replicas]
+        self._seen = [0] * self.n_replicas
+        self._n_migrations = 0
+        self._transfer_bytes = 0.0
+        self._transfer_seconds = 0.0
+        self._prefill_min: float | None = None
+
+        if legacy:
+            self._drive_legacy(pending)
+        else:
+            times = np.fromiter((r.arrival_s for r in pending),
+                                dtype=np.float64, count=len(pending))
+            if self.mode == "unified":
+                self._drive_unified(pending, times)
+            else:
+                self._drive_disaggregated(pending, times)
+
+        if self._prefill_half:
+            raise ConfigError(f"{len(self._prefill_half)} migrated "
+                              f"requests never completed decode; "
+                              f"cluster bookkeeping is broken")
         makespan = max(rep.engine.now for rep in self.replicas)
         reports = []
         for rep in self.replicas:
             rep.engine.report.offered_rps = _offered_rps(rep.arrivals)
             reports.append(rep.engine.finish())
-        merged.sort(key=lambda r: (r.finish_s, r.request.req_id))
+        # Each replica drains completions in its own clock order, so
+        # the cluster-wide (finish_s, req_id) order is a k-way merge of
+        # per-replica streams (sorted first: simultaneous finishers of
+        # one step land in running order, and Timsort on the
+        # nearly-sorted stream is cheap), not a full global sort.
+        # req_ids are unique, so the merged total order is exactly what
+        # ``merged.sort(...)`` produced.
+        if self.mode == "unified":
+            streams = [sorted(report.records, key=self._record_key)
+                       for report in reports]
+        else:
+            streams = [sorted(final, key=self._record_key)
+                       for final in self._finals]
+        merged = list(heapq.merge(*streams, key=self._record_key))
+        if len(merged) != len(pending):
+            raise ConfigError(
+                f"cluster completed {len(merged)} of {len(pending)} "
+                f"requests; completion merging lost records")
         return ClusterReport(
             design=self.name, router=self.router.name, mode=self.mode,
             replicas=reports, records=merged, makespan_s=makespan,
             offered_rps=offered_load_rps(trace),
             routed=[rep.routed for rep in self.replicas],
-            migrations=n_migrations, kv_transfer_bytes=transfer_bytes,
-            kv_transfer_seconds=transfer_seconds)
+            migrations=self._n_migrations,
+            kv_transfer_bytes=self._transfer_bytes,
+            kv_transfer_seconds=self._transfer_seconds)
 
 
 def make_cluster(design, config, n_replicas: int,

@@ -35,6 +35,7 @@ from ..errors import ConfigError
 from ..llm.workload import StepCostSurface
 
 __all__ = ["StepCostCache", "StepCostStore", "aggregate_cache_stats",
+           "export_store_tables", "install_store_tables",
            "step_cost_store"]
 
 #: Default LRU capacity.  A signature entry is one small dataclass plus
@@ -144,6 +145,38 @@ def step_cost_store(design, config, woq_bits: int, kvq_bits: int,
             "under a different TechnologyModel; build a fresh design "
             "for a different tech instead of overriding it")
     return store
+
+
+def export_store_tables(design) -> list:
+    """Every priced surface of ``design`` as picklable warm-start state.
+
+    Returns ``[(config, woq_bits, kvq_bits, include_lm_head, tables),
+    ...]`` — one entry per store whose surface has priced anything —
+    for :func:`install_store_tables` to replay in another process.
+    The sweep executor uses this to ship a warm parent's component
+    tables to cold ``spawn`` workers, which then price their first
+    trace without rebuilding the op-cost components.
+    """
+    try:
+        per_design = _STORES.get(design)
+    except TypeError:
+        per_design = None
+    entries = []
+    for (config, woq, kvq, lm_head), store in (per_design or {}).items():
+        tables = store.surface.export_tables()
+        if tables:
+            entries.append((config, woq, kvq, lm_head, tables))
+    return entries
+
+
+def install_store_tables(design, entries) -> int:
+    """Replay :func:`export_store_tables` output against ``design``'s
+    stores in this process; returns how many components were adopted."""
+    installed = 0
+    for config, woq, kvq, lm_head, tables in entries:
+        store = step_cost_store(design, config, woq, kvq, lm_head)
+        installed += store.surface.install_tables(tables)
+    return installed
 
 
 def aggregate_cache_stats() -> dict:

@@ -133,6 +133,11 @@ class ServingEngine:
         self._cache_misses = 0
         self._report: ServingReport | None = None
         self._now = 0.0
+        #: Pending leap remainder: ``(plan, cost, window, epoch, clock)``
+        #: left over when a pure-decode leap was cut by the horizon
+        #: rather than by the plan's own validity bound (see
+        #: :meth:`step`).
+        self._resume = None
 
     # -- step lowering --------------------------------------------------
     def _signature(self, plan: StepPlan,
@@ -155,14 +160,14 @@ class ServingEngine:
         prefill = () if not plan.prefill else tuple(
             sorted(-(-s.request.prompt_len // b) * b
                    for s in plan.prefill))
-        slots = plan.decode_slots
-        if slots is not None:
-            # Slot plan: bucket the whole context column in one shot.
+        if ctx is None and plan.decode_slots is not None:
+            ctx = plan.table.context_len[plan.decode_slots]
+        if ctx is not None:
+            # Pre-gathered context column (slot plans always, list plans
+            # when the step gathered one): bucket it in one shot.
             # tolist() converts to Python ints so the cache key matches
             # the object path's keys exactly; Python's sort beats
             # np.sort at these batch sizes.
-            if ctx is None:
-                ctx = plan.table.context_len[slots]
             decode = tuple(sorted((-(-ctx // b) * b).tolist()))
         else:
             decode = tuple(sorted(-(-s.context_len // b) * b
@@ -225,6 +230,7 @@ class ServingEngine:
         self._now = 0.0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._resume = None
         return self._report
 
     def submit(self, request: Request) -> None:
@@ -259,7 +265,29 @@ class ServingEngine:
         KV growth, and the utilization series exactly as the stepwise
         loop would.  Without a horizon (the default) every call commits
         exactly one step.
+
+        A leap the previous call cut at its horizon leaves the plan
+        provably valid for the window's remaining steps (no completion,
+        bucket crossing, or scheduler event occurs inside it, and
+        admission stays blocked — nothing arrived, or the resume is
+        dropped).  When nothing was submitted in between
+        (:attr:`Scheduler.mutations` unchanged) and the clock did not
+        move, this call *resumes* that leap instead of replanning: the
+        planned-step count collapses from one per foreign cluster event
+        to one per plan-changing event on this replica.  All physics
+        fields stay bit-identical to replanning (the elided plan would
+        have been identical and the accumulators advance with the same
+        sequential additions); only the diagnostic ``leap_steps`` /
+        step-cache counters attribute steps differently.
         """
+        resume = self._resume
+        if resume is not None:
+            self._resume = None
+            if horizon is not None and self._now < horizon and \
+                    resume[3] == self.scheduler.mutations and \
+                    resume[4] == self._now:
+                self._resume_leap(resume, horizon)
+                return True
         report = self._active_report()
         plan = self.scheduler.plan_step(self._now)
         if plan.batch == 0:
@@ -456,6 +484,12 @@ class ServingEngine:
         leapt = self._advance(cost.step_seconds,  # No swap inside a leap.
                               cost.dynamic_energy_j, cost.comm_seconds,
                               window, horizon)
+        if leapt < window:
+            # Cut by the horizon, not by the plan's validity: the
+            # remaining steps stay leapable once the caller's next
+            # horizon opens, provided nothing is submitted meanwhile.
+            self._resume = (plan, cost, window - leapt,
+                            self.scheduler.mutations, self._now)
         if leapt == 0:
             return
         report = self._report
@@ -470,9 +504,63 @@ class ServingEngine:
             table.generated[slots] += leapt
             table.context_len[slots] += leapt
         else:
-            for state in plan.decode:
+            self._bump_decode(plan.decode, leapt)
+        self.scheduler.note_generated(leapt * n_decode)
+
+    @staticmethod
+    def _bump_decode(decode: list, leapt: int) -> None:
+        """Advance a list plan's decoders by ``leapt`` tokens (column
+        ops past a few states; every state shares one table)."""
+        if len(decode) > 2:
+            table = decode[0].table
+            dslots = np.fromiter((s.slot for s in decode),
+                                 dtype=np.int64, count=len(decode))
+            table.generated[dslots] += leapt
+            table.context_len[dslots] += leapt
+        else:
+            for state in decode:
                 state.generated += leapt
                 state.context_len += leapt
+
+    def _resume_leap(self, resume: tuple, horizon: float) -> None:
+        """Continue a horizon-cut leap without replanning.
+
+        Safety chain (each point pins the elided replan to the resumed
+        plan): the window bound guarantees no sequence completes or
+        crosses a cost bucket inside it; in a pure-decode window
+        admission stays monotonically blocked for every scheduler
+        (reservations and ``running`` are unchanged, a paged pool's
+        available blocks only shrink, and blocked swap-ins stay
+        blocked); the anchor plan's admission probe already moved the
+        blocked head's cached prefix blocks to MRU, so eliding the
+        repeat probes leaves the LRU order identical (no eviction can
+        occur inside the window); and the paged window was sized so the
+        whole leap's block demand fits the free list, so the remainder
+        cannot preempt.  The committed arithmetic is the same
+        sequential accumulation :meth:`_leap` performs — splitting one
+        window across calls lands on identical floats.
+        """
+        plan, cost, window, epoch, _ = resume
+        leapt = self._advance(cost.step_seconds, cost.dynamic_energy_j,
+                              cost.comm_seconds, window, horizon)
+        if leapt < window:
+            self._resume = (plan, cost, window - leapt, epoch, self._now)
+        report = self._report
+        report.kv_utilization.extend(
+            self.scheduler.commit_leap(plan, leapt))
+        report.peak_kv_bytes = max(report.peak_kv_bytes,
+                                   self.scheduler.reserved_bytes)
+        report.steps += leapt
+        report.leap_steps += leapt
+        slots = plan.decode_slots
+        if slots is not None:
+            table = plan.table
+            table.generated[slots] += leapt
+            table.context_len[slots] += leapt
+            n_decode = int(slots.size)
+        else:
+            self._bump_decode(plan.decode, leapt)
+            n_decode = len(plan.decode)
         self.scheduler.note_generated(leapt * n_decode)
 
     def _advance(self, duration: float, energy: float, comm: float,
@@ -594,6 +682,7 @@ class ServingEngine:
                     f"stat {key!r}; ServingReport has no such field")
             setattr(report, key, value)
         self._report = None
+        self._resume = None
         return report
 
     # -- event loop -----------------------------------------------------

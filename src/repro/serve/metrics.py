@@ -472,16 +472,33 @@ class ClusterReport(RecordStats):
     def step_cache_hits(self) -> int:
         """Step-cost cache hits across replicas (one shared cache when
         the replicas are identical — see :mod:`repro.serve.costs`)."""
-        return sum(r.step_cache_hits for r in self.replicas)
+        return sum(self.step_cache_hits_per_replica)
 
     @property
     def step_cache_misses(self) -> int:
-        return sum(r.step_cache_misses for r in self.replicas)
+        return sum(self.step_cache_misses_per_replica)
 
     @property
     def leap_steps(self) -> int:
         """Steps the replicas committed through the decode-leap path."""
-        return sum(r.leap_steps for r in self.replicas)
+        return sum(self.leap_steps_per_replica)
+
+    # -- per-replica fast-path diagnostics ------------------------------
+    @property
+    def leap_steps_per_replica(self) -> list:
+        """Leap-committed steps per replica, by replica index — a
+        straggler here (one replica leaping far less than its peers)
+        usually means its traffic mix keeps breaking pure-decode
+        plans."""
+        return [r.leap_steps for r in self.replicas]
+
+    @property
+    def step_cache_hits_per_replica(self) -> list:
+        return [r.step_cache_hits for r in self.replicas]
+
+    @property
+    def step_cache_misses_per_replica(self) -> list:
+        return [r.step_cache_misses for r in self.replicas]
 
     @property
     def comm_seconds(self) -> float:

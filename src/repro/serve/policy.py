@@ -466,6 +466,9 @@ class PagedScheduler:
         #: (preemption moves sequences between those sets, changing
         #: nothing).
         self.outstanding_tokens = 0
+        #: Ingest epoch (see :attr:`repro.serve.Scheduler.mutations`):
+        #: the engine's leap-resume check compares it across steps.
+        self.mutations = 0
         #: Whether the most recent plan_step preempted anything.  A
         #: recompute preemption can hide inside a pure-decode plan (the
         #: victim vanishes from the active set, blocks free, and the
@@ -546,6 +549,7 @@ class PagedScheduler:
         self.waiting.append(state)
         self._waiting_sorted = False
         self.outstanding_tokens += request.total_tokens
+        self.mutations += 1
 
     def enqueue(self, request: Request) -> None:
         error = self.admission_error(request)
@@ -627,12 +631,14 @@ class PagedScheduler:
         bound = manager.free_blocks if (self.waiting or self.swapped) \
             else manager.available_blocks
         size = manager.block_size
-        tokens = [manager.tokens_of(s.request.req_id)
-                  for s in plan.decode]
+        tokens = np.fromiter(
+            (manager.tokens_of(s.request.req_id) for s in plan.decode),
+            dtype=np.int64, count=len(plan.decode))
+        anchors = (tokens + size - 1) // size
 
         def blocks_demanded(steps: int) -> int:
-            return sum((t + steps + size - 1) // size
-                       - (t + size - 1) // size for t in tokens)
+            return int(((tokens + (steps + size - 1)) // size
+                        - anchors).sum())
 
         if blocks_demanded(max_steps) <= bound:
             return max_steps
@@ -668,10 +674,17 @@ class PagedScheduler:
         if manager.live_blocks != live0 + int(grown[-1]):
             raise ConfigError("leap block accounting diverged from the "
                               "pool (copy-on-write inside a leap?)")
-        for state in plan.decode:
-            state.kv_tokens += steps
-        num_blocks = manager.num_blocks
-        return [(live0 + int(g)) / num_blocks for g in grown]
+        if len(plan.decode) > 2:
+            tab = plan.decode[0].table
+            tab.kv_tokens[np.fromiter((s.slot for s in plan.decode),
+                                      dtype=np.int64,
+                                      count=len(plan.decode))] += steps
+        else:
+            for state in plan.decode:
+                state.kv_tokens += steps
+        # live0 + grown is exact int64 arithmetic; the float64 divide
+        # rounds each ratio exactly as the stepwise ``int / int`` would.
+        return ((live0 + grown) / manager.num_blocks).tolist()
 
     # -- chunked-prefill leaping ------------------------------------------
     def chunk_leap_window(self, task: ChunkTask) -> int:
@@ -806,14 +819,13 @@ class PagedScheduler:
         slots = np.fromiter((s.slot for s in running), dtype=np.int64,
                             count=len(running))
         tab = self.table
-        fill_done = tab.prefilled[slots] >= tab.prefill_target[slots]
-        live = tab.generated[slots] < tab.output_len[slots]
-        decoders = sorted((running[i] for i in
-                           np.flatnonzero(fill_done & live).tolist()),
-                          key=_QUEUE_KEY)
-        prefilling = sorted((running[i] for i in
-                             np.flatnonzero(~fill_done).tolist()),
-                            key=_QUEUE_KEY)
+        fill_done = (tab.prefilled[slots]
+                     >= tab.prefill_target[slots]).tolist()
+        live = (tab.generated[slots] < tab.output_len[slots]).tolist()
+        decoders = sorted((s for s, f, l in zip(running, fill_done, live)
+                           if f and l), key=_QUEUE_KEY)
+        prefilling = sorted((s for s, f in zip(running, fill_done)
+                             if not f), key=_QUEUE_KEY)
         return decoders, prefilling
 
     # -- the step planner ------------------------------------------------
@@ -863,25 +875,46 @@ class PagedScheduler:
         #    preempted before part 3 reaches them are skipped there via
         #    ``preempted_now``, exactly as stepwise victims always were.
         decoders, prefilling = self._partition_running()
-        for state in decoders:
-            if id(state) in preempted_now:
-                continue  # Taken as a victim earlier in this loop.
-            while True:
-                if manager.extend(state.request.req_id, 1):
+        if decoders and manager.available_blocks >= 2 * len(decoders):
+            # A single-token extend needs at most one fresh block plus
+            # one copy-on-write block, so the pool covers every decoder
+            # below: no extend can fail, no victim is ever picked, and
+            # the allocations land in the same order the guarded loop
+            # would produce.
+            extend = manager.extend
+            for state in decoders:
+                extend(state.request.req_id, 1)
+            plan.decode = list(decoders)
+            committed.update(map(id, decoders))
+            if len(decoders) > 2:
+                tab = decoders[0].table
+                tab.kv_tokens[np.fromiter(
+                    (s.slot for s in decoders), dtype=np.int64,
+                    count=len(decoders))] += 1
+            else:
+                for state in decoders:
                     state.kv_tokens += 1
-                    plan.decode.append(state)
-                    committed.add(id(state))
-                    break
-                victim = self._pick_victim(committed | {id(state)})
-                if victim is None:
-                    if id(state) in committed:
-                        # Swapped in earlier this step: hold the blocks
-                        # and retry next step rather than paying the
-                        # host link both ways for zero progress.
+        else:
+            for state in decoders:
+                if id(state) in preempted_now:
+                    continue  # Taken as a victim earlier in this loop.
+                while True:
+                    if manager.extend(state.request.req_id, 1):
+                        state.kv_tokens += 1
+                        plan.decode.append(state)
+                        committed.add(id(state))
                         break
-                    preempt(state)
-                    break
-                preempt(victim)
+                    victim = self._pick_victim(committed | {id(state)})
+                    if victim is None:
+                        if id(state) in committed:
+                            # Swapped in earlier this step: hold the
+                            # blocks and retry next step rather than
+                            # paying the host link both ways for zero
+                            # progress.
+                            break
+                        preempt(state)
+                        break
+                    preempt(victim)
 
         # 3. Chunked prefill: continue partial prefills under the step's
         #    token budget, oldest/highest-priority first.

@@ -64,6 +64,29 @@ class Router:
     def select(self, request: Request, replicas: list):
         raise NotImplementedError
 
+    def select_batch(self, requests, replicas: list, commit) -> int:
+        """Route an arrival cohort in one call; return how many routed.
+
+        ``commit(request, replica)`` applies one decision (the cluster
+        submits the request there) and returns False when the cohort
+        must stop — routing can wake an idle replica whose clock now
+        precedes the remaining arrivals, which must wait for its steps.
+
+        Decisions are identical to calling :meth:`select` once per
+        request in order, with each commit applied before the next
+        select — load-aware policies see every earlier cohort member
+        exactly as the one-at-a-time path does.  Subclasses override
+        this to batch the state-independent part of their decision
+        (hash/index streams); the commit sequencing is preserved.
+        """
+        routed = 0
+        for request in requests:
+            go_on = commit(request, self.select(request, replicas))
+            routed += 1
+            if not go_on:
+                break
+        return routed
+
 
 class RoundRobinRouter(Router):
     """Rotate through replicas in index order."""
@@ -80,6 +103,21 @@ class RoundRobinRouter(Router):
         choice = replicas[self._next % len(replicas)]
         self._next += 1
         return choice
+
+    def select_batch(self, requests, replicas: list, commit) -> int:
+        """Whole-cohort rotation: decisions are state-independent, so
+        the index stream is materialized up front and only the commits
+        stay sequential."""
+        n = len(replicas)
+        routed = 0
+        for request, offset in zip(requests,
+                                   range(self._next, self._next
+                                         + len(requests))):
+            routed += 1
+            if not commit(request, replicas[offset % n]):
+                break
+        self._next += routed
+        return routed
 
 
 class LeastOutstandingRouter(Router):
@@ -158,6 +196,39 @@ class PrefixAffinityRouter(Router):
                     * max(mean, 1.0):
                 return self.fallback.select(request, replicas)
         return choice
+
+    def select_batch(self, requests, replicas: list, commit) -> int:
+        """Hash the whole cohort's prefix groups in one vectorized
+        pass; the load-dependent overload/fallback checks stay
+        sequential per commit."""
+        n = len(replicas)
+        groups = [request.prefix_group for request in requests]
+        if n == 1 or not any(g is not None for g in groups):
+            return super().select_batch(requests, replicas, commit)
+        x = np.asarray([0 if g is None else g for g in groups],
+                       dtype=np.uint32)
+        mult = np.uint32(0x45D9F3B)
+        x = ((x ^ (x >> np.uint32(16))) * mult)
+        x = ((x ^ (x >> np.uint32(16))) * mult)
+        hashed = (x ^ (x >> np.uint32(16))) % np.uint32(n)
+        factor = self.overload_factor
+        routed = 0
+        for request, group, slot in zip(requests, groups,
+                                        hashed.tolist()):
+            if group is None:
+                choice = self.fallback.select(request, replicas)
+            else:
+                choice = replicas[slot]
+                if factor is not None:
+                    loads = [r.outstanding_tokens for r in replicas]
+                    mean = sum(loads) / len(loads)
+                    if choice.outstanding_tokens > factor \
+                            * max(mean, 1.0):
+                        choice = self.fallback.select(request, replicas)
+            routed += 1
+            if not commit(request, choice):
+                break
+        return routed
 
 
 #: Router registry for string-based construction.

@@ -233,6 +233,13 @@ class Scheduler:
         #: cluster routers read it in O(1) instead of walking the queue
         #: per arrival.
         self.outstanding_tokens = 0
+        #: Ingest epoch: bumped by every enqueue so the engine can tell
+        #: whether anything arrived between two of its steps.  A
+        #: pure-decode leap cut short by a *foreign* event (another
+        #: replica's clock, a fleet tick) leaves the plan valid; the
+        #: engine resumes it on the next step iff this counter is
+        #: unchanged (:meth:`repro.serve.ServingEngine.step`).
+        self.mutations = 0
 
     # -- KV accounting --------------------------------------------------
     def kv_bytes(self, tokens: int) -> float:
@@ -300,6 +307,7 @@ class Scheduler:
             raise ConfigError(error)
         self.queue.append(request)
         self.outstanding_tokens += request.total_tokens
+        self.mutations += 1
 
     def enqueue_many(self, requests: list[Request]) -> None:
         """Bulk :meth:`enqueue` — one vectorized validation pass, one
@@ -314,6 +322,7 @@ class Scheduler:
             raise ConfigError(error)
         self.queue.extend(requests)
         self.outstanding_tokens += int(totals.sum())
+        self.mutations += 1
 
     def _admit_head(self, now: float) -> SequenceState | None:
         """Admit the queue head if slots and KV capacity allow."""

@@ -43,7 +43,11 @@ from ..errors import ConfigError
 from ..llm.config import ModelConfig
 from .autoscale import make_autoscaling_cluster
 from .cluster import make_cluster
-from .costs import aggregate_cache_stats
+from .costs import (
+    aggregate_cache_stats,
+    export_store_tables,
+    install_store_tables,
+)
 from .engine import simulate_trace
 from .trace import (
     LengthSpec,
@@ -354,7 +358,35 @@ class SweepReport:
         return "\n".join(lines)
 
 
-def run_sweep(points, jobs: int = 1) -> SweepReport:
+def _warm_payload(points) -> dict:
+    """The parent's priced component tables for this sweep's designs.
+
+    ``{(kind, size): export_store_tables(...) entries}`` for every
+    distinct design spec whose surface has priced anything in this
+    process — empty when the parent is cold, in which case workers
+    start cold exactly as before.
+    """
+    payload = {}
+    for spec in dict.fromkeys(p.design for p in points):
+        entries = export_store_tables(_design_of(*spec))
+        if entries:
+            payload[spec] = entries
+    return payload
+
+
+def _install_warm(warm: dict) -> None:
+    """Pool-worker initializer: adopt the parent's priced components.
+
+    Runs once per worker process (not per point), so the snapshot is
+    pickled and shipped exactly ``jobs`` times however many points the
+    sweep fans out.
+    """
+    for (kind, size), entries in warm.items():
+        install_store_tables(_design_of(kind, size), entries)
+
+
+def run_sweep(points, jobs: int = 1,
+              warm_start: bool = True) -> SweepReport:
     """Execute every point; return outcomes in input order.
 
     ``jobs=1`` (the default) runs inline in the calling process with
@@ -365,6 +397,14 @@ def run_sweep(points, jobs: int = 1) -> SweepReport:
     point, so results cannot depend on whatever the parent happened to
     have imported or cached, and it behaves identically on platforms
     where ``fork`` is unavailable or unsafe with threads.
+
+    With ``warm_start`` (the default), a parent that has already
+    priced this sweep's designs ships its
+    :class:`~repro.llm.workload.StepCostSurface` component tables to
+    each worker once at pool start, so workers skip the cold
+    op-cost-model rebuild; the shipped tables are the exact values the
+    worker would have computed, so results are unchanged.  Pass
+    ``warm_start=False`` to benchmark cold-worker behaviour.
 
     Reports are identical across ``jobs`` values; wall clocks and
     cache-locality counters are the only things that may differ (a
@@ -381,7 +421,14 @@ def run_sweep(points, jobs: int = 1) -> SweepReport:
         outcomes = [_execute(p) for p in points]
     else:
         context = mp.get_context("spawn")
-        with context.Pool(processes=min(jobs, len(points))) as pool:
+        initializer, initargs = None, ()
+        if warm_start:
+            warm = _warm_payload(points)
+            if warm:
+                initializer, initargs = _install_warm, (warm,)
+        with context.Pool(processes=min(jobs, len(points)),
+                          initializer=initializer,
+                          initargs=initargs) as pool:
             outcomes = pool.map(_execute, points, chunksize=1)
     return SweepReport(outcomes=outcomes, jobs=jobs,
                        wall_s=time.perf_counter() - start)
