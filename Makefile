@@ -2,7 +2,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint demos bench-gate bench-baseline sweep-smoke
+.PHONY: test lint demos bench-gate bench-baseline sweep-smoke auto-config
 
 test:
 	$(PY) -m pytest -x -q
@@ -16,6 +16,7 @@ demos:
 	$(PY) examples/paged_serving_demo.py
 	$(PY) examples/cluster_serving_demo.py
 	$(PY) examples/autoscaling_serving_demo.py
+	$(PY) examples/auto_config_demo.py
 
 # Compare fixed-seed serving benchmarks against BENCH_serving.json.
 bench-gate:
@@ -30,3 +31,8 @@ bench-baseline:
 # Two-worker end-to-end smoke of the multiprocess sweep executor.
 sweep-smoke:
 	$(PY) -m repro.serve.sweep --jobs 2 --requests 120
+
+# CI-sized auto-configuration search (halving, 2 workers) through the
+# experiment registry CLI.
+auto-config:
+	$(PY) -m repro.analysis.experiments auto_config --smoke

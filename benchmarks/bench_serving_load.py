@@ -21,7 +21,7 @@ from repro.serve import SweepPoint, TraceSpec, run_point, run_sweep
 
 
 def test_serving_load_sweep(benchmark, save_result):
-    points = once(benchmark, serving_load_sweep.run)
+    points = once(benchmark, serving_load_sweep.run_load_sweep)
 
     rows = []
     for p in sorted(points, key=lambda p: (p.design, p.offered_rps)):
@@ -114,7 +114,7 @@ def main(argv=None) -> int:
         total, buckets = gate.profile_split(_run_10k)
         gate.print_split("serving_10k_trace", total, buckets)
         return 0
-    points = serving_load_sweep.run(jobs=args.jobs)
+    points = serving_load_sweep.run_load_sweep(jobs=args.jobs)
     for p in points:
         print(f"  {p.design:12s} @ {p.offered_rps:.2f} req/s: goodput "
               f"{p.goodput_rps:.4f} req/s, p99 {p.p99_latency_s:.1f} s")

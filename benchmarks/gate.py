@@ -85,6 +85,7 @@ from repro.analysis.experiments import (  # noqa: E402
     autoscaling_serving,
     cluster_serving,
 )
+from repro.errors import ConfigError  # noqa: E402
 from repro.serve import (  # noqa: E402
     LengthSpec,
     SweepPoint,
@@ -186,7 +187,6 @@ def _scenarios() -> dict:
         * cluster_serving.peak_footprint_bytes(model)
     shared_trace = cluster_serving.cluster_trace_spec(N_REQUESTS,
                                                       RATE_RPS, seed=SEED)
-    paged_kwargs = {"block_size": 16, "chunk_tokens": 768}
     return {
         "legacy": SweepPoint(
             label="legacy", design=("mugi", 256), model=model,
@@ -196,12 +196,12 @@ def _scenarios() -> dict:
             label="paged", design=("mugi", 256), model=model,
             trace=shared_trace, policy="paged", max_batch=24,
             kv_capacity_bytes=capacity, seq_len_bucket=32,
-            scheduler_kwargs=paged_kwargs),
+            block_size=16, chunk_tokens=768),
         "cluster": SweepPoint(
             label="cluster", design=("mugi", 256), model=model,
             trace=shared_trace, policy="paged", max_batch=24,
             kv_capacity_bytes=capacity, seq_len_bucket=32,
-            scheduler_kwargs=paged_kwargs, router="prefix-affinity",
+            block_size=16, chunk_tokens=768, router="prefix-affinity",
             n_replicas=4),
         # Bucket 256: at 100k-trace scale a coarse cost bucket both
         # widens leap windows (a decoder crosses a bucket every 256
@@ -474,6 +474,30 @@ def check(current: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def ensure_serial_baseline(jobs: int) -> None:
+    """Refuse to *record* a baseline from a fanned-out run.
+
+    Simulated metrics are identical for any ``jobs``, but the baseline
+    also stores wall clocks, and ``jobs > 1`` runs scenarios
+    concurrently — every timing contends with its siblings for cores
+    and caches, so a baseline recorded that way under-states serial
+    performance and every later serial ``--check`` looks like a
+    regression (or masks a real one).  Checks may fan out freely; the
+    asymmetry is deliberate, documented here, and tested
+    (``tests/test_search.py``).
+
+    Raises :class:`repro.errors.ConfigError` so callers driving this
+    module programmatically get the same contract as the CLI.
+    """
+    if jobs != 1:
+        raise ConfigError(
+            f"--update-baseline requires --jobs 1, got jobs={jobs}: "
+            f"baseline wall clocks must come from uncontended serial "
+            f"runs (fanned-out scenarios contend for cores, so their "
+            f"timings are not comparable to later serial checks); "
+            f"--check may use any --jobs")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     mode = parser.add_mutually_exclusive_group()
@@ -499,9 +523,11 @@ def main(argv=None) -> int:
         profile()
         return 0
 
-    if args.update_baseline and args.jobs != 1:
-        parser.error("--update-baseline requires --jobs 1: baseline "
-                     "wall clocks must come from uncontended runs")
+    if args.update_baseline:
+        try:
+            ensure_serial_baseline(args.jobs)
+        except ConfigError as err:
+            parser.error(str(err))
 
     print(f"benchmark gate: measuring fixed-seed serving scenarios "
           f"(jobs={args.jobs})")

@@ -42,7 +42,7 @@ print(render_table(
 
 # ---------------------------------------------------------------- 2. ---
 print("\n=== 2. Latency–throughput curve: Mugi vs iso-area systolic ===")
-points = serving_load_sweep.run(loads=(0.04, 0.16, 0.64),
+points = serving_load_sweep.run_load_sweep(loads=(0.04, 0.16, 0.64),
                                 designs=(("mugi", 256), ("sa", 16)),
                                 n_requests=80)
 rows = [[p.design, f"{p.area_mm2:.2f}", f"{p.offered_rps:.2f}",

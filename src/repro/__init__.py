@@ -24,8 +24,12 @@ Subpackages
     schedulers, step engine, TTFT/TPOT/goodput metrics).
 ``repro.carbon``
     Operational / embodied carbon modeling.
+``repro.search``
+    Auto-configuration search: Pareto frontiers over the serving
+    design × parallelism × routing space.
 ``repro.analysis``
-    Statistics, rendering, and the per-figure experiment drivers.
+    Statistics, rendering, and the per-figure experiment drivers
+    (registry: ``repro.analysis.experiments.get(name)``).
 """
 
 __version__ = "1.0.0"
@@ -39,8 +43,9 @@ from . import (  # noqa: F401
     llm,
     numerics,
     parallel,
+    search,
     serve,
 )
 
 __all__ = ["analysis", "arch", "baselines", "carbon", "core", "llm",
-           "numerics", "parallel", "serve", "__version__"]
+           "numerics", "parallel", "search", "serve", "__version__"]

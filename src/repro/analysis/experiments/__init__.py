@@ -22,11 +22,21 @@ Fig. 17   ``noc_scaling``                 NoC-level comparisons
 (serving) ``paged_serving``               paged-KV goodput sweeps
 (serving) ``cluster_serving``             multi-replica router sweeps
 (serving) ``autoscaling_serving``         elastic-fleet SLO/cost sweeps
+(search)  ``auto_config``                 Pareto auto-configuration search
 ========  ==============================  ================================
+
+The serving experiments (and ``auto_config``) also register uniform
+``run(config) -> Report`` entry points — see :mod:`.registry`::
+
+    from repro.analysis import experiments
+    report = experiments.run("cluster_serving", {"jobs": 2})
+
+and the CLI dispatcher ``python -m repro.analysis.experiments <name>``.
 """
 
 from . import (  # noqa: F401
     accuracy_sweep,
+    auto_config,
     autoscaling_serving,
     batch_sweep,
     breakdown,
@@ -44,9 +54,20 @@ from . import (  # noqa: F401
     relative_error,
     serving_load_sweep,
 )
+from .registry import (  # noqa: F401
+    Experiment,
+    Report,
+    get,
+    names,
+    register,
+    run,
+)
 
 __all__ = [
+    "Experiment",
+    "Report",
     "accuracy_sweep",
+    "auto_config",
     "autoscaling_serving",
     "batch_sweep",
     "breakdown",
@@ -63,4 +84,8 @@ __all__ = [
     "per_layer_tuning",
     "relative_error",
     "serving_load_sweep",
+    "get",
+    "names",
+    "register",
+    "run",
 ]

@@ -1,0 +1,67 @@
+"""CLI dispatcher: ``python -m repro.analysis.experiments <name>``.
+
+One door to every registered experiment::
+
+    python -m repro.analysis.experiments --list
+    python -m repro.analysis.experiments cluster_serving --smoke --jobs 2
+    python -m repro.analysis.experiments auto_config --set strategy=grid
+
+``--set key=value`` overrides any declared config key (values parse as
+Python literals, falling back to strings); ``--smoke`` applies the
+experiment's CI-sized overrides first.
+"""
+
+from __future__ import annotations
+
+import argparse
+from ast import literal_eval
+
+from ...errors import ConfigError
+from . import registry
+
+
+def _parse_override(text: str) -> tuple:
+    if "=" not in text:
+        raise ConfigError(f"--set expects key=value, got {text!r}")
+    key, value = text.split("=", 1)
+    try:
+        return key, literal_eval(value)
+    except (ValueError, SyntaxError):
+        return key, value
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.experiments",
+        description=__doc__.splitlines()[0])
+    parser.add_argument("name", nargs="?",
+                        help="registered experiment name")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered experiments and exit")
+    parser.add_argument("--smoke", action="store_true",
+                        help="apply the experiment's CI-sized smoke "
+                             "overrides")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="sweep worker processes (experiments "
+                             "that fan out)")
+    parser.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE", dest="overrides",
+                        help="override a config key (repeatable)")
+    args = parser.parse_args(argv)
+
+    if args.list or args.name is None:
+        for name in registry.names():
+            experiment = registry.get(name)
+            print(f"{name}: {experiment.description}")
+        return 0
+
+    config = dict(_parse_override(text) for text in args.overrides)
+    if args.jobs is not None:
+        config["jobs"] = args.jobs
+    report = registry.run(args.name, config, smoke=args.smoke)
+    print(report.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...errors import ConfigError
 from ...serve import (
     FleetReport,
     LengthSpec,
@@ -33,6 +34,7 @@ from ...serve import (
     TraceSpec,
     run_sweep,
 )
+from . import registry
 from .paged_serving import SERVE_MODEL
 
 #: Chat-style lengths for both tenants: short prompts, short outputs,
@@ -143,14 +145,15 @@ def fleet_point(label: str, autoscaler: str, trace: TraceSpec,
 
 
 def run_scaler_comparison(model=SERVE_MODEL, seed: int = 11,
-                          scalers=tuple(SCALERS), jobs: int = 1
+                          scalers=tuple(SCALERS), jobs: int = 1,
+                          duration_s: float = DAY_S
                           ) -> list[FleetPoint]:
     """Every scaler on the same diurnal multi-tenant day.
 
     Runs through :func:`repro.serve.run_sweep`; ``jobs>1`` fans the
     scalers over worker processes with identical results.
     """
-    trace = diurnal_trace_spec(seed=seed)
+    trace = diurnal_trace_spec(seed=seed, duration_s=duration_s)
     sweep = run_sweep([fleet_point(name, name, trace, model=model)
                        for name in scalers], jobs=jobs)
     return [FleetPoint.of(outcome.report) for outcome in sweep]
@@ -185,3 +188,39 @@ def run_headline(model=SERVE_MODEL, seed: int = 11,
         "cost_ratio": reactive.cost_per_good_request_kg
         / max(static.cost_per_good_request_kg, 1e-300),
     }
+
+
+#: Variant name → underlying ``run_*`` driver.
+VARIANTS = {
+    "headline": run_headline,
+    "scalers": run_scaler_comparison,
+}
+
+
+@registry.register(
+    "autoscaling_serving",
+    description="elastic fleets vs static provisioning on a diurnal "
+                "multi-tenant day (SLO goodput and carbon cost)",
+    defaults={"variant": "headline", "seed": 11, "jobs": 1,
+              "duration_s": DAY_S},
+    smoke={"variant": "scalers", "jobs": 2, "duration_s": 1800.0})
+def run(config: dict) -> registry.Report:
+    """Uniform registry entry over the ``run_*`` drivers."""
+    variant = config.get("variant", "headline")
+    if variant not in VARIANTS:
+        raise ConfigError(f"unknown autoscaling_serving variant "
+                          f"{variant!r}; expected one of "
+                          f"{sorted(VARIANTS)}")
+    data = registry.call_with_config(VARIANTS[variant], config,
+                                     drop=("variant",))
+    if variant == "headline":
+        metrics = {"goodput_ratio": data["goodput_ratio"],
+                   "cost_ratio": data["cost_ratio"]}
+    else:
+        metrics = {}
+        for p in data:
+            metrics[f"cost_per_good_request_kg[{p.autoscaler}]"] = \
+                p.cost_per_good_request_kg
+            metrics[f"goodput_rps[{p.autoscaler}]"] = p.goodput_rps
+    return registry.Report(experiment="autoscaling_serving",
+                           config=config, data=data, metrics=metrics)

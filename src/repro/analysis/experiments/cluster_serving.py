@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...arch import make_design
+from ...errors import ConfigError
 from ...llm.config import ModelConfig
 from ...serve import (
     ClusterReport,
@@ -37,6 +38,7 @@ from ...serve import (
     poisson_trace,
     run_sweep,
 )
+from . import registry
 from .paged_serving import SERVE_MODEL
 
 #: RAG/agentic-re-ask lengths: prompts carry a heavy shared-prefix
@@ -176,7 +178,7 @@ def _cluster_point(label: str, model: ModelConfig, n_replicas: int,
         max_batch=24,
         kv_capacity_bytes=DEFAULT_CAPACITY_PEAKS
         * peak_footprint_bytes(model),
-        scheduler_kwargs={"block_size": 16, "chunk_tokens": 768},
+        block_size=16, chunk_tokens=768,
         seq_len_bucket=32)
 
 
@@ -274,3 +276,43 @@ def run_headline(model: ModelConfig = SERVE_MODEL, n_replicas: int = 4,
         "goodput_ratio": reports["prefix-affinity"].goodput_rps()
         / reports["round-robin"].goodput_rps(),
     }
+
+
+#: Variant name → underlying ``run_*`` driver.
+VARIANTS = {
+    "headline": run_headline,
+    "routers": run_router_comparison,
+    "replicas": run_replica_scaling,
+    "disaggregation": run_disaggregation,
+}
+
+
+@registry.register(
+    "cluster_serving",
+    description="multi-replica routing, replica scaling, and "
+                "disaggregated prefill/decode pools",
+    defaults={"variant": "headline", "n_replicas": 4,
+              "n_requests": None, "seed": None, "jobs": 1},
+    smoke={"n_requests": 160, "jobs": 2})
+def run(config: dict) -> registry.Report:
+    """Uniform registry entry over the ``run_*`` drivers.
+
+    ``variant`` picks the sweep; ``n_requests`` / ``seed`` default to
+    each variant's own operating point when left ``None``.
+    """
+    variant = config.get("variant", "headline")
+    if variant not in VARIANTS:
+        raise ConfigError(f"unknown cluster_serving variant "
+                          f"{variant!r}; expected one of "
+                          f"{sorted(VARIANTS)}")
+    kwargs = {k: v for k, v in config.items() if v is not None}
+    data = registry.call_with_config(VARIANTS[variant], kwargs,
+                                     drop=("variant",))
+    if variant == "headline":
+        metrics = {"goodput_ratio": data["goodput_ratio"],
+                   "shared_prefix_share": data["shared_prefix_share"]}
+    else:
+        metrics = {f"goodput_rps[{p.router}/{p.mode}/x{p.n_replicas}]":
+                   p.goodput_rps for p in data}
+    return registry.Report(experiment="cluster_serving", config=config,
+                           data=data, metrics=metrics)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ...arch import make_design
+from ...errors import ConfigError
 from ...llm.config import LLAMA2_70B_GQA, ModelConfig
 from ...parallel import ParallelConfig, ShardedSystem
 from ...serve import (
@@ -30,6 +31,7 @@ from ...serve import (
     poisson_trace,
     simulate_trace,
 )
+from . import registry
 
 #: 4-layer Llama2-70B-GQA slice (GQA group 8, the paper's operating
 #: point) — same slice the serving-load sweep uses.
@@ -247,3 +249,42 @@ def run_headline(model: ModelConfig = SERVE_MODEL,
         "paged": paged,
         "goodput_ratio": paged.goodput_rps() / peak.goodput_rps(),
     }
+
+
+#: Variant name → underlying ``run_*`` driver.
+VARIANTS = {
+    "headline": run_headline,
+    "block_sizes": run_block_size_sweep,
+    "prefix_shares": run_prefix_share_sweep,
+    "policies": run_policy_comparison,
+}
+
+
+@registry.register(
+    "paged_serving",
+    description="paged-KV goodput vs block size, prefix share, and "
+                "scheduler policy at a tight KV budget",
+    defaults={"variant": "headline", "n_requests": None, "seed": None},
+    smoke={"variant": "policies", "n_requests": 120})
+def run(config: dict) -> registry.Report:
+    """Uniform registry entry over the ``run_*`` drivers."""
+    variant = config.get("variant", "headline")
+    if variant not in VARIANTS:
+        raise ConfigError(f"unknown paged_serving variant {variant!r}; "
+                          f"expected one of {sorted(VARIANTS)}")
+    kwargs = {k: v for k, v in config.items() if v is not None}
+    data = registry.call_with_config(VARIANTS[variant], kwargs,
+                                     drop=("variant",))
+    if variant == "headline":
+        metrics = {"goodput_ratio": data["goodput_ratio"],
+                   "shared_prefix_share": data["shared_prefix_share"]}
+    else:
+        metrics = {}
+        for p in data:
+            key = {"block_sizes": f"goodput_rps[{p.design}/b{p.block_size}]",
+                   "prefix_shares":
+                   f"goodput_rps[{p.design}/s{p.prefix_share:g}]",
+                   "policies": f"goodput_rps[{p.policy}]"}[variant]
+            metrics[key] = p.goodput_rps
+    return registry.Report(experiment="paged_serving", config=config,
+                           data=data, metrics=metrics)

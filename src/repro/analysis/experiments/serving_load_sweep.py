@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from ...arch import make_design
 from ...llm.config import LLAMA2_70B_GQA, ModelConfig
 from ...serve import LengthSpec, SweepPoint, TraceSpec, run_sweep
+from . import registry
 
 #: The sweep's design list: (kind, size).  Mugi vs systolic at equal
 #: area, plus the scaled-up tensor core for the area-vs-goodput contrast.
@@ -56,11 +57,12 @@ class LoadPoint:
     energy_per_token_j: float
 
 
-def run(loads=DEFAULT_LOADS, designs=SERVE_DESIGNS,
-        model: ModelConfig = SERVE_MODEL, n_requests: int = 150,
-        max_batch: int = 8, policy: str = "continuous",
-        seq_len_bucket: int = 32, seed: int = 0,
-        jobs: int = 1) -> list[LoadPoint]:
+def run_load_sweep(loads=DEFAULT_LOADS, designs=SERVE_DESIGNS,
+                   model: ModelConfig = SERVE_MODEL,
+                   n_requests: int = 150,
+                   max_batch: int = 8, policy: str = "continuous",
+                   seq_len_bucket: int = 32, seed: int = 0,
+                   jobs: int = 1) -> list[LoadPoint]:
     """Sweep offered load per design; one trace per load (shared across
     designs so curves differ only by hardware).
 
@@ -121,3 +123,24 @@ def saturation_goodput(points: list[LoadPoint], design: str) -> float:
     """The design's best sustained goodput across the sweep."""
     series = [p.goodput_rps for p in points if p.design == design]
     return max(series)
+
+
+@registry.register(
+    "serving_load_sweep",
+    description="latency-throughput curves per design under Poisson "
+                "load (continuous batching)",
+    defaults={"loads": DEFAULT_LOADS, "designs": SERVE_DESIGNS,
+              "n_requests": 150, "max_batch": 8,
+              "policy": "continuous", "seq_len_bucket": 32, "seed": 0,
+              "jobs": 1},
+    smoke={"loads": (0.08, 0.32), "designs": (("mugi", 256), ("sa", 16)),
+           "n_requests": 60})
+def run(config: dict) -> registry.Report:
+    """Uniform registry entry; the original keyword API lives on as
+    :func:`run_load_sweep`."""
+    points = registry.call_with_config(run_load_sweep, config)
+    metrics = {f"saturation_goodput_rps[{design}]":
+               saturation_goodput(points, design)
+               for design in sorted({p.design for p in points})}
+    return registry.Report(experiment="serving_load_sweep",
+                           config=config, data=points, metrics=metrics)

@@ -1,0 +1,39 @@
+"""Auto-configuration search over the serving design space.
+
+PR 6's multiprocess :func:`repro.serve.run_sweep` made one simulated
+serving run cheap; this package spends that cheapness on *search*:
+declare a :class:`SearchSpace` (axes over design kind/size, TP × PP,
+replicas + autoscaler, KV block size, scheduler policy, router,
+disaggregated prefill split), a :class:`Workload` (TraceSpec + SLOs),
+and objectives (goodput, cost-per-good-request, carbon, tail
+latencies), and :func:`search` returns the :class:`ParetoFrontier` —
+with grid as the exact baseline and successive halving on trace
+prefixes as the cheap strategy.
+
+Deliberately independent of :mod:`repro.analysis` (whose experiment
+registry imports *this* package for the ``auto_config`` experiment);
+importing analysis here would be circular.
+"""
+
+from .driver import SearchResult, StageResult, search
+from .objectives import OBJECTIVES, Objective, make_objective, make_objectives
+from .pareto import FrontierPoint, ParetoFrontier, dominates, pareto_split
+from .space import AXIS_FIELDS, Axis, SearchSpace, Workload
+
+__all__ = [
+    "AXIS_FIELDS",
+    "Axis",
+    "FrontierPoint",
+    "OBJECTIVES",
+    "Objective",
+    "ParetoFrontier",
+    "SearchResult",
+    "SearchSpace",
+    "StageResult",
+    "Workload",
+    "dominates",
+    "make_objective",
+    "make_objectives",
+    "pareto_split",
+    "search",
+]

@@ -1,0 +1,152 @@
+"""Search objectives: named report metrics with an optimize direction.
+
+An :class:`Objective` turns a serving report into one float plus the
+direction that makes it better (``"max"`` for goodput, ``"min"`` for
+carbon).  The built-in registry covers the headline serving metrics;
+SLO-dependent ones (goodput, cost-per-good-request) are *factories*
+closed over a :class:`repro.search.Workload` so the SLO terms live in
+one place instead of being re-threaded through every call site.
+
+``canonical()`` maps a value into minimize-space (negating ``"max"``
+objectives), which is the only space the Pareto machinery reasons in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = [
+    "OBJECTIVES",
+    "Objective",
+    "make_objective",
+    "make_objectives",
+]
+
+DIRECTIONS = ("min", "max")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One scoring rule: ``value(report)`` plus a direction."""
+
+    name: str
+    direction: str
+    getter: object = field(repr=False)
+    description: str = ""
+
+    def __post_init__(self):
+        if self.direction not in DIRECTIONS:
+            raise ConfigError(f"objective direction must be one of "
+                              f"{DIRECTIONS}, got {self.direction!r}")
+
+    def value(self, report) -> float:
+        return float(self.getter(report))
+
+    def canonical(self, value: float) -> float:
+        """The value in minimize-space (``max`` objectives negate)."""
+        value = float(value)
+        return -value if self.direction == "max" else value
+
+    def better(self, a: float, b: float) -> bool:
+        """True when score ``a`` beats score ``b``."""
+        return self.canonical(a) < self.canonical(b)
+
+
+def _goodput(workload):
+    def getter(report):
+        return report.goodput_rps(ttft_slo_s=workload.ttft_slo_s,
+                                  tpot_slo_s=workload.tpot_slo_s,
+                                  slos=workload.slos)
+    return getter
+
+
+def _cost_per_good_request(workload):
+    def getter(report):
+        fn = getattr(report, "cost_per_good_request_kg", None)
+        if fn is None:
+            raise ConfigError(
+                "cost_per_good_request needs a FleetReport (carbon is "
+                "priced per replica-second); give the search an "
+                "'autoscaler' axis — 'static' reproduces a fixed "
+                "cluster")
+        return fn(ttft_slo_s=workload.ttft_slo_s,
+                  tpot_slo_s=workload.tpot_slo_s, slos=workload.slos)
+    return getter
+
+
+def _carbon(workload):
+    def getter(report):
+        fn = getattr(report, "cost_kg", None)
+        if fn is not None:
+            return fn()
+        # Fixed clusters / single engines: operational carbon of the
+        # simulated energy (no replica-second amortization to charge).
+        from ..carbon import DEFAULT_CARBON, operational_carbon_kg
+        return operational_carbon_kg(report.energy_j, DEFAULT_CARBON)
+    return getter
+
+
+def _percentile(stat: str, q: float):
+    def factory(workload):
+        def getter(report):
+            return getattr(report, f"{stat}_percentile")(q)
+        return getter
+    return factory
+
+
+def _energy_per_token(workload):
+    def getter(report):
+        return report.energy_per_token_j
+    return getter
+
+
+#: name → (direction, factory(workload) -> getter, description).
+OBJECTIVES = {
+    "goodput": ("max", _goodput,
+                "SLO-good completions per second"),
+    "cost_per_good_request": ("min", _cost_per_good_request,
+                              "kg CO2e per SLO-good completion "
+                              "(fleet reports only)"),
+    "carbon": ("min", _carbon,
+               "kg CO2e for the run (operational for fixed "
+               "deployments, + embodied amortization for fleets)"),
+    "ttft_p99": ("min", _percentile("ttft", 99),
+                 "99th-percentile time to first token (s)"),
+    "tpot_p99": ("min", _percentile("tpot", 99),
+                 "99th-percentile time per output token (s)"),
+    "ttft_p50": ("min", _percentile("ttft", 50),
+                 "median time to first token (s)"),
+    "latency_p99": ("min", _percentile("latency", 99),
+                    "99th-percentile request latency (s)"),
+    "energy_per_token": ("min", _energy_per_token,
+                         "joules per generated token"),
+}
+
+
+def make_objective(spec, workload) -> Objective:
+    """Resolve a registry name (or pass through an Objective)."""
+    if isinstance(spec, Objective):
+        return spec
+    try:
+        direction, factory, description = OBJECTIVES[spec]
+    except (KeyError, TypeError):
+        raise ConfigError(
+            f"unknown objective {spec!r}; expected one of "
+            f"{sorted(OBJECTIVES)} or an Objective instance") from None
+    return Objective(name=spec, direction=direction,
+                     getter=factory(workload), description=description)
+
+
+def make_objectives(specs, workload) -> tuple:
+    """Resolve a sequence of objective specs; names must be distinct."""
+    if isinstance(specs, (str, Objective)):
+        specs = (specs,)
+    objectives = tuple(make_objective(s, workload) for s in specs)
+    if not objectives:
+        raise ConfigError("a search needs at least one objective")
+    names = [o.name for o in objectives]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"objective names must be distinct: {names}")
+    return objectives

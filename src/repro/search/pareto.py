@@ -1,0 +1,187 @@
+"""Pareto-dominance filtering over scored sweep points.
+
+A configuration search returns many ``(config, report)`` pairs scored
+on several objectives at once (goodput up, carbon down, tail latency
+down).  No single ordering exists, so the right return value is the
+*Pareto frontier*: the set of points no other point beats on every
+objective.  This module is pure bookkeeping — no simulation, no
+randomness — so the dominance semantics can be unit-tested exhaustively
+(ties, duplicates, single-objective degeneration).
+
+Dominance is computed in *canonical* space (every objective mapped to
+minimize via :meth:`repro.search.objectives.Objective.canonical`);
+NaN scores are treated as worst-possible so an undefined metric can
+never shadow a well-defined one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = [
+    "FrontierPoint",
+    "ParetoFrontier",
+    "dominates",
+    "pareto_split",
+]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One scored configuration: objective values plus provenance.
+
+    ``values`` is a tuple of ``(objective name, value)`` pairs in the
+    search's objective order; ``point`` is the exact
+    :class:`repro.serve.SweepPoint` that produced ``report``, so any
+    frontier entry can be re-run bit-identically.  ``stage`` records
+    the fidelity the score came from (``"full"``, or a halving rung
+    like ``"rung0"`` for intermediate scores).
+    """
+
+    label: str
+    values: tuple
+    point: object = None
+    report: object = None
+    stage: str = "full"
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "values",
+            tuple((str(name), float(value)) for name, value in self.values))
+        if not self.values:
+            raise ConfigError("a FrontierPoint needs at least one "
+                              "objective value")
+
+    def value(self, name: str) -> float:
+        """The score under the named objective."""
+        for key, value in self.values:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def metrics(self) -> dict:
+        """Objective name → value, as a plain dict."""
+        return dict(self.values)
+
+
+def _canonical(candidate: FrontierPoint, objectives) -> tuple:
+    """The candidate's score vector in minimize-space; NaN → +inf."""
+    vector = []
+    for objective in objectives:
+        value = objective.canonical(candidate.value(objective.name))
+        vector.append(math.inf if math.isnan(value) else value)
+    return tuple(vector)
+
+
+def dominates(a: FrontierPoint, b: FrontierPoint, objectives) -> bool:
+    """True when ``a`` is no worse than ``b`` on every objective and
+    strictly better on at least one.  Equal vectors do not dominate
+    each other (ties survive filtering together)."""
+    va, vb = _canonical(a, objectives), _canonical(b, objectives)
+    return all(x <= y for x, y in zip(va, vb)) \
+        and any(x < y for x, y in zip(va, vb))
+
+
+def pareto_split(candidates, objectives):
+    """Partition candidates into (non-dominated, dominated).
+
+    Duplicate score vectors are all kept on the frontier — dominance
+    is strict, so ties never eliminate each other — and each list
+    preserves the input order.
+    """
+    candidates = list(candidates)
+    frontier, dominated = [], []
+    for mine in candidates:
+        if any(dominates(other, mine, objectives)
+               for other in candidates if other is not mine):
+            dominated.append(mine)
+        else:
+            frontier.append(mine)
+    return frontier, dominated
+
+
+def _render(headers, rows, title: str = "") -> str:
+    """Minimal fixed-width table.
+
+    Local on purpose: importing :mod:`repro.analysis.tables` would pull
+    in ``repro.analysis.__init__`` → ``experiments`` → ``auto_config``
+    → this package, a circular import.
+    """
+    headers = [str(h) for h in headers]
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ParetoFrontier:
+    """The non-dominated set of a scored candidate pool.
+
+    ``points`` holds the frontier sorted best-first by the *first*
+    objective (canonical space, label as tiebreak, so the ordering is
+    deterministic); ``dominated`` keeps the filtered-out candidates
+    for provenance.  Lookup by label works across both sets.
+    """
+
+    objectives: tuple
+    points: list = field(default_factory=list)
+    dominated: list = field(default_factory=list)
+
+    def __init__(self, objectives, candidates):
+        self.objectives = tuple(objectives)
+        if not self.objectives:
+            raise ConfigError("a ParetoFrontier needs at least one "
+                              "objective")
+        frontier, dominated = pareto_split(candidates, self.objectives)
+        frontier.sort(key=lambda c: (_canonical(c, self.objectives),
+                                     c.label))
+        self.points = frontier
+        self.dominated = dominated
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __getitem__(self, label: str) -> FrontierPoint:
+        for candidate in self.points + self.dominated:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(label)
+
+    def labels(self) -> list:
+        return [c.label for c in self.points]
+
+    def best(self, objective: str) -> FrontierPoint:
+        """The frontier point minimizing/maximizing the named
+        objective (per that objective's direction)."""
+        for obj in self.objectives:
+            if obj.name == objective:
+                return min(self.points,
+                           key=lambda c: (obj.canonical(c.value(obj.name)),
+                                          c.label))
+        raise KeyError(objective)
+
+    def summary(self) -> str:
+        """Frontier table: one row per non-dominated config."""
+        headers = ["config"] + [f"{o.name} ({o.direction})"
+                                for o in self.objectives]
+        rows = [[c.label] + [f"{c.value(o.name):.6g}"
+                             for o in self.objectives]
+                for c in self.points]
+        title = (f"Pareto frontier: {len(self.points)} of "
+                 f"{len(self.points) + len(self.dominated)} configs "
+                 f"non-dominated")
+        return _render(headers, rows, title=title)

@@ -1,0 +1,252 @@
+"""Declarative search spaces over the serving configuration axes.
+
+A :class:`SearchSpace` is a cross-product of :class:`Axis` values over
+:class:`repro.serve.SweepPoint` fields (design kind/size, tp × pp,
+replica count and autoscaler, KV block size, scheduler policy, router,
+disaggregated prefill split, ...) plus a ``base`` of fixed fields.  A
+:class:`Workload` pairs the :class:`repro.serve.TraceSpec` with the SLO
+terms that score it, and knows how to shorten itself to a deterministic
+prefix for cheap early search rungs.
+
+Expansion is *validating*: axis combinations a ``SweepPoint`` rejects
+(e.g. ``prefill_replicas`` without disaggregated mode, ``block_size``
+on a continuous policy) are skipped with a recorded reason instead of
+aborting the search, so spaces can be written as honest cross-products.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields as dataclass_fields, replace
+
+from ..errors import ConfigError
+from ..serve.sweep import SweepPoint, TraceSpec
+
+__all__ = [
+    "AXIS_FIELDS",
+    "Axis",
+    "SearchSpace",
+    "Workload",
+]
+
+#: SweepPoint fields an axis (or base entry) may set.  ``label`` is
+#: derived from the assignment and ``trace`` comes from the Workload.
+AXIS_FIELDS = frozenset(
+    f.name for f in dataclass_fields(SweepPoint)) - {"label", "trace"}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """What the candidate configs serve, and what counts as good.
+
+    ``slos`` carries per-tenant :class:`repro.serve.TenantSLO` terms;
+    ``ttft_slo_s`` / ``tpot_slo_s`` are the global fallbacks.  Both
+    feed the SLO-aware objectives (goodput, cost-per-good-request) and
+    — for autoscaling points — the fleet's scheduler policy.
+    """
+
+    trace: TraceSpec
+    ttft_slo_s: float | None = None
+    tpot_slo_s: float | None = None
+    slos: tuple = ()
+
+    def __post_init__(self):
+        if not isinstance(self.trace, TraceSpec):
+            raise ConfigError("Workload.trace must be a TraceSpec")
+        object.__setattr__(self, "slos", tuple(self.slos))
+
+    def prefix(self, fraction: float, min_requests: int = 32,
+               min_duration_s: float = 240.0) -> "Workload":
+        """A deterministic short prefix of this workload.
+
+        Same seed, same spawn key, same shape — only the span shrinks:
+        ``n_requests`` for request-count traces, ``duration_s`` for
+        multi-tenant ones.  Floors keep a rung statistically
+        meaningful; when the floor (or ``fraction >= 1``) lands back on
+        the full span, ``self`` is returned so callers can detect the
+        no-op.
+        """
+        if not 0.0 < fraction:
+            raise ConfigError(f"prefix fraction must be positive, "
+                              f"got {fraction}")
+        if self.trace.kind == "multi-tenant":
+            short = min(self.trace.duration_s,
+                        max(float(min_duration_s),
+                            self.trace.duration_s * fraction))
+            if short >= self.trace.duration_s:
+                return self
+            trace = replace(self.trace, duration_s=short)
+        else:
+            short = min(self.trace.n_requests,
+                        max(int(min_requests),
+                            round(self.trace.n_requests * fraction)))
+            if short >= self.trace.n_requests:
+                return self
+            trace = replace(self.trace, n_requests=short)
+        return replace(self, trace=trace)
+
+
+def _format_value(value) -> str:
+    """A compact label token for one axis value."""
+    if isinstance(value, tuple):  # design spec
+        kind, *rest = value
+        rest = [str(r) for r in rest if r is not None]
+        return "-".join([str(kind)] + rest)
+    if value is None:
+        return "none"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _normalize_design(value):
+    """Design axis values: ``"mugi"`` → ``("mugi", None)``."""
+    if isinstance(value, str):
+        return (value, None)
+    kind, size = value
+    return (str(kind), None if size is None else int(size))
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One searched dimension: a SweepPoint field and its candidates."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self):
+        if self.name not in AXIS_FIELDS:
+            raise ConfigError(
+                f"{self.name!r} is not a searchable SweepPoint field; "
+                f"expected one of {sorted(AXIS_FIELDS)}")
+        values = tuple(self.values)
+        if not values:
+            raise ConfigError(f"axis {self.name!r} has no values")
+        if self.name == "design":
+            values = tuple(_normalize_design(v) for v in values)
+        if len(set(values)) != len(values):
+            raise ConfigError(f"axis {self.name!r} has duplicate "
+                              f"values: {values}")
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class SearchSpace:
+    """A cross-product of axes over a fixed base configuration.
+
+    ``axes`` accepts :class:`Axis` instances, ``(name, values)``
+    pairs, or a ``{name: values}`` mapping; ``base`` is a mapping of
+    fixed SweepPoint fields (it must include ``model`` and any field
+    every candidate shares, e.g. ``policy`` when policy is not
+    searched).
+
+    ``derive`` is an optional hook for fields that *depend on* an axis
+    value rather than cross with it: it receives the merged field dict
+    (base + assignment) and returns extra/overriding fields.  The
+    canonical use is pairing each ``autoscaler`` value with its tuned
+    ``autoscaler_kwargs`` instead of cross-producting scalers against
+    each other's knobs.
+    """
+
+    def __init__(self, axes, base=None, derive=None):
+        if hasattr(axes, "items"):
+            axes = tuple(axes.items())
+        normalized = []
+        for axis in axes:
+            if not isinstance(axis, Axis):
+                name, values = axis
+                axis = Axis(name, tuple(values))
+            normalized.append(axis)
+        self.axes = tuple(normalized)
+        if not self.axes:
+            raise ConfigError("a SearchSpace needs at least one axis")
+        names = [a.name for a in self.axes]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate axis names: {names}")
+        self.base = dict(base or {})
+        for key in self.base:
+            if key not in AXIS_FIELDS:
+                raise ConfigError(
+                    f"base field {key!r} is not a SweepPoint field; "
+                    f"expected one of {sorted(AXIS_FIELDS)}")
+            if key in set(names):
+                raise ConfigError(
+                    f"{key!r} is both an axis and a base field")
+        if "model" not in self.base:
+            raise ConfigError("SearchSpace base must include 'model'")
+        if "design" in self.base:
+            self.base["design"] = _normalize_design(self.base["design"])
+        if "design" not in self.base and "design" not in names:
+            raise ConfigError(
+                "the space never sets 'design': add a design axis or "
+                "a base entry")
+        self.derive = derive
+
+    @property
+    def size(self) -> int:
+        """Cross-product cardinality (before validity filtering)."""
+        n = 1
+        for axis in self.axes:
+            n *= len(axis)
+        return n
+
+    def assignments(self):
+        """Iterate axis assignments as dicts, in cross-product order."""
+        names = [a.name for a in self.axes]
+        for combo in itertools.product(*(a.values for a in self.axes)):
+            yield dict(zip(names, combo))
+
+    def label_of(self, assignment: dict) -> str:
+        """The point label an assignment gets: ``axis=value,...``."""
+        return ",".join(f"{a.name}={_format_value(assignment[a.name])}"
+                        for a in self.axes)
+
+    def point(self, assignment: dict, workload: Workload) -> SweepPoint:
+        """Build the SweepPoint one assignment describes.
+
+        Raises :class:`repro.errors.ConfigError` for combinations the
+        point's own validation rejects.  When the assignment names an
+        autoscaler and neither it nor the base pins ``slos``, the
+        workload's per-tenant SLOs ride onto the point so the fleet's
+        scheduler sees the same terms the objectives score.
+        """
+        fields = dict(self.base)
+        fields.update(assignment)
+        if self.derive is not None:
+            derived = self.derive(dict(fields))
+            for key in derived:
+                if key not in AXIS_FIELDS:
+                    raise ConfigError(
+                        f"derive produced {key!r}, which is not a "
+                        f"SweepPoint field")
+            fields.update(derived)
+        if fields.get("autoscaler") is not None \
+                and "slos" not in fields and workload.slos:
+            fields["slos"] = workload.slos
+        return SweepPoint(label=self.label_of(assignment),
+                          trace=workload.trace, **fields)
+
+    def points(self, workload: Workload):
+        """Expand to ``(valid points, skipped)``.
+
+        ``skipped`` is a list of ``(label, reason)`` pairs for the
+        cross-product combinations SweepPoint validation rejected.
+        """
+        points, skipped = [], []
+        for assignment in self.assignments():
+            try:
+                points.append(self.point(assignment, workload))
+            except ConfigError as err:
+                skipped.append((self.label_of(assignment), str(err)))
+        return points, skipped
+
+    def describe(self) -> str:
+        """One line per axis plus the cross-product size."""
+        lines = [f"search space: {self.size} combinations over "
+                 f"{len(self.axes)} axes"]
+        for axis in self.axes:
+            values = ", ".join(_format_value(v) for v in axis.values)
+            lines.append(f"  {axis.name}: {values}")
+        return "\n".join(lines)

@@ -154,10 +154,26 @@ class SweepPoint:
     a memo (:func:`_design_of`), so points sharing a design inside one
     worker also share its op-cost memos and step-cost store — the same
     warm-cache behaviour the sequential experiment loops had.
+    ``tp`` / ``pp`` > 1 wrap the chip in a
+    :class:`repro.parallel.ShardedSystem` pod (memoized the same way),
+    so a sweep can range over the parallelism grid declaratively.
 
     ``router=None`` runs a single engine; naming a router builds an
     ``n_replicas``-wide :func:`repro.serve.make_cluster` cluster
-    (``mode="disaggregated"`` for split prefill/decode pools).
+    (``mode="disaggregated"`` for split prefill/decode pools, with
+    ``prefill_replicas`` naming the split — ``None`` keeps the
+    factory's even default).
+
+    The per-experiment knobs that used to hide inside
+    ``scheduler_kwargs`` are first-class fields: ``block_size`` /
+    ``chunk_tokens`` (paged policies only) join ``router``,
+    ``autoscaler``, and ``tick_s`` so every axis the cluster and
+    autoscaling paths support is a declared, validated field.
+    ``scheduler_kwargs`` stays for the long tail (preemption mode,
+    admit headroom, ...); the deprecated spelling of a promoted knob
+    through it still works but is normalized into the field (and
+    conflicts between the two spellings are rejected), so
+    ``point.block_size`` is always authoritative.
 
     ``scheduler_kwargs`` / ``autoscaler_kwargs`` are tuples of
     ``(name, value)`` pairs so the point stays hashable/frozen; dicts
@@ -167,7 +183,10 @@ class SweepPoint:
     :func:`repro.serve.make_autoscaling_cluster` fleet instead of a
     fixed cluster: ``n_replicas`` becomes the fleet ceiling, ``slos``
     carries the per-tenant terms into the scheduler policy, and the
-    point yields a :class:`repro.serve.FleetReport`.
+    point yields a :class:`repro.serve.FleetReport`.  A fleet needs a
+    router; leaving ``router=None`` normalizes to the fleet factory's
+    ``"least-outstanding"`` default at construction (visible on the
+    point) rather than silently inside the executor.
     """
 
     label: str
@@ -180,9 +199,18 @@ class SweepPoint:
     kvq_bits: int = 4
     seq_len_bucket: int = 1
     scheduler_kwargs: tuple = ()
+    #: Sharded-pod degrees; (1, 1) serves the bare chip.
+    tp: int = 1
+    pp: int = 1
+    #: Paged-scheduler geometry (None = the scheduler's own default).
+    block_size: int | None = None
+    chunk_tokens: int | None = None
     router: str | None = None
     n_replicas: int = 1
     mode: str = "unified"
+    #: Disaggregated-mode prefill-pool size (None = factory default of
+    #: ``n_replicas // 2``); the rest of the replicas decode.
+    prefill_replicas: int | None = None
     autoscaler: str | None = None
     autoscaler_kwargs: tuple = ()
     tick_s: float = 60.0
@@ -212,10 +240,68 @@ class SweepPoint:
             if self.router is None and self.n_replicas != 1:
                 raise ConfigError("n_replicas > 1 needs a router; pass "
                                   "router='round-robin' for the default")
-        elif self.mode != "unified":
-            raise ConfigError("autoscaling fleets are unified-mode only")
+        else:
+            if self.mode != "unified":
+                raise ConfigError(
+                    "autoscaling fleets are unified-mode only")
+            if self.router is None:
+                # The fleet factory's default, made visible on the
+                # point instead of applied ad hoc at execution time.
+                object.__setattr__(self, "router", "least-outstanding")
         if self.n_replicas < 1:
             raise ConfigError("n_replicas must be positive")
+        for name in ("tp", "pp"):
+            value = int(getattr(self, name))
+            object.__setattr__(self, name, value)
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value}")
+        if self.pp > self.model.n_layers:
+            raise ConfigError(
+                f"pp={self.pp} exceeds {self.model.name}'s "
+                f"{self.model.n_layers} layers")
+        if self.mode not in ("unified", "disaggregated"):
+            raise ConfigError(f"unknown cluster mode {self.mode!r}; "
+                              f"expected 'unified' or 'disaggregated'")
+        if self.mode == "disaggregated" and self.router is None:
+            raise ConfigError(
+                "disaggregated mode runs a cluster; name a router")
+        if self.prefill_replicas is not None:
+            if self.mode != "disaggregated":
+                raise ConfigError(
+                    "prefill_replicas only applies to "
+                    "mode='disaggregated'")
+            value = int(self.prefill_replicas)
+            object.__setattr__(self, "prefill_replicas", value)
+            if not 1 <= value < self.n_replicas:
+                raise ConfigError(
+                    f"prefill_replicas must leave at least one decode "
+                    f"replica: need 1 <= prefill_replicas < "
+                    f"{self.n_replicas}, got {value}")
+        remaining = dict(self.scheduler_kwargs)
+        for name in ("block_size", "chunk_tokens"):
+            value = getattr(self, name)
+            if name in remaining:
+                # Deprecated spelling: promote into the field so the
+                # point always carries the knob in one place.
+                legacy = int(remaining.pop(name))
+                if value is not None and int(value) != legacy:
+                    raise ConfigError(
+                        f"{name} given twice with different values: "
+                        f"field {value!r} vs scheduler_kwargs "
+                        f"{legacy!r}")
+                value = legacy if value is None else value
+            if value is None:
+                continue
+            value = int(value)
+            object.__setattr__(self, name, value)
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value}")
+            if not self.policy.startswith("paged"):
+                raise ConfigError(
+                    f"{name} applies to the paged scheduler stack, not "
+                    f"policy={self.policy!r}")
+        object.__setattr__(self, "scheduler_kwargs",
+                           tuple(sorted(remaining.items())))
 
 
 @lru_cache(maxsize=None)
@@ -230,28 +316,66 @@ def _design_of(kind: str, size: int | None):
     return make_design(kind, size)
 
 
+@lru_cache(maxsize=None)
+def _sharded_of(kind: str, size: int | None, tp: int, pp: int,
+                model: ModelConfig):
+    """Per-process sharded-pod memo over :func:`_design_of` chips.
+
+    The pod wraps the memoized chip, so TP/PP variants of one design
+    share the chip's op-cost memos while each (tp, pp, model) grid
+    point keeps its own pod identity (and so its own step-cost store).
+    """
+    from ..parallel import ParallelConfig, ShardedSystem
+
+    return ShardedSystem(_design_of(kind, size), model,
+                         ParallelConfig(tp=tp, pp=pp))
+
+
+def _design_spec(point: SweepPoint) -> tuple:
+    """The hashable spec :func:`_resolve_design` resolves — the warm
+    payload's grouping key."""
+    if point.tp == 1 and point.pp == 1:
+        return point.design
+    return point.design + (point.tp, point.pp, point.model)
+
+
+def _resolve_design(point: SweepPoint):
+    """The (memoized) design instance a point serves on."""
+    if point.tp == 1 and point.pp == 1:
+        return _design_of(*point.design)
+    return _sharded_of(*point.design, point.tp, point.pp, point.model)
+
+
 def run_point(point: SweepPoint):
     """Execute one grid point in this process.
 
-    Returns a :class:`repro.serve.ServingReport` (single engine) or
-    :class:`repro.serve.ClusterReport` (router set).  Pure in the
+    Returns a :class:`repro.serve.ServingReport` (single engine),
+    :class:`repro.serve.ClusterReport` (router set), or
+    :class:`repro.serve.FleetReport` (autoscaler set).  Pure in the
     point: same spec, same report, regardless of process or ordering.
     """
-    return _serve(point, _design_of(*point.design), point.trace.realize())
+    return _serve(point, _resolve_design(point), point.trace.realize())
 
 
 def _serve(point: SweepPoint, design, trace):
     """The engine/cluster run of :func:`run_point`, with trace
-    synthesis already done — the part a sweep's wall clocks time."""
-    scheduler_kwargs = dict(point.scheduler_kwargs) or None
+    synthesis already done — the part a sweep's wall clocks time.
+
+    Every knob is read off the (already validated and normalized)
+    point; this function adds no defaults of its own.
+    """
+    scheduler_kwargs = dict(point.scheduler_kwargs)
+    if point.block_size is not None:
+        scheduler_kwargs["block_size"] = point.block_size
+    if point.chunk_tokens is not None:
+        scheduler_kwargs["chunk_tokens"] = point.chunk_tokens
+    scheduler_kwargs = scheduler_kwargs or None
     if point.autoscaler is not None:
-        router = point.router if point.router is not None \
-            else "least-outstanding"
         cluster = make_autoscaling_cluster(
             design, point.model, n_replicas=point.n_replicas,
             autoscaler=point.autoscaler,
             autoscaler_kwargs=dict(point.autoscaler_kwargs),
-            router=router, policy=point.policy,
+            router=point.router, policy=point.policy,
             max_batch=point.max_batch,
             kv_capacity_bytes=point.kv_capacity_bytes,
             kvq_bits=point.kvq_bits, scheduler_kwargs=scheduler_kwargs,
@@ -268,7 +392,9 @@ def _serve(point: SweepPoint, design, trace):
             scheduler_kwargs=scheduler_kwargs)
     cluster = make_cluster(
         design, point.model, point.n_replicas, policy=point.policy,
-        router=point.router, mode=point.mode, max_batch=point.max_batch,
+        router=point.router, mode=point.mode,
+        prefill_replicas=point.prefill_replicas,
+        max_batch=point.max_batch,
         kv_capacity_bytes=point.kv_capacity_bytes,
         kvq_bits=point.kvq_bits, scheduler_kwargs=scheduler_kwargs,
         seq_len_bucket=point.seq_len_bucket)
@@ -300,7 +426,7 @@ class SweepOutcome:
 
 def _execute(point: SweepPoint) -> SweepOutcome:
     """Run one point, timing it and snapshotting cache-stat deltas."""
-    design = _design_of(*point.design)
+    design = _resolve_design(point)
     start = time.perf_counter()
     trace = point.trace.realize()
     trace_s = time.perf_counter() - start
@@ -361,14 +487,18 @@ class SweepReport:
 def _warm_payload(points) -> dict:
     """The parent's priced component tables for this sweep's designs.
 
-    ``{(kind, size): export_store_tables(...) entries}`` for every
-    distinct design spec whose surface has priced anything in this
-    process — empty when the parent is cold, in which case workers
-    start cold exactly as before.
+    ``{design spec: export_store_tables(...) entries}`` — specs are
+    ``(kind, size)`` for bare chips and ``(kind, size, tp, pp, model)``
+    for sharded pods — for every distinct spec whose surface has priced
+    anything in this process.  Empty when the parent is cold, in which
+    case workers start cold exactly as before.
     """
     payload = {}
-    for spec in dict.fromkeys(p.design for p in points):
-        entries = export_store_tables(_design_of(*spec))
+    for point in points:
+        spec = _design_spec(point)
+        if spec in payload:
+            continue
+        entries = export_store_tables(_resolve_design(point))
         if entries:
             payload[spec] = entries
     return payload
@@ -381,8 +511,12 @@ def _install_warm(warm: dict) -> None:
     pickled and shipped exactly ``jobs`` times however many points the
     sweep fans out.
     """
-    for (kind, size), entries in warm.items():
-        install_store_tables(_design_of(kind, size), entries)
+    for spec, entries in warm.items():
+        if len(spec) == 2:
+            design = _design_of(*spec)
+        else:
+            design = _sharded_of(*spec)
+        install_store_tables(design, entries)
 
 
 def run_sweep(points, jobs: int = 1,

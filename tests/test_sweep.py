@@ -101,10 +101,58 @@ class TestTraceSpec:
 class TestSweepPoint:
     def test_scheduler_kwargs_dict_normalized(self):
         point = _point(policy="paged",
+                       scheduler_kwargs={"preemption": "swap",
+                                         "admit_headroom": 0.0})
+        assert point.scheduler_kwargs == (("admit_headroom", 0.0),
+                                          ("preemption", "swap"))
+
+    def test_promoted_kwargs_normalize_into_fields(self):
+        """The deprecated scheduler_kwargs spelling of block_size /
+        chunk_tokens lands on the first-class fields."""
+        point = _point(policy="paged",
                        scheduler_kwargs={"chunk_tokens": 768,
                                          "block_size": 16})
-        assert point.scheduler_kwargs == (("block_size", 16),
-                                          ("chunk_tokens", 768))
+        assert point.scheduler_kwargs == ()
+        assert point.block_size == 16
+        assert point.chunk_tokens == 768
+        # Both spellings agreeing is fine; disagreeing is an error.
+        agreed = _point(policy="paged", block_size=16,
+                        scheduler_kwargs={"block_size": 16})
+        assert agreed.block_size == 16
+        with pytest.raises(ConfigError):
+            _point(policy="paged", block_size=32,
+                   scheduler_kwargs={"block_size": 16})
+
+    def test_paged_only_fields_validated(self):
+        with pytest.raises(ConfigError):
+            _point(block_size=16)  # Continuous policy has no blocks.
+        with pytest.raises(ConfigError):
+            _point(policy="paged", block_size=0)
+        with pytest.raises(ConfigError):
+            _point(policy="paged", chunk_tokens=-1)
+
+    def test_parallelism_fields_validated(self):
+        assert _point(tp=2).tp == 2
+        with pytest.raises(ConfigError):
+            _point(tp=0)
+        with pytest.raises(ConfigError):
+            _point(pp=TINY_GQA.n_layers + 1)  # Deeper than the model.
+
+    def test_prefill_replicas_validated(self):
+        point = _point(router="round-robin", n_replicas=3,
+                       mode="disaggregated", prefill_replicas=2)
+        assert point.prefill_replicas == 2
+        with pytest.raises(ConfigError):
+            _point(prefill_replicas=1)  # Unified mode has no split.
+        with pytest.raises(ConfigError):
+            _point(router="round-robin", n_replicas=2,
+                   mode="disaggregated", prefill_replicas=2)
+
+    def test_autoscaler_router_default_is_visible(self):
+        """The fleet's router default is applied at construction, not
+        inside the executor."""
+        point = _point(autoscaler="static", n_replicas=2)
+        assert point.router == "least-outstanding"
 
     def test_replicas_require_router(self):
         with pytest.raises(ConfigError):
