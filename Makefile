@@ -2,7 +2,8 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint demos bench-gate bench-baseline sweep-smoke auto-config
+.PHONY: test lint demos bench-gate bench-baseline sweep-smoke \
+	search-smoke auto-config
 
 test:
 	$(PY) -m pytest -x -q
@@ -32,7 +33,13 @@ bench-baseline:
 sweep-smoke:
 	$(PY) -m repro.serve.sweep --jobs 2 --requests 120
 
-# CI-sized auto-configuration search (halving, 2 workers) through the
-# experiment registry CLI.
-auto-config:
+# CI-sized auto-configuration search (halving, 2 workers): the whole
+# session — every rung, the full-fidelity stage, and the hand-picked
+# re-score — runs through one persistent SweepExecutor, so this also
+# smokes pool reuse, the worker trace cache, and the outcome memo
+# end-to-end with real workers.
+search-smoke:
 	$(PY) -m repro.analysis.experiments auto_config --smoke
+
+# Back-compat alias for the registry smoke above.
+auto-config: search-smoke

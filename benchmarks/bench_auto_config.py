@@ -10,13 +10,16 @@ document that the hand-picked cell is itself on the frontier.
 The benchmarked entry runs the CI-sized smoke space (4 axes, 8 cells,
 half-hour diurnal slice) through successive halving with ``jobs=2``;
 a companion check pins grid-vs-halving frontier agreement on the same
-space (the tier-1 equivalence test covers the per-point details).
+space through one shared :class:`repro.serve.SweepExecutor` session —
+halving's full-fidelity stage must come back out of the cross-run memo
+(the tier-1 equivalence test covers the per-point details).
 """
 
 from conftest import once
 
 from repro.analysis import experiments
 from repro.analysis.experiments import auto_config
+from repro.serve import SweepExecutor
 
 
 def test_auto_config_smoke(benchmark, save_result):
@@ -44,12 +47,19 @@ def test_auto_config_smoke(benchmark, save_result):
 def test_grid_matches_halving_frontier():
     wl = auto_config.workload(duration_s=1800.0)
     space = auto_config.config_space(axes=auto_config.SMOKE_AXES)
-    frontiers = [
-        auto_config.search(space, wl, objectives=auto_config.OBJECTIVES,
-                           strategy=strategy, jobs=2,
-                           prefix_fraction=0.5).frontier
-        for strategy in ("grid", "halving")]
-    grid, halving = frontiers
+    # One executor session spans both strategies: halving's
+    # full-fidelity stage re-asks for points grid already simulated,
+    # so the memo answers them instead of the simulator.
+    with SweepExecutor(jobs=2) as executor:
+        results = [
+            auto_config.search(space, wl,
+                               objectives=auto_config.OBJECTIVES,
+                               strategy=strategy,
+                               prefix_fraction=0.5, executor=executor)
+            for strategy in ("grid", "halving")]
+    grid, halving = (r.frontier for r in results)
     assert grid.labels() == halving.labels()
     for label in grid.labels():
         assert grid[label].values == halving[label].values
+    # The shared memo really carried the second strategy's full stage.
+    assert results[1].memo_hits >= results[1].evaluated

@@ -51,13 +51,14 @@ Usage::
     python benchmarks/gate.py --update-baseline   # make bench-baseline
     python benchmarks/gate.py --profile           # wall-clock split
 
-``--check`` writes the fresh measurements beside the baseline as
-``BENCH_serving.current.json`` for debugging; only
-``--update-baseline`` touches ``BENCH_serving.json`` itself.
+``--check`` writes the fresh measurements to
+``benchmarks/BENCH_serving.current.json`` for debugging; only
+``--update-baseline`` touches the checked-in ``BENCH_serving.json``.
 ``--profile`` runs each scenario once under cProfile and prints where
 the wall-clock goes — operator/cost-surface construction, step-cost
 simulation, scheduler logic, engine/event loop, metrics aggregation —
-so future perf PRs have a breakdown to aim at.  Thresholds can be
+plus the executor's trace-generation vs simulation vs teardown phase
+clocks, so future perf PRs have a breakdown to aim at.  Thresholds can be
 widened per run via the ``BENCH_GATE_GOODPUT_DROP`` and
 ``BENCH_GATE_WALL_GROWTH`` environment variables (fractions).
 """
@@ -88,14 +89,13 @@ from repro.analysis.experiments import (  # noqa: E402
 from repro.errors import ConfigError  # noqa: E402
 from repro.serve import (  # noqa: E402
     LengthSpec,
+    SweepExecutor,
     SweepPoint,
     TraceSpec,
-    run_point,
-    run_sweep,
 )
 
 BASELINE_PATH = ROOT / "BENCH_serving.json"
-CURRENT_PATH = ROOT / "BENCH_serving.current.json"
+CURRENT_PATH = ROOT / "benchmarks" / "BENCH_serving.current.json"
 
 #: Default gate thresholds (fractions).  The wall bound has tightened
 #: as the engine bought headroom: 25 % -> 20 % with the event-compressed
@@ -280,14 +280,23 @@ def _metrics(name: str, report) -> dict:
 
 
 def measure(jobs: int = 1) -> dict:
-    """Run every scenario ``_timing_runs`` times through the sweep
-    executor; per-scenario wall is the min over its runs."""
+    """Run every scenario ``_timing_runs`` times through one
+    :class:`repro.serve.SweepExecutor` session; per-scenario wall is
+    the min over its runs.
+
+    Memoization stays **off** — the whole point of repeating a
+    scenario is to really re-run it — but the session still amortizes
+    the pool spawn across scenarios and lets repeat runs (and the
+    legacy/paged/cluster trio, which share one trace spec) rebuild
+    their traces from the worker-side column cache instead of the RNG.
+    """
     results = {"calibration_s": _calibration_s(), "scenarios": {}}
     scenarios = _scenarios()
     points = [replace(point, label=f"{name}#{i}")
               for name, point in scenarios.items()
               for i in range(_timing_runs(name))]
-    sweep = run_sweep(points, jobs=jobs)
+    with SweepExecutor(jobs=jobs, memoize=False) as executor:
+        sweep = executor.run(points)
     for name in scenarios:
         outcomes = [sweep[f"{name}#{i}"]
                     for i in range(_timing_runs(name))]
@@ -297,7 +306,9 @@ def measure(jobs: int = 1) -> dict:
         print(f"  {name:9s} goodput={metrics['goodput_rps']:.4f} req/s  "
               f"ttft_p99={metrics['ttft_p99_s']:.2f} s  "
               f"wall={metrics['wall_s']:.2f} s")
-    print(f"  calibration: {results['calibration_s']:.3f} s")
+    print(f"  calibration: {results['calibration_s']:.3f} s  "
+          f"trace-cache: {sweep.trace_cache_hits}/{len(sweep)} hits "
+          f"({sweep.trace_s:.2f} s total trace synthesis)")
     return results
 
 
@@ -403,29 +414,44 @@ def print_split(name: str, total: float, buckets: dict) -> None:
 
 def profile() -> None:
     """Print each scenario's wall-clock split by subsystem, the
-    event-loop phase split, and (for fleet scenarios) the per-replica
-    leap / step-cost-cache diagnostics."""
-    for name, point in _scenarios().items():
-        box = {}
+    executor's trace/simulate/teardown phase clocks, the event-loop
+    phase split, and (for fleet scenarios) the per-replica leap /
+    step-cost-cache diagnostics.
 
-        def runner(point=point, box=box):
-            box["report"] = run_point(point)
+    Scenarios share one serial executor session, so the trace-column
+    cache is live: legacy/paged/cluster share a trace spec, and their
+    second and third runs show the rebuild-from-cache cost (and a
+    ``trace cache hit`` tag) instead of RNG synthesis.
+    """
+    with SweepExecutor(jobs=1, memoize=False) as executor:
+        for name, point in _scenarios().items():
+            box = {}
 
-        stats = _profile_stats(runner)
-        total, buckets = _bucket_split(stats)
-        print_split(name, total, buckets)
-        phases = _phase_split(stats)
-        if any(phases.values()):
-            loop = " ".join(f"{label}={seconds:.3f}s"
-                            for label, seconds in phases.items()
-                            if seconds)
-            print(f"  event-loop phases: {loop}")
-        report = box["report"]
-        if hasattr(report, "leap_steps_per_replica"):
-            print(f"  per-replica leap_steps="
-                  f"{report.leap_steps_per_replica} "
-                  f"cache_hits={report.step_cache_hits_per_replica} "
-                  f"cache_misses={report.step_cache_misses_per_replica}")
+            def runner(point=point, box=box):
+                box["outcome"] = executor.run([point]).outcomes[0]
+
+            stats = _profile_stats(runner)
+            total, buckets = _bucket_split(stats)
+            print_split(name, total, buckets)
+            outcome = box["outcome"]
+            cached = " (trace cache hit)" if outcome.trace_cache_hit \
+                else ""
+            print(f"  executor phases: trace={outcome.trace_s:.3f}s"
+                  f"{cached} simulate={outcome.wall_s:.3f}s "
+                  f"teardown={outcome.teardown_s:.3f}s")
+            phases = _phase_split(stats)
+            if any(phases.values()):
+                loop = " ".join(f"{label}={seconds:.3f}s"
+                                for label, seconds in phases.items()
+                                if seconds)
+                print(f"  event-loop phases: {loop}")
+            report = outcome.report
+            if hasattr(report, "leap_steps_per_replica"):
+                print(f"  per-replica leap_steps="
+                      f"{report.leap_steps_per_replica} "
+                      f"cache_hits={report.step_cache_hits_per_replica} "
+                      f"cache_misses="
+                      f"{report.step_cache_misses_per_replica}")
 
 
 def check(current: dict, baseline: dict) -> list[str]:

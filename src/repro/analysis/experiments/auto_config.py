@@ -23,7 +23,7 @@ frontier for the smoke-sized space (pinned by tests).
 from __future__ import annotations
 
 from ...search import SearchSpace, Workload, make_objectives, search
-from ...serve import run_sweep
+from ...serve import SweepExecutor, run_sweep
 from . import registry
 from .autoscaling_serving import (
     DAY_S,
@@ -72,10 +72,17 @@ def workload(seed: int = 11, duration_s: float = DAY_S) -> Workload:
                     slos=SLOS)
 
 
-def hand_picked_metrics(wl: Workload, jobs: int = 1) -> dict:
-    """The PR 7 hand-picked winner's scores on this workload."""
+def hand_picked_metrics(wl: Workload, jobs: int = 1,
+                        executor=None) -> dict:
+    """The PR 7 hand-picked winner's scores on this workload.
+
+    With an ``executor`` whose memo saw the search, this is answered
+    from cache — the hand-picked config is one cell of the space.
+    """
     point = fleet_point("hand-picked", "reactive", wl.trace)
-    report = run_sweep([point], jobs=jobs).outcomes[0].report
+    sweep = executor.run([point]) if executor is not None \
+        else run_sweep([point], jobs=jobs)
+    report = sweep.outcomes[0].report
     objectives = make_objectives(OBJECTIVES, wl)
     return {o.name: o.value(report) for o in objectives}
 
@@ -109,16 +116,23 @@ def run_headline(seed: int = 11, duration_s: float = DAY_S,
     """
     wl = workload(seed=seed, duration_s=duration_s)
     space = config_space(axes=axes)
-    result = search(space, wl, objectives=OBJECTIVES,
-                    strategy=strategy, jobs=jobs,
-                    prefix_fraction=prefix_fraction)
-    hand = hand_picked_metrics(wl, jobs=jobs)
+    # One executor session spans the search and the hand-picked
+    # re-score: the hand config is a cell of the space, so its
+    # full-fidelity run is answered from the search's memo.
+    with SweepExecutor(jobs=jobs) as executor:
+        result = search(space, wl, objectives=OBJECTIVES,
+                        strategy=strategy, jobs=jobs,
+                        prefix_fraction=prefix_fraction,
+                        executor=executor)
+        hand = hand_picked_metrics(wl, executor=executor)
+        executor_stats = executor.stats()
     best = best_at_goodput(result.frontier, hand["goodput"])
     hand_label = ("autoscaler=reactive,n_replicas=4,max_batch=24,"
                   "tick_s=60")
     return {
         "result": result,
         "space_size": space.size,
+        "executor_stats": executor_stats,
         "hand_picked": hand,
         "hand_picked_label": hand_label,
         "hand_picked_on_frontier": hand_label in result.frontier.labels(),
@@ -163,6 +177,9 @@ def run(config: dict) -> registry.Report:
         "cost_ratio": data["cost_ratio"],
         "goodput_ratio": data["goodput_ratio"],
         "hand_picked_on_frontier": data["hand_picked_on_frontier"],
+        "memo_hits": data["executor_stats"]["memo_hits"],
+        "memo_misses": data["executor_stats"]["memo_misses"],
+        "trace_cache_hits": result.trace_cache_hits,
     }
     notes = result.summary()
     if data["best"] is not None:

@@ -146,21 +146,25 @@ def fleet_point(label: str, autoscaler: str, trace: TraceSpec,
 
 def run_scaler_comparison(model=SERVE_MODEL, seed: int = 11,
                           scalers=tuple(SCALERS), jobs: int = 1,
-                          duration_s: float = DAY_S
-                          ) -> list[FleetPoint]:
+                          duration_s: float = DAY_S,
+                          executor=None) -> list[FleetPoint]:
     """Every scaler on the same diurnal multi-tenant day.
 
     Runs through :func:`repro.serve.run_sweep`; ``jobs>1`` fans the
-    scalers over worker processes with identical results.
+    scalers over worker processes with identical results.  An
+    ``executor`` (:class:`repro.serve.SweepExecutor`) session takes
+    precedence over ``jobs`` and shares its pool and caches.
     """
     trace = diurnal_trace_spec(seed=seed, duration_s=duration_s)
-    sweep = run_sweep([fleet_point(name, name, trace, model=model)
-                       for name in scalers], jobs=jobs)
+    points = [fleet_point(name, name, trace, model=model)
+              for name in scalers]
+    sweep = executor.run(points) if executor is not None \
+        else run_sweep(points, jobs=jobs)
     return [FleetPoint.of(outcome.report) for outcome in sweep]
 
 
 def run_headline(model=SERVE_MODEL, seed: int = 11,
-                 jobs: int = 1) -> dict:
+                 jobs: int = 1, executor=None) -> dict:
     """Acceptance headline: SLO-aware scaling vs static provisioning.
 
     Equal fleet ceiling, same diurnal two-tenant day, same fair-share
@@ -171,9 +175,10 @@ def run_headline(model=SERVE_MODEL, seed: int = 11,
     better goodput at strictly lower cost per good request.
     """
     trace = diurnal_trace_spec(seed=seed)
-    sweep = run_sweep(
-        [fleet_point(name, name, trace, model=model)
-         for name in ("static", "reactive", "predictive")], jobs=jobs)
+    points = [fleet_point(name, name, trace, model=model)
+              for name in ("static", "reactive", "predictive")]
+    sweep = executor.run(points) if executor is not None \
+        else run_sweep(points, jobs=jobs)
     reports = {outcome.label: outcome.report for outcome in sweep}
     points = {label: FleetPoint.of(report)
               for label, report in reports.items()}

@@ -187,18 +187,21 @@ def run_router_comparison(model: ModelConfig = SERVE_MODEL,
                           rate_per_replica: float =
                           DEFAULT_RATE_PER_REPLICA,
                           routers=ROUTER_POLICIES,
-                          seed: int = 0, jobs: int = 1
-                          ) -> list[ClusterPoint]:
+                          seed: int = 0, jobs: int = 1,
+                          executor=None) -> list[ClusterPoint]:
     """Every router on the same saturating shared-prefix trace.
 
     Runs through :func:`repro.serve.run_sweep`; ``jobs>1`` fans the
-    routers over worker processes with identical results.
+    routers over worker processes with identical results.  An
+    ``executor`` (:class:`repro.serve.SweepExecutor`) session takes
+    precedence over ``jobs`` and shares its pool and caches.
     """
     trace = cluster_trace_spec(n_requests,
                                rate_per_replica * n_replicas, seed=seed)
-    sweep = run_sweep([_cluster_point(router, model, n_replicas, router,
-                                      trace)
-                       for router in routers], jobs=jobs)
+    points = [_cluster_point(router, model, n_replicas, router, trace)
+              for router in routers]
+    sweep = executor.run(points) if executor is not None \
+        else run_sweep(points, jobs=jobs)
     return [ClusterPoint.of(outcome.report) for outcome in sweep]
 
 
@@ -207,23 +210,24 @@ def run_replica_scaling(model: ModelConfig = SERVE_MODEL,
                         n_requests: int = 320,
                         rate_per_replica: float = DEFAULT_RATE_PER_REPLICA,
                         router: str = "prefix-affinity",
-                        seed: int = 0, jobs: int = 1
-                        ) -> list[ClusterPoint]:
+                        seed: int = 0, jobs: int = 1,
+                        executor=None) -> list[ClusterPoint]:
     """Goodput vs replica count at a fixed per-replica offered load."""
-    sweep = run_sweep(
-        [_cluster_point(f"x{n}", model, n, router,
-                        cluster_trace_spec(n_requests,
-                                           rate_per_replica * n,
-                                           seed=seed))
-         for n in replica_counts], jobs=jobs)
+    points = [_cluster_point(f"x{n}", model, n, router,
+                             cluster_trace_spec(n_requests,
+                                                rate_per_replica * n,
+                                                seed=seed))
+              for n in replica_counts]
+    sweep = executor.run(points) if executor is not None \
+        else run_sweep(points, jobs=jobs)
     return [ClusterPoint.of(outcome.report) for outcome in sweep]
 
 
 def run_disaggregation(model: ModelConfig = SERVE_MODEL,
                        n_replicas: int = 4, n_requests: int = 300,
                        rate_per_replica: float = 0.5,
-                       seed: int = 0, jobs: int = 1
-                       ) -> list[ClusterPoint]:
+                       seed: int = 0, jobs: int = 1,
+                       executor=None) -> list[ClusterPoint]:
     """Unified vs disaggregated pools at equal total replicas.
 
     A chat trace (long decodes, :data:`DISAGG_OUTPUT_SPEC`): the
@@ -238,12 +242,13 @@ def run_disaggregation(model: ModelConfig = SERVE_MODEL,
     """
     trace = cluster_trace_spec(n_requests, rate_per_replica * n_replicas,
                                seed=seed, output=DISAGG_OUTPUT_SPEC)
-    sweep = run_sweep(
-        [_cluster_point("unified", model, n_replicas,
-                        "least-outstanding", trace),
-         _cluster_point("disaggregated", model, n_replicas,
-                        "least-outstanding", trace,
-                        mode="disaggregated")], jobs=jobs)
+    points = [_cluster_point("unified", model, n_replicas,
+                             "least-outstanding", trace),
+              _cluster_point("disaggregated", model, n_replicas,
+                             "least-outstanding", trace,
+                             mode="disaggregated")]
+    sweep = executor.run(points) if executor is not None \
+        else run_sweep(points, jobs=jobs)
     return [ClusterPoint.of(outcome.report, tpot_slo_s=TPOT_SLO_S)
             for outcome in sweep]
 
@@ -251,7 +256,7 @@ def run_disaggregation(model: ModelConfig = SERVE_MODEL,
 def run_headline(model: ModelConfig = SERVE_MODEL, n_replicas: int = 4,
                  n_requests: int = 600,
                  rate_per_replica: float = DEFAULT_RATE_PER_REPLICA,
-                 seed: int = 7, jobs: int = 1) -> dict:
+                 seed: int = 7, jobs: int = 1, executor=None) -> dict:
     """Acceptance headline: prefix-affinity vs round-robin goodput.
 
     Equal silicon (same replicas, same per-replica KV budget), same
@@ -263,9 +268,10 @@ def run_headline(model: ModelConfig = SERVE_MODEL, n_replicas: int = 4,
     spec = cluster_trace_spec(n_requests, rate_per_replica * n_replicas,
                               seed=seed)
     shared = sum(r.prefix_group is not None for r in spec.realize())
-    sweep = run_sweep(
-        [_cluster_point(router, model, n_replicas, router, spec)
-         for router in ("round-robin", "prefix-affinity")], jobs=jobs)
+    points = [_cluster_point(router, model, n_replicas, router, spec)
+              for router in ("round-robin", "prefix-affinity")]
+    sweep = executor.run(points) if executor is not None \
+        else run_sweep(points, jobs=jobs)
     reports = {outcome.label: outcome.report for outcome in sweep}
     return {
         "n_requests": n_requests,

@@ -102,12 +102,14 @@ from .soa import (
     SequenceTable,
 )
 from .sweep import (
+    SweepExecutor,
     SweepOutcome,
     SweepPoint,
     SweepReport,
     TraceSpec,
     run_point,
     run_sweep,
+    trace_cache_stats,
 )
 from .trace import (
     LengthSpec,
@@ -176,6 +178,7 @@ __all__ = [
     "StaticBatchScheduler",
     "StepCostCache",
     "StepPlan",
+    "SweepExecutor",
     "SweepOutcome",
     "SweepPoint",
     "SweepReport",
@@ -201,4 +204,5 @@ __all__ = [
     "steady_trace",
     "step_cost_store",
     "tenant_slo_map",
+    "trace_cache_stats",
 ]

@@ -29,13 +29,38 @@ bit-identical drop-in for the old sequential loops.  Reports are pure
 functions of their point (costs are deterministic, traces are seeded),
 so ``jobs=N`` returns the same reports as ``jobs=1``; only wall clocks
 and cache-locality counters differ.
+
+For *sessions* of sweeps — a successive-halving search running rung
+after rung, a gate checking many scenarios, an experiment comparing
+strategies — :class:`SweepExecutor` amortizes the fixed costs one-shot
+:func:`run_sweep` re-pays per call:
+
+* **pool reuse** — one long-lived ``spawn`` pool for the executor's
+  lifetime, so worker interpreters (and everything they have cached:
+  designs, priced cost surfaces, trace columns) survive across calls
+  instead of being torn down per rung;
+* a **worker-side trace-column cache** — an LRU keyed by the
+  :class:`TraceSpec` itself (prefix-shrunk rung specs key separately),
+  holding the generated numpy columns so co-workload points pay RNG
+  generation once per process and only re-materialize fresh
+  ``Request`` objects per run (preserving the no-aliasing invariant);
+* **cross-run outcome memoization** — canonically-keyed (label
+  stripped) ``(SweepPoint, TraceSpec)`` → :class:`SweepOutcome`, so a
+  grid-vs-halving comparison or a re-scored candidate returns the
+  cached report instead of re-simulating.  Hit/miss/eviction counters
+  ride on every :class:`SweepReport`.
+
+:func:`run_sweep` is now a thin wrapper over a throwaway executor with
+memoization off, so existing callers keep their exact semantics
+(repeated identical points — e.g. gate timing runs — still re-run).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import time
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 
 from ..arch import make_design
@@ -56,17 +81,21 @@ from .trace import (
     bursty_trace,
     multi_tenant_trace,
     poisson_trace,
+    requests_from_columns,
     spawn_rng,
     steady_trace,
+    trace_columns,
 )
 
 __all__ = [
+    "SweepExecutor",
     "SweepOutcome",
     "SweepPoint",
     "SweepReport",
     "TraceSpec",
     "run_point",
     "run_sweep",
+    "trace_cache_stats",
 ]
 
 #: Trace builders a :class:`TraceSpec` can name.
@@ -346,6 +375,86 @@ def _resolve_design(point: SweepPoint):
     return _sharded_of(*point.design, point.tp, point.pp, point.model)
 
 
+#: Trace-column cache budget: entries and total cached rows (requests).
+#: Columns cost ~56 bytes/request, so the default row budget bounds the
+#: cache near 112 MB — enough to hold every gate scenario's trace at
+#: once — while the entry cap keeps lookups O(1) on tiny sweeps.
+DEFAULT_TRACE_CACHE_ENTRIES = 32
+DEFAULT_TRACE_CACHE_ROWS = 2_000_000
+
+
+class _TraceColumnCache:
+    """Per-process LRU of :class:`TraceSpec` → generated trace columns.
+
+    The executor's worker-side cache: a rung of N co-workload points
+    pays RNG generation once per process, and every later realization
+    rebuilds fresh ``Request`` objects from the cached columns
+    (:func:`repro.serve.trace.requests_from_columns`), never aliasing a
+    previous run's instances.  Prefix-shrunk rung specs differ from the
+    full workload's spec, so they key (and cache) separately.
+
+    Evicts least-recently-used entries when either budget — entry count
+    or total cached rows — is exceeded; a single trace larger than the
+    row budget is simply never cached.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_TRACE_CACHE_ENTRIES,
+                 max_rows: int = DEFAULT_TRACE_CACHE_ROWS):
+        self.max_entries = max_entries
+        self.max_rows = max_rows
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rows = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def realize(self, spec: TraceSpec) -> tuple:
+        """``(requests, cache_hit)`` for one spec.
+
+        A hit rebuilds fresh instances from the cached columns; a miss
+        generates the trace, snapshots its columns for next time, and
+        returns the generated objects directly.
+        """
+        columns = self._data.get(spec)
+        if columns is not None:
+            self._data.move_to_end(spec)
+            self.hits += 1
+            return requests_from_columns(columns), True
+        self.misses += 1
+        requests = spec.realize()
+        if len(requests) <= self.max_rows:
+            self._data[spec] = trace_columns(requests)
+            self.rows += len(requests)
+            while len(self._data) > self.max_entries \
+                    or self.rows > self.max_rows:
+                _, evicted = self._data.popitem(last=False)
+                self.rows -= evicted[0].size
+                self.evictions += 1
+        return requests, False
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "entries": len(self._data),
+                "rows": self.rows}
+
+
+#: The process-wide trace-column cache.  Module-level (not per
+#: executor) on purpose: pool workers have no executor object, and the
+#: parent's inline runs benefit from the same locality.
+_TRACE_CACHE = _TraceColumnCache()
+
+
+def trace_cache_stats() -> dict:
+    """Hit/miss/eviction/occupancy counters of **this process's**
+    trace-column cache.  Worker processes keep their own; their
+    per-point hits ship home as :attr:`SweepOutcome.trace_cache_hit`.
+    """
+    return _TRACE_CACHE.stats()
+
+
 def run_point(point: SweepPoint):
     """Execute one grid point in this process.
 
@@ -405,15 +514,22 @@ def _serve(point: SweepPoint, design, trace):
 class SweepOutcome:
     """One executed point: its report plus execution metadata.
 
-    ``wall_s`` times the engine/cluster run only; synthesizing the
-    input trace is billed to ``trace_s`` so benchmark harnesses built
-    on the executor measure the *simulator*, not request generation.
+    ``wall_s`` times the engine/cluster run only; synthesizing (or
+    cache-rebuilding) the input trace is billed to ``trace_s`` and
+    everything around the simulate call — design resolution,
+    cache-stat snapshots, outcome packaging — to ``teardown_s``, so
+    benchmark harnesses built on the executor measure the *simulator*
+    and can see trace-cache wins separately.
 
     ``cache_hits`` / ``cache_misses`` are the step-cost cache traffic
     this point generated *in the process that ran it* — the
     :func:`repro.serve.costs.aggregate_cache_stats` delta around the
     run — so fanned-out runs surface the same counters a sequential
-    run would see in-process.
+    run would see in-process.  ``trace_cache_hit`` says whether the
+    trace came out of that process's column cache instead of RNG
+    generation; ``memo_hit`` marks an outcome the executor answered
+    from its cross-run memo without simulating at all (its clocks are
+    the original run's — the cost the memo saved).
     """
 
     label: str
@@ -422,34 +538,49 @@ class SweepOutcome:
     trace_s: float
     cache_hits: int
     cache_misses: int
+    teardown_s: float = 0.0
+    trace_cache_hit: bool = False
+    memo_hit: bool = False
 
 
 def _execute(point: SweepPoint) -> SweepOutcome:
-    """Run one point, timing it and snapshotting cache-stat deltas."""
+    """Run one point, timing its phases and snapshotting cache-stat
+    deltas."""
+    total_start = time.perf_counter()
     design = _resolve_design(point)
     start = time.perf_counter()
-    trace = point.trace.realize()
+    trace, trace_hit = _TRACE_CACHE.realize(point.trace)
     trace_s = time.perf_counter() - start
     before = aggregate_cache_stats()
     start = time.perf_counter()
     report = _serve(point, design, trace)
     wall = time.perf_counter() - start
     after = aggregate_cache_stats()
+    teardown = time.perf_counter() - total_start - trace_s - wall
     return SweepOutcome(label=point.label, report=report, wall_s=wall,
                         trace_s=trace_s,
                         cache_hits=after["hits"] - before["hits"],
-                        cache_misses=after["misses"] - before["misses"])
+                        cache_misses=after["misses"] - before["misses"],
+                        teardown_s=teardown, trace_cache_hit=trace_hit)
 
 
 @dataclass
 class SweepReport:
-    """Outcomes of one :func:`run_sweep` call, in input-point order."""
+    """Outcomes of one sweep run, in input-point order."""
 
     outcomes: list = field(default_factory=list)
     jobs: int = 1
     #: End-to-end wall time of the whole sweep (pool setup included),
     #: as opposed to the per-point ``SweepOutcome.wall_s`` clocks.
     wall_s: float = 0.0
+    #: Executor-memo traffic of this run: how many of this run's points
+    #: were answered from the cross-run memo / actually simulated / and
+    #: how many cached outcomes the memo LRU evicted while storing the
+    #: fresh ones.  All zero under plain :func:`run_sweep`, whose
+    #: throwaway executor keeps memoization off.
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_evictions: int = 0
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -474,13 +605,27 @@ class SweepReport:
     def cache_misses(self) -> int:
         return sum(o.cache_misses for o in self.outcomes)
 
+    @property
+    def trace_cache_hits(self) -> int:
+        """Points whose trace came from a worker's column cache."""
+        return sum(o.trace_cache_hit for o in self.outcomes)
+
+    @property
+    def trace_s(self) -> float:
+        """Total trace synthesis/rebuild seconds across points."""
+        return sum(o.trace_s for o in self.outcomes)
+
     def summary(self) -> str:
         lines = [f"sweep: {len(self.outcomes)} points, "
                  f"jobs={self.jobs}, wall {self.wall_s:.2f}s, "
                  f"step-cost cache {self.cache_hits} hits / "
-                 f"{self.cache_misses} misses"]
+                 f"{self.cache_misses} misses, trace cache "
+                 f"{self.trace_cache_hits}/{len(self.outcomes)} hits, "
+                 f"memo {self.memo_hits} hits / {self.memo_misses} "
+                 f"misses"]
         for o in self.outcomes:
-            lines.append(f"  {o.label}: {o.wall_s:.2f}s")
+            note = " (memo)" if o.memo_hit else ""
+            lines.append(f"  {o.label}: {o.wall_s:.2f}s{note}")
         return "\n".join(lines)
 
 
@@ -519,53 +664,220 @@ def _install_warm(warm: dict) -> None:
         install_store_tables(design, entries)
 
 
+#: Default cross-run memo capacity.  Entries hold full reports, which
+#: can be large for bulk traces; search/gate sessions touch at most a
+#: few hundred distinct (point, trace) pairs.
+DEFAULT_MEMO_ENTRIES = 256
+
+
+def _memo_key(point: SweepPoint) -> SweepPoint:
+    """The canonical memo key: the point with its label stripped.
+
+    Every other field — including the embedded :class:`TraceSpec` —
+    determines the report, so two points differing only in label (a
+    rung-relabeled candidate, a re-scored survivor, a grid-vs-halving
+    twin) share one memo entry.
+    """
+    return replace(point, label="")
+
+
+class SweepExecutor:
+    """A persistent sweep-execution session.
+
+    Owns the fixed costs one-shot :func:`run_sweep` re-pays per call:
+
+    * ``jobs > 1`` keeps **one long-lived spawn pool** across every
+      :meth:`run` — worker interpreters, their memoized designs,
+      priced :class:`~repro.llm.workload.StepCostSurface` tables, and
+      trace-column caches all survive between calls.  The parent's
+      warm cost tables ship once, at pool creation, via the pool
+      initializer (``warm_start``);
+    * with ``memoize`` (the default), outcomes are **memoized across
+      runs** under the canonical ``(SweepPoint sans label)`` key in a
+      size-capped LRU: a later run (or a duplicate within one run)
+      asking for an already-simulated configuration gets the cached
+      :class:`SweepOutcome` back — same report object, new label,
+      ``memo_hit=True`` — instead of re-simulating.  Reports are
+      treated as read-only everywhere, so sharing is safe.
+
+    Memoized replies are bit-identical to fresh runs by construction:
+    the memo stores exactly what a fresh run returned, and outcomes
+    are pure functions of their point.  Pass ``memoize=False`` (or
+    ``run(..., memoize=False)``) when repeated identical points must
+    really re-run — e.g. benchmark timing runs.
+
+    Use as a context manager (or call :meth:`close`) to tear the pool
+    down deterministically; a closed executor refuses further runs.
+    """
+
+    def __init__(self, jobs: int = 1, warm_start: bool = True,
+                 memoize: bool = True,
+                 memo_entries: int = DEFAULT_MEMO_ENTRIES):
+        if jobs < 1:
+            raise ConfigError("jobs must be positive")
+        if memo_entries < 1:
+            raise ConfigError("memo_entries must be positive")
+        self.jobs = jobs
+        self.warm_start = warm_start
+        self.memoize = memoize
+        self.memo_entries = memo_entries
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
+        self._memo: OrderedDict = OrderedDict()
+        self._pool = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear down the worker pool and refuse further runs."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        self._closed = True
+
+    def _ensure_pool(self, points):
+        """The persistent pool, created (and warm-started) on first
+        parallel use.  Sized at ``min(jobs, first batch)`` — rungs
+        only ever shrink, and a later wider run still fans out over
+        every worker that exists."""
+        if self._pool is None:
+            context = mp.get_context("spawn")
+            initializer, initargs = None, ()
+            if self.warm_start:
+                warm = _warm_payload(points)
+                if warm:
+                    initializer, initargs = _install_warm, (warm,)
+            self._pool = context.Pool(
+                processes=min(self.jobs, max(len(points), 1)),
+                initializer=initializer, initargs=initargs)
+        return self._pool
+
+    # -- execution ----------------------------------------------------
+
+    def _run_points(self, points) -> list:
+        """Simulate points for real (memo already consulted)."""
+        if self.jobs == 1 or (self._pool is None and len(points) <= 1):
+            return [_execute(p) for p in points]
+        pool = self._ensure_pool(points)
+        return pool.map(_execute, points, chunksize=1)
+
+    def run(self, points, memoize: bool | None = None) -> SweepReport:
+        """Execute every point; outcomes come back in input order.
+
+        ``memoize=None`` follows the executor's default; ``False``
+        bypasses the memo for this run only (nothing is looked up *or*
+        stored — the bypass cannot overwrite an entry either).
+        """
+        if self._closed:
+            raise ConfigError("SweepExecutor is closed")
+        points = list(points)
+        labels = [p.label for p in points]
+        if len(set(labels)) != len(labels):
+            raise ConfigError("sweep point labels must be distinct")
+        memoize = self.memoize if memoize is None else memoize
+        start = time.perf_counter()
+        hits0, misses0, evictions0 = (self.memo_hits, self.memo_misses,
+                                      self.memo_evictions)
+        outcomes: list = [None] * len(points)
+        pending, pending_slots = [], []
+        if memoize:
+            #: memo key -> slots awaiting the same pending simulation
+            #: (intra-run duplicates collapse onto one execution).
+            claimed: dict = {}
+            for i, point in enumerate(points):
+                key = _memo_key(point)
+                cached = self._memo.get(key)
+                if cached is not None:
+                    self._memo.move_to_end(key)
+                    self.memo_hits += 1
+                    outcomes[i] = replace(cached, label=point.label,
+                                          memo_hit=True)
+                elif key in claimed:
+                    self.memo_hits += 1
+                    claimed[key].append(i)
+                else:
+                    self.memo_misses += 1
+                    claimed[key] = []
+                    pending.append(point)
+                    pending_slots.append(i)
+        else:
+            pending = points
+            pending_slots = list(range(len(points)))
+        if pending:
+            for slot, point, outcome in zip(pending_slots, pending,
+                                            self._run_points(pending)):
+                outcomes[slot] = outcome
+                if memoize:
+                    key = _memo_key(point)
+                    self._memo[key] = outcome
+                    for twin in claimed.pop(key, ()):
+                        outcomes[twin] = replace(
+                            outcome, label=points[twin].label,
+                            memo_hit=True)
+                    if len(self._memo) > self.memo_entries:
+                        self._memo.popitem(last=False)
+                        self.memo_evictions += 1
+        return SweepReport(outcomes=outcomes, jobs=self.jobs,
+                           wall_s=time.perf_counter() - start,
+                           memo_hits=self.memo_hits - hits0,
+                           memo_misses=self.memo_misses - misses0,
+                           memo_evictions=self.memo_evictions
+                           - evictions0)
+
+    def stats(self) -> dict:
+        """Lifetime executor counters (the per-run deltas ride on each
+        :class:`SweepReport`)."""
+        return {"memo_hits": self.memo_hits,
+                "memo_misses": self.memo_misses,
+                "memo_evictions": self.memo_evictions,
+                "memo_entries": len(self._memo),
+                "pool_alive": self._pool is not None,
+                "jobs": self.jobs}
+
+
 def run_sweep(points, jobs: int = 1,
               warm_start: bool = True) -> SweepReport:
-    """Execute every point; return outcomes in input order.
+    """Execute every point once; return outcomes in input order.
 
-    ``jobs=1`` (the default) runs inline in the calling process with
-    no pool and no pickling — the sequential loops this replaces,
-    including their warm-cache behaviour.  ``jobs>1`` fans points over
-    a ``spawn``-context pool, one point per task: ``spawn`` (rather
+    A thin wrapper over a throwaway :class:`SweepExecutor` with
+    memoization off, preserving the historical one-shot semantics:
+    ``jobs=1`` runs inline in the calling process with no pool and no
+    pickling (the sequential loops this replaced, including their
+    warm-cache behaviour), ``jobs>1`` fans points over a
+    ``spawn``-context pool, one point per task — ``spawn`` (rather
     than ``fork``) keeps worker state a pure function of the pickled
-    point, so results cannot depend on whatever the parent happened to
-    have imported or cached, and it behaves identically on platforms
-    where ``fork`` is unavailable or unsafe with threads.
+    point, and behaves identically on platforms where ``fork`` is
+    unavailable or unsafe with threads.  Repeated identical points
+    (e.g. benchmark timing runs) always really re-run.
 
     With ``warm_start`` (the default), a parent that has already
     priced this sweep's designs ships its
     :class:`~repro.llm.workload.StepCostSurface` component tables to
     each worker once at pool start, so workers skip the cold
     op-cost-model rebuild; the shipped tables are the exact values the
-    worker would have computed, so results are unchanged.  Pass
-    ``warm_start=False`` to benchmark cold-worker behaviour.
+    worker would have computed, so results are unchanged.
 
     Reports are identical across ``jobs`` values; wall clocks and
     cache-locality counters are the only things that may differ (a
     cold worker re-prices signatures the warm parent had cached).
+    Callers running *sessions* of sweeps — searches, gates, strategy
+    comparisons — should hold a :class:`SweepExecutor` instead and
+    amortize the pool spawn and the memo across calls.
     """
-    points = list(points)
     if jobs < 1:
         raise ConfigError("jobs must be positive")
-    labels = [p.label for p in points]
-    if len(set(labels)) != len(labels):
-        raise ConfigError("sweep point labels must be distinct")
-    start = time.perf_counter()
-    if jobs == 1 or len(points) <= 1:
-        outcomes = [_execute(p) for p in points]
-    else:
-        context = mp.get_context("spawn")
-        initializer, initargs = None, ()
-        if warm_start:
-            warm = _warm_payload(points)
-            if warm:
-                initializer, initargs = _install_warm, (warm,)
-        with context.Pool(processes=min(jobs, len(points)),
-                          initializer=initializer,
-                          initargs=initargs) as pool:
-            outcomes = pool.map(_execute, points, chunksize=1)
-    return SweepReport(outcomes=outcomes, jobs=jobs,
-                       wall_s=time.perf_counter() - start)
+    with SweepExecutor(jobs=jobs, warm_start=warm_start,
+                       memoize=False) as executor:
+        return executor.run(points)
 
 
 def _demo_points(n_requests: int, rates, designs) -> list[SweepPoint]:

@@ -503,6 +503,59 @@ def multi_tenant_trace(tenants, duration_s: float, day_s: float = 86400.0,
                            prefix_lens, tenants=owners)
 
 
+def trace_columns(requests: list[Request]) -> tuple:
+    """Snapshot a generated trace as read-only parallel numpy columns.
+
+    The inverse of :func:`requests_from_columns`: seven arrays
+    (arrivals, prompts, outputs, priorities, prefix groups, prefix
+    lens, tenants) capturing everything a generator-produced trace
+    carries — ``req_id`` is arrival order and ``kv_ready`` is always
+    False on generator output, so neither needs a column.  The arrays
+    are marked non-writeable so a cached snapshot cannot be corrupted
+    by a consumer.
+
+    The sweep executor's worker-side trace cache stores these instead
+    of the ``Request`` objects themselves: columns are ~56 bytes per
+    request (objects are several hundred) and rebuilding fresh
+    instances per run preserves the no-aliasing invariant the cluster
+    layer relies on.
+    """
+    n = len(requests)
+    columns = (
+        np.fromiter((r.arrival_s for r in requests),
+                    dtype=np.float64, count=n),
+        np.fromiter((r.prompt_len for r in requests),
+                    dtype=np.int64, count=n),
+        np.fromiter((r.output_len for r in requests),
+                    dtype=np.int64, count=n),
+        np.fromiter((r.priority for r in requests),
+                    dtype=np.int64, count=n),
+        np.fromiter((-1 if r.prefix_group is None else r.prefix_group
+                     for r in requests), dtype=np.int64, count=n),
+        np.fromiter((r.prefix_len for r in requests),
+                    dtype=np.int64, count=n),
+        np.fromiter((r.tenant for r in requests),
+                    dtype=np.int64, count=n),
+    )
+    for column in columns:
+        column.flags.writeable = False
+    return columns
+
+
+def requests_from_columns(columns: tuple) -> list[Request]:
+    """Fresh ``Request`` objects from a :func:`trace_columns` snapshot.
+
+    Goes through the same bulk constructor every trace generator ends
+    in, so the rebuilt list is field-for-field identical to the one the
+    columns were snapshotted from — but each call returns brand-new
+    instances, never aliases of a previous realization.
+    """
+    arrivals, prompts, outputs, levels, groups, prefix_lens, tenants = \
+        columns
+    return _build_requests(arrivals, prompts, outputs, levels, groups,
+                           prefix_lens, tenants=tenants)
+
+
 def offered_load_rps(trace: list[Request]) -> float:
     """Offered request rate of a trace.
 
